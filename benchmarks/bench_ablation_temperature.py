@@ -1,0 +1,52 @@
+"""A1 — ablation: temperature sensitivity (paper §6, future work 2.4).
+
+The paper runs everything at 85 degC (the maximum operating temperature
+at the nominal refresh rate) and lists voltage/temperature sweeps as
+future work.  This ablation performs the temperature sweep on the
+simulated chip: BER at 55-90 degC with the PID rig actually settling the
+plant at each setpoint.  Expected shape: monotonically more flips as the
+chip heats (the fault model's thresholds shrink with temperature).
+"""
+
+import numpy as np
+
+from repro.core.ber import BerExperiment
+from repro.core.experiment import ExperimentConfig
+from repro.core.patterns import ROWSTRIPE0
+from repro.dram.address import DramAddress
+
+from benchmarks.conftest import emit
+
+TEMPERATURES_C = (55.0, 65.0, 75.0, 85.0, 90.0)
+ROWS = range(5000, 5048, 8)
+
+
+def test_ablation_temperature_sweep(benchmark, board, results_dir):
+    board.host.set_ecc_enabled(False)
+    experiment = BerExperiment(board.host, board.device.mapper,
+                               ExperimentConfig())
+
+    def sweep():
+        means = {}
+        for temperature in TEMPERATURES_C:
+            board.set_target_temperature(temperature)
+            records = [experiment.run_row(DramAddress(7, 0, 0, row),
+                                          ROWSTRIPE0)
+                       for row in ROWS]
+            means[temperature] = float(np.mean(
+                [record.ber for record in records]))
+        return means
+
+    means = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    board.set_target_temperature(85.0)
+
+    lines = ["mean BER vs chip temperature (ch7, Rowstripe0, 256K hammers):"]
+    for temperature, ber in means.items():
+        bar = "#" * int(round(ber * 4000))
+        lines.append(f"  {temperature:5.1f} degC  {ber:.4%}  {bar}")
+    emit(results_dir, "ablation_temperature", "\n".join(lines))
+
+    ordered = [means[t] for t in TEMPERATURES_C]
+    assert ordered == sorted(ordered), \
+        "hotter chips should flip at least as much"
+    assert means[90.0] > means[55.0]

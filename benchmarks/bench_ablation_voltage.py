@@ -1,0 +1,60 @@
+"""E3 — extension: wordline-voltage sweep (paper §6, future work 2.4).
+
+The paper plans to characterize RowHammer "across different HBM2 voltage
+and temperature levels", building on the group's reduced-wordline-voltage
+DRAM study (Yaglikci+ DSN'22).  This bench performs the voltage half:
+BER and HC_first on the same rows as the wordline rail is underscaled
+from the nominal 2.5 V toward the 2.0 V operational minimum.  Expected
+shape: monotonically fewer flips and higher HC_first at lower voltage.
+"""
+
+import numpy as np
+
+from repro.core.ber import BerExperiment
+from repro.core.experiment import ExperimentConfig
+from repro.core.hcfirst import HcFirstSearch
+from repro.core.patterns import ROWSTRIPE0
+from repro.dram.address import DramAddress
+
+from benchmarks.conftest import emit
+
+VOLTAGES_V = (2.5, 2.4, 2.3, 2.2, 2.1)
+ROWS = range(5000, 5048, 8)
+
+
+def test_ablation_voltage_sweep(benchmark, board, results_dir):
+    board.host.set_ecc_enabled(False)
+    ber = BerExperiment(board.host, board.device.mapper,
+                        ExperimentConfig())
+    search = HcFirstSearch(board.host, board.device.mapper,
+                           ExperimentConfig())
+    victim = DramAddress(7, 0, 0, 5000)
+
+    def sweep():
+        results = {}
+        for voltage in VOLTAGES_V:
+            board.device.set_wordline_voltage(voltage)
+            mean_ber = float(np.mean([
+                ber.run_row(DramAddress(7, 0, 0, row), ROWSTRIPE0).ber
+                for row in ROWS]))
+            hc = search.search(victim, ROWSTRIPE0).hc_first
+            results[voltage] = (mean_ber, hc)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    board.device.set_wordline_voltage(2.5)
+
+    lines = ["BER / HC_first vs wordline voltage "
+             "(ch7, Rowstripe0, 256K hammers):"]
+    for voltage, (mean_ber, hc) in results.items():
+        hc_text = f"{hc:,}" if hc is not None else "censored (>256K)"
+        lines.append(f"  {voltage:.1f} V: BER {mean_ber:.4%}   "
+                     f"HC_first {hc_text}")
+    lines.append("")
+    lines.append("=> underscaling the wordline weakens aggressor "
+                 "coupling: fewer flips, higher HC_first (DSN'22 shape).")
+    emit(results_dir, "ablation_voltage", "\n".join(lines))
+
+    bers = [results[voltage][0] for voltage in VOLTAGES_V]
+    assert bers == sorted(bers, reverse=True), \
+        "BER should fall as voltage is reduced"

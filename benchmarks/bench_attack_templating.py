@@ -1,0 +1,47 @@
+"""A5 — attack implication: templating speed per channel (§4 summary).
+
+The paper's first implication: an attacker should template the most
+vulnerable channel to find exploitable bitflips faster.  This bench
+measures time-to-N-templates (in DRAM time, the budget an attacker pays)
+on the best and worst channels.  Expected shape: channel 7 reaches the
+target in roughly half the time (and/or half the rows) of channel 0,
+mirroring the ~2x BER gap.
+"""
+
+from repro.attacks.templating import MemoryTemplater
+from repro.core.patterns import ROWSTRIPE1
+
+from benchmarks.conftest import emit, env_int
+
+
+def test_attack_templating_speed(benchmark, board, results_dir):
+    board.host.set_ecc_enabled(False)
+    # Template with Rowstripe1 — the worst-case pattern for the most
+    # vulnerable die (an attacker picks the channel's WCDP).
+    templater = MemoryTemplater(board.host, board.device.mapper,
+                                hammer_count=128 * 1024,
+                                pattern=ROWSTRIPE1)
+    target = env_int("REPRO_TEMPLATE_TARGET", 400)
+    rows = range(4000, 4000 + 4 * env_int("REPRO_TEMPLATE_ROWS", 96), 4)
+
+    results = benchmark.pedantic(
+        lambda: templater.compare_channels([0, 7], rows=rows,
+                                           target_templates=target),
+        rounds=1, iterations=1)
+
+    lines = [f"templating target: {target} exploitable bitflips "
+             f"(Rowstripe1, 128K hammers per row)"]
+    for channel, result in results.items():
+        lines.append(
+            f"  ch{channel}: {result.templates_found} templates from "
+            f"{result.rows_scanned} rows in {result.dram_time_s:.3f} s "
+            f"DRAM time ({result.seconds_per_template * 1e3:.2f} ms/"
+            f"template)")
+    speedup = (results[0].seconds_per_template /
+               results[7].seconds_per_template)
+    lines.append(f"most-vulnerable-channel speedup (paper implies ~2x): "
+                 f"{speedup:.2f}x")
+    emit(results_dir, "attack_templating", "\n".join(lines))
+
+    assert results[7].seconds_per_template < \
+        results[0].seconds_per_template

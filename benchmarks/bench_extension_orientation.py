@@ -1,0 +1,51 @@
+"""E5 — extension: cell-orientation analysis from flip directions.
+
+Reverse-engineers each die's true-/anti-cell vulnerability balance from
+RowHammer flip *directions* (0->1 flips under Rowstripe0 are anti cells,
+1->0 under Rowstripe1 are true cells).  This is the microscopic
+explanation of observation O7 — why channel 0's mean HC_first is lower
+under Rowstripe0 while other dies prefer Rowstripe1 — and a building
+block of the paper's planned richer-data-pattern study.
+
+Expected shape: zero anomalous (wrong-direction) flips everywhere;
+die-paired channels agree on their preferred rowstripe pattern; the
+preferences differ across dies.
+"""
+
+from repro.core.orientation_re import (
+    OrientationAnalysis,
+    render_orientation_table,
+)
+
+from benchmarks.conftest import emit, env_int
+
+
+def test_extension_orientation_analysis(benchmark, board, results_dir):
+    board.host.set_ecc_enabled(False)
+    analysis = OrientationAnalysis(board.host, board.device.mapper)
+    rows = range(5000, 5000 + 8 * env_int("REPRO_ORIENTATION_ROWS", 10), 8)
+    channels = (0, 1, 2, 3, 6, 7)
+
+    profiles = benchmark.pedantic(
+        lambda: analysis.profile_channels(channels, rows=rows),
+        rounds=1, iterations=1)
+
+    anomalous = sum(profile.anomalous_flips
+                    for profile in profiles.values())
+    lines = [
+        render_orientation_table(profiles),
+        "",
+        f"anomalous (wrong-direction) flips: {anomalous} "
+        "(charge loss only => must be 0)",
+    ]
+    emit(results_dir, "extension_orientation", "\n".join(lines))
+
+    assert anomalous == 0
+    # Die pairs agree on the preferred pattern...
+    assert profiles[0].preferred_rowstripe == \
+        profiles[1].preferred_rowstripe
+    assert profiles[6].preferred_rowstripe == \
+        profiles[7].preferred_rowstripe
+    # ...and channel 0's anti cells dominate (O7's direction).
+    assert profiles[0].preferred_rowstripe == "Rowstripe0"
+    assert profiles[2].preferred_rowstripe == "Rowstripe1"

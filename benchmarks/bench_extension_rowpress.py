@@ -1,0 +1,54 @@
+"""E1 — extension: RowPress sensitivity (paper §6, future work 2.2).
+
+The paper plans to study how RowHammer varies with "the time an
+aggressor row remains active" and the RowPress effect.  This bench runs
+that study: flips at a fixed hammer count, and the first-flip hammer
+count, as the aggressor-on time grows from the minimum tRAS (~33 ns)
+into the microseconds.  Expected shape (RowPress, Luo+ ISCA'23): flips
+rise and HC_first falls by roughly an order of magnitude at
+microsecond-scale aggressor-on times.
+"""
+
+from repro.core.rowpress import RowPressExperiment
+from repro.dram.address import DramAddress
+
+from benchmarks.conftest import emit
+
+#: Extra open cycles beyond tRAS: 0 ns, ~0.8 us, ~3.4 us, ~6.8 us.
+EXTRA_OPEN_CYCLES = (0, 512, 2048, 4096)
+
+
+def test_extension_rowpress(benchmark, board, results_dir):
+    board.host.set_ecc_enabled(False)
+    experiment = RowPressExperiment(board.host, board.device.mapper)
+    victim = DramAddress(7, 0, 0, 5000)
+
+    def campaign():
+        points = experiment.sweep(victim, hammer_count=40_000,
+                                  extra_open_cycles=EXTRA_OPEN_CYCLES)
+        hc_base = experiment.first_flip_hammers(victim, 0)
+        hc_pressed = experiment.first_flip_hammers(victim, 4096)
+        return points, hc_base, hc_pressed
+
+    points, hc_base, hc_pressed = benchmark.pedantic(campaign, rounds=1,
+                                                     iterations=1)
+
+    period_ns = 1e9 / board.device.timing.frequency_hz
+    lines = ["flips at 40K double-sided hammers vs aggressor-on time "
+             "(ch7 row 5000, Rowstripe0):"]
+    for point in points:
+        on_ns = point.aggressor_on_cycles * period_ns
+        lines.append(f"  tAggON {on_ns:8.0f} ns: {point.flips:>5} flips "
+                     f"(hammer phase {point.duration_s * 1e3:7.1f} ms)")
+    lines += [
+        "",
+        f"first-flip hammers at minimum tAggON: {hc_base:,}",
+        f"first-flip hammers at ~6.8 us tAggON: {hc_pressed:,}",
+        f"HC_first reduction: {hc_base / hc_pressed:.1f}x "
+        f"(RowPress reports ~an order of magnitude)",
+    ]
+    emit(results_dir, "extension_rowpress", "\n".join(lines))
+
+    flips = [point.flips for point in points]
+    assert flips == sorted(flips) and flips[-1] > flips[0]
+    assert hc_pressed < hc_base / 4

@@ -1,0 +1,46 @@
+"""E2 — extension: bypassing the uncovered TRR (why §5 matters).
+
+§5 uncovers a sampler-based TRR firing every 17 REFs.  U-TRR's point is
+that such mechanisms are attackable once understood: this bench attacks
+a victim under *system-realistic* conditions (periodic refresh at the
+nominal tREFI rate, hidden TRR active) twice —
+
+* naively: the sampler always holds a true aggressor, TRR rescues the
+  victim, zero flips;
+* with one decoy activation per refresh interval: the sampler holds the
+  decoy at every REF, the preventive refresh is wasted, and the victim
+  flips despite the mitigation.
+"""
+
+from repro.attacks.trrespass import TrrBypassAttack
+from repro.dram.address import DramAddress
+
+from benchmarks.conftest import emit, env_int
+
+
+def test_extension_trr_bypass(benchmark, board, results_dir):
+    board.host.set_ecc_enabled(False)
+    attack = TrrBypassAttack(board.host, board.device.mapper)
+    victim = DramAddress(7, 0, 0, 5000)
+    hammers = env_int("REPRO_BYPASS_HAMMERS", 400_000)
+
+    outcomes = benchmark.pedantic(
+        lambda: attack.compare(victim, hammer_count=hammers),
+        rounds=1, iterations=1)
+
+    lines = [f"attack under live refresh (hidden TRR active), "
+             f"{hammers:,} double-sided hammers on {victim}:"]
+    for name in ("naive", "decoy"):
+        outcome = outcomes[name]
+        lines.append(
+            f"  {name:<6} flips={outcome.flips:>4}  "
+            f"REFs issued={outcome.refs_issued:,}  "
+            f"attack time={outcome.duration_s * 1e3:.1f} ms")
+    lines.append("")
+    lines.append("=> the sampler-based TRR uncovered in Sec 5 stops the "
+                 "naive attack but is defeated by decoy activations "
+                 "(TRRespass-style).")
+    emit(results_dir, "extension_trr_bypass", "\n".join(lines))
+
+    assert outcomes["naive"].flips == 0
+    assert outcomes["decoy"].flips > 0

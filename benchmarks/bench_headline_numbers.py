@@ -1,0 +1,40 @@
+"""K1 — headline numbers: the abstract's quantitative claims.
+
+Runs a combined BER + HC_first campaign plus the U-TRR experiment and
+prints the paper-vs-measured scoreboard for every number the paper
+quotes: the 2.03x / 79% channel BER spread, the 14,531 minimum HC_first,
+the ~20% channel HC_first spread, channel-0's per-pattern HC_first
+means, channel-7's per-pattern maximum BER, and the TRR period of 17.
+"""
+
+from repro.analysis.tables import format_headline_table, headline_numbers
+from repro.core.sweeps import SpatialSweep, SweepConfig
+from repro.core.utrr import UTrrExperiment
+from repro.dram.address import DramAddress
+
+from benchmarks.conftest import emit, env_int
+
+
+def test_headline_numbers(benchmark, board, results_dir):
+    config = SweepConfig.from_env(
+        channels=tuple(range(8)),
+        rows_per_region=env_int("REPRO_ROWS_PER_REGION", 8),
+        hcfirst_rows_per_region=env_int("REPRO_HCFIRST_ROWS", 4),
+    )
+    sweep = SpatialSweep(board, config)
+
+    def campaign():
+        dataset = sweep.run()
+        utrr = UTrrExperiment(board.host, board.device.mapper).run(
+            DramAddress(0, 0, 0, 6000), iterations=70)
+        return dataset, utrr
+
+    dataset, utrr = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    dataset.to_json(results_dir / "headline_dataset.json")
+
+    numbers = headline_numbers(dataset, utrr_period=utrr.inferred_period)
+    emit(results_dir, "headline_numbers", format_headline_table(numbers))
+
+    by_key = {number.key: number for number in numbers}
+    assert by_key["trr_period_refs"].measured_value == 17
+    assert 1.3 < by_key["ber_channel_ratio"].measured_value < 3.5

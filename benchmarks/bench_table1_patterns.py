@@ -1,0 +1,40 @@
+"""T1 — Table 1: the data patterns used in the RowHammer tests.
+
+Regenerates the paper's Table 1 from the pattern definitions and
+benchmarks the neighbourhood-fill step those patterns drive (writing a
+victim's +-8 physical neighbourhood through the host interface).
+"""
+
+from repro.core.hammer import prepare_neighborhood
+from repro.core.patterns import STANDARD_PATTERNS
+from repro.dram.address import DramAddress
+
+from benchmarks.conftest import emit
+
+
+def render_table1() -> str:
+    header = f"{'Row addresses':<18}" + "".join(
+        f"{pattern.name:>12}" for pattern in STANDARD_PATTERNS)
+    rows = [
+        ("Victim (V)", "victim_byte"),
+        ("Aggressors (V+-1)", "aggressor_byte"),
+        ("V +- [2:8]", "surround_byte"),
+    ]
+    lines = [header, "-" * len(header)]
+    for label, field in rows:
+        lines.append(f"{label:<18}" + "".join(
+            f"{getattr(pattern, field):>#12x}"
+            for pattern in STANDARD_PATTERNS))
+    return "\n".join(lines)
+
+
+def test_table1_patterns(benchmark, board, results_dir):
+    victim = DramAddress(0, 0, 0, 5000)
+
+    def fill_neighborhood():
+        for pattern in STANDARD_PATTERNS:
+            prepare_neighborhood(board.host, board.device.mapper, victim,
+                                 pattern)
+
+    benchmark.pedantic(fill_neighborhood, rounds=3, iterations=1)
+    emit(results_dir, "table1_patterns", render_table1())

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: hammer one row of the simulated HBM2 chip.
+
+Builds the paper's testing station (calibrated HBM2 stack behind a DRAM
+Bender board, PID-held at 85 degC), applies the Sec 3.1 interference
+controls, and runs the two basic measurements on a single victim row:
+
+* BER at 256K double-sided hammers, for each Table 1 data pattern;
+* HC_first — the exact hammer count at which the first bitflip appears.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DramAddress,
+    ExperimentConfig,
+    STANDARD_PATTERNS,
+    make_paper_setup,
+)
+from repro.core.ber import BerExperiment
+from repro.core.experiment import apply_controls
+from repro.core.hcfirst import HcFirstSearch
+
+
+def main() -> None:
+    print("Setting up the testing station (chip specimen seed=1) ...")
+    board = make_paper_setup(seed=1)
+    config = ExperimentConfig()
+    apply_controls(board, config)  # 85 degC, ECC off, refresh off
+    print(f"  chip temperature: {board.temperature_c:.2f} degC")
+
+    mapper = board.device.mapper
+    victim = DramAddress(channel=7, pseudo_channel=0, bank=0, row=5000)
+    print(f"\nVictim: {victim}")
+    aggressors = mapper.physical_neighbors(victim.row)
+    print(f"Aggressor rows (physical neighbours of the victim): "
+          f"{aggressors}")
+
+    print(f"\nBER at {config.ber_hammer_count:,} double-sided hammers:")
+    ber = BerExperiment(board.host, mapper, config)
+    for pattern in STANDARD_PATTERNS:
+        record = ber.run_row(victim, pattern)
+        print(f"  {pattern.name:<11} {record.flips:>5} bitflips  "
+              f"BER {record.ber:.4%}   (hammer phase "
+              f"{record.duration_s * 1e3:.1f} ms, under the 27 ms budget)")
+
+    print("\nHC_first search (exact first-flip hammer count):")
+    search = HcFirstSearch(board.host, mapper, config)
+    for pattern in STANDARD_PATTERNS[:2]:
+        outcome = search.search(victim, pattern)
+        print(f"  {pattern.name:<11} HC_first = {outcome.hc_first:,} "
+              f"({outcome.probes} probes)")
+
+    print("\nDone. Try examples/spatial_variation_survey.py next.")
+
+
+if __name__ == "__main__":
+    main()

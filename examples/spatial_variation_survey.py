@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Spatial-variation survey: a miniature Figs. 3-6 campaign.
+
+Reproduces the paper's Sec 4 analysis end-to-end at laptop scale: BER and
+HC_first over sampled rows of the first/middle/last 3K-row regions in all
+8 channels, WCDP selection, and the derived figure data — then prints the
+text renderings and the paper-vs-measured scoreboard.
+
+Scale it up with the same environment variables the benchmarks use:
+
+    REPRO_ROWS_PER_REGION=64 REPRO_HCFIRST_ROWS=16 \
+        python examples/spatial_variation_survey.py
+
+Run:  python examples/spatial_variation_survey.py
+"""
+
+from repro import SpatialSweep, SweepConfig, make_paper_setup
+from repro.analysis.figures import (
+    fig3_ber_distributions,
+    fig4_hcfirst_distributions,
+    render_box_table,
+)
+from repro.analysis.tables import (
+    channel_groups_by_ber,
+    format_headline_table,
+    headline_numbers,
+)
+
+
+def main() -> None:
+    print("Setting up the testing station ...")
+    board = make_paper_setup(seed=1)
+
+    config = SweepConfig.from_env(channels=tuple(range(8)))
+    print(f"Sweep: {len(config.channels)} channels x "
+          f"{len(config.regions)} regions x {config.rows_per_region} "
+          f"BER rows ({config.hcfirst_rows_per_region} HC_first rows), "
+          f"patterns: {[p.name for p in config.patterns]}")
+
+    dataset = SpatialSweep(board, config).run(
+        progress=lambda message: print(f"  sweeping {message}"))
+
+    print("\n--- Fig. 3: BER across rows/channels/patterns ---")
+    print(render_box_table(fig3_ber_distributions(dataset),
+                           value_format="{:.5f}"))
+
+    print("\n--- Fig. 4: HC_first across rows/channels/patterns ---")
+    print(render_box_table(fig4_hcfirst_distributions(dataset),
+                           value_format="{:.0f}"))
+
+    print("\n--- Channel grouping by BER (die pairs) ---")
+    for index, group in enumerate(channel_groups_by_ber(dataset)):
+        print(f"  group {index}: channels {group}")
+
+    print("\n--- Headline numbers (paper vs measured) ---")
+    print(format_headline_table(headline_numbers(dataset)))
+
+    output = "survey_dataset.json"
+    dataset.to_json(output)
+    print(f"\nDataset archived to {output} "
+          f"({len(dataset.ber_records)} BER records, "
+          f"{len(dataset.hcfirst_records)} HC_first records).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Statistics and figure/table regeneration.
+
+Turns :class:`~repro.core.results.CharacterizationDataset` objects into
+the paper's artifacts: the Fig. 3/4 box distributions, the Fig. 5 per-row
+BER series with subarray annotations, the Fig. 6 bank scatter, and the
+headline numbers quoted in the abstract and §4/§5.
+"""
+
+from repro.analysis.stats import (
+    BoxStats,
+    box_stats,
+    coefficient_of_variation,
+    quartiles,
+)
+from repro.analysis.figures import (
+    fig3_ber_distributions,
+    fig4_hcfirst_distributions,
+    fig5_row_series,
+    fig6_bank_scatter,
+    render_box_table,
+    render_row_series,
+    render_scatter_table,
+)
+from repro.analysis.tables import headline_numbers
+
+__all__ = [
+    "BoxStats",
+    "box_stats",
+    "coefficient_of_variation",
+    "fig3_ber_distributions",
+    "fig4_hcfirst_distributions",
+    "fig5_row_series",
+    "fig6_bank_scatter",
+    "headline_numbers",
+    "quartiles",
+    "render_box_table",
+    "render_row_series",
+    "render_scatter_table",
+]

@@ -1,0 +1,124 @@
+"""Censoring-aware statistics for HC_first distributions.
+
+HC_first searches are capped at 256K hammers (paper §3.1): a row with no
+flip at the cap yields a *right-censored* observation — we know only
+that its HC_first exceeds 256K.  Dropping censored rows (as the plain
+Fig. 4 distributions do, matching the paper's plots) biases summary
+statistics downward, and the bias grows for robust regions like the last
+subarray where most searches are censored.
+
+This module provides the standard survival-analysis tools:
+
+* :func:`kaplan_meier` — the product-limit estimate of
+  ``S(h) = P(HC_first > h)`` from a mix of exact and censored searches;
+* :func:`restricted_mean` — the mean HC_first restricted to the search
+  cap, ``integral of S(h) dh`` over [0, cap], which uses the censored
+  rows' information instead of discarding them;
+* :func:`censoring_rate` — the fraction of searches that were censored
+  (a data-quality indicator every campaign should report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.results import HcFirstRecord
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class SurvivalCurve:
+    """A right-continuous step estimate of P(HC_first > h)."""
+
+    #: Hammer counts at which the curve steps down (sorted, exact events).
+    times: Tuple[int, ...]
+    #: Survival probability just after each step.
+    survival: Tuple[float, ...]
+    #: Largest hammer count observed (event or censoring time).
+    horizon: int
+
+    def at(self, hammers: int) -> float:
+        """S(hammers): probability a row survives ``hammers`` hammers."""
+        if hammers < 0:
+            raise AnalysisError("hammer count must be non-negative")
+        value = 1.0
+        for time, survival in zip(self.times, self.survival):
+            if time > hammers:
+                break
+            value = survival
+        return value
+
+
+def _observations(records: Sequence[HcFirstRecord]
+                  ) -> List[Tuple[int, bool]]:
+    """(time, is_event) pairs: censored rows contribute their cap."""
+    observations: List[Tuple[int, bool]] = []
+    for record in records:
+        if record.censored:
+            observations.append((record.max_hammers, False))
+        else:
+            observations.append((record.hc_first, True))
+    if not observations:
+        raise AnalysisError("no HC_first records to analyse")
+    return observations
+
+
+def kaplan_meier(records: Sequence[HcFirstRecord]) -> SurvivalCurve:
+    """Product-limit survival estimate over exact + censored searches."""
+    observations = sorted(_observations(records))
+    at_risk = len(observations)
+    survival = 1.0
+    times: List[int] = []
+    values: List[float] = []
+    index = 0
+    while index < len(observations):
+        time = observations[index][0]
+        events = 0
+        removed = 0
+        while index < len(observations) and observations[index][0] == time:
+            if observations[index][1]:
+                events += 1
+            removed += 1
+            index += 1
+        if events:
+            survival *= 1.0 - events / at_risk
+            times.append(time)
+            values.append(survival)
+        at_risk -= removed
+    return SurvivalCurve(times=tuple(times), survival=tuple(values),
+                         horizon=observations[-1][0])
+
+
+def restricted_mean(records: Sequence[HcFirstRecord],
+                    cap: int = None) -> float:
+    """Mean HC_first restricted to ``cap`` (default: the largest cap
+    present), computed as the area under the survival curve.
+
+    With no censoring this equals the arithmetic mean (for values within
+    the cap); with censoring it is the standard unbiased-within-horizon
+    summary, strictly above the censored-rows-dropped mean.
+    """
+    curve = kaplan_meier(records)
+    if cap is None:
+        cap = max(record.max_hammers for record in records)
+    if cap <= 0:
+        raise AnalysisError("cap must be positive")
+    area = 0.0
+    previous_time = 0
+    previous_survival = 1.0
+    for time, survival in zip(curve.times, curve.survival):
+        if time >= cap:
+            break
+        area += previous_survival * (time - previous_time)
+        previous_time = time
+        previous_survival = survival
+    area += previous_survival * (cap - previous_time)
+    return area
+
+
+def censoring_rate(records: Sequence[HcFirstRecord]) -> float:
+    """Fraction of searches that hit the cap without a flip."""
+    if not records:
+        raise AnalysisError("no HC_first records to analyse")
+    return sum(1 for record in records if record.censored) / len(records)

@@ -1,0 +1,98 @@
+"""CSV exporters for figure data.
+
+The text renderings in :mod:`repro.analysis.figures` are terminal
+artifacts; these exporters write the same series as CSV so the figures
+can be replotted in any tool (matplotlib, gnuplot, a spreadsheet)
+without re-running experiments.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from repro.analysis.figures import (
+    fig3_ber_distributions,
+    fig4_hcfirst_distributions,
+    fig5_row_series,
+    fig6_bank_scatter,
+)
+from repro.core.results import CharacterizationDataset
+
+PathLike = Union[str, Path]
+
+
+def export_fig3_csv(dataset: CharacterizationDataset,
+                    path: PathLike) -> None:
+    """Fig. 3 box statistics: one row per (pattern, channel)."""
+    distributions = fig3_ber_distributions(dataset)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["pattern", "channel", "rows", "min", "q1",
+                         "median", "q3", "max", "mean"])
+        for pattern, per_channel in distributions.items():
+            for channel, stats in sorted(per_channel.items()):
+                writer.writerow([pattern, channel, stats.count,
+                                 stats.minimum, stats.q1, stats.median,
+                                 stats.q3, stats.maximum, stats.mean])
+
+
+def export_fig4_csv(dataset: CharacterizationDataset,
+                    path: PathLike) -> None:
+    """Fig. 4 box statistics: one row per (pattern, channel)."""
+    distributions = fig4_hcfirst_distributions(dataset)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["pattern", "channel", "rows", "min", "q1",
+                         "median", "q3", "max", "mean"])
+        for pattern, per_channel in distributions.items():
+            for channel, stats in sorted(per_channel.items()):
+                writer.writerow([pattern, channel, stats.count,
+                                 stats.minimum, stats.q1, stats.median,
+                                 stats.q3, stats.maximum, stats.mean])
+
+
+def export_fig5_csv(dataset: CharacterizationDataset,
+                    path: PathLike, pattern: str = "WCDP") -> None:
+    """Fig. 5 per-row series: one row per (channel, region, row)."""
+    series = fig5_row_series(dataset, pattern=pattern)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["channel", "region", "row", "ber"])
+        for entry in series:
+            for row, ber in zip(entry.rows, entry.ber):
+                writer.writerow([entry.channel, entry.region, row, ber])
+
+
+def export_fig6_csv(dataset: CharacterizationDataset,
+                    path: PathLike, pattern: str = "WCDP") -> None:
+    """Fig. 6 scatter points: one row per bank."""
+    points = fig6_bank_scatter(dataset, pattern=pattern)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["channel", "pseudo_channel", "bank",
+                         "rows_measured", "mean_ber", "cv"])
+        for point in points:
+            writer.writerow([point.channel, point.pseudo_channel,
+                             point.bank, point.rows_measured,
+                             point.mean_ber, point.cv])
+
+
+def export_all(dataset: CharacterizationDataset,
+               directory: PathLike, prefix: str = "fig") -> list:
+    """Export every figure the dataset supports; returns written paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, exporter in (("3", export_fig3_csv),
+                           ("4", export_fig4_csv),
+                           ("5", export_fig5_csv),
+                           ("6", export_fig6_csv)):
+        path = directory / f"{prefix}{name}.csv"
+        try:
+            exporter(dataset, path)
+        except Exception:
+            continue  # dataset lacks the records this figure needs
+        written.append(path)
+    return written

@@ -1,0 +1,240 @@
+"""Figure data series and terminal rendering.
+
+Each ``figN_*`` function reduces a characterization dataset to exactly
+the series the corresponding paper figure plots; the ``render_*``
+functions draw them as aligned text tables/sparklines so benchmark runs
+can display the figures without a plotting stack.
+
+* Fig. 3 — BER distribution across rows, per channel, per data pattern
+  (four Table 1 patterns + WCDP).
+* Fig. 4 — HC_first distribution across rows, same axes.
+* Fig. 5 — per-row WCDP BER across the first/middle/last 3K-row regions,
+  with subarray-boundary annotations.
+* Fig. 6 — per-bank (mean BER, CV of BER) scatter, colored by channel,
+  shaped by pseudo channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import BoxStats, box_stats, coefficient_of_variation
+from repro.core.patterns import WCDP_NAME
+from repro.core.results import CharacterizationDataset, REGIONS
+from repro.errors import AnalysisError
+
+#: Figure 3/4 column order: the four Table 1 patterns plus WCDP.
+PATTERN_ORDER = ("Rowstripe0", "Rowstripe1", "Checkered0", "Checkered1",
+                 WCDP_NAME)
+
+
+# ----------------------------------------------------------------------
+# Fig. 3
+# ----------------------------------------------------------------------
+def fig3_ber_distributions(
+        dataset: CharacterizationDataset
+) -> Dict[str, Dict[int, BoxStats]]:
+    """BER distribution across rows, keyed [pattern][channel].
+
+    Repetitions of the same row are averaged first (the paper plots
+    per-row values), then the distribution across rows is summarized.
+    """
+    result: Dict[str, Dict[int, BoxStats]] = {}
+    for pattern in PATTERN_ORDER:
+        per_channel: Dict[int, BoxStats] = {}
+        for channel in dataset.channels():
+            records = dataset.ber(channel=channel, pattern=pattern)
+            if not records:
+                continue
+            per_row: Dict[tuple, List[float]] = {}
+            for record in records:
+                per_row.setdefault(record.row_key, []).append(record.ber)
+            row_means = [sum(values) / len(values)
+                         for values in per_row.values()]
+            per_channel[channel] = box_stats(row_means)
+        if per_channel:
+            result[pattern] = per_channel
+    if not result:
+        raise AnalysisError("dataset contains no BER records")
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 4
+# ----------------------------------------------------------------------
+def fig4_hcfirst_distributions(
+        dataset: CharacterizationDataset
+) -> Dict[str, Dict[int, BoxStats]]:
+    """HC_first distribution across rows, keyed [pattern][channel].
+
+    Right-censored searches (no flip at the 256K cap) are excluded from
+    the distribution, as in the paper's figure.
+    """
+    result: Dict[str, Dict[int, BoxStats]] = {}
+    for pattern in PATTERN_ORDER:
+        per_channel: Dict[int, BoxStats] = {}
+        for channel in dataset.channels():
+            records = dataset.hcfirst(channel=channel, pattern=pattern,
+                                      include_censored=False)
+            if not records:
+                continue
+            per_row: Dict[tuple, List[int]] = {}
+            for record in records:
+                per_row.setdefault(record.row_key, []).append(record.hc_first)
+            row_values = [min(values) for values in per_row.values()]
+            per_channel[channel] = box_stats(row_values)
+        if per_channel:
+            result[pattern] = per_channel
+    if not result:
+        raise AnalysisError("dataset contains no uncensored HC_first records")
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 5
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RowSeries:
+    """One channel's per-row WCDP BER within one region."""
+
+    channel: int
+    region: str
+    rows: Tuple[int, ...]
+    ber: Tuple[float, ...]
+
+
+def fig5_row_series(dataset: CharacterizationDataset,
+                    pattern: str = WCDP_NAME) -> List[RowSeries]:
+    """Per-row BER series per (channel, region), sorted by row."""
+    series: List[RowSeries] = []
+    for channel in dataset.channels():
+        for region in REGIONS:
+            records = dataset.ber(channel=channel, pattern=pattern,
+                                  region=region)
+            if not records:
+                continue
+            per_row: Dict[int, List[float]] = {}
+            for record in records:
+                per_row.setdefault(record.row, []).append(record.ber)
+            rows = tuple(sorted(per_row))
+            ber = tuple(sum(per_row[row]) / len(per_row[row])
+                        for row in rows)
+            series.append(RowSeries(channel=channel, region=region,
+                                    rows=rows, ber=ber))
+    if not series:
+        raise AnalysisError(f"no {pattern} BER records for Fig. 5")
+    return series
+
+
+# ----------------------------------------------------------------------
+# Fig. 6
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BankPoint:
+    """One bank's position in the Fig. 6 scatter."""
+
+    channel: int
+    pseudo_channel: int
+    bank: int
+    mean_ber: float
+    cv: float
+    rows_measured: int
+
+
+def fig6_bank_scatter(dataset: CharacterizationDataset,
+                      pattern: str = WCDP_NAME) -> List[BankPoint]:
+    """(mean BER, CV) per bank over its measured rows."""
+    per_bank: Dict[Tuple[int, int, int], Dict[tuple, List[float]]] = {}
+    for record in dataset.ber(pattern=pattern):
+        bank_key = (record.channel, record.pseudo_channel, record.bank)
+        per_bank.setdefault(bank_key, {}).setdefault(
+            record.row_key, []).append(record.ber)
+    points: List[BankPoint] = []
+    for bank_key, rows in sorted(per_bank.items()):
+        row_means = [sum(values) / len(values) for values in rows.values()]
+        if len(row_means) < 2:
+            continue
+        mean = sum(row_means) / len(row_means)
+        if mean == 0.0:
+            continue
+        points.append(BankPoint(
+            channel=bank_key[0], pseudo_channel=bank_key[1],
+            bank=bank_key[2], mean_ber=mean,
+            cv=coefficient_of_variation(row_means),
+            rows_measured=len(row_means)))
+    if not points:
+        raise AnalysisError(f"no per-bank {pattern} BER data for Fig. 6")
+    return points
+
+
+# ----------------------------------------------------------------------
+# Text rendering
+# ----------------------------------------------------------------------
+def render_box_table(distributions: Dict[str, Dict[int, BoxStats]],
+                     value_format: str = "{:.4f}",
+                     title: str = "") -> str:
+    """Aligned text table: one block per pattern, one row per channel."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = (f"{'pattern':<12} {'ch':>3} {'n':>5} {'min':>10} {'q1':>10} "
+              f"{'median':>10} {'q3':>10} {'max':>10} {'mean':>10}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for pattern, per_channel in distributions.items():
+        for channel, stats in sorted(per_channel.items()):
+            lines.append(
+                f"{pattern:<12} {channel:>3} {stats.count:>5} "
+                f"{value_format.format(stats.minimum):>10} "
+                f"{value_format.format(stats.q1):>10} "
+                f"{value_format.format(stats.median):>10} "
+                f"{value_format.format(stats.q3):>10} "
+                f"{value_format.format(stats.maximum):>10} "
+                f"{value_format.format(stats.mean):>10}")
+    return "\n".join(lines)
+
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def render_row_series(series: Sequence[RowSeries],
+                      boundaries: Optional[Sequence[int]] = None,
+                      width: int = 64) -> str:
+    """Sparkline per (channel, region); '|' marks subarray boundaries."""
+    if not series:
+        raise AnalysisError("no series to render")
+    peak = max(max(entry.ber) for entry in series if entry.ber)
+    lines: List[str] = [f"peak BER = {peak:.4%}"]
+    boundary_set = set(boundaries or ())
+    for entry in series:
+        marks: List[str] = []
+        for row, ber in zip(entry.rows, entry.ber):
+            level = 0
+            if peak > 0:
+                level = min(len(_SPARK_LEVELS) - 1,
+                            int(round(ber / peak * (len(_SPARK_LEVELS) - 1))))
+            symbol = _SPARK_LEVELS[level]
+            if any(row <= boundary < (row + 64) for boundary in boundary_set):
+                symbol = "|"
+            marks.append(symbol)
+        profile = "".join(marks[:width])
+        lines.append(f"ch{entry.channel} {entry.region:<6} "
+                     f"rows {entry.rows[0]:>5}-{entry.rows[-1]:<5} "
+                     f"[{profile}]")
+    return "\n".join(lines)
+
+
+def render_scatter_table(points: Sequence[BankPoint]) -> str:
+    """Fig. 6 as a table sorted by channel, then mean BER."""
+    if not points:
+        raise AnalysisError("no points to render")
+    header = (f"{'ch':>3} {'pc':>3} {'bank':>4} {'rows':>5} "
+              f"{'mean BER':>10} {'CV':>8}")
+    lines = [header, "-" * len(header)]
+    for point in sorted(points,
+                        key=lambda p: (p.channel, p.pseudo_channel, p.bank)):
+        lines.append(f"{point.channel:>3} {point.pseudo_channel:>3} "
+                     f"{point.bank:>4} {point.rows_measured:>5} "
+                     f"{point.mean_ber:>10.5f} {point.cv:>8.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Markdown report generation (the EXPERIMENTS.md format).
+
+:func:`experiment_report` renders a full paper-vs-measured report from
+characterization datasets and auxiliary results, so a benchmark campaign
+can regenerate EXPERIMENTS.md in one call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.figures import (
+    fig3_ber_distributions,
+    fig4_hcfirst_distributions,
+    fig5_row_series,
+    fig6_bank_scatter,
+    render_box_table,
+    render_row_series,
+    render_scatter_table,
+)
+from repro.analysis.tables import (
+    channel_groups_by_ber,
+    format_headline_table,
+    headline_numbers,
+)
+from repro.core.results import CharacterizationDataset
+
+
+def experiment_report(dataset: CharacterizationDataset,
+                      utrr_period: Optional[int] = None,
+                      subarray_sizes: Optional[Sequence[int]] = None,
+                      title: str = "Characterization report") -> str:
+    """A self-contained markdown report of one campaign."""
+    sections: List[str] = [f"# {title}", ""]
+
+    sections.append("## Headline numbers (paper vs measured)")
+    sections.append("```")
+    sections.append(format_headline_table(
+        headline_numbers(dataset, utrr_period=utrr_period)))
+    sections.append("```")
+    sections.append("")
+
+    sections.append("## Channel grouping by BER (die pairs, observation O3)")
+    groups = channel_groups_by_ber(dataset)
+    for index, group in enumerate(groups):
+        sections.append(f"- group {index}: channels {group}")
+    sections.append("")
+
+    sections.append("## Fig. 3 — BER across rows / channels / patterns")
+    sections.append("```")
+    sections.append(render_box_table(fig3_ber_distributions(dataset),
+                                     value_format="{:.5f}"))
+    sections.append("```")
+    sections.append("")
+
+    try:
+        fig4 = fig4_hcfirst_distributions(dataset)
+    except Exception:
+        fig4 = None
+    if fig4:
+        sections.append("## Fig. 4 — HC_first across rows / channels / "
+                        "patterns")
+        sections.append("```")
+        sections.append(render_box_table(fig4, value_format="{:.0f}"))
+        sections.append("```")
+        sections.append("")
+
+    try:
+        series = fig5_row_series(dataset)
+    except Exception:
+        series = None
+    if series:
+        sections.append("## Fig. 5 — per-row WCDP BER (subarray structure)")
+        sections.append("```")
+        sections.append(render_row_series(series))
+        sections.append("```")
+        sections.append("")
+
+    try:
+        points = fig6_bank_scatter(dataset)
+    except Exception:
+        points = None
+    if points and len(points) > 1:
+        sections.append("## Fig. 6 — per-bank mean BER vs CV")
+        sections.append("```")
+        sections.append(render_scatter_table(points))
+        sections.append("```")
+        sections.append("")
+
+    if subarray_sizes:
+        sections.append("## Subarray reverse engineering (footnote 3)")
+        sections.append(f"- discovered subarray sizes: "
+                        f"{sorted(set(subarray_sizes))} "
+                        f"(paper: 832 and 768 rows)")
+        sections.append("")
+
+    if utrr_period is not None:
+        sections.append("## §5 — hidden TRR")
+        sections.append(f"- U-TRR infers a victim refresh once every "
+                        f"**{utrr_period}** REF commands (paper: 17)")
+        sections.append("")
+
+    return "\n".join(sections)

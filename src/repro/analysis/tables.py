@@ -1,0 +1,177 @@
+"""Headline numbers: the quantitative claims of the abstract and §4/§5.
+
+:func:`headline_numbers` reduces a characterization dataset (plus an
+optional U-TRR result) to the paper's quoted values, next to the paper's
+own numbers, so EXPERIMENTS.md and the benches can print a paper-vs-
+measured scoreboard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.stats import relative_difference
+from repro.core.patterns import WCDP_NAME
+from repro.core.results import CharacterizationDataset
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class HeadlineNumber:
+    """One paper claim with its measured counterpart."""
+
+    key: str
+    description: str
+    paper_value: Optional[float]
+    measured_value: float
+
+    def format_row(self) -> str:
+        paper = ("-" if self.paper_value is None
+                 else f"{self.paper_value:g}")
+        return (f"{self.key:<28} {paper:>12} {self.measured_value:>12.4g}  "
+                f"{self.description}")
+
+
+def _channel_mean_ber(dataset: CharacterizationDataset,
+                      pattern: str) -> Dict[int, float]:
+    means: Dict[int, float] = {}
+    for channel in dataset.channels():
+        records = dataset.ber(channel=channel, pattern=pattern)
+        if records:
+            means[channel] = sum(r.ber for r in records) / len(records)
+    if not means:
+        raise AnalysisError(f"no {pattern} BER records")
+    return means
+
+
+def _channel_mean_hcfirst(dataset: CharacterizationDataset,
+                          pattern: str) -> Dict[int, float]:
+    means: Dict[int, float] = {}
+    for channel in dataset.channels():
+        records = dataset.hcfirst(channel=channel, pattern=pattern,
+                                  include_censored=False)
+        if records:
+            means[channel] = (sum(r.hc_first for r in records) /
+                              len(records))
+    return means
+
+
+def ber_channel_extremes(dataset: CharacterizationDataset,
+                         pattern: str = WCDP_NAME
+                         ) -> Tuple[int, int, float, float]:
+    """(worst channel, best channel, worst BER, best BER) for a pattern."""
+    means = _channel_mean_ber(dataset, pattern)
+    worst = max(means, key=means.get)
+    best = min(means, key=means.get)
+    return worst, best, means[worst], means[best]
+
+
+def channel_groups_by_ber(dataset: CharacterizationDataset,
+                          pattern: str = WCDP_NAME,
+                          group_size: int = 2) -> List[List[int]]:
+    """Channels grouped by BER similarity (the die-pair structure, O3).
+
+    Sorts channels by mean BER and chunks them; the paper observes the
+    chunks land on {0,1}-style die pairs.
+    """
+    means = _channel_mean_ber(dataset, pattern)
+    ordered = sorted(means, key=means.get)
+    return [sorted(ordered[index:index + group_size])
+            for index in range(0, len(ordered), group_size)]
+
+
+def headline_numbers(dataset: CharacterizationDataset,
+                     utrr_period: Optional[int] = None
+                     ) -> List[HeadlineNumber]:
+    """The paper's quoted values against this dataset's measurements."""
+    numbers: List[HeadlineNumber] = []
+
+    worst, best, worst_ber, best_ber = ber_channel_extremes(dataset)
+    numbers.append(HeadlineNumber(
+        key="ber_channel_ratio",
+        description=(f"WCDP BER ratio, worst channel (ch{worst}) over "
+                     f"best (ch{best}); paper: ch7 / ch0 = 2.03x"),
+        paper_value=2.03, measured_value=worst_ber / best_ber))
+    # The abstract's "up to 79%" is the worst contrast over *any* data
+    # pattern (a 79% difference is a 4.76x ratio — far above the WCDP
+    # means' 2.03x): per-pattern channel means can diverge much more
+    # because orientation effects align with density effects.
+    worst_difference = 0.0
+    for pattern in dataset.patterns():
+        try:
+            __, __, pattern_worst, pattern_best = ber_channel_extremes(
+                dataset, pattern)
+        except AnalysisError:
+            continue
+        if pattern_best > 0:
+            worst_difference = max(
+                worst_difference,
+                relative_difference(pattern_worst, pattern_best))
+    numbers.append(HeadlineNumber(
+        key="ber_channel_difference",
+        description="largest per-pattern channel BER difference "
+                    "(worst - best) / worst; paper: up to 79%",
+        paper_value=0.79, measured_value=worst_difference))
+
+    hc_records = dataset.hcfirst(include_censored=False)
+    if hc_records:
+        numbers.append(HeadlineNumber(
+            key="min_hcfirst",
+            description="minimum HC_first across channels and patterns; "
+                        "paper: 14,531",
+            paper_value=14531,
+            measured_value=min(r.hc_first for r in hc_records)))
+        means = _channel_mean_hcfirst(dataset, WCDP_NAME)
+        if len(means) >= 2:
+            high = max(means.values())
+            low = min(means.values())
+            numbers.append(HeadlineNumber(
+                key="hcfirst_channel_difference",
+                description="WCDP mean HC_first channel difference; "
+                            "paper: up to 20%",
+                paper_value=0.20,
+                measured_value=relative_difference(high, low)))
+
+    for pattern, paper_value in (("Rowstripe0", 57925.0),
+                                 ("Rowstripe1", 79179.0)):
+        records = dataset.hcfirst(channel=0, pattern=pattern,
+                                  include_censored=False)
+        if records:
+            numbers.append(HeadlineNumber(
+                key=f"ch0_mean_hcfirst_{pattern.lower()}",
+                description=f"channel-0 mean HC_first for {pattern}",
+                paper_value=paper_value,
+                measured_value=(sum(r.hc_first for r in records) /
+                                len(records))))
+
+    ch7_rs1 = dataset.ber(channel=7, pattern="Rowstripe1")
+    if ch7_rs1:
+        numbers.append(HeadlineNumber(
+            key="ch7_max_ber_rowstripe1",
+            description="channel-7 maximum BER for Rowstripe1; paper: 3.13%",
+            paper_value=0.0313,
+            measured_value=max(r.ber for r in ch7_rs1)))
+    ch7_ck0 = dataset.ber(channel=7, pattern="Checkered0")
+    if ch7_ck0:
+        numbers.append(HeadlineNumber(
+            key="ch7_max_ber_checkered0",
+            description="channel-7 maximum BER for Checkered0; paper: 2.04%",
+            paper_value=0.0204,
+            measured_value=max(r.ber for r in ch7_ck0)))
+
+    if utrr_period is not None:
+        numbers.append(HeadlineNumber(
+            key="trr_period_refs",
+            description="hidden-TRR victim refresh period in REF commands; "
+                        "paper: 17",
+            paper_value=17, measured_value=float(utrr_period)))
+    return numbers
+
+
+def format_headline_table(numbers: List[HeadlineNumber]) -> str:
+    """Paper-vs-measured scoreboard as aligned text."""
+    header = f"{'metric':<28} {'paper':>12} {'measured':>12}  description"
+    lines = [header, "-" * len(header)]
+    lines.extend(number.format_row() for number in numbers)
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Attack implications of the spatial-variation findings (§4 summary).
+
+The paper's first implication: *"an RH attack can use the
+most-RH-vulnerable HBM2 channel to reduce the time it spends on
+preparing for an attack, by finding exploitable RH bitflips faster
+(i.e., by accelerating memory templating), and performing the attack, by
+benefiting from a small HC_first value."*
+
+:mod:`repro.attacks.templating` quantifies exactly that trade-off on the
+simulated chip, and :mod:`repro.attacks.trrespass` demonstrates why the
+§5 finding matters: the uncovered sampler-based TRR is bypassable with
+decoy activations.
+"""
+
+from repro.attacks.templating import MemoryTemplater, TemplatingResult
+from repro.attacks.trrespass import BypassOutcome, TrrBypassAttack
+
+__all__ = ["BypassOutcome", "MemoryTemplater", "TemplatingResult",
+           "TrrBypassAttack"]

@@ -1,0 +1,123 @@
+"""Memory templating: scanning for exploitable RowHammer bitflips.
+
+Memory templating (Razavi+ "Flip Feng Shui") is the attack-preparation
+phase: sweep victim rows, hammer each, and record which bit positions
+flip and in which direction, building a library of *templates* the attack
+later matches against target data structures.  Its cost is dominated by
+hammering time, so the paper's observation that channels differ by ~2x in
+BER translates directly into a ~2x templating-throughput difference —
+the attacker should template the most vulnerable channel.
+
+:class:`MemoryTemplater` implements the scan through the public host
+interface and accounts time in *DRAM time* (the simulated clock), which
+is the same budget a real attacker pays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bender.host import HostInterface
+from repro.core.hammer import DoubleSidedHammer
+from repro.core.patterns import DataPattern, ROWSTRIPE0
+from repro.dram.address import DramAddress, RowAddressMapper
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class FlipTemplate:
+    """One exploitable bitflip: where it is and which way it flips."""
+
+    victim: DramAddress
+    bit_offset: int
+    #: True for a 0 -> 1 flip (with the scanned pattern's victim data).
+    zero_to_one: bool
+    pattern: str
+
+
+@dataclass
+class TemplatingResult:
+    """Outcome of templating one channel region."""
+
+    channel: int
+    templates: List[FlipTemplate] = field(default_factory=list)
+    rows_scanned: int = 0
+    dram_time_s: float = 0.0
+
+    @property
+    def templates_found(self) -> int:
+        return len(self.templates)
+
+    @property
+    def templates_per_second(self) -> float:
+        if self.dram_time_s == 0.0:
+            return 0.0
+        return self.templates_found / self.dram_time_s
+
+    @property
+    def seconds_per_template(self) -> float:
+        if not self.templates:
+            return float("inf")
+        return self.dram_time_s / self.templates_found
+
+
+class MemoryTemplater:
+    """Sweeps rows of a channel collecting flip templates."""
+
+    def __init__(self, host: HostInterface, mapper: RowAddressMapper,
+                 hammer_count: int = 128 * 1024,
+                 pattern: DataPattern = ROWSTRIPE0) -> None:
+        if hammer_count <= 0:
+            raise ExperimentError("hammer_count must be positive")
+        self._host = host
+        self._mapper = mapper
+        self._hammer = DoubleSidedHammer(host, mapper)
+        self._hammer_count = hammer_count
+        self._pattern = pattern
+
+    def template_channel(self, channel: int, rows: Sequence[int],
+                         pseudo_channel: int = 0, bank: int = 0,
+                         target_templates: Optional[int] = None
+                         ) -> TemplatingResult:
+        """Scan ``rows`` of one channel; stop early at the target count.
+
+        Args:
+            channel: channel to template.
+            rows: candidate victim rows to hammer.
+            target_templates: stop once this many templates were found
+                (None scans every row) — "time to N exploitable flips"
+                is the attacker-facing metric.
+        """
+        device = self._host.device
+        result = TemplatingResult(channel=channel)
+        start_cycle = device.now
+        for row in rows:
+            victim = DramAddress(channel, pseudo_channel, bank, row)
+            if len(self._mapper.physical_neighbors(row)) < 2:
+                continue
+            outcome = self._hammer.run(victim, self._pattern,
+                                       self._hammer_count)
+            result.rows_scanned += 1
+            for position, upward in zip(outcome.report.positions,
+                                        outcome.report.zero_to_one):
+                result.templates.append(FlipTemplate(
+                    victim=victim, bit_offset=int(position),
+                    zero_to_one=bool(upward), pattern=self._pattern.name))
+            if (target_templates is not None and
+                    result.templates_found >= target_templates):
+                break
+        result.dram_time_s = device.timing.seconds(device.now - start_cycle)
+        return result
+
+    def compare_channels(self, channels: Sequence[int], rows: Sequence[int],
+                         target_templates: int,
+                         pseudo_channel: int = 0, bank: int = 0
+                         ) -> Dict[int, TemplatingResult]:
+        """Time-to-N-templates per channel (the §4 implication)."""
+        return {
+            channel: self.template_channel(
+                channel, rows, pseudo_channel, bank,
+                target_templates=target_templates)
+            for channel in channels
+        }

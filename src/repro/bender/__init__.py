@@ -1,0 +1,37 @@
+"""Simulated DRAM Bender testing infrastructure.
+
+The paper drives its HBM2 chip through DRAM Bender [Olgun+ 2022], an
+FPGA-based platform that executes small *test programs* — sequences of
+DRAM commands with precise, software-controlled timing — and streams read
+data back to a host over PCIe.  This subpackage reproduces that stack in
+software:
+
+* :mod:`repro.bender.isa` / :mod:`repro.bender.program` — the test-program
+  instruction set and a builder API,
+* :mod:`repro.bender.assembler` — a textual assembly format,
+* :mod:`repro.bender.interpreter` — a cycle-accounting executor with a
+  vectorised fast path for hot ACT/PRE hammering loops,
+* :mod:`repro.bender.host` — the host-side interface (program upload,
+  data readback, mode-register access),
+* :mod:`repro.bender.temperature` — the heater/fan thermal plant and the
+  Arduino-style PID controller,
+* :mod:`repro.bender.board` — the FPGA board tying it all together.
+"""
+
+from repro.bender.board import BenderBoard, make_paper_setup
+from repro.bender.host import HostInterface
+from repro.bender.interpreter import ExecutionResult, Interpreter
+from repro.bender.program import Program, ProgramBuilder
+from repro.bender.temperature import PidController, ThermalPlant
+
+__all__ = [
+    "BenderBoard",
+    "ExecutionResult",
+    "HostInterface",
+    "Interpreter",
+    "PidController",
+    "Program",
+    "ProgramBuilder",
+    "ThermalPlant",
+    "make_paper_setup",
+]

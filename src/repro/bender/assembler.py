@@ -1,0 +1,191 @@
+"""Textual assembly for DRAM Bender test programs.
+
+DRAM Bender ships a small program format; we provide an equivalent
+human-readable one, mainly for documentation, debugging dumps, and tests
+that want to state programs declaratively.  Grammar (one instruction per
+line, ``#`` comments, case-insensitive mnemonics)::
+
+    ACT   <ch> <pc> <bank> <row>
+    PRE   <ch> <pc> <bank>
+    PREA  <ch> <pc>
+    RD    <ch> <pc> <bank> <column>
+    WR    <ch> <pc> <bank> <column> <data>
+    RDROW <ch> <pc> <bank>
+    WRROW <ch> <pc> <bank> <data>
+    REF   <ch> <pc>
+    WAIT  <cycles>
+    LOOP  <count>
+    ENDLOOP
+
+``<data>`` is either hex bytes (``0xDEADBEEF...``) or a repeated byte in
+the form ``0xAA*32`` (32 bytes of 0xAA).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.bender import isa
+from repro.bender.program import Program
+from repro.errors import AssemblyError
+
+_REPEAT_RE = re.compile(r"^0[xX]([0-9a-fA-F]{2})\*(\d+)$")
+_HEX_RE = re.compile(r"^0[xX]([0-9a-fA-F]+)$")
+
+
+def _parse_data(token: str) -> bytes:
+    repeat = _REPEAT_RE.match(token)
+    if repeat:
+        return bytes([int(repeat.group(1), 16)]) * int(repeat.group(2))
+    plain = _HEX_RE.match(token)
+    if plain:
+        digits = plain.group(1)
+        if len(digits) % 2 != 0:
+            raise AssemblyError(f"odd hex digit count in data: {token}")
+        return bytes.fromhex(digits)
+    raise AssemblyError(f"cannot parse data operand: {token}")
+
+
+def _format_data(data: bytes) -> str:
+    if len(data) > 1 and len(set(data)) == 1:
+        return f"0x{data[0]:02X}*{len(data)}"
+    return "0x" + data.hex().upper()
+
+
+def _ints(tokens: List[str], count: int, line_number: int) -> List[int]:
+    if len(tokens) != count:
+        raise AssemblyError(
+            f"line {line_number}: expected {count} operands, "
+            f"got {len(tokens)}")
+    try:
+        return [int(token, 0) for token in tokens]
+    except ValueError as error:
+        raise AssemblyError(f"line {line_number}: {error}") from error
+
+
+def assemble(text: str) -> Program:
+    """Parse assembly ``text`` into a :class:`Program`."""
+    stack: List[Tuple[int, List[isa.Instruction]]] = [(0, [])]
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        mnemonic = tokens[0].upper()
+        operands = tokens[1:]
+
+        if mnemonic == "LOOP":
+            (count,) = _ints(operands, 1, line_number)
+            if count < 0:
+                raise AssemblyError(
+                    f"line {line_number}: loop count must be >= 0")
+            stack.append((count, []))
+            continue
+        if mnemonic == "ENDLOOP":
+            if len(stack) == 1:
+                raise AssemblyError(
+                    f"line {line_number}: ENDLOOP without LOOP")
+            count, body = stack.pop()
+            stack[-1][1].append(isa.Loop(count, tuple(body)))
+            continue
+
+        if mnemonic == "ACT":
+            channel, pc, bank, row = _ints(operands, 4, line_number)
+            instruction: isa.Instruction = isa.Act(channel, pc, bank, row)
+        elif mnemonic == "PRE":
+            channel, pc, bank = _ints(operands, 3, line_number)
+            instruction = isa.Pre(channel, pc, bank)
+        elif mnemonic == "PREA":
+            channel, pc = _ints(operands, 2, line_number)
+            instruction = isa.PreA(channel, pc)
+        elif mnemonic == "RD":
+            channel, pc, bank, column = _ints(operands, 4, line_number)
+            instruction = isa.Rd(channel, pc, bank, column)
+        elif mnemonic == "WR":
+            if len(operands) != 5:
+                raise AssemblyError(
+                    f"line {line_number}: WR needs 5 operands")
+            channel, pc, bank, column = _ints(operands[:4], 4, line_number)
+            instruction = isa.Wr(channel, pc, bank, column,
+                                 _parse_data(operands[4]))
+        elif mnemonic == "RDROW":
+            channel, pc, bank = _ints(operands, 3, line_number)
+            instruction = isa.RdRow(channel, pc, bank)
+        elif mnemonic == "WRROW":
+            if len(operands) != 4:
+                raise AssemblyError(
+                    f"line {line_number}: WRROW needs 4 operands")
+            channel, pc, bank = _ints(operands[:3], 3, line_number)
+            instruction = isa.WrRow(channel, pc, bank,
+                                    _parse_data(operands[3]))
+        elif mnemonic == "REF":
+            channel, pc = _ints(operands, 2, line_number)
+            instruction = isa.Ref(channel, pc)
+        elif mnemonic == "WAIT":
+            (cycles,) = _ints(operands, 1, line_number)
+            if cycles < 0:
+                raise AssemblyError(
+                    f"line {line_number}: WAIT cycles must be >= 0")
+            instruction = isa.Wait(cycles)
+        else:
+            raise AssemblyError(
+                f"line {line_number}: unknown mnemonic {mnemonic!r}")
+        stack[-1][1].append(instruction)
+
+    if len(stack) != 1:
+        raise AssemblyError(f"{len(stack) - 1} unclosed LOOP block(s)")
+    return Program(tuple(stack[0][1]))
+
+
+def disassemble(program: Program) -> str:
+    """Render a :class:`Program` back to assembly text."""
+    lines: List[str] = []
+
+    def emit(instructions, depth: int) -> None:
+        indent = "  " * depth
+        for instruction in instructions:
+            if isinstance(instruction, isa.Loop):
+                lines.append(f"{indent}LOOP {instruction.count}")
+                emit(instruction.body, depth + 1)
+                lines.append(f"{indent}ENDLOOP")
+            elif isinstance(instruction, isa.Act):
+                lines.append(f"{indent}ACT {instruction.channel} "
+                             f"{instruction.pseudo_channel} "
+                             f"{instruction.bank} {instruction.row}")
+            elif isinstance(instruction, isa.Pre):
+                lines.append(f"{indent}PRE {instruction.channel} "
+                             f"{instruction.pseudo_channel} "
+                             f"{instruction.bank}")
+            elif isinstance(instruction, isa.PreA):
+                lines.append(f"{indent}PREA {instruction.channel} "
+                             f"{instruction.pseudo_channel}")
+            elif isinstance(instruction, isa.Rd):
+                lines.append(f"{indent}RD {instruction.channel} "
+                             f"{instruction.pseudo_channel} "
+                             f"{instruction.bank} {instruction.column}")
+            elif isinstance(instruction, isa.Wr):
+                lines.append(f"{indent}WR {instruction.channel} "
+                             f"{instruction.pseudo_channel} "
+                             f"{instruction.bank} {instruction.column} "
+                             f"{_format_data(instruction.data)}")
+            elif isinstance(instruction, isa.RdRow):
+                lines.append(f"{indent}RDROW {instruction.channel} "
+                             f"{instruction.pseudo_channel} "
+                             f"{instruction.bank}")
+            elif isinstance(instruction, isa.WrRow):
+                lines.append(f"{indent}WRROW {instruction.channel} "
+                             f"{instruction.pseudo_channel} "
+                             f"{instruction.bank} "
+                             f"{_format_data(instruction.data)}")
+            elif isinstance(instruction, isa.Ref):
+                lines.append(f"{indent}REF {instruction.channel} "
+                             f"{instruction.pseudo_channel}")
+            elif isinstance(instruction, isa.Wait):
+                lines.append(f"{indent}WAIT {instruction.cycles}")
+            else:
+                raise AssemblyError(
+                    f"cannot disassemble: {instruction!r}")
+
+    emit(program.instructions, 0)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,85 @@
+"""The FPGA board model: device + host interface + temperature control.
+
+:class:`BenderBoard` stands in for the Bittware XUPVVH board of the
+paper's setup (Fig. 2): an FPGA whose memory controller fronts one HBM2
+stack, a PCIe link to the host, and the heating-pad/fan assembly driven
+by the Arduino PID controller.
+
+:func:`make_paper_setup` builds the exact configuration of the paper's
+experiments: default geometry and timing, the calibrated device profile,
+the hidden TRR engine, and the chip held at 85 degC.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bender.host import HostInterface
+from repro.bender.interpreter import Interpreter
+from repro.bender.temperature import (
+    PidController,
+    TemperatureController,
+    ThermalPlant,
+)
+from repro.dram.calibration import DeviceProfile
+from repro.dram.device import HBM2Device
+from repro.dram.geometry import HBM2Geometry
+from repro.dram.timing import TimingParameters
+from repro.dram.trr import TrrConfig
+
+
+class BenderBoard:
+    """One testing station: simulated FPGA board + thermal rig."""
+
+    def __init__(self, device: HBM2Device,
+                 thermal: Optional[TemperatureController] = None) -> None:
+        self.device = device
+        self.host = HostInterface(device, Interpreter(device))
+        if thermal is None:
+            plant = ThermalPlant(temperature_c=device.temperature_c)
+            thermal = TemperatureController(plant, PidController())
+        self.thermal = thermal
+
+    def set_target_temperature(self, celsius: float) -> int:
+        """Drive the thermal rig to ``celsius`` and hold; returns the
+        number of control steps the PID loop needed to settle.
+
+        The chip's temperature (which the fault model consults) tracks
+        the plant, exactly as the real chip tracks the pad/fan rig.
+        """
+        self.thermal.set_target(celsius)
+        steps = self.thermal.settle()
+        self.device.set_temperature(self.thermal.plant.temperature_c)
+        return steps
+
+    @property
+    def temperature_c(self) -> float:
+        return self.device.temperature_c
+
+
+def make_paper_setup(seed: int = 0,
+                     geometry: Optional[HBM2Geometry] = None,
+                     timing: Optional[TimingParameters] = None,
+                     profile: Optional[DeviceProfile] = None,
+                     trr_config: Optional[TrrConfig] = None,
+                     temperature_c: float = 85.0,
+                     settle_thermals: bool = True) -> BenderBoard:
+    """The paper's testing station, ready to run experiments.
+
+    Args:
+        seed: device seed — think of each seed as a different physical
+            chip specimen with the same design.
+        geometry / timing / profile / trr_config: overrides for studies
+            that need them; defaults are the paper's configuration.
+        temperature_c: target chip temperature (85 degC in the paper).
+        settle_thermals: run the PID loop to the target before returning
+            (disable for tests that manage temperature themselves).
+    """
+    device = HBM2Device(geometry=geometry, timing=timing, profile=profile,
+                        seed=seed, trr_config=trr_config)
+    board = BenderBoard(device)
+    if settle_thermals:
+        board.set_target_temperature(temperature_c)
+    else:
+        device.set_temperature(temperature_c)
+    return board

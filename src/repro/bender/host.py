@@ -1,0 +1,132 @@
+"""Host-side interface to the (simulated) DRAM Bender board.
+
+The host machine in the paper's setup talks to the FPGA over PCIe: it
+uploads test programs, streams back read data, and pokes mode registers.
+:class:`HostInterface` is that API.  Characterization code in
+:mod:`repro.core` is written exclusively against this interface — the same
+separation the real infrastructure enforces — so swapping the simulated
+device for real hardware would only replace this module's backend.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.bender.interpreter import ExecutionResult, Interpreter
+from repro.bender.program import Program, ProgramBuilder
+from repro.dram.address import DramAddress
+from repro.dram.device import HBM2Device
+from repro.errors import ProgramError
+
+
+class HostInterface:
+    """Program upload, data readback, and device management."""
+
+    def __init__(self, device: HBM2Device,
+                 interpreter: Optional[Interpreter] = None,
+                 transport=None) -> None:
+        """
+        Args:
+            device: the board-side device model.
+            interpreter: board-side executor (default: a fresh one).
+            transport: optional :class:`repro.bender.transport.
+                PcieTransport`; when given, every program round-trips
+                through the serialized wire format and the link's
+                statistics accumulate.
+        """
+        self.device = device
+        self._interpreter = interpreter or Interpreter(device)
+        self._transport = transport
+
+    # ------------------------------------------------------------------
+    # Program execution
+    # ------------------------------------------------------------------
+    def run(self, program: Program) -> ExecutionResult:
+        """Execute a test program and return its readback stream."""
+        if self._transport is not None:
+            return self._transport.run(program)
+        return self._interpreter.run(program)
+
+    def builder(self) -> ProgramBuilder:
+        """A fresh program builder (pure convenience)."""
+        return ProgramBuilder()
+
+    # ------------------------------------------------------------------
+    # Row-granularity convenience wrappers (each is a tiny test program)
+    # ------------------------------------------------------------------
+    def write_row(self, address: DramAddress, data: bytes) -> None:
+        """ACT + WRROW + PRE."""
+        address.validate(self.device.geometry)
+        if len(data) != self.device.geometry.row_bytes:
+            raise ProgramError(
+                f"row data must be {self.device.geometry.row_bytes} bytes, "
+                f"got {len(data)}")
+        builder = ProgramBuilder()
+        builder.act(address.channel, address.pseudo_channel, address.bank,
+                    address.row)
+        builder.wr_row(address.channel, address.pseudo_channel, address.bank,
+                       data)
+        builder.pre(address.channel, address.pseudo_channel, address.bank)
+        self.run(builder.build())
+
+    def read_row(self, address: DramAddress) -> np.ndarray:
+        """ACT + RDROW + PRE; returns the row as an unpacked bit array."""
+        address.validate(self.device.geometry)
+        builder = ProgramBuilder()
+        builder.act(address.channel, address.pseudo_channel, address.bank,
+                    address.row)
+        builder.rd_row(address.channel, address.pseudo_channel, address.bank)
+        builder.pre(address.channel, address.pseudo_channel, address.bank)
+        result = self.run(builder.build())
+        return result.row_reads[0]
+
+    def read_row_bytes(self, address: DramAddress) -> bytes:
+        """Like :meth:`read_row` but packed to bytes."""
+        return np.packbits(self.read_row(address)).tobytes()
+
+    def activate_precharge(self, address: DramAddress,
+                           count: int = 1) -> None:
+        """``count`` ACT/PRE cycles on one row (e.g. a manual refresh)."""
+        address.validate(self.device.geometry)
+        builder = ProgramBuilder()
+        if count > 1:
+            with builder.loop(count):
+                builder.act(address.channel, address.pseudo_channel,
+                            address.bank, address.row)
+                builder.pre(address.channel, address.pseudo_channel,
+                            address.bank)
+        else:
+            builder.act(address.channel, address.pseudo_channel,
+                        address.bank, address.row)
+            builder.pre(address.channel, address.pseudo_channel, address.bank)
+        self.run(builder.build())
+
+    def refresh(self, channel: int, pseudo_channel: int,
+                count: int = 1) -> None:
+        """Issue ``count`` periodic REF commands."""
+        builder = ProgramBuilder()
+        if count > 1:
+            with builder.loop(count):
+                builder.ref(channel, pseudo_channel)
+        else:
+            builder.ref(channel, pseudo_channel)
+        self.run(builder.build())
+
+    def wait_seconds(self, seconds: float) -> None:
+        """Idle the command bus for a wall-clock duration."""
+        builder = ProgramBuilder()
+        builder.wait_time(seconds, self.device.timing.frequency_hz)
+        self.run(builder.build())
+
+    # ------------------------------------------------------------------
+    # Device management
+    # ------------------------------------------------------------------
+    def set_ecc_enabled(self, enabled: bool) -> None:
+        """Mode-register write toggling on-die ECC on every channel."""
+        self.device.set_ecc_enabled(enabled)
+
+    def elapsed_seconds_since(self, start_cycle: int) -> float:
+        """In-DRAM seconds elapsed since a recorded device cycle."""
+        return self.device.timing.seconds(self.device.now - start_cycle)

@@ -1,0 +1,194 @@
+"""Test-program interpreter with a vectorised hammering fast path.
+
+The interpreter executes a :class:`~repro.bender.program.Program` against
+an :class:`~repro.dram.device.HBM2Device`, scheduling every command at its
+earliest timing-legal cycle (the device enforces constraints) and
+collecting read data.
+
+**Fast path.**  RowHammer programs spend nearly all their dynamic
+instructions inside one loop: ``LOOP N { ACT a1; PRE; ACT a2; PRE }`` with
+N in the hundreds of thousands.  For loops whose body contains only
+ACT/PRE/PREA/WAIT, the interpreter executes the first two iterations
+instruction-by-instruction (the second iteration runs at the pipeline's
+steady-state rate), measures the steady-state iteration period, and
+applies the remaining ``N - 2`` iterations in one call to
+:meth:`~repro.dram.device.HBM2Device.bulk_activations` — whose semantics
+are defined to match the unrolled loop.  A property test in
+``tests/bender/test_interpreter.py`` checks slow/fast equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.bender import isa
+from repro.bender.program import Program
+from repro.dram.device import HBM2Device
+from repro.errors import ProgramError
+
+
+@dataclass
+class ExecutionResult:
+    """Everything a test program sends back to the host.
+
+    Attributes:
+        column_reads: data of each RD, in program order.
+        row_reads: unpacked bit arrays of each RDROW, in program order.
+        start_cycle / end_cycle: device clock at program entry and exit.
+        trace: per-instruction log lines when tracing is enabled
+            (bulk-applied loop iterations appear as one summary line).
+    """
+
+    column_reads: List[bytes] = field(default_factory=list)
+    row_reads: List[np.ndarray] = field(default_factory=list)
+    start_cycle: int = 0
+    end_cycle: int = 0
+    trace: List[str] = field(default_factory=list)
+
+    @property
+    def duration_cycles(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+
+class Interpreter:
+    """Executes test programs on a device."""
+
+    def __init__(self, device: HBM2Device, fast_loop_threshold: int = 8,
+                 enable_fast_loops: bool = True,
+                 trace: bool = False) -> None:
+        """
+        Args:
+            device: target device model.
+            fast_loop_threshold: minimum iteration count before a loop is
+                eligible for the bulk fast path (tiny loops are cheaper to
+                just run, and the fast path needs 2 warm-up iterations).
+            enable_fast_loops: disable to force instruction-by-instruction
+                execution (used by the equivalence tests).
+            trace: record one log line per executed instruction into
+                ``ExecutionResult.trace`` (bulk-applied iterations are
+                summarized).  For debugging; materially slows hot loops
+                when combined with ``enable_fast_loops=False``.
+        """
+        self._device = device
+        self._fast_loop_threshold = max(3, fast_loop_threshold)
+        self._enable_fast_loops = enable_fast_loops
+        self._trace = trace
+
+    def run(self, program: Program) -> ExecutionResult:
+        """Execute ``program``; returns the readback stream."""
+        result = ExecutionResult(start_cycle=self._device.now)
+        self._run_sequence(program.instructions, result)
+        result.end_cycle = self._device.now
+        return result
+
+    # ------------------------------------------------------------------
+    def _run_sequence(self, instructions, result: ExecutionResult) -> None:
+        for instruction in instructions:
+            if isinstance(instruction, isa.Loop):
+                self._run_loop(instruction, result)
+            else:
+                self._run_one(instruction, result)
+
+    def _run_one(self, instruction, result: ExecutionResult) -> None:
+        device = self._device
+        if self._trace:
+            result.trace.append(
+                f"{device.now:>12} {isa.mnemonic(instruction)} "
+                f"{self._operands(instruction)}")
+        if isinstance(instruction, isa.Act):
+            device.activate(instruction.channel, instruction.pseudo_channel,
+                            instruction.bank, instruction.row)
+        elif isinstance(instruction, isa.Pre):
+            device.precharge(instruction.channel, instruction.pseudo_channel,
+                             instruction.bank)
+        elif isinstance(instruction, isa.PreA):
+            device.precharge_all(instruction.channel,
+                                 instruction.pseudo_channel)
+        elif isinstance(instruction, isa.Rd):
+            result.column_reads.append(
+                device.read(instruction.channel, instruction.pseudo_channel,
+                            instruction.bank, instruction.column))
+        elif isinstance(instruction, isa.Wr):
+            device.write(instruction.channel, instruction.pseudo_channel,
+                         instruction.bank, instruction.column,
+                         instruction.data)
+        elif isinstance(instruction, isa.RdRow):
+            result.row_reads.append(
+                device.read_open_row(instruction.channel,
+                                     instruction.pseudo_channel,
+                                     instruction.bank))
+        elif isinstance(instruction, isa.WrRow):
+            bits = np.unpackbits(
+                np.frombuffer(instruction.data, dtype=np.uint8))
+            device.write_open_row(instruction.channel,
+                                  instruction.pseudo_channel,
+                                  instruction.bank, bits)
+        elif isinstance(instruction, isa.Ref):
+            device.refresh(instruction.channel, instruction.pseudo_channel)
+        elif isinstance(instruction, isa.Wait):
+            device.wait(instruction.cycles)
+        else:
+            raise ProgramError(f"unknown instruction: {instruction!r}")
+
+    # ------------------------------------------------------------------
+    def _run_loop(self, loop: isa.Loop, result: ExecutionResult) -> None:
+        if not self._loop_is_fast_eligible(loop):
+            for _ in range(loop.count):
+                self._run_sequence(loop.body, result)
+            return
+
+        device = self._device
+        # Warm-up: first iteration may pay cold timing (e.g. a pending
+        # tRP); the second runs at steady state.
+        self._run_sequence(loop.body, result)
+        before_second = device.now
+        self._run_sequence(loop.body, result)
+        period = device.now - before_second
+
+        # Bulk-apply all but the final iteration, then run that final
+        # iteration instruction-by-instruction so the bank timing state
+        # (e.g. the trailing tRC window) is exactly what the unrolled
+        # loop would leave behind.
+        remaining = loop.count - 3
+        body_acts = [
+            (instruction.channel, instruction.pseudo_channel,
+             instruction.bank, instruction.row)
+            for instruction in loop.body if isinstance(instruction, isa.Act)
+        ]
+        if self._trace:
+            result.trace.append(
+                f"{device.now:>12} LOOP x{remaining} (bulk, "
+                f"{len(loop.body)} instrs/iter, {period} cycles/iter)")
+        device.bulk_activations(body_acts, remaining, remaining * period)
+        self._run_sequence(loop.body, result)
+
+    @staticmethod
+    def _operands(instruction) -> str:
+        if isinstance(instruction, isa.Act):
+            return (f"ch{instruction.channel} pc{instruction.pseudo_channel} "
+                    f"ba{instruction.bank} row{instruction.row}")
+        if isinstance(instruction, (isa.Pre, isa.RdRow)):
+            return (f"ch{instruction.channel} pc{instruction.pseudo_channel} "
+                    f"ba{instruction.bank}")
+        if isinstance(instruction, (isa.Rd, isa.Wr)):
+            return (f"ch{instruction.channel} pc{instruction.pseudo_channel} "
+                    f"ba{instruction.bank} col{instruction.column}")
+        if isinstance(instruction, isa.WrRow):
+            return (f"ch{instruction.channel} pc{instruction.pseudo_channel} "
+                    f"ba{instruction.bank} ({len(instruction.data)} bytes)")
+        if isinstance(instruction, (isa.Ref, isa.PreA)):
+            return f"ch{instruction.channel} pc{instruction.pseudo_channel}"
+        if isinstance(instruction, isa.Wait):
+            return f"{instruction.cycles} cycles"
+        return ""
+
+    def _loop_is_fast_eligible(self, loop: isa.Loop) -> bool:
+        if not self._enable_fast_loops:
+            return False
+        if loop.count < self._fast_loop_threshold:
+            return False
+        return all(isinstance(instruction, isa.FAST_LOOP_TYPES)
+                   for instruction in loop.body)

@@ -1,0 +1,144 @@
+"""Instruction set of the simulated DRAM Bender.
+
+Programs are trees: a flat instruction sequence where one node type,
+:class:`Loop`, carries a nested body.  Structured loops (rather than
+labels and jumps) mirror how DRAM Bender programs are written in practice
+and make the interpreter's hammering fast path a simple pattern match.
+
+``WrRow``/``RdRow`` are the batched whole-row transfers the real
+infrastructure performs as pipelined bursts of column commands; they exist
+so a Python-level program is not 32x slower than its FPGA counterpart
+while keeping identical DRAM-state semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+
+@dataclass(frozen=True)
+class Act:
+    """Activate (open) a row."""
+
+    channel: int
+    pseudo_channel: int
+    bank: int
+    row: int
+
+
+@dataclass(frozen=True)
+class Pre:
+    """Precharge (close) a bank."""
+
+    channel: int
+    pseudo_channel: int
+    bank: int
+
+
+@dataclass(frozen=True)
+class PreA:
+    """Precharge every bank of a pseudo channel."""
+
+    channel: int
+    pseudo_channel: int
+
+
+@dataclass(frozen=True)
+class Rd:
+    """Read one column of the open row into the readback stream."""
+
+    channel: int
+    pseudo_channel: int
+    bank: int
+    column: int
+
+
+@dataclass(frozen=True)
+class Wr:
+    """Write one column of the open row."""
+
+    channel: int
+    pseudo_channel: int
+    bank: int
+    column: int
+    data: bytes
+
+
+@dataclass(frozen=True)
+class RdRow:
+    """Batched read of the entire open row into the readback stream."""
+
+    channel: int
+    pseudo_channel: int
+    bank: int
+
+
+@dataclass(frozen=True)
+class WrRow:
+    """Batched write of the entire open row.
+
+    ``data`` holds the full row (row_bytes long).
+    """
+
+    channel: int
+    pseudo_channel: int
+    bank: int
+    data: bytes
+
+
+@dataclass(frozen=True)
+class Ref:
+    """Periodic refresh command to a pseudo channel."""
+
+    channel: int
+    pseudo_channel: int
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Idle the command bus for a number of interface cycles."""
+
+    cycles: int
+
+
+@dataclass(frozen=True)
+class Loop:
+    """Repeat ``body`` ``count`` times."""
+
+    count: int
+    body: Tuple["Instruction", ...]
+
+
+Instruction = Union[Act, Pre, PreA, Rd, Wr, RdRow, WrRow, Ref, Wait, Loop]
+
+#: Instruction types eligible for the interpreter's bulk fast path: pure
+#: command traffic with no data movement, no refresh, and no nesting.
+FAST_LOOP_TYPES = (Act, Pre, PreA, Wait)
+
+
+def mnemonic(instruction: Instruction) -> str:
+    """Assembly mnemonic of one instruction."""
+    return {
+        Act: "ACT",
+        Pre: "PRE",
+        PreA: "PREA",
+        Rd: "RD",
+        Wr: "WR",
+        RdRow: "RDROW",
+        WrRow: "WRROW",
+        Ref: "REF",
+        Wait: "WAIT",
+        Loop: "LOOP",
+    }[type(instruction)]
+
+
+def instruction_count(instructions: Tuple[Instruction, ...]) -> int:
+    """Total dynamic instruction count, expanding loops."""
+    total = 0
+    for instruction in instructions:
+        if isinstance(instruction, Loop):
+            total += instruction.count * instruction_count(instruction.body)
+        else:
+            total += 1
+    return total

@@ -1,0 +1,158 @@
+"""Thermal plant and PID temperature controller.
+
+The paper's setup (Fig. 2) clamps the HBM2 chip to a target temperature —
+85 degC for all headline experiments — using a heating pad and a cooling
+fan driven by an Arduino MEGA running a closed-loop PID controller.  The
+characterization results depend on temperature (both RowHammer thresholds
+and retention times are temperature sensitive), so we model the loop
+rather than teleporting the chip to the target:
+
+* :class:`ThermalPlant` — first-order thermal model of the chip + pad +
+  fan assembly: the chip relaxes toward ambient and is pushed by heater
+  power and pulled by fan airflow.
+* :class:`PidController` — discrete PID with anti-windup producing one
+  actuation value in [-1, 1]: positive drives the heater, negative the fan.
+* :class:`TemperatureController` — the Arduino: steps the loop until the
+  plant settles at the target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class ThermalPlant:
+    """First-order thermal model of the chip under pad and fan.
+
+    ``dT/dt = (ambient - T) / tau + heater * heater_gain - fan * fan_gain``
+
+    Attributes:
+        temperature_c: current chip temperature.
+        ambient_c: lab ambient temperature.
+        tau_s: passive relaxation time constant.
+        heater_gain: degC/s at full heater duty.
+        fan_gain: degC/s at full fan duty.
+    """
+
+    temperature_c: float = 35.0
+    ambient_c: float = 25.0
+    tau_s: float = 60.0
+    heater_gain: float = 2.0
+    fan_gain: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.tau_s <= 0:
+            raise ConfigurationError("tau_s must be positive")
+        if self.heater_gain <= 0 or self.fan_gain <= 0:
+            raise ConfigurationError("actuator gains must be positive")
+
+    def step(self, heater_duty: float, fan_duty: float, dt_s: float) -> float:
+        """Advance the plant by ``dt_s`` seconds; returns the temperature."""
+        if not 0.0 <= heater_duty <= 1.0:
+            raise ConfigurationError(
+                f"heater duty must be in [0, 1], got {heater_duty}")
+        if not 0.0 <= fan_duty <= 1.0:
+            raise ConfigurationError(
+                f"fan duty must be in [0, 1], got {fan_duty}")
+        if dt_s <= 0:
+            raise ConfigurationError(f"dt must be positive, got {dt_s}")
+        drift = (self.ambient_c - self.temperature_c) / self.tau_s
+        forced = heater_duty * self.heater_gain - fan_duty * self.fan_gain
+        self.temperature_c += (drift + forced) * dt_s
+        return self.temperature_c
+
+
+class PidController:
+    """Discrete PID controller with output clamping and anti-windup."""
+
+    def __init__(self, kp: float = 0.35, ki: float = 0.02,
+                 kd: float = 0.1, output_limit: float = 1.0) -> None:
+        if output_limit <= 0:
+            raise ConfigurationError("output_limit must be positive")
+        self.kp = kp
+        self.ki = ki
+        self.kd = kd
+        self.output_limit = output_limit
+        self._integral = 0.0
+        self._previous_error: float = 0.0
+        self._primed = False
+
+    def reset(self) -> None:
+        self._integral = 0.0
+        self._previous_error = 0.0
+        self._primed = False
+
+    def update(self, setpoint: float, measurement: float, dt_s: float) -> float:
+        """One control step; returns actuation in [-limit, +limit]."""
+        if dt_s <= 0:
+            raise ConfigurationError(f"dt must be positive, got {dt_s}")
+        error = setpoint - measurement
+        derivative = 0.0
+        if self._primed:
+            derivative = (error - self._previous_error) / dt_s
+        self._previous_error = error
+        self._primed = True
+
+        candidate_integral = self._integral + error * dt_s
+        output = (self.kp * error + self.ki * candidate_integral +
+                  self.kd * derivative)
+        if abs(output) <= self.output_limit:
+            # Only integrate while unsaturated (anti-windup).
+            self._integral = candidate_integral
+            return output
+        return max(-self.output_limit, min(self.output_limit, output))
+
+
+class TemperatureController:
+    """The Arduino MEGA of the testing setup: PID loop + settling logic."""
+
+    def __init__(self, plant: ThermalPlant,
+                 controller: PidController = None,
+                 step_s: float = 1.0,
+                 tolerance_c: float = 0.25,
+                 settle_steps: int = 10) -> None:
+        if step_s <= 0:
+            raise ConfigurationError("step_s must be positive")
+        if tolerance_c <= 0:
+            raise ConfigurationError("tolerance_c must be positive")
+        self.plant = plant
+        self.controller = controller or PidController()
+        self.step_s = step_s
+        self.tolerance_c = tolerance_c
+        self.settle_steps = settle_steps
+        self.target_c: float = plant.temperature_c
+
+    def set_target(self, target_c: float) -> None:
+        self.target_c = target_c
+        self.controller.reset()
+
+    def step(self) -> float:
+        """One control period; returns the new plant temperature."""
+        actuation = self.controller.update(
+            self.target_c, self.plant.temperature_c, self.step_s)
+        heater = max(0.0, actuation)
+        fan = max(0.0, -actuation)
+        return self.plant.step(heater, fan, self.step_s)
+
+    def settle(self, max_steps: int = 100_000) -> int:
+        """Run the loop until the plant holds the target; returns steps.
+
+        Raises :class:`~repro.errors.ConfigurationError` if the plant
+        cannot reach the target within ``max_steps`` control periods
+        (e.g. a target beyond the actuators' authority).
+        """
+        consecutive = 0
+        for step_index in range(max_steps):
+            temperature = self.step()
+            if abs(temperature - self.target_c) <= self.tolerance_c:
+                consecutive += 1
+                if consecutive >= self.settle_steps:
+                    return step_index + 1
+            else:
+                consecutive = 0
+        raise ConfigurationError(
+            f"temperature did not settle at {self.target_c} degC within "
+            f"{max_steps} steps (reached {self.plant.temperature_c:.2f})")

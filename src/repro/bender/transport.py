@@ -1,0 +1,91 @@
+"""Host-to-board transport: the PCIe link of the testing setup.
+
+The paper's host machine uploads test programs to the FPGA and streams
+read data back over PCIe (Fig. 2, item 5).  :class:`PcieTransport`
+models that hop: programs are serialized to the assembly wire format,
+"sent" across a bandwidth-limited link, deserialized board-side, and
+executed; readback data pays the return trip.  The link accounts
+transfer *host time*, which is separate from (and overlaps with) DRAM
+time — exactly why the real infrastructure batches row reads.
+
+The transport is optional — `HostInterface` drives the interpreter
+directly by default — but running through it buys two things:
+
+* the assembler becomes load-bearing (every program round-trips through
+  its text format, so the wire encoding is exercised by any test that
+  uses the transport), and
+* campaigns can report how much host-side I/O a methodology costs, a
+  real bottleneck when characterizing thousands of rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bender.assembler import assemble, disassemble
+from repro.bender.interpreter import ExecutionResult, Interpreter
+from repro.bender.program import Program
+from repro.dram.device import HBM2Device
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class LinkStatistics:
+    """Byte and time accounting for one PCIe link."""
+
+    programs_sent: int = 0
+    bytes_up: int = 0
+    bytes_down: int = 0
+    transfer_time_s: float = 0.0
+
+    def merge_transfer(self, up: int, down: int,
+                       bandwidth_bytes_per_s: float) -> None:
+        self.programs_sent += 1
+        self.bytes_up += up
+        self.bytes_down += down
+        self.transfer_time_s += (up + down) / bandwidth_bytes_per_s
+
+
+class PcieTransport:
+    """Executes programs through a serialized, bandwidth-limited hop."""
+
+    #: Per-transfer protocol overhead (descriptors, doorbells), bytes.
+    TRANSFER_OVERHEAD_BYTES = 128
+
+    def __init__(self, device: HBM2Device,
+                 bandwidth_bytes_per_s: float = 3.0e9,
+                 interpreter: Interpreter = None) -> None:
+        """
+        Args:
+            device: the board-side device model.
+            bandwidth_bytes_per_s: usable link bandwidth (default ~PCIe
+                gen3 x4 after protocol overhead).
+        """
+        if bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        self._device = device
+        self._bandwidth = bandwidth_bytes_per_s
+        self._interpreter = interpreter or Interpreter(device)
+        self.statistics = LinkStatistics()
+
+    def run(self, program: Program) -> ExecutionResult:
+        """Serialize, ship, deserialize, execute, and bill the readback.
+
+        The deserialized program is checked equal to the submitted one —
+        a wire-format corruption is an infrastructure bug worth failing
+        loudly on.
+        """
+        wire_text = disassemble(program)
+        board_side_program = assemble(wire_text)
+        if board_side_program != program:
+            raise ConfigurationError(
+                "wire format corrupted the program (assembler bug)")
+
+        result = self._interpreter.run(board_side_program)
+
+        up = len(wire_text.encode()) + self.TRANSFER_OVERHEAD_BYTES
+        down = sum(len(data) for data in result.column_reads)
+        down += sum(bits.size // 8 for bits in result.row_reads)
+        down += self.TRANSFER_OVERHEAD_BYTES
+        self.statistics.merge_transfer(up, down, self._bandwidth)
+        return result

@@ -1,0 +1,283 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Exposed as ``python -m repro`` (or the ``repro`` console script when
+installed).  Each subcommand wraps one methodology entry point::
+
+    python -m repro ber --channel 7 --row 5000
+    python -m repro hcfirst --channel 0 --row 5000 --pattern Rowstripe0
+    python -m repro sweep --channels 0 7 --rows-per-region 8 -o out.json
+    python -m repro utrr --row 6000 --iterations 100
+    python -m repro mapping
+    python -m repro subarrays --start 800 --end 870
+    python -m repro report out.json
+
+All subcommands share the station options ``--seed`` (chip specimen),
+``--temperature`` (degC) and ``--voltage`` (wordline rail).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.figures import (
+    fig3_ber_distributions,
+    fig4_hcfirst_distributions,
+    render_box_table,
+)
+from repro.analysis.report import experiment_report
+from repro.analysis.tables import format_headline_table, headline_numbers
+from repro.bender.board import BenderBoard, make_paper_setup
+from repro.core.ber import BerExperiment
+from repro.core.experiment import ExperimentConfig, apply_controls
+from repro.core.hcfirst import HcFirstSearch
+from repro.core.mapping_re import reverse_engineer_mapping
+from repro.core.patterns import (
+    STANDARD_PATTERNS,
+    pattern_by_name,
+)
+from repro.core.results import CharacterizationDataset
+from repro.core.subarray_re import SubarrayReverseEngineer
+from repro.core.sweeps import SpatialSweep, SweepConfig
+from repro.core.utrr import UTrrExperiment
+from repro.dram.address import DramAddress
+from repro.errors import ReproError
+
+
+def _add_station_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0,
+                        help="chip specimen seed (default: 0)")
+    parser.add_argument("--temperature", type=float, default=85.0,
+                        help="chip temperature in degC (default: 85)")
+    parser.add_argument("--voltage", type=float, default=None,
+                        help="wordline voltage in V (default: nominal)")
+
+
+def _make_station(args: argparse.Namespace) -> BenderBoard:
+    board = make_paper_setup(seed=args.seed,
+                             temperature_c=args.temperature)
+    board.host.set_ecc_enabled(False)
+    if args.voltage is not None:
+        board.device.set_wordline_voltage(args.voltage)
+    return board
+
+
+def _address(args: argparse.Namespace) -> DramAddress:
+    return DramAddress(args.channel, args.pseudo_channel, args.bank,
+                       args.row)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_ber(args: argparse.Namespace) -> int:
+    board = _make_station(args)
+    config = ExperimentConfig(ber_hammer_count=args.hammers)
+    apply_controls(board, config)
+    experiment = BerExperiment(board.host, board.device.mapper, config)
+    victim = _address(args)
+    patterns = ([pattern_by_name(args.pattern)] if args.pattern
+                else list(STANDARD_PATTERNS))
+    for pattern in patterns:
+        record = experiment.run_row(victim, pattern)
+        print(f"{victim}  {pattern.name:<11} flips={record.flips:<6} "
+              f"BER={record.ber:.4%}  "
+              f"(hammer phase {record.duration_s * 1e3:.1f} ms)")
+    return 0
+
+
+def cmd_hcfirst(args: argparse.Namespace) -> int:
+    board = _make_station(args)
+    config = ExperimentConfig(hcfirst_max_hammers=args.max_hammers)
+    apply_controls(board, config)
+    search = HcFirstSearch(board.host, board.device.mapper, config)
+    victim = _address(args)
+    patterns = ([pattern_by_name(args.pattern)] if args.pattern
+                else list(STANDARD_PATTERNS))
+    for pattern in patterns:
+        outcome = search.search(victim, pattern)
+        result = ("censored (no flip at "
+                  f"{outcome.max_hammers:,})" if outcome.censored
+                  else f"{outcome.hc_first:,}")
+        print(f"{victim}  {pattern.name:<11} HC_first={result}  "
+              f"({outcome.probes} probes)")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    board = _make_station(args)
+    config = SweepConfig.from_env(
+        channels=tuple(args.channels),
+        rows_per_region=args.rows_per_region,
+        hcfirst_rows_per_region=args.hcfirst_rows,
+        repetitions=args.repetitions,
+    )
+    sweep = SpatialSweep(board, config)
+    dataset = sweep.run(progress=lambda message: print(f"  {message}",
+                                                       file=sys.stderr))
+    print(render_box_table(fig3_ber_distributions(dataset),
+                           value_format="{:.5f}",
+                           title="BER across rows (Fig. 3 axes)"))
+    try:
+        print()
+        print(render_box_table(fig4_hcfirst_distributions(dataset),
+                               value_format="{:.0f}",
+                               title="HC_first across rows (Fig. 4 axes)"))
+    except ReproError:
+        pass
+    print()
+    print(format_headline_table(headline_numbers(dataset)))
+    if args.output:
+        dataset.to_json(args.output)
+        print(f"\ndataset written to {args.output}", file=sys.stderr)
+    if args.export_dir:
+        from repro.analysis.export import export_all
+        written = export_all(dataset, args.export_dir)
+        print(f"figure CSVs written: "
+              f"{', '.join(str(path) for path in written)}",
+              file=sys.stderr)
+    return 0
+
+
+def cmd_utrr(args: argparse.Namespace) -> int:
+    board = _make_station(args)
+    experiment = UTrrExperiment(board.host, board.device.mapper)
+    result = experiment.run(_address(args), iterations=args.iterations)
+    timeline = "".join("R" if flag else "." for flag in result.refreshed)
+    print(f"retention onset: "
+          f"{result.profile.retention_time_s * 1e3:.0f} ms")
+    print(f"timeline: {timeline}")
+    print(f"refresh iterations: {result.refresh_iterations}")
+    if result.trr_detected:
+        print(f"hidden TRR detected: victim refresh every "
+              f"{result.inferred_period} REFs")
+        return 0
+    print("no periodic victim refresh observed")
+    return 1
+
+
+def cmd_mapping(args: argparse.Namespace) -> int:
+    board = _make_station(args)
+    mapper = reverse_engineer_mapping(board.host, channel=args.channel)
+    print("discovered logical -> physical mapping (sample):")
+    for row in range(args.sample_start, args.sample_start + 16):
+        print(f"  {row:>6} -> {mapper.logical_to_physical(row)}")
+    return 0
+
+
+def cmd_subarrays(args: argparse.Namespace) -> int:
+    board = _make_station(args)
+    engineer = SubarrayReverseEngineer(board.host, board.device.mapper)
+    result = engineer.scan(channel=args.channel, start=args.start,
+                           end=args.end, stride=args.stride)
+    for observation in result.observations:
+        if observation.classification != "interior" or args.verbose:
+            print(f"  row {observation.physical_row:>6}: "
+                  f"below={observation.flips_below} "
+                  f"above={observation.flips_above} "
+                  f"[{observation.classification}]")
+    print(f"subarray boundaries in [{args.start}, {args.end}): "
+          f"{result.boundaries()}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    dataset = CharacterizationDataset.from_json(args.dataset)
+    print(experiment_report(dataset, utrr_period=args.utrr_period,
+                            title=f"Report for {args.dataset}"))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HBM2 RowHammer characterization (DSN 2023 "
+                    "reproduction) on the simulated testing station.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def row_options(sub, default_channel=0):
+        sub.add_argument("--channel", type=int, default=default_channel)
+        sub.add_argument("--pseudo-channel", type=int, default=0)
+        sub.add_argument("--bank", type=int, default=0)
+        sub.add_argument("--row", type=int, default=5000)
+
+    ber = subparsers.add_parser(
+        "ber", help="BER of one victim row (256K hammers)")
+    _add_station_options(ber)
+    row_options(ber)
+    ber.add_argument("--pattern", help="one Table 1 / extended pattern "
+                                       "(default: all four Table 1)")
+    ber.add_argument("--hammers", type=int, default=256 * 1024)
+    ber.set_defaults(handler=cmd_ber)
+
+    hcfirst = subparsers.add_parser(
+        "hcfirst", help="exact HC_first of one victim row")
+    _add_station_options(hcfirst)
+    row_options(hcfirst)
+    hcfirst.add_argument("--pattern")
+    hcfirst.add_argument("--max-hammers", type=int, default=256 * 1024)
+    hcfirst.set_defaults(handler=cmd_hcfirst)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="spatial characterization campaign (Figs. 3/4)")
+    _add_station_options(sweep)
+    sweep.add_argument("--channels", type=int, nargs="+",
+                       default=list(range(8)))
+    sweep.add_argument("--rows-per-region", type=int, default=8)
+    sweep.add_argument("--hcfirst-rows", type=int, default=3)
+    sweep.add_argument("--repetitions", type=int, default=1)
+    sweep.add_argument("-o", "--output", help="archive dataset as JSON")
+    sweep.add_argument("--export-dir",
+                       help="also write figure CSVs into this directory")
+    sweep.set_defaults(handler=cmd_sweep)
+
+    utrr = subparsers.add_parser(
+        "utrr", help="uncover the hidden TRR (paper Sec 5)")
+    _add_station_options(utrr)
+    row_options(utrr)
+    utrr.add_argument("--iterations", type=int, default=100)
+    utrr.set_defaults(handler=cmd_utrr)
+
+    mapping = subparsers.add_parser(
+        "mapping", help="reverse engineer the row address mapping")
+    _add_station_options(mapping)
+    mapping.add_argument("--channel", type=int, default=0)
+    mapping.add_argument("--sample-start", type=int, default=0)
+    mapping.set_defaults(handler=cmd_mapping)
+
+    subarrays = subparsers.add_parser(
+        "subarrays", help="single-sided subarray-boundary scan")
+    _add_station_options(subarrays)
+    subarrays.add_argument("--channel", type=int, default=7)
+    subarrays.add_argument("--start", type=int, default=800)
+    subarrays.add_argument("--end", type=int, default=870)
+    subarrays.add_argument("--stride", type=int, default=1)
+    subarrays.add_argument("--verbose", action="store_true")
+    subarrays.set_defaults(handler=cmd_subarrays)
+
+    report = subparsers.add_parser(
+        "report", help="render a markdown report from a dataset JSON")
+    report.add_argument("dataset")
+    report.add_argument("--utrr-period", type=int, default=None)
+    report.set_defaults(handler=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""The paper's characterization methodology.
+
+Everything in this subpackage observes the device exclusively through the
+DRAM Bender host interface — write data patterns, issue command programs,
+read data back — mirroring how the paper's experiments ran on hardware.
+
+Modules:
+
+* :mod:`repro.core.patterns` — Table 1 data patterns.
+* :mod:`repro.core.rowdata` — row-data generation and flip counting.
+* :mod:`repro.core.hammer` — single-/double-sided hammering primitives.
+* :mod:`repro.core.ber` — BER experiments (256K hammers).
+* :mod:`repro.core.hcfirst` — HC_first search.
+* :mod:`repro.core.wcdp` — per-row worst-case data pattern selection.
+* :mod:`repro.core.mapping_re` — logical->physical mapping reverse
+  engineering.
+* :mod:`repro.core.subarray_re` — subarray-boundary reverse engineering.
+* :mod:`repro.core.retention_profiler` — per-row retention profiling.
+* :mod:`repro.core.utrr` — the U-TRR experiment uncovering the hidden TRR.
+* :mod:`repro.core.sweeps` — spatial sweep orchestration (Figs. 3-6).
+* :mod:`repro.core.results` — result records and dataset (de)serialization.
+* :mod:`repro.core.experiment` — interference controls and budgets.
+"""
+
+from repro.core.ber import BerExperiment
+from repro.core.experiment import ExperimentConfig, InterferenceControls
+from repro.core.hammer import DoubleSidedHammer, SingleSidedHammer
+from repro.core.hcfirst import HcFirstSearch
+from repro.core.patterns import (
+    CHECKERED0,
+    CHECKERED1,
+    ROWSTRIPE0,
+    ROWSTRIPE1,
+    STANDARD_PATTERNS,
+    DataPattern,
+)
+from repro.core.results import (
+    BerRecord,
+    CharacterizationDataset,
+    HcFirstRecord,
+)
+from repro.core.sweeps import SpatialSweep, SweepConfig
+from repro.core.utrr import UTrrExperiment
+from repro.core.wcdp import select_wcdp
+
+__all__ = [
+    "BerExperiment",
+    "BerRecord",
+    "CHECKERED0",
+    "CHECKERED1",
+    "CharacterizationDataset",
+    "DataPattern",
+    "DoubleSidedHammer",
+    "ExperimentConfig",
+    "HcFirstRecord",
+    "HcFirstSearch",
+    "InterferenceControls",
+    "ROWSTRIPE0",
+    "ROWSTRIPE1",
+    "STANDARD_PATTERNS",
+    "SingleSidedHammer",
+    "SpatialSweep",
+    "SweepConfig",
+    "UTrrExperiment",
+    "select_wcdp",
+]

@@ -1,0 +1,144 @@
+"""Cell-orientation analysis from RowHammer flip directions.
+
+DRAM cells come in two orientations: *true cells* store logical 1 as a
+charged capacitor, *anti cells* store logical 0 charged.  Charge-loss
+mechanisms (RowHammer, retention decay) only flip a cell away from its
+charged value, which makes flip *directions* a reverse-engineering side
+channel (Kim+ ISCA'14 §6.2, Orosa+ MICRO'21):
+
+* under Rowstripe0 (victim 0x00) every RowHammer flip is 0 -> 1, and the
+  flipped cells are **anti cells**;
+* under Rowstripe1 (victim 0xFF) every flip is 1 -> 0 — **true cells**.
+
+Comparing per-channel flip budgets between the two patterns therefore
+measures the channel's orientation asymmetry: how much more vulnerable
+its anti-cell population is than its true-cell population.  This is the
+microscopic explanation of observation O7 (channel 0 prefers Rowstripe0,
+other dies prefer Rowstripe1), and a tool the paper's future-work
+"richer data patterns" study would lean on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.bender.host import HostInterface
+from repro.core.hammer import DoubleSidedHammer
+from repro.core.patterns import ROWSTRIPE0, ROWSTRIPE1
+from repro.dram.address import DramAddress, RowAddressMapper
+from repro.errors import AnalysisError, ExperimentError
+
+
+@dataclass(frozen=True)
+class OrientationObservation:
+    """Flip-direction counts for one victim row."""
+
+    victim: DramAddress
+    #: 0 -> 1 flips under Rowstripe0 (anti-cell flips).
+    anti_flips: int
+    #: 1 -> 0 flips under Rowstripe1 (true-cell flips).
+    true_flips: int
+    #: Wrong-direction flips (must be zero; nonzero indicates the flip
+    #: mechanism is not pure charge loss — a model/methodology error).
+    anomalous_flips: int
+
+
+@dataclass(frozen=True)
+class ChannelOrientationProfile:
+    """Aggregated orientation asymmetry of one channel."""
+
+    channel: int
+    rows_measured: int
+    anti_flips: int
+    true_flips: int
+    anomalous_flips: int
+
+    @property
+    def total_flips(self) -> int:
+        return self.anti_flips + self.true_flips
+
+    @property
+    def anti_fraction(self) -> float:
+        """Share of the channel's flip budget carried by anti cells.
+
+        0.5 means orientation-balanced vulnerability; above 0.5 the
+        channel prefers Rowstripe0, below it Rowstripe1 — directly
+        predicting which rowstripe pattern is the channel's WCDP.
+        """
+        if self.total_flips == 0:
+            raise AnalysisError(
+                f"channel {self.channel}: no flips to analyse")
+        return self.anti_flips / self.total_flips
+
+    @property
+    def preferred_rowstripe(self) -> str:
+        return "Rowstripe0" if self.anti_fraction >= 0.5 else "Rowstripe1"
+
+
+class OrientationAnalysis:
+    """Measures per-channel orientation asymmetry via flip directions."""
+
+    def __init__(self, host: HostInterface, mapper: RowAddressMapper,
+                 hammer_count: int = 256 * 1024) -> None:
+        if hammer_count <= 0:
+            raise ExperimentError("hammer_count must be positive")
+        self._host = host
+        self._hammer = DoubleSidedHammer(host, mapper)
+        self._mapper = mapper
+        self._hammer_count = hammer_count
+
+    def observe_row(self, victim: DramAddress) -> OrientationObservation:
+        """Hammer one victim under both rowstripe patterns; classify
+        every flip by direction."""
+        rs0 = self._hammer.run(victim, ROWSTRIPE0, self._hammer_count)
+        rs1 = self._hammer.run(victim, ROWSTRIPE1, self._hammer_count)
+        # Under Rowstripe0 the victim holds 0x00: legitimate flips read 1.
+        anti = rs0.report.zero_to_one_count
+        anomalous = rs0.report.one_to_zero_count
+        # Under Rowstripe1 the victim holds 0xFF: legitimate flips read 0.
+        true = rs1.report.one_to_zero_count
+        anomalous += rs1.report.zero_to_one_count
+        return OrientationObservation(victim=victim, anti_flips=anti,
+                                      true_flips=true,
+                                      anomalous_flips=anomalous)
+
+    def profile_channel(self, channel: int, rows: Sequence[int],
+                        pseudo_channel: int = 0,
+                        bank: int = 0) -> ChannelOrientationProfile:
+        """Aggregate flip directions over sampled rows of one channel."""
+        anti = true = anomalous = measured = 0
+        for row in rows:
+            victim = DramAddress(channel, pseudo_channel, bank, row)
+            if len(self._mapper.physical_neighbors(row)) < 2:
+                continue
+            observation = self.observe_row(victim)
+            anti += observation.anti_flips
+            true += observation.true_flips
+            anomalous += observation.anomalous_flips
+            measured += 1
+        return ChannelOrientationProfile(
+            channel=channel, rows_measured=measured, anti_flips=anti,
+            true_flips=true, anomalous_flips=anomalous)
+
+    def profile_channels(self, channels: Sequence[int],
+                         rows: Sequence[int]
+                         ) -> Dict[int, ChannelOrientationProfile]:
+        """Per-channel orientation profiles over the same row sample."""
+        return {channel: self.profile_channel(channel, rows)
+                for channel in channels}
+
+
+def render_orientation_table(
+        profiles: Dict[int, ChannelOrientationProfile]) -> str:
+    """Aligned text table of per-channel orientation asymmetry."""
+    header = (f"{'ch':>3} {'rows':>5} {'anti flips':>11} "
+              f"{'true flips':>11} {'anti frac':>10} {'prefers':>11}")
+    lines = [header, "-" * len(header)]
+    for channel, profile in sorted(profiles.items()):
+        lines.append(
+            f"{channel:>3} {profile.rows_measured:>5} "
+            f"{profile.anti_flips:>11} {profile.true_flips:>11} "
+            f"{profile.anti_fraction:>10.3f} "
+            f"{profile.preferred_rowstripe:>11}")
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Per-row retention-time profiling (U-TRR step 1).
+
+The U-TRR methodology (§5) needs, for a chosen row R, the retention time
+T after which R accumulates retention bitflips unless refreshed.  The
+profiler measures T through the command interface: write the row, idle
+for a candidate duration with refresh disabled, read it back, count
+flips.  Because each cell's retention time is a stable physical property,
+flips-vs-time is monotone and T can be bracketed by an exponential ramp
+and pinned down by bisection to a requested precision.
+
+The profiled T is the *onset* time — the idle duration at which the row
+first shows at least ``min_flips`` flips.  U-TRR uses cells that fail
+just past T as canaries: waiting T/2, triggering the mechanism under
+test, then waiting another T/2 means the canaries fail iff nothing
+refreshed the row in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bender.host import HostInterface
+from repro.core.rowdata import byte_fill_bits, count_flips
+from repro.dram.address import DramAddress
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class RetentionProfile:
+    """Measured retention behaviour of one row."""
+
+    address: DramAddress
+    #: Idle time (s) at which the row first shows >= min_flips flips.
+    retention_time_s: float
+    #: Flips observed at the reported retention time.
+    flips_at_time: int
+    #: Fill byte the profile was measured with (retention is data
+    #: dependent: only charged cells decay).
+    fill_byte: int
+    probes: int
+
+
+class RetentionProfiler:
+    """Finds row retention times via idle-and-read probes."""
+
+    def __init__(self, host: HostInterface, fill_byte: int = 0x00,
+                 min_flips: int = 1, start_time_s: float = 0.032,
+                 max_time_s: float = 120.0,
+                 relative_precision: float = 0.02) -> None:
+        """
+        Args:
+            host: testing-station interface.
+            fill_byte: data written before each idle period.
+            min_flips: flips that define "retention failures present".
+            start_time_s: first probe duration (the nominal 32 ms refresh
+                window — any row failing faster is out of spec).
+            max_time_s: give up beyond this duration.
+            relative_precision: bisection stops when the bracket is
+                within this fraction of the retention time.
+        """
+        if min_flips < 1:
+            raise ExperimentError("min_flips must be >= 1")
+        if not 0 < start_time_s < max_time_s:
+            raise ExperimentError("need 0 < start_time_s < max_time_s")
+        if not 0 < relative_precision < 1:
+            raise ExperimentError("relative_precision must be in (0, 1)")
+        self._host = host
+        self._fill_byte = fill_byte
+        self._min_flips = min_flips
+        self._start_time_s = start_time_s
+        self._max_time_s = max_time_s
+        self._precision = relative_precision
+
+    def probe(self, address: DramAddress, idle_s: float) -> int:
+        """Write, idle ``idle_s`` with no refresh, read; returns flips."""
+        geometry = self._host.device.geometry
+        fill = bytes([self._fill_byte]) * geometry.row_bytes
+        self._host.write_row(address, fill)
+        self._host.wait_seconds(idle_s)
+        read_bits = self._host.read_row(address)
+        expected = byte_fill_bits(self._fill_byte, geometry.row_bytes)
+        return count_flips(read_bits, expected)
+
+    def profile(self, address: DramAddress) -> RetentionProfile:
+        """Measure the row's retention-failure onset time."""
+        probes = 0
+
+        # Exponential ramp to bracket the onset.
+        low = 0.0
+        idle_s = self._start_time_s
+        flips = 0
+        while idle_s <= self._max_time_s:
+            flips = self.probe(address, idle_s)
+            probes += 1
+            if flips >= self._min_flips:
+                break
+            low = idle_s
+            idle_s *= 2.0
+        else:
+            raise ExperimentError(
+                f"row {address} shows no retention failures up to "
+                f"{self._max_time_s:.1f} s; pick another row or raise "
+                "max_time_s")
+        high = idle_s
+        flips_at_high = flips
+
+        # Bisection to the requested precision.
+        while (high - low) > self._precision * high:
+            middle = (low + high) / 2.0
+            flips = self.probe(address, middle)
+            probes += 1
+            if flips >= self._min_flips:
+                high = middle
+                flips_at_high = flips
+            else:
+                low = middle
+
+        return RetentionProfile(address=address, retention_time_s=high,
+                                flips_at_time=flips_at_high,
+                                fill_byte=self._fill_byte, probes=probes)

@@ -1,0 +1,168 @@
+"""Subarray-boundary reverse engineering via single-sided RowHammer.
+
+Paper footnote 3: *"We reverse engineer subarray boundaries by performing
+single-sided RH that induces bitflips in only one of the victim rows if
+the aggressor row is at the edge of a subarray."*  Wordline disturbance
+does not cross the sense-amplifier stripes between subarrays, so an
+aggressor on the first row of a subarray flips cells only in the row
+above it, and an aggressor on the last row only in the row below.
+
+The scan hammers aggressors across a physical row range and classifies
+each as interior (both sides flip), lower edge (only the higher-address
+side flips), or upper edge (only the lower side flips).  The paper finds
+832- and 768-row subarrays this way (Fig. 5's SA X / SA Y / SA Z).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bender.host import HostInterface
+from repro.core.hammer import SingleSidedHammer
+from repro.core.patterns import ROWSTRIPE0, DataPattern
+from repro.dram.address import DramAddress, RowAddressMapper
+from repro.errors import ExperimentError
+
+#: Classification labels for scanned aggressor rows.
+INTERIOR = "interior"
+LOWER_EDGE = "lower_edge"   # first row of a subarray
+UPPER_EDGE = "upper_edge"   # last row of a subarray
+ISOLATED = "isolated"       # no side flipped (should not happen mid-bank)
+
+
+@dataclass(frozen=True)
+class EdgeObservation:
+    """Single-sided scan outcome for one aggressor wordline.
+
+    ``min_flips`` guards against sampling noise: a side only counts as
+    coupled when it shows at least that many flips.  At the default
+    hammer count an in-subarray victim shows tens of flips, a
+    cross-boundary victim exactly zero, so a small threshold removes
+    false edges without risking false negatives.
+    """
+
+    physical_row: int
+    flips_below: Optional[int]  # None: no row exists on that side
+    flips_above: Optional[int]
+    min_flips: int = 2
+
+    @property
+    def classification(self) -> str:
+        below = (self.flips_below or 0) >= self.min_flips
+        above = (self.flips_above or 0) >= self.min_flips
+        if below and above:
+            return INTERIOR
+        if above and not below:
+            return LOWER_EDGE
+        if below and not above:
+            return UPPER_EDGE
+        return ISOLATED
+
+
+@dataclass(frozen=True)
+class SubarrayScanResult:
+    """Discovered subarray structure of one scanned physical range."""
+
+    observations: Tuple[EdgeObservation, ...]
+
+    def boundaries(self) -> List[int]:
+        """Physical rows that start a subarray, per the scan."""
+        return sorted(observation.physical_row
+                      for observation in self.observations
+                      if observation.classification == LOWER_EDGE)
+
+    def subarray_sizes(self) -> List[int]:
+        """Sizes implied by consecutive discovered boundaries."""
+        starts = self.boundaries()
+        return [second - first
+                for first, second in zip(starts, starts[1:])]
+
+
+class SubarrayReverseEngineer:
+    """Runs the footnote-3 single-sided scan."""
+
+    def __init__(self, host: HostInterface, mapper: RowAddressMapper,
+                 hammer_count: int = 500_000,
+                 pattern: DataPattern = ROWSTRIPE0,
+                 min_flips: int = 2) -> None:
+        """
+        Args:
+            hammer_count: single-sided activations per probe.  500K takes
+                ~24 ms of DRAM time — the most disturbance that fits the
+                27 ms retention-safe budget — giving tens of flips on the
+                coupled side of every probed wordline.
+            min_flips: flips a side needs to count as coupled.
+        """
+        if hammer_count <= 0:
+            raise ExperimentError("hammer_count must be positive")
+        if min_flips < 1:
+            raise ExperimentError("min_flips must be >= 1")
+        self._host = host
+        self._mapper = mapper
+        self._hammer = SingleSidedHammer(host, mapper)
+        self._hammer_count = hammer_count
+        self._pattern = pattern
+        self._min_flips = min_flips
+
+    def probe(self, channel: int, pseudo_channel: int, bank: int,
+              physical_row: int) -> EdgeObservation:
+        """Single-sided hammer one wordline; report per-side flips."""
+        geometry = self._host.device.geometry
+        logical = self._mapper.physical_to_logical(physical_row)
+        reports = self._hammer.run(
+            DramAddress(channel, pseudo_channel, bank, logical),
+            self._pattern, self._hammer_count)
+        flips_below = (reports[-1].flips if -1 in reports else None)
+        flips_above = (reports[+1].flips if +1 in reports else None)
+        del geometry
+        return EdgeObservation(physical_row=physical_row,
+                               flips_below=flips_below,
+                               flips_above=flips_above,
+                               min_flips=self._min_flips)
+
+    def scan(self, channel: int = 0, pseudo_channel: int = 0, bank: int = 0,
+             start: int = 0, end: Optional[int] = None,
+             stride: int = 1) -> SubarrayScanResult:
+        """Scan physical rows [start, end) and classify each.
+
+        A ``stride`` above 1 trades boundary resolution for speed: the
+        coarse pass finds the neighbourhood of each boundary, and
+        :meth:`refine_boundary` pins it down exactly.
+        """
+        geometry = self._host.device.geometry
+        if end is None:
+            end = geometry.rows
+        if not 0 <= start < end <= geometry.rows:
+            raise ExperimentError(
+                f"bad scan range [{start}, {end}) for {geometry.rows} rows")
+        if stride < 1:
+            raise ExperimentError(f"stride must be >= 1, got {stride}")
+        observations = [
+            self.probe(channel, pseudo_channel, bank, physical_row)
+            for physical_row in range(start, end, stride)
+        ]
+        return SubarrayScanResult(observations=tuple(observations))
+
+    def refine_boundary(self, channel: int, pseudo_channel: int, bank: int,
+                        low: int, high: int) -> int:
+        """Locate the exact subarray start within (low, high].
+
+        Precondition: exactly one boundary lies in the range (e.g. the
+        gap between two coarse-scan probes that straddled it).  An
+        interior probe carries no directional information — disturbance
+        is symmetric inside a subarray — so the refinement is a linear
+        scan of the gap, which a coarse scan keeps small (``stride``
+        probes at most).
+        """
+        if not low < high:
+            raise ExperimentError(f"need low < high, got [{low}, {high}]")
+        for physical_row in range(low + 1, high + 1):
+            observation = self.probe(channel, pseudo_channel, bank,
+                                     physical_row)
+            if observation.classification == LOWER_EDGE:
+                return physical_row
+            if observation.classification == UPPER_EDGE:
+                return physical_row + 1
+        raise ExperimentError(
+            f"no subarray boundary found in ({low}, {high}]")

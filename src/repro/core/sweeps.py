@@ -1,0 +1,223 @@
+"""Spatial sweep orchestration for the Figs. 3-6 campaigns.
+
+The paper measures BER and HC_first over the first, middle, and last 3K
+rows of a bank in every channel (Figs. 3-5), and a 300-row slice of all
+256 banks (Fig. 6).  A :class:`SpatialSweep` reproduces those campaigns
+with configurable subsampling: hammering every row of a 3K region is
+dominated by simulation time exactly as it is dominated by hammering time
+on the FPGA, so benchmarks default to evenly-spaced samples per region and
+scale up via environment variables:
+
+============================  =============================================
+``REPRO_ROWS_PER_REGION``     BER victims sampled per 3K-row region
+``REPRO_HCFIRST_ROWS``        HC_first victims per region (searches are
+                              ~20x the cost of one BER test)
+``REPRO_REPETITIONS``         independent repetitions of each measurement
+``REPRO_REGION_SIZE``         region size in rows (paper: 3072)
+============================  =============================================
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.bender.board import BenderBoard
+from repro.core.ber import BerExperiment
+from repro.core.experiment import ExperimentConfig, apply_controls
+from repro.core.hcfirst import HcFirstSearch
+from repro.core.patterns import DataPattern, STANDARD_PATTERNS
+from repro.core.results import (
+    REGION_FIRST,
+    REGION_LAST,
+    REGION_MIDDLE,
+    REGIONS,
+    CharacterizationDataset,
+)
+from repro.core.wcdp import append_wcdp_records
+from repro.dram.address import DramAddress, RowAddressMapper
+from repro.errors import ExperimentError
+
+ProgressCallback = Callable[[str], None]
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ExperimentError(
+            f"environment variable {name} must be an int, got {raw!r}")
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Axes and sampling density of one spatial sweep."""
+
+    channels: Tuple[int, ...] = tuple(range(8))
+    pseudo_channels: Tuple[int, ...] = (0,)
+    banks: Tuple[int, ...] = (0,)
+    regions: Tuple[str, ...] = REGIONS
+    #: Rows per region in the paper's campaign (first/middle/last 3K).
+    region_size: int = 3072
+    #: BER victims sampled per region.
+    rows_per_region: int = 16
+    #: HC_first victims sampled per region (subset of the BER victims).
+    hcfirst_rows_per_region: int = 6
+    patterns: Tuple[DataPattern, ...] = STANDARD_PATTERNS
+    include_ber: bool = True
+    include_hcfirst: bool = True
+    repetitions: int = 1
+    #: Drop stored row data between regions to bound memory in big sweeps.
+    release_rows_between_regions: bool = True
+    #: Synthesize the WCDP records after the sweep (Figs. 3-5 need them).
+    append_wcdp: bool = True
+    experiment: ExperimentConfig = field(default_factory=ExperimentConfig)
+
+    def __post_init__(self) -> None:
+        if self.region_size <= 0:
+            raise ExperimentError("region_size must be positive")
+        if self.rows_per_region <= 0:
+            raise ExperimentError("rows_per_region must be positive")
+        if self.hcfirst_rows_per_region < 0:
+            raise ExperimentError("hcfirst_rows_per_region must be >= 0")
+        if self.repetitions <= 0:
+            raise ExperimentError("repetitions must be positive")
+        unknown = set(self.regions) - set(REGIONS)
+        if unknown:
+            raise ExperimentError(f"unknown regions: {sorted(unknown)}")
+
+    @classmethod
+    def from_env(cls, **overrides) -> "SweepConfig":
+        """Default config with sampling density read from the environment."""
+        base = cls(
+            rows_per_region=_env_int("REPRO_ROWS_PER_REGION", 16),
+            hcfirst_rows_per_region=_env_int("REPRO_HCFIRST_ROWS", 6),
+            repetitions=_env_int("REPRO_REPETITIONS", 1),
+            region_size=_env_int("REPRO_REGION_SIZE", 3072),
+        )
+        return replace(base, **overrides)
+
+
+class SpatialSweep:
+    """Runs one characterization campaign over a device."""
+
+    def __init__(self, board: BenderBoard, config: Optional[SweepConfig] = None,
+                 mapper: Optional[RowAddressMapper] = None) -> None:
+        """
+        Args:
+            board: the testing station (one physical chip).
+            config: sweep axes and sampling density.
+            mapper: the logical->physical row mapping to address physical
+                neighbourhoods with.  Defaults to the device's mapping;
+                pass the result of
+                :func:`repro.core.mapping_re.reverse_engineer_mapping`
+                to run the fully self-contained methodology (the two are
+                verified equivalent in the integration tests).
+        """
+        self._board = board
+        self._config = config or SweepConfig()
+        self._mapper = mapper or board.device.mapper
+        self._ber = BerExperiment(board.host, self._mapper,
+                                  self._config.experiment)
+        self._hcfirst = HcFirstSearch(board.host, self._mapper,
+                                      self._config.experiment)
+
+    @property
+    def config(self) -> SweepConfig:
+        return self._config
+
+    # ------------------------------------------------------------------
+    def region_start(self, region: str) -> int:
+        """First row of a named region (paper §3.1 regions)."""
+        rows = self._board.device.geometry.rows
+        size = min(self._config.region_size, rows)
+        if region == REGION_FIRST:
+            return 0
+        if region == REGION_MIDDLE:
+            return (rows - size) // 2
+        if region == REGION_LAST:
+            return rows - size
+        raise ExperimentError(f"unknown region {region!r}")
+
+    def region_rows(self, region: str, count: int) -> List[int]:
+        """``count`` evenly spaced victim rows within a region.
+
+        Rows whose wordline sits at a bank edge (only one physical
+        neighbour) cannot be double-sided hammered and are skipped in
+        favour of the next row.
+        """
+        geometry = self._board.device.geometry
+        start = self.region_start(region)
+        size = min(self._config.region_size, geometry.rows)
+        count = min(count, size)
+        stride = max(1, size // count)
+        rows: List[int] = []
+        candidate = start
+        while len(rows) < count and candidate < start + size:
+            if len(self._mapper.physical_neighbors(candidate)) == 2:
+                rows.append(candidate)
+                candidate += stride
+            else:
+                candidate += 1
+        return rows
+
+    # ------------------------------------------------------------------
+    def run(self, progress: Optional[ProgressCallback] = None
+            ) -> CharacterizationDataset:
+        """Execute the campaign; returns the dataset (with WCDP records).
+
+        Applies the §3.1 interference controls first: sets the chip
+        temperature through the PID rig and writes the ECC mode register
+        (forgetting the latter silently halves measured vulnerability —
+        on-die ECC eats isolated bitflips).
+        """
+        config = self._config
+        apply_controls(self._board, config.experiment)
+        dataset = CharacterizationDataset(metadata={
+            "channels": list(config.channels),
+            "pseudo_channels": list(config.pseudo_channels),
+            "banks": list(config.banks),
+            "regions": list(config.regions),
+            "region_size": config.region_size,
+            "rows_per_region": config.rows_per_region,
+            "hcfirst_rows_per_region": config.hcfirst_rows_per_region,
+            "patterns": [pattern.name for pattern in config.patterns],
+            "repetitions": config.repetitions,
+            "ber_hammer_count": config.experiment.ber_hammer_count,
+            "temperature_c": config.experiment.temperature_c,
+        })
+        for channel in config.channels:
+            for pseudo_channel in config.pseudo_channels:
+                for bank in config.banks:
+                    self._sweep_bank(dataset, channel, pseudo_channel, bank,
+                                     progress)
+        if config.append_wcdp:
+            append_wcdp_records(dataset)
+        return dataset
+
+    def _sweep_bank(self, dataset: CharacterizationDataset, channel: int,
+                    pseudo_channel: int, bank: int,
+                    progress: Optional[ProgressCallback]) -> None:
+        config = self._config
+        device = self._board.device
+        for region in config.regions:
+            if progress is not None:
+                progress(f"ch{channel} pc{pseudo_channel} ba{bank} "
+                         f"region={region}")
+            ber_rows = self.region_rows(region, config.rows_per_region)
+            hcfirst_rows = ber_rows[:config.hcfirst_rows_per_region]
+            for row in ber_rows:
+                victim = DramAddress(channel, pseudo_channel, bank, row)
+                for repetition in range(config.repetitions):
+                    if config.include_ber:
+                        dataset.extend(self._ber.run_patterns(
+                            victim, config.patterns, region, repetition))
+                    if config.include_hcfirst and row in hcfirst_rows:
+                        dataset.extend(self._hcfirst.record_patterns(
+                            victim, config.patterns, region, repetition))
+            if config.release_rows_between_regions:
+                device.bank(channel, pseudo_channel, bank).release_all_rows()

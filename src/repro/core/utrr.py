@@ -1,0 +1,165 @@
+"""The U-TRR experiment: uncovering the undisclosed in-DRAM TRR (§5).
+
+U-TRR [Hassan+ MICRO'21] turns retention failures into a side channel
+that reveals whether the DRAM chip internally refreshed a row.  One
+iteration of the paper's experiment:
+
+1. profile row R's retention time T (done once, by
+   :class:`~repro.core.retention_profiler.RetentionProfiler`),
+2. refresh R (activate + precharge once) — here: rewrite its data, which
+   also restores charge,
+3. wait T/2,
+4. activate and precharge row R+1 (the physical neighbour): if a hidden
+   TRR exists, its sampler records R+1 as a potential aggressor,
+5. issue one periodic REF — the only opportunity a TRR mechanism has to
+   preventively refresh R+1's victims (including R),
+6. wait another T/2, then read R: **no retention flips means something
+   refreshed R mid-iteration** — a TRR fingerprint.
+
+Running 100 iterations, the paper observes R is refreshed once every 17
+iterations, concluding the chip implements a proprietary TRR that acts on
+every 17th REF.  :class:`UTrrExperiment` reproduces the procedure and
+infers the period from the observed refresh iterations.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.bender.host import HostInterface
+from repro.core.retention_profiler import RetentionProfile, RetentionProfiler
+from repro.core.rowdata import byte_fill_bits, count_flips
+from repro.dram.address import DramAddress, RowAddressMapper
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class UTrrResult:
+    """Outcome of one U-TRR campaign on one profiled row."""
+
+    row: DramAddress
+    profile: RetentionProfile
+    #: Per-iteration flag: True where the read showed *no* retention
+    #: flips, i.e. the row was refreshed inside the iteration.
+    refreshed: Tuple[bool, ...]
+    #: Inferred TRR activation period in REF commands (None if no
+    #: periodic refreshes were observed).
+    inferred_period: Optional[int]
+
+    @property
+    def iterations(self) -> int:
+        return len(self.refreshed)
+
+    @property
+    def refresh_iterations(self) -> List[int]:
+        return [index for index, flag in enumerate(self.refreshed) if flag]
+
+    @property
+    def trr_detected(self) -> bool:
+        return self.inferred_period is not None
+
+
+def infer_period(refresh_iterations: List[int]) -> Optional[int]:
+    """Modal gap between consecutive refresh observations.
+
+    A sampler-based TRR firing every Nth REF with one REF per iteration
+    produces refreshes exactly N iterations apart; noise (e.g. the
+    regular refresh pointer sweeping over the row) shows up as outlier
+    gaps, which the mode discards.
+    """
+    if len(refresh_iterations) < 2:
+        return None
+    gaps = [second - first for first, second in
+            zip(refresh_iterations, refresh_iterations[1:])]
+    (modal_gap, count), = Counter(gaps).most_common(1)
+    if count < max(2, len(gaps) // 2):
+        return None  # No dominant periodicity.
+    return modal_gap
+
+
+class UTrrExperiment:
+    """Runs the six-step U-TRR loop against a testing station."""
+
+    def __init__(self, host: HostInterface, mapper: RowAddressMapper,
+                 profiler: Optional[RetentionProfiler] = None,
+                 fill_byte: int = 0x00,
+                 half_wait_factor: float = 0.55) -> None:
+        """
+        Args:
+            host: testing-station interface.
+            mapper: reverse-engineered row mapping (to find R's physical
+                neighbour for step 4).
+            profiler: retention profiler (defaults to one with matching
+                fill byte).
+            fill_byte: data written into R each iteration.
+            half_wait_factor: each half-wait is this fraction of the
+                profiled T.  Slightly above 0.5 so an un-refreshed
+                iteration (2 x factor > 1) reliably crosses the failure
+                onset while a mid-iteration refresh (factor < 1) reliably
+                does not.
+        """
+        if not 0.5 <= half_wait_factor < 1.0:
+            raise ExperimentError(
+                "half_wait_factor must be in [0.5, 1.0) so that a "
+                "refreshed iteration stays under T and an unrefreshed "
+                "one exceeds it")
+        self._host = host
+        self._mapper = mapper
+        self._profiler = profiler or RetentionProfiler(host,
+                                                       fill_byte=fill_byte)
+        self._fill_byte = fill_byte
+        self._half_wait_factor = half_wait_factor
+
+    def run(self, row: DramAddress, iterations: int = 100,
+            profile: Optional[RetentionProfile] = None) -> UTrrResult:
+        """Execute the campaign on row R.
+
+        Args:
+            row: the canary row R (pick one away from the refresh
+                pointer's sweep during the campaign; with one REF per
+                iteration the pointer covers ``2 * iterations`` rows
+                from its current position).
+            iterations: experiment iterations (paper: 100).
+            profile: reuse an existing retention profile of ``row``.
+        """
+        if iterations < 1:
+            raise ExperimentError("iterations must be >= 1")
+        host = self._host
+        geometry = host.device.geometry
+
+        if profile is None:
+            profile = self._profiler.profile(row)
+        half_wait_s = self._half_wait_factor * profile.retention_time_s
+
+        physical = self._mapper.logical_to_physical(row.row)
+        if physical + 1 >= geometry.rows:
+            raise ExperimentError(
+                f"row {row} has no higher-address physical neighbour")
+        neighbor_logical = self._mapper.physical_to_logical(physical + 1)
+
+        fill = bytes([self._fill_byte]) * geometry.row_bytes
+        expected = byte_fill_bits(self._fill_byte, geometry.row_bytes)
+
+        refreshed: List[bool] = []
+        for _ in range(iterations):
+            # Step 2: refresh R (restore charge and data).
+            host.write_row(row, fill)
+            # Step 3: first half wait.
+            host.wait_seconds(half_wait_s)
+            # Step 4: activate the neighbour once (sampler bait).
+            host.activate_precharge(row.with_row(neighbor_logical))
+            # Step 5: one periodic REF (the TRR's firing opportunity).
+            host.refresh(row.channel, row.pseudo_channel)
+            # Step 6: second half wait, then check for retention flips.
+            host.wait_seconds(half_wait_s)
+            read_bits = host.read_row(row)
+            flips = count_flips(read_bits, expected)
+            refreshed.append(flips == 0)
+
+        period = infer_period(
+            [index for index, flag in enumerate(refreshed) if flag])
+        return UTrrResult(row=row, profile=profile,
+                          refreshed=tuple(refreshed),
+                          inferred_period=period)

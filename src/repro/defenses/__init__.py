@@ -1,0 +1,36 @@
+"""Defense implications of the spatial-variation findings (§4 summary).
+
+The paper's second implication: *"an RH defense mechanism can adapt
+itself to the heterogeneous distribution of the RH vulnerability across
+channels and subarrays, which may allow the defense mechanism to more
+efficiently prevent RH bitflips."*
+
+This subpackage quantifies that suggestion with a PARA-style
+probabilistic defense:
+
+* :mod:`repro.defenses.para` — the classic uniform-probability baseline,
+* :mod:`repro.defenses.adaptive` — a per-channel probability derived
+  from characterization data,
+* :mod:`repro.defenses.evaluation` — the harness comparing both at equal
+  protection (ablation A4).
+"""
+
+from repro.defenses.adaptive import (
+    AdaptivePolicy,
+    SubarrayAdaptivePara,
+    SubarrayAdaptivePolicy,
+    adaptive_policy_from_dataset,
+)
+from repro.defenses.para import DefenseOutcome, ParaDefense
+from repro.defenses.evaluation import DefenseComparison, compare_defenses
+
+__all__ = [
+    "AdaptivePolicy",
+    "SubarrayAdaptivePara",
+    "SubarrayAdaptivePolicy",
+    "DefenseComparison",
+    "DefenseOutcome",
+    "ParaDefense",
+    "adaptive_policy_from_dataset",
+    "compare_defenses",
+]

@@ -1,0 +1,171 @@
+"""Vulnerability-adaptive PARA (the paper's §4 defense implication).
+
+Uniform PARA must provision its refresh probability for the *most*
+vulnerable channel of the stack: protection degrades exponentially once
+an aggressor can reach ``HC_first`` activations between two preventive
+refreshes, and the stack's security is its weakest channel's.  But the
+paper shows channels differ substantially in vulnerability — so a
+defense that knows the per-channel ``HC_first`` (e.g. from a
+manufacturing-time characterization like this library performs) can run
+robust channels at proportionally lower probability and save refreshes.
+
+:class:`AdaptivePolicy` scales a base probability by the ratio of the
+stack-wide minimum ``HC_first`` to each channel's own minimum:
+``p_ch = p_base * (min_hc_stack / min_hc_ch)`` — equalizing the expected
+number of preventive refreshes an aggressor sees within one HC_first
+window across channels, i.e. equal protection at lower total overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.bender.host import HostInterface
+from repro.core.results import CharacterizationDataset
+from repro.defenses.para import ParaDefense
+from repro.dram.address import RowAddressMapper
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class AdaptivePolicy:
+    """Per-channel refresh probabilities derived from characterization."""
+
+    base_probability: float
+    per_channel: Mapping[int, float]
+
+    def probability_for(self, channel: int) -> float:
+        try:
+            return self.per_channel[channel]
+        except KeyError:
+            # Unknown channels get the conservative base probability.
+            return self.base_probability
+
+    def mean_probability(self) -> float:
+        values = list(self.per_channel.values())
+        if not values:
+            return self.base_probability
+        return float(np.mean(values))
+
+
+def adaptive_policy_from_dataset(dataset: CharacterizationDataset,
+                                 base_probability: float,
+                                 statistic: str = "mean") -> AdaptivePolicy:
+    """Build the per-channel policy from measured HC_first data.
+
+    ``base_probability`` is what a uniform PARA would use — provisioned
+    for the stack's minimum HC_first.  Each channel's probability is
+    scaled down by how much more robust that channel is, measured by
+    ``statistic``:
+
+    * ``"mean"`` (default) — per-channel mean HC_first.  Statistically
+      stable at the small sample sizes a quick characterization yields;
+      conservative, because the scaling never exceeds the worst/best
+      mean ratio.
+    * ``"min"`` — per-channel minimum HC_first.  The theoretically exact
+      choice for equalized protection, but a noisy estimator unless the
+      characterization covered many rows per channel.
+    """
+    if not 0.0 < base_probability <= 1.0:
+        raise ExperimentError(
+            f"base_probability must be in (0, 1], got {base_probability}")
+    if statistic not in ("mean", "min"):
+        raise ExperimentError(
+            f"statistic must be 'mean' or 'min', got {statistic!r}")
+    per_channel_values: Dict[int, list] = {}
+    for record in dataset.hcfirst(include_censored=False):
+        per_channel_values.setdefault(record.channel, []).append(
+            record.hc_first)
+    if not per_channel_values:
+        raise ExperimentError(
+            "dataset has no uncensored HC_first records to adapt to")
+    if statistic == "mean":
+        per_channel_stat = {
+            channel: float(np.mean(values))
+            for channel, values in per_channel_values.items()}
+    else:
+        per_channel_stat = {
+            channel: float(min(values))
+            for channel, values in per_channel_values.items()}
+    stack_worst = min(per_channel_stat.values())
+    per_channel = {
+        channel: min(1.0, base_probability * stack_worst / value)
+        for channel, value in per_channel_stat.items()
+    }
+    return AdaptivePolicy(base_probability=base_probability,
+                          per_channel=per_channel)
+
+
+class AdaptivePara(ParaDefense):
+    """PARA whose probability follows an :class:`AdaptivePolicy`."""
+
+    def __init__(self, host: HostInterface, mapper: RowAddressMapper,
+                 policy: AdaptivePolicy, seed: int = 0) -> None:
+        super().__init__(host, mapper, policy.base_probability, seed=seed)
+        self._policy = policy
+
+    @property
+    def policy(self) -> AdaptivePolicy:
+        return self._policy
+
+    def probability_for(self, channel: int) -> float:
+        return self._policy.probability_for(channel)
+
+
+@dataclass(frozen=True)
+class SubarrayAdaptivePolicy:
+    """Per-(channel, subarray-class) probabilities.
+
+    The paper's §4 suggestion covers subarrays too: the bank's final
+    subarray is several times more robust than the rest (observation
+    O9), so a defense that knows the discovered subarray layout can run
+    victims there at a proportionally lower probability.
+
+    ``last_subarray_relief`` is the measured robustness ratio of the
+    final subarray (e.g. from the Fig. 5 campaign: mean middle-region
+    BER over mean final-subarray BER, conservatively capped).
+    """
+
+    channel_policy: AdaptivePolicy
+    #: First physical row of the bank's final subarray (from the
+    #: footnote-3 reverse engineering).
+    last_subarray_start: int
+    #: Probability divisor inside the final subarray (>= 1).
+    last_subarray_relief: float
+
+    def __post_init__(self) -> None:
+        if self.last_subarray_relief < 1.0:
+            raise ExperimentError(
+                "last_subarray_relief must be >= 1 (the final subarray "
+                "is more robust, never less)")
+        if self.last_subarray_start < 0:
+            raise ExperimentError("last_subarray_start must be >= 0")
+
+    def probability_for(self, channel: int, physical_row: int) -> float:
+        base = self.channel_policy.probability_for(channel)
+        if physical_row >= self.last_subarray_start:
+            return base / self.last_subarray_relief
+        return base
+
+
+class SubarrayAdaptivePara(ParaDefense):
+    """PARA adapting to both channel and subarray vulnerability."""
+
+    def __init__(self, host: HostInterface, mapper: RowAddressMapper,
+                 policy: SubarrayAdaptivePolicy, seed: int = 0) -> None:
+        super().__init__(host, mapper,
+                         policy.channel_policy.base_probability, seed=seed)
+        self._subarray_policy = policy
+        self._mapper_for_rows = mapper
+
+    def probability_for(self, channel: int) -> float:
+        # Channel-only view (used when no row context is available).
+        return self._subarray_policy.channel_policy.probability_for(channel)
+
+    def probability_for_victim(self, victim) -> float:
+        physical = self._mapper_for_rows.logical_to_physical(victim.row)
+        return self._subarray_policy.probability_for(victim.channel,
+                                                     physical)

@@ -1,0 +1,53 @@
+"""Behavioural model of an HBM2 DRAM device.
+
+This subpackage is the hardware substitute for the real 4 GiB HBM2 stack
+the paper characterizes.  It exposes the same observation surface a memory
+controller has — ACT/PRE/RD/WR/REF commands and mode registers — while the
+hidden ground truth (per-cell RowHammer thresholds, cell orientations,
+retention times, the proprietary TRR engine) lives behind that interface.
+
+Layering, bottom to top::
+
+    geometry / address / commands / timing / modereg    (vocabulary)
+    cellmodel / subarrays / calibration                 (ground truth)
+    disturb / retention / ecc / trr                     (behaviour engines)
+    bank -> channel -> device                           (state machines)
+"""
+
+from repro.dram.address import DramAddress, RowAddressMapper
+from repro.dram.calibration import DeviceProfile, default_profile
+from repro.dram.commands import (
+    Activate,
+    Command,
+    Precharge,
+    PrechargeAll,
+    Read,
+    Refresh,
+    Write,
+)
+from repro.dram.device import HBM2Device
+from repro.dram.geometry import HBM2Geometry
+from repro.dram.modereg import ModeRegisters
+from repro.dram.subarrays import SubarrayLayout
+from repro.dram.timing import TimingParameters
+from repro.dram.trr import TrrConfig
+
+__all__ = [
+    "Activate",
+    "Command",
+    "DeviceProfile",
+    "DramAddress",
+    "HBM2Device",
+    "HBM2Geometry",
+    "ModeRegisters",
+    "Precharge",
+    "PrechargeAll",
+    "Read",
+    "Refresh",
+    "RowAddressMapper",
+    "SubarrayLayout",
+    "TimingParameters",
+    "TrrConfig",
+    "Write",
+    "default_profile",
+]

@@ -1,0 +1,403 @@
+"""Bank state machine: row buffer, stored data, and flip materialization.
+
+The bank is where the physics happens.  Data is stored per physical row as
+an unpacked bit array; accumulated disturbance and charge age determine
+bitflips, which *materialize* whenever a row's charge is sensed — on its
+own activation, on a periodic refresh, or on a hidden TRR victim refresh.
+Sensing writes the (possibly flipped) values back fully charged, exactly
+like a real DRAM sense amplifier: once a flip is sensed it is locked into
+the stored data, and the disturbance/retention clocks restart.
+
+A row that has never been written holds no charge (all cells read as
+their discharged value), so it can neither gain RowHammer nor retention
+flips — which keeps untouched rows free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.dram.calibration import DeviceProfile
+from repro.dram.cellmodel import (
+    ECC_PARITY_BITS,
+    ECC_WORD_BITS,
+    GroundTruthProvider,
+)
+from repro.dram.disturb import SIDE_ABOVE, SIDE_BELOW, DisturbanceTracker
+from repro.dram.ecc import decode_words, encode_words
+from repro.dram.geometry import HBM2Geometry
+from repro.dram.subarrays import SubarrayLayout
+from repro.dram.timing import TimingParameters
+from repro.errors import CommandError
+
+BankKey = Tuple[int, int, int]
+
+
+class DeviceEnvironment:
+    """Mutable ambient state shared by every bank of a device."""
+
+    def __init__(self, temperature_c: float,
+                 wordline_voltage_v: float = 2.5) -> None:
+        self.temperature_c = temperature_c
+        self.wordline_voltage_v = wordline_voltage_v
+
+
+class Bank:
+    """One DRAM bank of the simulated HBM2 stack."""
+
+    def __init__(self, key: BankKey, geometry: HBM2Geometry,
+                 profile: DeviceProfile, layout: SubarrayLayout,
+                 truth: GroundTruthProvider, timing: TimingParameters,
+                 environment: DeviceEnvironment) -> None:
+        self._key = key
+        self._geometry = geometry
+        self._profile = profile
+        self._layout = layout
+        self._truth = truth
+        self._timing = timing
+        self._environment = environment
+
+        rows = geometry.rows
+        self._bits: Dict[int, np.ndarray] = {}
+        self._parity: Dict[int, np.ndarray] = {}
+        self._last_restore = np.zeros(rows, dtype=np.int64)
+        self.disturbance = DisturbanceTracker(rows, layout, profile)
+        self._open_physical: Optional[int] = None
+        self._open_since: int = 0
+        #: Most recent RowPress amplification per physical row; the
+        #: bulk-loop fast path replays these for skipped iterations.
+        self._last_open_factor: Dict[int, float] = {}
+
+        # Cheap guards that skip materialization when no flip is possible.
+        # The smallest threshold any cell of this bank can have is bounded
+        # below by the floor times the most favourable scales; stay well
+        # under it to be safe against hash-tail scale draws.
+        channel = key[0]
+        orientation_min = min(profile.true_scale_for(channel),
+                              profile.anti_scale_for(channel))
+        self._disturb_guard = (profile.threshold_floor *
+                               profile.channel_scale(channel) *
+                               orientation_min * 0.25)
+        # Retention guard: ~5.5 sigma below the median covers the weakest
+        # plausible cell at the reference temperature.
+        self._retention_guard_s = (profile.retention_median_s *
+                                   float(np.exp(-5.5 * profile.retention_sigma)))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def key(self) -> BankKey:
+        return self._key
+
+    @property
+    def open_physical_row(self) -> Optional[int]:
+        return self._open_physical
+
+    @property
+    def is_open(self) -> bool:
+        return self._open_physical is not None
+
+    def row_is_written(self, physical_row: int) -> bool:
+        return physical_row in self._bits
+
+    # ------------------------------------------------------------------
+    # Command-level operations (physical row addressing; the device maps
+    # logical addresses before calling in)
+    # ------------------------------------------------------------------
+    def activate(self, physical_row: int, cycle: int) -> None:
+        """ACT: sense ``physical_row`` (materializing its flips) and
+        restore its charge.  The neighbour disturbance is accounted at
+        the closing PRE, because its magnitude depends on how long the
+        row stays open (the RowPress effect, Luo+ ISCA'23)."""
+        if self._open_physical is not None:
+            raise CommandError(
+                f"bank {self._key}: ACT while row "
+                f"{self._open_physical} is open")
+        self._geometry.check_row(physical_row)
+        self.restore_row(physical_row, cycle)
+        self._open_physical = physical_row
+        self._open_since = cycle
+
+    def precharge(self, cycle: int) -> Optional[Tuple[int, float]]:
+        """PRE: close the open row, disturbing its in-subarray
+        neighbours by the open-time-amplified activation dose.
+
+        Returns (physical row, dose factor) of the closed activation so
+        the device can route any cross-channel leakage — None when no
+        row was open.
+        """
+        if self._open_physical is None:
+            return None
+        physical_row = self._open_physical
+        open_cycles = max(0, int(cycle) - self._open_since)
+        factor = self._profile.rowpress_amplification(
+            open_cycles, self._timing.ras_cycles)
+        self._last_open_factor[physical_row] = factor
+        self.disturbance.record_activation(physical_row, factor)
+        self._open_physical = None
+        return physical_row, factor
+
+    def last_open_factor(self, physical_row: int) -> float:
+        """Most recent RowPress amplification observed for a row."""
+        return self._last_open_factor.get(physical_row, 1.0)
+
+    def read_column(self, column: int, cycle: int,
+                    ecc_enabled: bool) -> bytes:
+        """RD: return one column (column_bytes) of the open row."""
+        if self._open_physical is None:
+            raise CommandError(f"bank {self._key}: RD with no open row")
+        self._geometry.check_column(column)
+        bits = self._row_bits(self._open_physical)
+        bit_start = column * self._geometry.column_bytes * 8
+        bit_end = bit_start + self._geometry.column_bytes * 8
+        data_bits = bits[bit_start:bit_end]
+        if ecc_enabled:
+            data_bits = self._ecc_corrected_slice(
+                self._open_physical, bit_start, bit_end)
+        return np.packbits(data_bits).tobytes()
+
+    def write_column(self, column: int, data: bytes, cycle: int) -> None:
+        """WR: store one column (column_bytes) into the open row."""
+        if self._open_physical is None:
+            raise CommandError(f"bank {self._key}: WR with no open row")
+        self._geometry.check_column(column)
+        if len(data) != self._geometry.column_bytes:
+            raise CommandError(
+                f"WR data must be {self._geometry.column_bytes} bytes, "
+                f"got {len(data)}")
+        bits = self._row_bits(self._open_physical)
+        bit_start = column * self._geometry.column_bytes * 8
+        bit_end = bit_start + self._geometry.column_bytes * 8
+        bits[bit_start:bit_end] = np.unpackbits(
+            np.frombuffer(data, dtype=np.uint8))
+        self._update_parity(self._open_physical, bit_start, bit_end)
+
+    def read_open_row_bits(self, cycle: int, ecc_enabled: bool) -> np.ndarray:
+        """Whole-row read (infrastructure batching of 32 column reads)."""
+        if self._open_physical is None:
+            raise CommandError(f"bank {self._key}: row read with no open row")
+        bits = self._row_bits(self._open_physical)
+        if ecc_enabled:
+            parity = self._parity[self._open_physical]
+            corrected, _, _ = decode_words(bits, parity)
+            return corrected
+        return bits.copy()
+
+    def write_open_row_bits(self, bits: np.ndarray, cycle: int) -> None:
+        """Whole-row write (infrastructure batching of 32 column writes)."""
+        if self._open_physical is None:
+            raise CommandError(f"bank {self._key}: row write with no open row")
+        if bits.shape != (self._geometry.row_bits,):
+            raise CommandError(
+                f"row write needs {self._geometry.row_bits} bits, "
+                f"got shape {bits.shape}")
+        stored = self._row_bits(self._open_physical)
+        stored[:] = bits & 1
+        self._parity[self._open_physical] = encode_words(stored)
+
+    # ------------------------------------------------------------------
+    # Charge restoration (shared by ACT, periodic refresh, TRR refresh)
+    # ------------------------------------------------------------------
+    def restore_row(self, physical_row: int, cycle: int) -> None:
+        """Sense + rewrite one row: materialize flips, reset its clocks."""
+        self._materialize(physical_row, cycle)
+        self._last_restore[physical_row] = cycle
+        self.disturbance.reset(physical_row)
+
+    def mark_restored(self, physical_row: int, cycle: int) -> None:
+        """Reset a row's disturbance/retention clocks without sensing.
+
+        Used by the bulk-loop fast path for rows that were just
+        materialized and are then activated every iteration: their state
+        at loop exit is "freshly restored at the final activation".
+        """
+        self._last_restore[physical_row] = cycle
+        self.disturbance.reset(physical_row)
+
+    def refresh_rows(self, start: int, end: int, cycle: int) -> None:
+        """Periodic refresh of physical rows [start, end)."""
+        for physical_row in range(start, min(end, self._geometry.rows)):
+            if physical_row in self._bits:
+                self._materialize(physical_row, cycle)
+        self._last_restore[start:end] = cycle
+        self.disturbance.reset_range(start, end)
+
+    def release_all_rows(self) -> None:
+        """Drop stored data for every row of this bank.
+
+        A memory-management hook for long sweeps over thousands of rows:
+        semantically the rows return to the never-written (fully
+        discharged) state, so this must only be called between tests —
+        after a victim's readback, before the next test region.
+        """
+        self._bits.clear()
+        self._parity.clear()
+        self.disturbance.reset_range(0, self._geometry.rows)
+
+    def trr_refresh(self, physical_row: int, cycle: int) -> None:
+        """Hidden TRR victim refresh of one row (no-op outside the bank)."""
+        if not 0 <= physical_row < self._geometry.rows:
+            return
+        self.restore_row(physical_row, cycle)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _row_bits(self, physical_row: int) -> np.ndarray:
+        bits = self._bits.get(physical_row)
+        if bits is None:
+            # First touch: the row powers up fully discharged (data and
+            # parity cells alike; the parity cells therefore do not form
+            # valid codewords until the row is written — as on silicon).
+            cells = self._truth.powerup_cells(*self._key, physical_row)
+            data_bits = self._geometry.row_bits
+            bits = cells[:data_bits].copy()
+            self._bits[physical_row] = bits
+            self._parity[physical_row] = cells[data_bits:].copy()
+        return bits
+
+    def _update_parity(self, physical_row: int, bit_start: int,
+                       bit_end: int) -> None:
+        bits = self._bits[physical_row]
+        parity = self._parity[physical_row]
+        word_start = bit_start // ECC_WORD_BITS
+        word_end = (bit_end + ECC_WORD_BITS - 1) // ECC_WORD_BITS
+        fresh = encode_words(
+            bits[word_start * ECC_WORD_BITS:word_end * ECC_WORD_BITS])
+        parity[word_start * ECC_PARITY_BITS:word_end * ECC_PARITY_BITS] = fresh
+
+    def _ecc_corrected_slice(self, physical_row: int, bit_start: int,
+                             bit_end: int) -> np.ndarray:
+        bits = self._bits[physical_row]
+        parity = self._parity[physical_row]
+        word_start = bit_start // ECC_WORD_BITS
+        word_end = (bit_end + ECC_WORD_BITS - 1) // ECC_WORD_BITS
+        corrected, _, _ = decode_words(
+            bits[word_start * ECC_WORD_BITS:word_end * ECC_WORD_BITS],
+            parity[word_start * ECC_PARITY_BITS:word_end * ECC_PARITY_BITS])
+        offset = bit_start - word_start * ECC_WORD_BITS
+        return corrected[offset:offset + (bit_end - bit_start)]
+
+    def _neighbor_bits(self, physical_row: int,
+                       direction: int) -> Optional[np.ndarray]:
+        """Stored bits of the in-subarray neighbour, or None if absent.
+
+        Absent means: outside the bank, across a subarray boundary, or
+        never written (a discharged row exerts the weak same-charge
+        coupling on charged victims; we return its power-up values).
+        """
+        neighbor = physical_row + direction
+        if not 0 <= neighbor < self._geometry.rows:
+            return None
+        if not self._layout.same_subarray(physical_row, neighbor):
+            return None
+        bits = self._bits.get(neighbor)
+        if bits is not None:
+            return bits
+        cells = self._truth.powerup_cells(*self._key, neighbor)
+        return cells[:self._geometry.row_bits]
+
+    def _materialize(self, physical_row: int, cycle: int) -> None:
+        """Apply pending RowHammer and retention flips to stored data."""
+        stored = self._bits.get(physical_row)
+        if stored is None:
+            return  # Never written: fully discharged, nothing can flip.
+
+        profile = self._profile
+        below, above = self.disturbance.get_sides(physical_row)
+        direct = self.disturbance.get_direct(physical_row)
+        elapsed_s = self._timing.seconds(
+            int(cycle - self._last_restore[physical_row]))
+        retention_scale = profile.retention_temperature_scale(
+            self._environment.temperature_c)
+        retention_possible = elapsed_s >= self._retention_guard_s * retention_scale
+        hammer_possible = (below + above + direct) > self._disturb_guard
+        if not retention_possible and not hammer_possible:
+            return
+
+        truth = self._truth.row(*self._key, physical_row)
+        data_bits = self._geometry.row_bits
+        parity = self._parity[physical_row]
+        cells = np.concatenate([stored, parity])
+
+        charged = truth.charged_values
+        vulnerable = cells == charged
+
+        flips = np.zeros(cells.shape[0], dtype=bool)
+        if hammer_possible:
+            effective = self._effective_disturbance(
+                physical_row, cells, data_bits, below, above)
+            if direct > 0.0:
+                # Cross-channel leakage couples through the stack, not
+                # through in-die wordline fields: no neighbour-data
+                # weighting applies.
+                effective = effective + direct
+            temp_scale = profile.temperature_threshold_scale(
+                self._environment.temperature_c)
+            voltage_scale = profile.voltage_threshold_scale(
+                self._environment.wordline_voltage_v)
+            horizontal = self._horizontal_penalty(cells, data_bits)
+            thresholds = (truth.thresholds * horizontal *
+                          temp_scale * voltage_scale)
+            flips |= vulnerable & (effective >= thresholds)
+        if retention_possible:
+            flips |= vulnerable & (
+                elapsed_s >= truth.retention_s * retention_scale)
+
+        if flips.any():
+            cells[flips] ^= 1
+            stored[:] = cells[:data_bits]
+            parity[:] = cells[data_bits:]
+
+    def _effective_disturbance(self, physical_row: int, cells: np.ndarray,
+                               data_bits: int, below: float,
+                               above: float) -> np.ndarray:
+        """Per-cell disturbance, weighted by aggressor-data coupling."""
+        profile = self._profile
+        effective = np.zeros(cells.shape[0], dtype=np.float64)
+        for amount, direction in ((below, -1), (above, +1)):
+            if amount <= 0.0:
+                continue
+            neighbor = self._neighbor_bits(physical_row, direction)
+            if neighbor is None:
+                continue
+            neighbor_parity = self._neighbor_parity(physical_row, direction)
+            neighbor_cells = np.concatenate([neighbor, neighbor_parity])
+            coupling = np.where(neighbor_cells != cells, 1.0,
+                                profile.same_bit_coupling)
+            effective += amount * coupling
+        return effective
+
+    def _neighbor_parity(self, physical_row: int,
+                         direction: int) -> np.ndarray:
+        neighbor = physical_row + direction
+        parity = self._parity.get(neighbor)
+        if parity is not None:
+            return parity
+        cells = self._truth.powerup_cells(*self._key, max(
+            0, min(neighbor, self._geometry.rows - 1)))
+        return cells[self._geometry.row_bits:]
+
+    def _horizontal_penalty(self, cells: np.ndarray,
+                            data_bits: int) -> np.ndarray:
+        """1 + penalty * (fraction of differing horizontal neighbours).
+
+        Cells whose left/right bitline neighbours store the opposite value
+        are slightly harder to flip (checkered patterns pay this relative
+        to rowstripe patterns).  Row-edge cells see only one neighbour.
+        """
+        penalty = self._profile.intra_row_penalty
+        if penalty == 0.0:
+            return np.ones(cells.shape[0], dtype=np.float64)
+        diff_count = np.zeros(cells.shape[0], dtype=np.float64)
+        data = cells[:data_bits]
+        diff_count[1:data_bits] += data[1:] != data[:-1]
+        diff_count[:data_bits - 1] += data[:-1] != data[1:]
+        parity = cells[data_bits:]
+        if parity.size > 1:
+            diff_count[data_bits + 1:] += parity[1:] != parity[:-1]
+            diff_count[data_bits:-1] += parity[:-1] != parity[1:]
+        return 1.0 + penalty * (diff_count / 2.0)

@@ -1,0 +1,87 @@
+"""Per-channel device state: mode registers, TRR engines, refresh pointers.
+
+An HBM2 channel is an independent DRAM interface with its own mode
+registers; its two pseudo channels share I/O but have independent bank
+state, refresh sequencing, and (in our model) independent hidden TRR
+engines.  Banks are created lazily — a full stack has 256 banks but a
+typical experiment touches a handful.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.dram.bank import Bank, BankKey, DeviceEnvironment
+from repro.dram.calibration import DeviceProfile
+from repro.dram.cellmodel import GroundTruthProvider
+from repro.dram.geometry import HBM2Geometry
+from repro.dram.modereg import ModeRegisters
+from repro.dram.subarrays import SubarrayLayout
+from repro.dram.timing import TimingParameters
+from repro.dram.trr import TrrConfig, TrrEngine
+
+
+class PseudoChannelState:
+    """Refresh sequencing and TRR engine of one pseudo channel."""
+
+    def __init__(self, geometry: HBM2Geometry, timing: TimingParameters,
+                 trr_config: TrrConfig) -> None:
+        self.trr = TrrEngine(trr_config)
+        refs_per_window = max(1, round(timing.t_refw / timing.t_refi))
+        self.rows_per_ref = -(-geometry.rows // refs_per_window)  # ceil div
+        self.refresh_pointer = 0
+        self.ref_count = 0
+
+    def next_refresh_range(self, rows: int) -> Tuple[int, int]:
+        """Physical row range the next REF refreshes (wraps around)."""
+        start = self.refresh_pointer
+        end = min(start + self.rows_per_ref, rows)
+        self.refresh_pointer = end % rows
+        self.ref_count += 1
+        return start, end
+
+
+class Channel:
+    """One HBM2 channel: mode registers plus per-pseudo-channel state."""
+
+    def __init__(self, index: int, geometry: HBM2Geometry,
+                 profile: DeviceProfile, layout: SubarrayLayout,
+                 truth: GroundTruthProvider, timing: TimingParameters,
+                 environment: DeviceEnvironment,
+                 trr_config: TrrConfig) -> None:
+        self.index = index
+        self.mode_registers = ModeRegisters()
+        self._geometry = geometry
+        self._profile = profile
+        self._layout = layout
+        self._truth = truth
+        self._timing = timing
+        self._environment = environment
+        self._banks: Dict[BankKey, Bank] = {}
+        self.pseudo_channels = [
+            PseudoChannelState(geometry, timing, trr_config)
+            for _ in range(geometry.pseudo_channels)
+        ]
+
+    def bank(self, pseudo_channel: int, bank: int) -> Bank:
+        """The Bank object, created on first touch."""
+        self._geometry.check_pseudo_channel(pseudo_channel)
+        self._geometry.check_bank(bank)
+        key: BankKey = (self.index, pseudo_channel, bank)
+        existing = self._banks.get(key)
+        if existing is not None:
+            return existing
+        created = Bank(key, self._geometry, self._profile, self._layout,
+                       self._truth, self._timing, self._environment)
+        self._banks[key] = created
+        return created
+
+    def existing_bank(self, pseudo_channel: int, bank: int) -> Optional[Bank]:
+        """The Bank object if it has been touched, else None."""
+        return self._banks.get((self.index, pseudo_channel, bank))
+
+    def touched_banks(self, pseudo_channel: int):
+        """Iterate over the pseudo channel's already-created banks."""
+        for key, bank in self._banks.items():
+            if key[1] == pseudo_channel:
+                yield bank

@@ -1,0 +1,402 @@
+"""Top-level HBM2 device model.
+
+:class:`HBM2Device` is the only object the testing infrastructure talks
+to.  It owns the command clock (in interface cycles), enforces timing,
+maps logical to physical row addresses, dispatches to banks, drives the
+refresh machinery, and hosts the hidden TRR engines.
+
+Commands are *scheduled*: each issuing method waits (advances the clock)
+until the earliest cycle at which the command is legal, mirroring how the
+paper's DRAM Bender programs are compiled against timing parameters.  A
+command occupies one command-bus cycle.
+
+The device also exposes a **bulk activation** entry point used by the
+interpreter's loop fast path.  Its semantics are defined to match an
+unrolled sequence of ACT/PRE iterations exactly for loops whose activated
+rows do not flip themselves (the normal case: an activated row's charge is
+restored on every iteration); see :meth:`HBM2Device.bulk_activations`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dram.bank import Bank, BankKey, DeviceEnvironment
+from repro.dram.calibration import DeviceProfile, default_profile
+from repro.dram.cellmodel import GroundTruthProvider
+from repro.dram.channel import Channel
+from repro.dram.commands import (
+    Activate,
+    Command,
+    Precharge,
+    PrechargeAll,
+    Read,
+    Refresh,
+    Write,
+)
+from repro.dram.geometry import HBM2Geometry
+from repro.dram.modereg import ModeRegisters
+from repro.dram.subarrays import SubarrayLayout
+from repro.dram.timing import TimingChecker, TimingParameters
+from repro.dram.trr import TrrConfig
+from repro.dram.address import RowAddressMapper
+from repro.errors import CommandError
+
+
+class HBM2Device:
+    """A simulated HBM2 stack behind a memory-controller interface."""
+
+    def __init__(self, geometry: Optional[HBM2Geometry] = None,
+                 timing: Optional[TimingParameters] = None,
+                 profile: Optional[DeviceProfile] = None,
+                 seed: int = 0,
+                 mapper: Optional[RowAddressMapper] = None,
+                 trr_config: Optional[TrrConfig] = None,
+                 subarray_layout: Optional[SubarrayLayout] = None,
+                 temperature_c: float = 85.0) -> None:
+        self.geometry = geometry or HBM2Geometry()
+        self.timing = timing or TimingParameters()
+        self.profile = profile or default_profile()
+        self.seed = seed
+        self.mapper = mapper or RowAddressMapper(self.geometry)
+        self.subarray_layout = (subarray_layout or
+                                SubarrayLayout.paper_default(self.geometry.rows))
+        if self.subarray_layout.total_rows != self.geometry.rows:
+            raise CommandError(
+                f"subarray layout covers {self.subarray_layout.total_rows} "
+                f"rows, geometry has {self.geometry.rows}")
+        trr_config = trr_config if trr_config is not None else TrrConfig()
+
+        self._environment = DeviceEnvironment(
+            temperature_c, self.profile.nominal_wordline_voltage_v)
+        self._truth = GroundTruthProvider(
+            self.geometry, self.profile, self.subarray_layout, seed)
+        self._channels = [
+            Channel(index, self.geometry, self.profile, self.subarray_layout,
+                    self._truth, self.timing, self._environment, trr_config)
+            for index in range(self.geometry.channels)
+        ]
+        self._timing_checker = TimingChecker(self.timing)
+        self.now = 0
+        self.command_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Environment / introspection
+    # ------------------------------------------------------------------
+    @property
+    def temperature_c(self) -> float:
+        return self._environment.temperature_c
+
+    def set_temperature(self, celsius: float) -> None:
+        """Set the ambient chip temperature (the PID loop calls this)."""
+        self._environment.temperature_c = celsius
+
+    @property
+    def wordline_voltage_v(self) -> float:
+        return self._environment.wordline_voltage_v
+
+    def set_wordline_voltage(self, volts: float) -> None:
+        """Set the wordline (VPP) rail voltage.
+
+        Rejected below the profile's operational minimum (real
+        reduced-voltage studies hit access failures there).
+        """
+        # Validate eagerly so a bad rail setting fails at the knob, not
+        # at the first read.
+        self.profile.voltage_threshold_scale(volts)
+        self._environment.wordline_voltage_v = volts
+
+    def channel(self, index: int) -> Channel:
+        self.geometry.check_channel(index)
+        return self._channels[index]
+
+    def mode_registers(self, channel: int) -> ModeRegisters:
+        return self.channel(channel).mode_registers
+
+    def set_ecc_enabled(self, enabled: bool,
+                        channel: Optional[int] = None) -> None:
+        """Convenience MR write: toggle on-die ECC (per channel or all)."""
+        targets = ([channel] if channel is not None
+                   else range(self.geometry.channels))
+        for index in targets:
+            self.mode_registers(index).set_ecc_enabled(enabled)
+
+    def bank(self, channel: int, pseudo_channel: int, bank: int) -> Bank:
+        return self.channel(channel).bank(pseudo_channel, bank)
+
+    def now_seconds(self) -> float:
+        """Current in-DRAM time in seconds."""
+        return self.timing.seconds(self.now)
+
+    def _count(self, mnemonic: str, amount: int = 1) -> None:
+        self.command_counts[mnemonic] = (
+            self.command_counts.get(mnemonic, 0) + amount)
+
+    # ------------------------------------------------------------------
+    # Command interface (logical row addressing)
+    # ------------------------------------------------------------------
+    def activate(self, channel: int, pseudo_channel: int, bank: int,
+                 row: int) -> int:
+        """Issue ACT at the earliest legal cycle; returns that cycle."""
+        key: BankKey = (channel, pseudo_channel, bank)
+        cycle = self._timing_checker.earliest_activate(key, self.now)
+        self._timing_checker.record_activate(key, cycle)
+        target = self.bank(channel, pseudo_channel, bank)
+        physical = self.mapper.logical_to_physical(row)
+        target.activate(physical, cycle)
+        pc_state = self.channel(channel).pseudo_channels[pseudo_channel]
+        pc_state.trr.observe_activation(key, physical)
+        self.now = cycle + 1
+        self._count("ACT")
+        return cycle
+
+    def precharge(self, channel: int, pseudo_channel: int, bank: int) -> int:
+        key: BankKey = (channel, pseudo_channel, bank)
+        cycle = self._timing_checker.earliest_precharge(key, self.now)
+        self._timing_checker.record_precharge(key, cycle)
+        closed = self.bank(channel, pseudo_channel, bank).precharge(cycle)
+        if closed is not None:
+            self._route_cross_channel(channel, pseudo_channel, bank,
+                                      closed[0], closed[1])
+        self.now = cycle + 1
+        self._count("PRE")
+        return cycle
+
+    def _route_cross_channel(self, channel: int, pseudo_channel: int,
+                             bank: int, physical_row: int,
+                             dose: float) -> None:
+        """Leak a fraction of an activation dose to the same row of the
+        vertically adjacent channels (future work 3's hypothesis)."""
+        coupling = self.profile.cross_channel_coupling
+        if coupling <= 0.0:
+            return
+        step = self.geometry.channels_per_die
+        for neighbor_channel in (channel - step, channel + step):
+            if not 0 <= neighbor_channel < self.geometry.channels:
+                continue
+            victim_bank = self.bank(neighbor_channel, pseudo_channel, bank)
+            victim_bank.disturbance.add_direct(physical_row,
+                                               coupling * dose)
+
+    def precharge_all(self, channel: int, pseudo_channel: int) -> int:
+        cycle = self.now
+        for bank_index in range(self.geometry.banks):
+            existing = self.channel(channel).existing_bank(
+                pseudo_channel, bank_index)
+            if existing is None or not existing.is_open:
+                continue
+            key: BankKey = (channel, pseudo_channel, bank_index)
+            cycle = max(cycle,
+                        self._timing_checker.earliest_precharge(key, cycle))
+            self._timing_checker.record_precharge(key, cycle)
+            closed = existing.precharge(cycle)
+            if closed is not None:
+                self._route_cross_channel(channel, pseudo_channel,
+                                          bank_index, closed[0], closed[1])
+        self.now = cycle + 1
+        self._count("PREA")
+        return cycle
+
+    def read(self, channel: int, pseudo_channel: int, bank: int,
+             column: int) -> bytes:
+        key: BankKey = (channel, pseudo_channel, bank)
+        cycle = self._timing_checker.earliest_rdwr(key, self.now)
+        self._timing_checker.record_rdwr(key, cycle, is_write=False)
+        data = self.bank(channel, pseudo_channel, bank).read_column(
+            column, cycle, self.mode_registers(channel).ecc_enabled)
+        self.now = cycle + 1
+        self._count("RD")
+        return data
+
+    def write(self, channel: int, pseudo_channel: int, bank: int,
+              column: int, data: bytes) -> int:
+        key: BankKey = (channel, pseudo_channel, bank)
+        cycle = self._timing_checker.earliest_rdwr(key, self.now)
+        self._timing_checker.record_rdwr(key, cycle, is_write=True)
+        self.bank(channel, pseudo_channel, bank).write_column(
+            column, data, cycle)
+        self.now = cycle + 1
+        self._count("WR")
+        return cycle
+
+    def refresh(self, channel: int, pseudo_channel: int) -> int:
+        """Periodic REF: refresh the next row group in every bank, and
+        give the hidden TRR engine its firing opportunity."""
+        pc = (channel, pseudo_channel)
+        chan = self.channel(channel)
+        for bank_obj in chan.touched_banks(pseudo_channel):
+            if bank_obj.is_open:
+                raise CommandError(
+                    f"REF to {pc} with bank {bank_obj.key} open")
+        cycle = self._timing_checker.earliest_refresh(pc, self.now)
+        self._timing_checker.record_refresh(pc, cycle)
+
+        pc_state = chan.pseudo_channels[pseudo_channel]
+        start, end = pc_state.next_refresh_range(self.geometry.rows)
+        for bank_obj in chan.touched_banks(pseudo_channel):
+            bank_obj.refresh_rows(start, end, cycle)
+
+        for bank_key, victim in pc_state.trr.on_refresh():
+            victim_bank = chan.existing_bank(bank_key[1], bank_key[2])
+            if victim_bank is not None:
+                victim_bank.trr_refresh(victim, cycle)
+
+        # The HBM2 standard's *documented* TRR mode (§2 footnote 1): the
+        # controller flags an aggressor via mode registers, and every
+        # REF preventively refreshes its neighbours.
+        if chan.mode_registers.documented_trr_mode:
+            target_bank, target_row = \
+                chan.mode_registers.documented_trr_target
+            flagged = chan.existing_bank(pseudo_channel, target_bank)
+            if flagged is not None and target_row < self.geometry.rows:
+                physical = self.mapper.logical_to_physical(target_row)
+                flagged.trr_refresh(physical - 1, cycle)
+                flagged.trr_refresh(physical + 1, cycle)
+
+        self.now = cycle + self.timing.rfc_cycles
+        self._count("REF")
+        return cycle
+
+    def wait(self, cycles: int) -> None:
+        """Advance the command clock without issuing anything."""
+        if cycles < 0:
+            raise CommandError(f"cannot wait a negative time: {cycles}")
+        self.now += cycles
+
+    # ------------------------------------------------------------------
+    # Wide (batched) row access — infrastructure convenience equivalent
+    # to `columns` back-to-back RD/WR commands.
+    # ------------------------------------------------------------------
+    def read_open_row(self, channel: int, pseudo_channel: int,
+                      bank: int) -> np.ndarray:
+        """All row bits of the open row (models 32 pipelined RDs)."""
+        key: BankKey = (channel, pseudo_channel, bank)
+        cycle = self._timing_checker.earliest_rdwr(key, self.now)
+        self._timing_checker.record_rdwr(key, cycle, is_write=False)
+        bits = self.bank(channel, pseudo_channel, bank).read_open_row_bits(
+            cycle, self.mode_registers(channel).ecc_enabled)
+        self.now = cycle + self.geometry.columns * self.timing.ccd_cycles
+        self._count("RD", self.geometry.columns)
+        return bits
+
+    def write_open_row(self, channel: int, pseudo_channel: int, bank: int,
+                       bits: np.ndarray) -> None:
+        """Store all row bits of the open row (models 32 pipelined WRs)."""
+        key: BankKey = (channel, pseudo_channel, bank)
+        cycle = self._timing_checker.earliest_rdwr(key, self.now)
+        self._timing_checker.record_rdwr(key, cycle, is_write=True)
+        self.bank(channel, pseudo_channel, bank).write_open_row_bits(
+            bits, cycle)
+        self.now = cycle + self.geometry.columns * self.timing.ccd_cycles
+        self._count("WR", self.geometry.columns)
+
+    # ------------------------------------------------------------------
+    # Generic dispatch for Command objects
+    # ------------------------------------------------------------------
+    def execute(self, command: Command):
+        """Execute one :mod:`repro.dram.commands` object."""
+        if isinstance(command, Activate):
+            return self.activate(command.channel, command.pseudo_channel,
+                                 command.bank, command.row)
+        if isinstance(command, Precharge):
+            return self.precharge(command.channel, command.pseudo_channel,
+                                  command.bank)
+        if isinstance(command, PrechargeAll):
+            return self.precharge_all(command.channel, command.pseudo_channel)
+        if isinstance(command, Read):
+            return self.read(command.channel, command.pseudo_channel,
+                             command.bank, command.column)
+        if isinstance(command, Write):
+            return self.write(command.channel, command.pseudo_channel,
+                              command.bank, command.column, command.data)
+        if isinstance(command, Refresh):
+            return self.refresh(command.channel, command.pseudo_channel)
+        raise CommandError(f"unknown command: {command!r}")
+
+    # ------------------------------------------------------------------
+    # Bulk activation fast path (interpreter loops)
+    # ------------------------------------------------------------------
+    def bulk_activations(self,
+                         body: Sequence[Tuple[int, int, int, int]],
+                         iterations: int,
+                         total_cycles: int) -> None:
+        """Apply ``iterations`` repetitions of an ACT/PRE loop body.
+
+        Args:
+            body: ACT targets, in body order, as (channel, pseudo_channel,
+                bank, logical row) tuples; each is activated (and
+                precharged) once per iteration.
+            iterations: number of repetitions to apply.
+            total_cycles: command-bus cycles the repetitions take (the
+                interpreter measures one steady-state iteration and
+                multiplies).
+
+        Semantics: identical to the unrolled loop for every row *not*
+        activated inside the body.  Rows activated in the body have their
+        charge restored every iteration; their small intra-iteration
+        residual disturbance (at most one iteration's worth) is dropped,
+        which cannot flip any cell because thresholds exceed it by orders
+        of magnitude.
+        """
+        if iterations < 0:
+            raise CommandError("iterations must be >= 0")
+        if iterations == 0:
+            return
+        start_cycle = self.now
+        end_cycle = start_cycle + total_cycles
+
+        physical_body: List[Tuple[BankKey, int]] = []
+        activated_per_bank: Dict[BankKey, set] = {}
+        for channel, pseudo_channel, bank_index, row in body:
+            key: BankKey = (channel, pseudo_channel, bank_index)
+            physical = self.mapper.logical_to_physical(row)
+            physical_body.append((key, physical))
+            activated_per_bank.setdefault(key, set()).add(physical)
+
+        # Materialize any pre-loop pending state on the activated rows,
+        # exactly as their first in-loop ACT would.
+        for key, physical in physical_body:
+            self.bank(*key).restore_row(physical, start_cycle)
+
+        # Accumulate disturbance on non-activated victims.  Each body
+        # ACT's per-iteration dose carries the RowPress amplification the
+        # warm-up iterations measured for that row (steady-state loops
+        # hold every row open for the same duration each iteration).
+        for key, physical in physical_body:
+            bank_obj = self.bank(*key)
+            activated = activated_per_bank[key]
+            dose = iterations * bank_obj.last_open_factor(physical)
+            for victim, side, amount in \
+                    bank_obj.disturbance.contributions(physical, dose):
+                if victim in activated:
+                    continue
+                bank_obj.disturbance.add(victim, side, amount)
+            self._route_cross_channel(key[0], key[1], key[2], physical,
+                                      dose)
+
+        # Activated rows end the loop freshly restored.
+        for key, activated in activated_per_bank.items():
+            bank_obj = self.bank(*key)
+            for physical in activated:
+                bank_obj.mark_restored(physical, end_cycle)
+
+        # TRR samplers see the most recent ACT per bank, which after any
+        # full iteration is the last body ACT targeting that bank.
+        last_per_bank: Dict[BankKey, int] = {}
+        for key, physical in physical_body:
+            last_per_bank[key] = physical
+        for key, physical in last_per_bank.items():
+            pc_state = self.channel(key[0]).pseudo_channels[key[1]]
+            pc_state.trr.observe_activation(key, physical)
+
+        # A steady-state loop translates its timing horizon by exactly
+        # the skipped duration; shift the affected banks' constraints so
+        # commands issued after the loop schedule as the unrolled
+        # execution would have.
+        self._timing_checker.shift_state(activated_per_bank.keys(),
+                                         total_cycles)
+        self.now = end_cycle
+        self._count("ACT", iterations * len(physical_body))
+        self._count("PRE", iterations * len(physical_body))

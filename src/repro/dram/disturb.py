@@ -1,0 +1,129 @@
+"""Per-row, per-side disturbance accounting.
+
+Every activation of a wordline disturbs the physically adjacent rows
+*within the same subarray* (wordline coupling does not cross the
+sense-amplifier stripes — which is precisely what the paper's subarray
+reverse engineering exploits).  Disturbance accumulates per victim row
+until the row's charge is restored — by its own activation, by a periodic
+refresh, or by a TRR victim refresh — at which point the counter resets.
+
+Disturbance is tracked separately for the two sides of each victim
+(aggressors physically *below* vs *above*), because the data-pattern
+coupling a cell experiences depends on the aggressor's stored bit on each
+side: a victim cell is disturbed effectively only by aggressor cells whose
+value differs from its own.  Double-sided hammering therefore delivers
+both sides' disturbance; single-sided hammering only one — reproducing the
+single-/double-sided asymmetry the paper's methodology relies on.
+
+Distance-2 disturbance (a much weaker, non-adjacent coupling) is folded
+into the same side bucket and evaluated against the distance-1
+neighbour's data; at ``blast_weight_2`` ≈ 4% of the adjacent weight, the
+approximation is far below measurement noise.
+
+The tracker stores a dense (rows, 2) float array per bank: 256 KiB for a
+16,384-row bank, allocated lazily only for banks an experiment touches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.dram.calibration import DeviceProfile
+from repro.dram.subarrays import SubarrayLayout
+
+#: Index of the bucket fed by aggressors at lower physical addresses.
+SIDE_BELOW = 0
+#: Index of the bucket fed by aggressors at higher physical addresses.
+SIDE_ABOVE = 1
+#: Index of the direct bucket: disturbance that couples into the cell
+#: regardless of in-die neighbour data — used for hypothesised
+#: cross-channel (inter-die) coupling, the paper's future work 3.
+SIDE_DIRECT = 2
+
+
+class DisturbanceTracker:
+    """Accumulated neighbour-activation disturbance for one bank."""
+
+    def __init__(self, rows: int, layout: SubarrayLayout,
+                 profile: DeviceProfile) -> None:
+        self._layout = layout
+        self._profile = profile
+        self._counts = np.zeros((rows, 3), dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    def contributions(self, physical_row: int,
+                      count: float = 1.0) -> List[Tuple[int, int, float]]:
+        """(victim row, side, disturbance) triples for ``count`` ACTs.
+
+        Distance-1 neighbours receive ``blast_weight_1`` per activation,
+        distance-2 neighbours ``blast_weight_2``; rows across a subarray
+        boundary (or outside the bank) receive nothing.
+        """
+        profile = self._profile
+        layout = self._layout
+        rows = self._counts.shape[0]
+        triples: List[Tuple[int, int, float]] = []
+        for distance, weight in ((1, profile.blast_weight_1),
+                                 (2, profile.blast_weight_2)):
+            if weight <= 0.0:
+                continue
+            for victim, side in ((physical_row - distance, SIDE_ABOVE),
+                                 (physical_row + distance, SIDE_BELOW)):
+                if not 0 <= victim < rows:
+                    continue
+                if not layout.same_subarray(physical_row, victim):
+                    continue
+                triples.append((victim, side, weight * count))
+        return triples
+
+    def record_activation(self, physical_row: int, count: float = 1.0) -> None:
+        """Disturb the neighbours of ``physical_row`` by ``count`` ACTs.
+
+        Does *not* reset the aggressor's own counters — charge restoration
+        is the bank's job (it must also reset the refresh timestamp).
+        """
+        for victim, side, amount in self.contributions(physical_row, count):
+            self._counts[victim, side] += amount
+
+    def add(self, physical_row: int, side: int, amount: float) -> None:
+        """Directly add disturbance to one row side (bulk fast path)."""
+        self._counts[physical_row, side] += amount
+
+    def get_sides(self, physical_row: int) -> Tuple[float, float]:
+        """(from below, from above) accumulated disturbance of one row."""
+        below, above = self._counts[physical_row, :2]
+        return float(below), float(above)
+
+    def get_direct(self, physical_row: int) -> float:
+        """Accumulated data-independent (inter-die) disturbance."""
+        return float(self._counts[physical_row, SIDE_DIRECT])
+
+    def add_direct(self, physical_row: int, amount: float) -> None:
+        """Add cross-channel disturbance to one row."""
+        self._counts[physical_row, SIDE_DIRECT] += amount
+
+    def get_total(self, physical_row: int) -> float:
+        """Total accumulated disturbance of one row (guard checks)."""
+        return float(self._counts[physical_row].sum())
+
+    def reset(self, physical_row: int) -> None:
+        """Charge restored: the row's accumulated disturbance vanishes."""
+        self._counts[physical_row, :] = 0.0
+
+    def reset_range(self, start: int, end: int) -> None:
+        """Reset a contiguous physical-row range (periodic refresh)."""
+        self._counts[start:end, :] = 0.0
+
+    def reset_many(self, physical_rows: Iterable[int]) -> None:
+        for row in physical_rows:
+            self._counts[row, :] = 0.0
+
+    def disturbed_rows(self, minimum: float = 0.0) -> np.ndarray:
+        """Physical rows with total accumulated disturbance > ``minimum``."""
+        return np.nonzero(self._counts.sum(axis=1) > minimum)[0]
+
+    def total(self) -> float:
+        """Sum of all accumulated disturbance (diagnostics)."""
+        return float(self._counts.sum())

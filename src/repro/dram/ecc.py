@@ -1,0 +1,125 @@
+"""On-die ECC: a single-error-correcting Hamming code over 64-bit words.
+
+HBM2 devices ship with on-die ECC that silently corrects single-bit errors
+per ECC word on read — which would mask most RowHammer bitflips and
+corrupt a characterization study.  The paper therefore disables it via a
+mode register (§3.1).  We implement the codec honestly so that the
+enable/disable step has real behavioural consequences (ablation A3).
+
+The code is systematic: a 72-bit codeword is 64 data bits followed by
+8 parity bits.  Each codeword position is assigned a distinct non-zero
+8-bit column of the parity-check matrix H (parity positions get unit
+vectors), so the syndrome of a single-bit error equals that bit's column,
+identifying it uniquely.  Double-bit errors produce a non-column syndrome
+and are left uncorrected (this is SEC, not SECDED: miscorrection of some
+aliased multi-bit errors is possible, as in real on-die ECC).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.dram.cellmodel import ECC_PARITY_BITS, ECC_WORD_BITS
+from repro.errors import ConfigurationError
+
+
+def _build_code() -> Tuple[np.ndarray, Dict[int, int]]:
+    """Construct H columns for all 72 positions and the syndrome map.
+
+    Returns:
+        columns: (72,) uint8 array, ``columns[i]`` is position i's 8-bit
+            H column.  Positions 0..63 are data bits, 64..71 parity bits.
+        syndrome_to_position: maps a non-zero syndrome byte to the single
+            position whose flip produces it.
+    """
+    columns = np.zeros(ECC_WORD_BITS + ECC_PARITY_BITS, dtype=np.uint8)
+    # Parity positions get unit vectors so the code is systematic.
+    for parity_index in range(ECC_PARITY_BITS):
+        columns[ECC_WORD_BITS + parity_index] = 1 << parity_index
+    # Data positions get the remaining distinct non-zero bytes, skipping
+    # powers of two (taken by parity) — 255 - 8 = 247 >= 64 available.
+    data_index = 0
+    for value in range(3, 256):
+        if value & (value - 1) == 0:  # power of two -> parity column
+            continue
+        if data_index >= ECC_WORD_BITS:
+            break
+        columns[data_index] = value
+        data_index += 1
+    if data_index != ECC_WORD_BITS:
+        raise ConfigurationError("could not assign distinct H columns")
+    syndrome_to_position = {
+        int(columns[position]): position for position in range(len(columns))
+    }
+    return columns, syndrome_to_position
+
+
+_COLUMNS, _SYNDROME_TO_POSITION = _build_code()
+
+#: (72, 8) 0/1 matrix: row i is the bit-expansion of position i's column.
+_H_BITS = ((_COLUMNS[:, None] >> np.arange(ECC_PARITY_BITS)[None, :]) & 1
+           ).astype(np.uint8)
+
+
+def encode_words(data_bits: np.ndarray) -> np.ndarray:
+    """Compute parity bits for data bits.
+
+    Args:
+        data_bits: 0/1 uint8 array whose length is a multiple of 64;
+            reshaped internally to (words, 64).
+
+    Returns:
+        0/1 uint8 array of shape (words * 8,): parity bits per word.
+    """
+    if data_bits.size % ECC_WORD_BITS != 0:
+        raise ConfigurationError(
+            f"data length {data_bits.size} not a multiple of {ECC_WORD_BITS}")
+    words = data_bits.reshape(-1, ECC_WORD_BITS)
+    # Syndrome contribution of the data half must be cancelled by parity:
+    # parity = sum(data_i * H_col_i) mod 2 (unit parity columns).
+    parity = (words @ _H_BITS[:ECC_WORD_BITS]) & 1
+    return parity.astype(np.uint8).reshape(-1)
+
+
+def decode_words(data_bits: np.ndarray,
+                 parity_bits: np.ndarray) -> Tuple[np.ndarray, int, int]:
+    """Correct single-bit errors per 64-bit word.
+
+    Args:
+        data_bits: 0/1 uint8 array, multiple of 64 long (possibly corrupted).
+        parity_bits: 0/1 uint8 array, 8 bits per word (possibly corrupted).
+
+    Returns:
+        (corrected_data_bits, corrected_words, uncorrectable_words): the
+        corrected copy of the data, how many words had a single-bit error
+        fixed, and how many had a syndrome matching no single position.
+    """
+    if data_bits.size % ECC_WORD_BITS != 0:
+        raise ConfigurationError(
+            f"data length {data_bits.size} not a multiple of {ECC_WORD_BITS}")
+    word_count = data_bits.size // ECC_WORD_BITS
+    if parity_bits.size != word_count * ECC_PARITY_BITS:
+        raise ConfigurationError(
+            f"parity length {parity_bits.size} does not match "
+            f"{word_count} words")
+    words = data_bits.reshape(word_count, ECC_WORD_BITS).copy()
+    parity = parity_bits.reshape(word_count, ECC_PARITY_BITS)
+
+    data_syndrome = (words @ _H_BITS[:ECC_WORD_BITS]) & 1
+    syndrome_bits = (data_syndrome ^ parity).astype(np.uint8)
+    syndrome_bytes = (syndrome_bits * (1 << np.arange(ECC_PARITY_BITS))).sum(axis=1)
+
+    corrected = 0
+    uncorrectable = 0
+    for word_index in np.nonzero(syndrome_bytes)[0]:
+        position = _SYNDROME_TO_POSITION.get(int(syndrome_bytes[word_index]))
+        if position is None:
+            uncorrectable += 1
+            continue
+        if position < ECC_WORD_BITS:
+            words[word_index, position] ^= 1
+        # A parity-bit error needs no data correction.
+        corrected += 1
+    return words.reshape(-1), corrected, uncorrectable

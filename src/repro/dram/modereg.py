@@ -1,0 +1,120 @@
+"""HBM2 mode registers relevant to the paper's methodology.
+
+The paper (§3.1) disables on-die ECC "by setting the corresponding HBM2
+mode register bit to zero" and notes the HBM2 standard's documented TRR
+*mode* (distinct from the undisclosed TRR the paper uncovers).  We model
+the small slice of mode-register state those steps touch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import ConfigurationError
+
+#: Mode register / bit assignments (simplified from JESD235).
+MR_ECC = 4          #: mode register holding the ECC enable bit
+ECC_ENABLE_BIT = 0  #: bit position of ECC enable within MR_ECC
+
+MR_TRR = 15         #: mode register holding documented-TRR mode controls
+TRR_MODE_BIT = 0    #: documented TRR mode enable
+TRR_BANK_SHIFT = 4  #: bits [7:4] select the bank under documented TRR
+
+#: Registers holding the documented-TRR target row address (the HBM2
+#: standard splits multi-bit fields across mode registers; we model the
+#: row as low/high bytes in two registers).
+MR_TRR_ROW_LOW = 13
+MR_TRR_ROW_HIGH = 14
+
+_NUM_MODE_REGISTERS = 16
+
+
+@dataclass
+class ModeRegisters:
+    """Mode register file for one HBM2 channel.
+
+    Real HBM2 has per-channel mode registers; experiments in the paper
+    configure every channel identically, so the device exposes one file
+    per channel and a convenience broadcast setter.
+    """
+
+    values: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # ECC is enabled by default on HBM2 devices; the methodology must
+        # explicitly turn it off, exactly as the paper does.
+        self.values.setdefault(MR_ECC, 1 << ECC_ENABLE_BIT)
+        self.values.setdefault(MR_TRR, 0)
+
+    def read(self, register: int) -> int:
+        self._check_register(register)
+        return self.values.get(register, 0)
+
+    def write(self, register: int, value: int) -> None:
+        self._check_register(register)
+        if not 0 <= value <= 0xFF:
+            raise ConfigurationError(
+                f"mode register value must fit 8 bits, got {value:#x}")
+        self.values[register] = value
+
+    @staticmethod
+    def _check_register(register: int) -> None:
+        if not 0 <= register < _NUM_MODE_REGISTERS:
+            raise ConfigurationError(
+                f"mode register {register} out of range "
+                f"[0, {_NUM_MODE_REGISTERS})")
+
+    # -- convenience views ------------------------------------------------
+    @property
+    def ecc_enabled(self) -> bool:
+        """Whether on-die ECC corrects read data on this channel."""
+        return bool(self.read(MR_ECC) & (1 << ECC_ENABLE_BIT))
+
+    def set_ecc_enabled(self, enabled: bool) -> None:
+        value = self.read(MR_ECC)
+        if enabled:
+            value |= 1 << ECC_ENABLE_BIT
+        else:
+            value &= ~(1 << ECC_ENABLE_BIT)
+        self.write(MR_ECC, value)
+
+    @property
+    def documented_trr_mode(self) -> bool:
+        """The HBM2-standard TRR *mode* (not the undisclosed mechanism).
+
+        In this mode the memory controller *tells* the device which row
+        it considers an aggressor (via :meth:`set_documented_trr_target`)
+        and subsequent REF commands preventively refresh that row's
+        neighbours — §2's footnote 1 distinguishes this well-defined
+        mode from the proprietary mechanism the paper uncovers.
+        """
+        return bool(self.read(MR_TRR) & (1 << TRR_MODE_BIT))
+
+    def set_documented_trr_mode(self, enabled: bool) -> None:
+        value = self.read(MR_TRR)
+        if enabled:
+            value |= 1 << TRR_MODE_BIT
+        else:
+            value &= ~(1 << TRR_MODE_BIT)
+        self.write(MR_TRR, value)
+
+    def set_documented_trr_target(self, bank: int, row: int) -> None:
+        """Program the documented-TRR aggressor (bank + row address)."""
+        if not 0 <= bank <= 0xF:
+            raise ConfigurationError(
+                f"documented-TRR bank must fit 4 bits, got {bank}")
+        if not 0 <= row <= 0xFFFF:
+            raise ConfigurationError(
+                f"documented-TRR row must fit 16 bits, got {row}")
+        value = self.read(MR_TRR) & ~(0xF << TRR_BANK_SHIFT)
+        self.write(MR_TRR, value | (bank << TRR_BANK_SHIFT))
+        self.write(MR_TRR_ROW_LOW, row & 0xFF)
+        self.write(MR_TRR_ROW_HIGH, (row >> 8) & 0xFF)
+
+    @property
+    def documented_trr_target(self) -> tuple:
+        """(bank, row) the controller flagged as the aggressor."""
+        bank = (self.read(MR_TRR) >> TRR_BANK_SHIFT) & 0xF
+        row = (self.read(MR_TRR_ROW_HIGH) << 8) | self.read(MR_TRR_ROW_LOW)
+        return bank, row

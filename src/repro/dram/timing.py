@@ -1,0 +1,261 @@
+"""HBM2 command timing parameters and per-bank timing enforcement.
+
+The paper's infrastructure controls command timing at the 1.66 ns
+granularity of the 600 MHz HBM2 interface clock.  The interpreter in
+:mod:`repro.bender.interpreter` schedules commands at the earliest cycle
+the constraints allow, so simulated experiment durations are meaningful —
+in particular, 256K double-sided hammers land at ≈24.7 ms, under the 27 ms
+retention-interference budget the paper enforces (§3.1).
+
+All parameters are stored in nanoseconds and converted once to integer
+cycle counts for the interface frequency in use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError, TimingViolationError
+from repro.units import cycles_for_time
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """Minimum-delay constraints, in nanoseconds.
+
+    Values follow JESD235 HBM2 grade timings (rounded); they can be
+    overridden per experiment (e.g. the paper's infrastructure can issue
+    commands faster than nominal to probe guardbands).
+
+    Attributes:
+        frequency_hz: interface clock frequency (600 MHz in the paper).
+        t_rcd: ACT -> RD/WR delay (row to column).
+        t_ras: ACT -> PRE minimum row-open time.
+        t_rp: PRE -> ACT delay (precharge).
+        t_rrd: ACT -> ACT delay to *different* banks.
+        t_ccd: RD/WR -> RD/WR column-to-column delay.
+        t_wr: write recovery (last WR data -> PRE).
+        t_rfc: REF -> next command delay (refresh cycle time).
+        t_refi: nominal interval between periodic REFs (3.9 us).
+        t_refw: refresh window in which every row is refreshed (32 ms).
+    """
+
+    frequency_hz: float = 600e6
+    t_rcd: float = 14.0
+    t_ras: float = 33.0
+    t_rp: float = 15.0
+    t_rrd: float = 4.0
+    t_ccd: float = 3.3
+    t_wr: float = 15.0
+    t_rfc: float = 260.0
+    t_refi: float = 3900.0
+    t_refw: float = 32_000_000.0
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ConfigurationError(
+                f"frequency_hz must be positive, got {self.frequency_hz}")
+        for name in ("t_rcd", "t_ras", "t_rp", "t_rrd", "t_ccd", "t_wr",
+                     "t_rfc", "t_refi", "t_refw"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Cycle conversions (cached per instance via properties)
+    # ------------------------------------------------------------------
+    def cycles(self, nanoseconds: float) -> int:
+        """Whole interface cycles covering ``nanoseconds``."""
+        return cycles_for_time(nanoseconds * 1e-9, self.frequency_hz)
+
+    @property
+    def clock_period_ns(self) -> float:
+        return 1e9 / self.frequency_hz
+
+    @property
+    def rcd_cycles(self) -> int:
+        return self.cycles(self.t_rcd)
+
+    @property
+    def ras_cycles(self) -> int:
+        return self.cycles(self.t_ras)
+
+    @property
+    def rp_cycles(self) -> int:
+        return self.cycles(self.t_rp)
+
+    @property
+    def rrd_cycles(self) -> int:
+        return self.cycles(self.t_rrd)
+
+    @property
+    def ccd_cycles(self) -> int:
+        return self.cycles(self.t_ccd)
+
+    @property
+    def wr_cycles(self) -> int:
+        return self.cycles(self.t_wr)
+
+    @property
+    def rfc_cycles(self) -> int:
+        return self.cycles(self.t_rfc)
+
+    @property
+    def refi_cycles(self) -> int:
+        return self.cycles(self.t_refi)
+
+    @property
+    def rc_cycles(self) -> int:
+        """ACT -> ACT same bank: tRAS + tRP (the hammer period)."""
+        return self.ras_cycles + self.rp_cycles
+
+    def hammer_duration_cycles(self, hammer_count: int) -> int:
+        """Cycles for ``hammer_count`` double-sided hammers.
+
+        One hammer = one ACT/PRE cycle on *each* of the two aggressors,
+        i.e. 2 x tRC.
+        """
+        if hammer_count < 0:
+            raise ConfigurationError("hammer_count must be >= 0")
+        return 2 * hammer_count * self.rc_cycles
+
+    def seconds(self, cycles: int) -> float:
+        """Wall-clock seconds for a cycle count at this frequency."""
+        return cycles / self.frequency_hz
+
+
+class BankTimingState:
+    """Earliest-legal-cycle bookkeeping for one bank."""
+
+    __slots__ = ("next_act", "next_pre", "next_rdwr", "act_cycle", "is_open")
+
+    def __init__(self) -> None:
+        self.next_act = 0
+        self.next_pre = 0
+        self.next_rdwr = 0
+        self.act_cycle = -1
+        self.is_open = False
+
+
+class TimingChecker:
+    """Validates and schedules commands against timing constraints.
+
+    Used in two modes:
+
+    * *scheduling* (``earliest_cycle``): the interpreter asks when a
+      command may legally issue and advances its clock to that cycle.
+    * *checking* (``record``): the device records the issue and raises
+      :class:`~repro.errors.TimingViolationError` on violations, which
+      only happens if the interpreter (or a hand-written driver) is buggy.
+    """
+
+    def __init__(self, timing: TimingParameters) -> None:
+        self._timing = timing
+        self._banks: Dict[Tuple[int, int, int], BankTimingState] = {}
+        self._pc_next_act: Dict[Tuple[int, int], int] = {}
+        self._pc_next_any: Dict[Tuple[int, int], int] = {}
+
+    def _bank(self, key: Tuple[int, int, int]) -> BankTimingState:
+        state = self._banks.get(key)
+        if state is None:
+            state = BankTimingState()
+            self._banks[key] = state
+        return state
+
+    # -- scheduling ----------------------------------------------------
+    def earliest_activate(self, key: Tuple[int, int, int], now: int) -> int:
+        bank = self._bank(key)
+        pc = key[:2]
+        return max(now, bank.next_act,
+                   self._pc_next_act.get(pc, 0),
+                   self._pc_next_any.get(pc, 0))
+
+    def earliest_precharge(self, key: Tuple[int, int, int], now: int) -> int:
+        bank = self._bank(key)
+        return max(now, bank.next_pre, self._pc_next_any.get(key[:2], 0))
+
+    def earliest_rdwr(self, key: Tuple[int, int, int], now: int) -> int:
+        bank = self._bank(key)
+        return max(now, bank.next_rdwr, self._pc_next_any.get(key[:2], 0))
+
+    def earliest_refresh(self, pc: Tuple[int, int], now: int) -> int:
+        # REF requires all banks in the pseudo channel precharged; callers
+        # ensure that, we only enforce the channel-level gap here.
+        return max(now, self._pc_next_any.get(pc, 0))
+
+    # -- recording -----------------------------------------------------
+    def record_activate(self, key: Tuple[int, int, int], cycle: int) -> None:
+        t = self._timing
+        bank = self._bank(key)
+        legal = self.earliest_activate(key, cycle)
+        if cycle < legal:
+            raise TimingViolationError(
+                f"ACT to bank {key} at cycle {cycle}, earliest legal {legal}")
+        bank.act_cycle = cycle
+        bank.is_open = True
+        bank.next_pre = cycle + t.ras_cycles
+        bank.next_rdwr = cycle + t.rcd_cycles
+        bank.next_act = cycle + t.rc_cycles
+        pc = key[:2]
+        self._pc_next_act[pc] = cycle + t.rrd_cycles
+
+    def record_precharge(self, key: Tuple[int, int, int], cycle: int) -> None:
+        t = self._timing
+        bank = self._bank(key)
+        legal = self.earliest_precharge(key, cycle)
+        if cycle < legal:
+            raise TimingViolationError(
+                f"PRE to bank {key} at cycle {cycle}, earliest legal {legal}")
+        bank.is_open = False
+        bank.next_act = max(bank.next_act, cycle + t.rp_cycles)
+
+    def record_rdwr(self, key: Tuple[int, int, int], cycle: int,
+                    is_write: bool) -> None:
+        t = self._timing
+        bank = self._bank(key)
+        legal = self.earliest_rdwr(key, cycle)
+        if cycle < legal:
+            raise TimingViolationError(
+                f"RD/WR to bank {key} at cycle {cycle}, earliest legal {legal}")
+        bank.next_rdwr = cycle + t.ccd_cycles
+        if is_write:
+            bank.next_pre = max(bank.next_pre, cycle + t.wr_cycles)
+
+    def record_refresh(self, pc: Tuple[int, int], cycle: int) -> None:
+        t = self._timing
+        legal = self.earliest_refresh(pc, cycle)
+        if cycle < legal:
+            raise TimingViolationError(
+                f"REF to pc {pc} at cycle {cycle}, earliest legal {legal}")
+        self._pc_next_any[pc] = cycle + t.rfc_cycles
+
+    def bank_is_open(self, key: Tuple[int, int, int]) -> bool:
+        return self._bank(key).is_open
+
+    def shift_state(self, keys, delta: int) -> None:
+        """Translate the timing state of ``keys`` banks ``delta`` cycles
+        into the future.
+
+        Used by the bulk-loop fast path: a steady-state loop's constraint
+        horizon advances by exactly the loop period every iteration, so
+        skipping N iterations shifts every pending constraint by N
+        periods.  Pseudo-channel-level constraints of the affected banks
+        shift along.
+        """
+        if delta < 0:
+            raise TimingViolationError(
+                f"cannot shift timing state backwards ({delta})")
+        pcs = set()
+        for key in keys:
+            bank = self._bank(key)
+            bank.next_act += delta
+            bank.next_pre += delta
+            bank.next_rdwr += delta
+            if bank.act_cycle >= 0:
+                bank.act_cycle += delta
+            pcs.add(key[:2])
+        for pc in pcs:
+            if pc in self._pc_next_act:
+                self._pc_next_act[pc] += delta
+            if pc in self._pc_next_any:
+                self._pc_next_any[pc] += delta

@@ -1,0 +1,103 @@
+"""The undisclosed in-DRAM Target Row Refresh (TRR) engine.
+
+The paper's §5 discovers — via the U-TRR retention side channel — that the
+tested HBM2 chip ships a proprietary TRR mechanism that refreshes a
+sampled aggressor's victim rows **once every 17 periodic REF commands**,
+resembling the mechanism U-TRR attributes to "Vendor C" DDR4 chips.
+
+This module implements such an engine.  It is completely invisible at the
+command interface: it observes ACT commands through a per-bank single-slot
+sampler and, on every Nth REF of a pseudo channel, internally refreshes
+the physical neighbours of each sampled row.  The characterization code in
+:mod:`repro.core.utrr` must rediscover N through read-back data alone.
+
+Design notes mirroring what U-TRR reports about real samplers:
+
+* the sampler holds the **most recent** activated row per bank (a
+  one-entry table; real chips have small tables),
+* a TRR event consumes the sample (the slot is cleared after the refresh),
+* victim refreshes cover physical distance 1..``refresh_radius``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+BankKey = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class TrrConfig:
+    """Configuration of the hidden TRR engine.
+
+    Attributes:
+        enabled: master switch (the paper's chip has it always on; tests
+            and some ablations turn it off).
+        refresh_period: a TRR victim refresh fires on every Nth REF
+            command of a pseudo channel.  The paper measures N = 17.
+        refresh_radius: physical distance around the sampled aggressor
+            whose rows get refreshed.
+    """
+
+    enabled: bool = True
+    refresh_period: int = 17
+    refresh_radius: int = 1
+
+    def __post_init__(self) -> None:
+        if self.refresh_period < 1:
+            raise ConfigurationError("refresh_period must be >= 1")
+        if self.refresh_radius < 1:
+            raise ConfigurationError("refresh_radius must be >= 1")
+
+
+class TrrEngine:
+    """Sampler + periodic victim refresh for one pseudo channel.
+
+    The engine does not touch DRAM state itself; on a firing REF it
+    reports which physical rows to internally refresh, and the device
+    performs the refreshes (so all charge-restoration behaviour lives in
+    one place, the bank).
+    """
+
+    def __init__(self, config: TrrConfig) -> None:
+        self._config = config
+        self._ref_counter = 0
+        self._sampled: Dict[BankKey, int] = {}
+
+    @property
+    def config(self) -> TrrConfig:
+        return self._config
+
+    @property
+    def ref_counter(self) -> int:
+        """REF commands seen since the last firing (diagnostics only)."""
+        return self._ref_counter
+
+    def observe_activation(self, bank: BankKey, physical_row: int) -> None:
+        """Sampler input: an ACT was issued to ``physical_row``."""
+        if not self._config.enabled:
+            return
+        self._sampled[bank] = physical_row
+
+    def on_refresh(self) -> List[Tuple[BankKey, int]]:
+        """Process one REF command.
+
+        Returns the list of (bank, physical victim row) pairs the device
+        must internally refresh now — empty except on every Nth call.
+        """
+        if not self._config.enabled:
+            return []
+        self._ref_counter += 1
+        if self._ref_counter < self._config.refresh_period:
+            return []
+        self._ref_counter = 0
+        victims: List[Tuple[BankKey, int]] = []
+        for bank, aggressor in self._sampled.items():
+            for distance in range(1, self._config.refresh_radius + 1):
+                victims.append((bank, aggressor - distance))
+                victims.append((bank, aggressor + distance))
+        self._sampled.clear()
+        return victims

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the HBM2 RowHammer reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish failure classes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class AddressError(ReproError):
+    """A DRAM address is outside the device geometry or malformed."""
+
+
+class CommandError(ReproError):
+    """A DRAM command is illegal in the device's current state.
+
+    Examples: activating an already-open bank, reading from a precharged
+    bank, or writing to a column of a row that is not open.
+    """
+
+
+class TimingViolationError(CommandError):
+    """A DRAM command violates a timing constraint (e.g. tRC, tRAS, tRP)."""
+
+
+class ProgramError(ReproError):
+    """A DRAM Bender test program is malformed (bad loop nesting, operands)."""
+
+
+class AssemblyError(ProgramError):
+    """Test-program assembly text could not be parsed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment could not be run as configured."""
+
+
+class ExperimentBudgetError(ExperimentError):
+    """An experiment exceeded its wall-clock (in-DRAM time) budget.
+
+    The paper keeps every refresh-disabled experiment under 27 ms so that
+    retention failures cannot contaminate RowHammer measurements (§3.1).
+    """
+
+
+class CalibrationError(ReproError):
+    """A device profile contains physically meaningless parameters."""
+
+
+class AnalysisError(ReproError):
+    """An analysis routine received a dataset it cannot process."""

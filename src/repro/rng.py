@@ -1,0 +1,115 @@
+"""Deterministic, hierarchical random number generation.
+
+The simulated HBM2 device must behave like silicon: the same physical cell
+has the same RowHammer threshold, orientation, and retention time every
+time it is tested, across repetitions and across independent experiment
+processes.  We achieve this by deriving every random stream from a stable
+64-bit hash of (device seed, entity path), where the entity path names the
+physical object the stream describes, e.g. ``("cell", ch, pc, bank, row)``.
+
+This is the standard "counter-based / keyed" RNG idiom used by hardware
+fault simulators: no global RNG state, no ordering sensitivity, perfect
+reproducibility under parallelism.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Iterable, Union
+
+import numpy as np
+
+Key = Union[int, str, bytes]
+
+#: Domain-separation prefix so streams from this library never collide with
+#: user-seeded numpy generators.
+_DOMAIN = b"repro.hbm2-rowhammer.v1"
+
+
+def _encode_key(part: Key) -> bytes:
+    """Encode one path component unambiguously (type-tagged)."""
+    if isinstance(part, bool):  # bool is an int subclass; tag separately
+        return b"b" + (b"\x01" if part else b"\x00")
+    if isinstance(part, int):
+        return b"i" + struct.pack("<q", part)
+    if isinstance(part, str):
+        raw = part.encode("utf-8")
+        return b"s" + struct.pack("<I", len(raw)) + raw
+    if isinstance(part, bytes):
+        return b"y" + struct.pack("<I", len(part)) + part
+    raise TypeError(f"unsupported key component type: {type(part)!r}")
+
+
+def derive_seed(root_seed: int, path: Iterable[Key]) -> int:
+    """Derive a stable 128-bit integer seed for an entity path.
+
+    ``root_seed`` is the device seed; ``path`` names the entity.  The same
+    (seed, path) pair always yields the same derived seed, independent of
+    call order, process, or platform.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(_DOMAIN)
+    hasher.update(struct.pack("<q", root_seed))
+    for part in path:
+        hasher.update(_encode_key(part))
+    return int.from_bytes(hasher.digest(), "little")
+
+
+def generator_for(root_seed: int, path: Iterable[Key]) -> np.random.Generator:
+    """Create a numpy Generator dedicated to one entity path.
+
+    Uses Philox, a counter-based bit generator, so creating millions of
+    per-row generators stays cheap and statistically independent.
+    """
+    return np.random.Generator(np.random.Philox(key=derive_seed(root_seed, path)))
+
+
+def uniform_hash01(root_seed: int, path: Iterable[Key]) -> float:
+    """A single deterministic uniform(0, 1) draw for an entity path.
+
+    Cheaper than building a Generator when only one number is needed
+    (e.g. a per-bank scaling factor).
+    """
+    value = derive_seed(root_seed, path)
+    # Use the top 53 bits for an exactly-representable double in [0, 1).
+    return (value >> 75) / float(1 << 53)
+
+
+def normal_hash(root_seed: int, path: Iterable[Key]) -> float:
+    """A single deterministic standard-normal draw for an entity path.
+
+    Implemented via the inverse-CDF of a hashed uniform so that it needs
+    no Generator allocation.  Accuracy of the rational approximation is
+    ~1e-9, far below the physical meaning of any calibration constant.
+    """
+    u = uniform_hash01(root_seed, path)
+    # Clamp away from 0/1 so the inverse CDF stays finite.
+    u = min(max(u, 1e-15), 1.0 - 1e-15)
+    return _norm_ppf(u)
+
+
+def _norm_ppf(p: float) -> float:
+    """Acklam's rational approximation to the standard normal inverse CDF."""
+    # Coefficients in rational approximations.
+    a = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00)
+    p_low = 0.02425
+    if p < p_low:
+        q = (-2.0 * np.log(p)) ** 0.5
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if p > 1.0 - p_low:
+        q = (-2.0 * np.log(1.0 - p)) ** 0.5
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / \
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)

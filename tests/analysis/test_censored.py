@@ -1,0 +1,115 @@
+"""Tests for repro.analysis.censored (Kaplan-Meier HC_first stats)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.censored import (
+    censoring_rate,
+    kaplan_meier,
+    restricted_mean,
+)
+from repro.core.results import HcFirstRecord
+from repro.errors import AnalysisError
+
+
+def record(hc_first, max_hammers=262144, row=0):
+    return HcFirstRecord(channel=0, pseudo_channel=0, bank=0, row=row,
+                         region="first", pattern="Rowstripe0",
+                         repetition=0, hc_first=hc_first,
+                         max_hammers=max_hammers, probes=10,
+                         flips_at_max=1)
+
+
+class TestKaplanMeier:
+    def test_uncensored_curve_steps_through_events(self):
+        records = [record(10), record(20), record(30), record(40)]
+        curve = kaplan_meier(records)
+        assert curve.at(5) == 1.0
+        assert curve.at(10) == pytest.approx(0.75)
+        assert curve.at(25) == pytest.approx(0.5)
+        assert curve.at(40) == pytest.approx(0.0)
+
+    def test_censored_rows_keep_survival_up(self):
+        uncensored = kaplan_meier([record(10), record(20)])
+        with_censored = kaplan_meier([record(10), record(20),
+                                      record(None), record(None)])
+        assert with_censored.at(20) > uncensored.at(20)
+
+    def test_tied_events(self):
+        curve = kaplan_meier([record(10), record(10), record(20),
+                              record(20)])
+        assert curve.at(10) == pytest.approx(0.5)
+        assert curve.at(20) == pytest.approx(0.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            kaplan_meier([])
+
+    def test_negative_query_raises(self):
+        curve = kaplan_meier([record(10)])
+        with pytest.raises(AnalysisError):
+            curve.at(-1)
+
+
+class TestRestrictedMean:
+    def test_matches_arithmetic_mean_without_censoring(self):
+        values = [10_000, 25_000, 40_000, 90_000]
+        records = [record(value) for value in values]
+        assert restricted_mean(records) == pytest.approx(np.mean(values))
+
+    def test_censoring_raises_the_mean_vs_dropping(self):
+        records = [record(10_000), record(30_000),
+                   record(None), record(None)]
+        naive = np.mean([10_000, 30_000])
+        km = restricted_mean(records)
+        assert km > naive
+        # With half the rows surviving the cap, the restricted mean
+        # includes half the cap's worth of survival area.
+        assert km == pytest.approx(
+            0.25 * 10_000 + 0.25 * 30_000 + 0.5 * 262_144, rel=0.2)
+
+    def test_all_censored_gives_the_cap(self):
+        records = [record(None), record(None)]
+        assert restricted_mean(records) == pytest.approx(262_144)
+
+    def test_explicit_cap_truncates(self):
+        records = [record(10), record(30)]
+        assert restricted_mean(records, cap=20) == pytest.approx(
+            10 * 1.0 + 10 * 0.5)
+
+    def test_bad_cap_raises(self):
+        with pytest.raises(AnalysisError):
+            restricted_mean([record(10)], cap=0)
+
+
+class TestCensoringRate:
+    def test_rate(self):
+        records = [record(10), record(None), record(None), record(20)]
+        assert censoring_rate(records) == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            censoring_rate([])
+
+
+class TestOnRealSweepData:
+    def test_protected_subarray_shows_high_censoring(self,
+                                                     vulnerable_board):
+        """End-to-end: a robust region yields censored searches, and the
+        restricted mean exceeds the censored-dropped mean."""
+        from repro.core.hcfirst import HcFirstSearch
+        from repro.core.experiment import ExperimentConfig
+        from repro.core.patterns import ROWSTRIPE0
+        from repro.dram.address import DramAddress
+
+        search = HcFirstSearch(
+            vulnerable_board.host, vulnerable_board.device.mapper,
+            ExperimentConfig(hcfirst_max_hammers=16 * 1024))
+        records = [search.record(DramAddress(0, 0, 0, row), ROWSTRIPE0)
+                   for row in range(18, 50, 4)]
+        rate = censoring_rate(records)
+        assert 0.0 <= rate <= 1.0
+        km = restricted_mean(records)
+        exact = [r.hc_first for r in records if not r.censored]
+        if exact and rate > 0:
+            assert km > np.mean(exact)

@@ -1,0 +1,79 @@
+"""Tests for repro.analysis.export (figure CSV exporters)."""
+
+import csv
+
+import pytest
+
+from repro.analysis.export import (
+    export_all,
+    export_fig3_csv,
+    export_fig5_csv,
+    export_fig6_csv,
+)
+from repro.core.results import (
+    BerRecord,
+    CharacterizationDataset,
+    HcFirstRecord,
+)
+
+
+@pytest.fixture
+def dataset():
+    dataset = CharacterizationDataset()
+    for channel in (0, 7):
+        for bank in (0, 1):
+            for row in (10, 20, 30):
+                dataset.add(BerRecord(
+                    channel=channel, pseudo_channel=0, bank=bank, row=row,
+                    region="first", pattern="WCDP", repetition=0,
+                    hammer_count=262144, flips=30 + row + channel,
+                    row_bits=8192, duration_s=0.025))
+        dataset.add(HcFirstRecord(
+            channel=channel, pseudo_channel=0, bank=0, row=10,
+            region="first", pattern="WCDP", repetition=0,
+            hc_first=50_000 + channel, max_hammers=262144, probes=12,
+            flips_at_max=4))
+    return dataset
+
+
+def read_csv(path):
+    with open(path) as handle:
+        return list(csv.reader(handle))
+
+
+class TestExporters:
+    def test_fig3_rows(self, dataset, tmp_path):
+        path = tmp_path / "fig3.csv"
+        export_fig3_csv(dataset, path)
+        rows = read_csv(path)
+        assert rows[0][0] == "pattern"
+        assert len(rows) == 3  # header + two channels of WCDP
+
+    def test_fig5_one_line_per_row(self, dataset, tmp_path):
+        path = tmp_path / "fig5.csv"
+        export_fig5_csv(dataset, path)
+        rows = read_csv(path)
+        assert len(rows) == 1 + 2 * 3  # per-channel rows averaged per row
+
+    def test_fig6_one_line_per_bank(self, dataset, tmp_path):
+        path = tmp_path / "fig6.csv"
+        export_fig6_csv(dataset, path)
+        rows = read_csv(path)
+        assert len(rows) == 1 + 4  # 2 channels x 2 banks
+
+    def test_export_all_writes_what_it_can(self, dataset, tmp_path):
+        written = export_all(dataset, tmp_path / "figs")
+        names = sorted(path.name for path in written)
+        assert names == ["fig3.csv", "fig4.csv", "fig5.csv", "fig6.csv"]
+
+    def test_export_all_skips_missing_figures(self, tmp_path):
+        dataset = CharacterizationDataset()
+        dataset.add(BerRecord(
+            channel=0, pseudo_channel=0, bank=0, row=10, region="first",
+            pattern="WCDP", repetition=0, hammer_count=262144, flips=40,
+            row_bits=8192, duration_s=0.025))
+        written = export_all(dataset, tmp_path / "figs")
+        names = sorted(path.name for path in written)
+        # Only Fig. 3 and Fig. 5 are derivable from one BER record.
+        assert "fig4.csv" not in names
+        assert "fig3.csv" in names

@@ -1,0 +1,162 @@
+"""Tests for repro.analysis.figures and repro.analysis.tables."""
+
+import pytest
+
+from repro.analysis.figures import (
+    fig3_ber_distributions,
+    fig4_hcfirst_distributions,
+    fig5_row_series,
+    fig6_bank_scatter,
+    render_box_table,
+    render_row_series,
+    render_scatter_table,
+)
+from repro.analysis.tables import (
+    ber_channel_extremes,
+    channel_groups_by_ber,
+    format_headline_table,
+    headline_numbers,
+)
+from repro.core.results import (
+    BerRecord,
+    CharacterizationDataset,
+    HcFirstRecord,
+)
+from repro.errors import AnalysisError
+
+
+def ber(channel=0, row=10, flips=82, pattern="WCDP", region="first",
+        bank=0, pseudo_channel=0, repetition=0):
+    return BerRecord(channel=channel, pseudo_channel=pseudo_channel,
+                     bank=bank, row=row, region=region, pattern=pattern,
+                     repetition=repetition, hammer_count=262144,
+                     flips=flips, row_bits=8192, duration_s=0.025)
+
+
+def hc(channel=0, row=10, hc_first=50_000, pattern="WCDP", region="first"):
+    return HcFirstRecord(channel=channel, pseudo_channel=0, bank=0, row=row,
+                         region=region, pattern=pattern, repetition=0,
+                         hc_first=hc_first, max_hammers=262144, probes=10,
+                         flips_at_max=3)
+
+
+@pytest.fixture
+def dataset():
+    dataset = CharacterizationDataset()
+    for channel, scale in ((0, 1), (7, 2)):
+        for row in (10, 20, 30):
+            dataset.add(ber(channel=channel, row=row, flips=40 * scale + row))
+            dataset.add(ber(channel=channel, row=row, pattern="Rowstripe0",
+                            flips=30 * scale + row))
+            dataset.add(hc(channel=channel, row=row,
+                           hc_first=60_000 // scale + row))
+    dataset.add(hc(channel=0, row=40, hc_first=None))
+    return dataset
+
+
+class TestFig3:
+    def test_keyed_by_pattern_then_channel(self, dataset):
+        distributions = fig3_ber_distributions(dataset)
+        assert set(distributions) == {"Rowstripe0", "WCDP"}
+        assert set(distributions["WCDP"]) == {0, 7}
+
+    def test_stats_are_over_rows(self, dataset):
+        stats = fig3_ber_distributions(dataset)["WCDP"][0]
+        assert stats.count == 3
+
+    def test_repetitions_averaged_per_row(self):
+        dataset = CharacterizationDataset()
+        dataset.add(ber(flips=10, repetition=0))
+        dataset.add(ber(flips=20, repetition=1))
+        stats = fig3_ber_distributions(dataset)["WCDP"][0]
+        assert stats.count == 1
+        assert stats.mean == pytest.approx(15 / 8192)
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(AnalysisError):
+            fig3_ber_distributions(CharacterizationDataset())
+
+
+class TestFig4:
+    def test_censored_excluded(self, dataset):
+        distributions = fig4_hcfirst_distributions(dataset)
+        assert distributions["WCDP"][0].count == 3  # row 40 censored out
+
+    def test_channel7_has_lower_hcfirst(self, dataset):
+        distributions = fig4_hcfirst_distributions(dataset)
+        assert distributions["WCDP"][7].mean < distributions["WCDP"][0].mean
+
+
+class TestFig5:
+    def test_series_sorted_by_row(self, dataset):
+        series = fig5_row_series(dataset)
+        for entry in series:
+            assert list(entry.rows) == sorted(entry.rows)
+
+    def test_one_series_per_channel_region(self, dataset):
+        series = fig5_row_series(dataset)
+        keys = {(entry.channel, entry.region) for entry in series}
+        assert keys == {(0, "first"), (7, "first")}
+
+
+class TestFig6:
+    def test_points_have_positive_cv(self):
+        dataset = CharacterizationDataset()
+        for bank in (0, 1):
+            for row in (10, 20, 30):
+                dataset.add(ber(bank=bank, row=row, flips=40 + row * bank))
+        points = fig6_bank_scatter(dataset)
+        assert len(points) == 2
+        for point in points:
+            assert point.rows_measured == 3
+            assert point.mean_ber > 0
+
+    def test_single_row_banks_skipped(self):
+        dataset = CharacterizationDataset()
+        dataset.add(ber(bank=0, row=10))
+        with pytest.raises(AnalysisError):
+            fig6_bank_scatter(dataset)
+
+
+class TestRendering:
+    def test_box_table_contains_channels(self, dataset):
+        text = render_box_table(fig3_ber_distributions(dataset))
+        assert "WCDP" in text
+        assert "Rowstripe0" in text
+
+    def test_row_series_sparkline(self, dataset):
+        text = render_row_series(fig5_row_series(dataset))
+        assert "ch0 first" in text
+        assert "peak BER" in text
+
+    def test_scatter_table(self):
+        dataset = CharacterizationDataset()
+        for bank in (0, 1):
+            for row in (10, 20):
+                dataset.add(ber(bank=bank, row=row, flips=40 + row))
+        text = render_scatter_table(fig6_bank_scatter(dataset))
+        assert "mean BER" in text
+
+
+class TestHeadlines:
+    def test_extremes(self, dataset):
+        worst, best, worst_ber, best_ber = ber_channel_extremes(dataset)
+        assert worst == 7
+        assert best == 0
+        assert worst_ber > best_ber
+
+    def test_channel_groups(self, dataset):
+        groups = channel_groups_by_ber(dataset, group_size=1)
+        assert groups == [[0], [7]]
+
+    def test_headline_numbers_include_trr(self, dataset):
+        numbers = headline_numbers(dataset, utrr_period=17)
+        keys = {number.key for number in numbers}
+        assert "ber_channel_ratio" in keys
+        assert "min_hcfirst" in keys
+        assert "trr_period_refs" in keys
+
+    def test_headline_table_renders(self, dataset):
+        text = format_headline_table(headline_numbers(dataset))
+        assert "paper" in text
+        assert "measured" in text

@@ -1,0 +1,61 @@
+"""Tests for repro.analysis.report."""
+
+import pytest
+
+from repro.analysis.report import experiment_report
+from repro.core.results import (
+    BerRecord,
+    CharacterizationDataset,
+    HcFirstRecord,
+)
+
+
+def build_dataset():
+    dataset = CharacterizationDataset()
+    for channel in (0, 7):
+        for row in (10, 20, 30):
+            for pattern in ("Rowstripe0", "WCDP"):
+                dataset.add(BerRecord(
+                    channel=channel, pseudo_channel=0, bank=0, row=row,
+                    region="first", pattern=pattern, repetition=0,
+                    hammer_count=262144,
+                    flips=30 + row + channel * 10, row_bits=8192,
+                    duration_s=0.025))
+            dataset.add(HcFirstRecord(
+                channel=channel, pseudo_channel=0, bank=0, row=row,
+                region="first", pattern="WCDP", repetition=0,
+                hc_first=60_000 - channel * 1000 + row,
+                max_hammers=262144, probes=12, flips_at_max=4))
+    return dataset
+
+
+class TestExperimentReport:
+    def test_full_report_sections(self):
+        report = experiment_report(build_dataset(), utrr_period=17,
+                                   subarray_sizes=[832, 768],
+                                   title="Smoke report")
+        assert report.startswith("# Smoke report")
+        assert "## Headline numbers" in report
+        assert "## Fig. 3" in report
+        assert "## Fig. 4" in report
+        assert "## Fig. 5" in report
+        assert "Subarray reverse engineering" in report
+        assert "**17**" in report
+
+    def test_report_without_optional_inputs(self):
+        report = experiment_report(build_dataset())
+        assert "hidden TRR" not in report
+        assert "Subarray reverse engineering" not in report
+        assert "## Fig. 3" in report
+
+    def test_ber_only_dataset(self):
+        dataset = CharacterizationDataset()
+        for row in (10, 20):
+            dataset.add(BerRecord(
+                channel=0, pseudo_channel=0, bank=0, row=row,
+                region="first", pattern="WCDP", repetition=0,
+                hammer_count=262144, flips=40, row_bits=8192,
+                duration_s=0.025))
+        report = experiment_report(dataset)
+        assert "## Fig. 3" in report
+        assert "## Fig. 4" not in report

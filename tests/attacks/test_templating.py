@@ -1,0 +1,58 @@
+"""Tests for repro.attacks.templating."""
+
+import pytest
+
+from repro.attacks.templating import MemoryTemplater
+from repro.errors import ExperimentError
+
+
+@pytest.fixture
+def templater(vulnerable_board):
+    return MemoryTemplater(vulnerable_board.host,
+                           vulnerable_board.device.mapper,
+                           hammer_count=120_000)
+
+
+class TestTemplating:
+    def test_finds_templates(self, templater):
+        result = templater.template_channel(0, rows=range(16, 40))
+        assert result.templates_found > 0
+        assert result.rows_scanned > 0
+        assert result.dram_time_s > 0
+
+    def test_templates_carry_location_and_direction(self, templater):
+        result = templater.template_channel(0, rows=range(16, 24))
+        for template in result.templates:
+            assert 0 <= template.bit_offset < 256
+            assert template.pattern == "Rowstripe0"
+            # Rowstripe0 stores 0x00 in the victim: every flip is 0 -> 1.
+            assert template.zero_to_one
+
+    def test_early_stop_at_target(self, templater):
+        result = templater.template_channel(0, rows=range(16, 60),
+                                            target_templates=3)
+        assert result.templates_found >= 3
+        assert result.rows_scanned < 44
+
+    def test_bank_edge_rows_skipped(self, templater, vulnerable_board):
+        identity_rows = [0]  # physical edge under any mapping family
+        result = templater.template_channel(0, rows=identity_rows)
+        assert result.rows_scanned in (0, 1)
+
+    def test_rates(self, templater):
+        result = templater.template_channel(0, rows=range(16, 32))
+        if result.templates_found:
+            assert result.templates_per_second > 0
+            assert result.seconds_per_template > 0
+        else:
+            assert result.seconds_per_template == float("inf")
+
+    def test_compare_channels_returns_per_channel(self, templater):
+        results = templater.compare_channels([0, 1], rows=range(16, 32),
+                                             target_templates=2)
+        assert set(results) == {0, 1}
+
+    def test_bad_hammer_count_rejected(self, vulnerable_board):
+        with pytest.raises(ExperimentError):
+            MemoryTemplater(vulnerable_board.host,
+                            vulnerable_board.device.mapper, hammer_count=0)

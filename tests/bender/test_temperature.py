@@ -1,0 +1,106 @@
+"""Tests for repro.bender.temperature (thermal plant + PID)."""
+
+import pytest
+
+from repro.bender.temperature import (
+    PidController,
+    TemperatureController,
+    ThermalPlant,
+)
+from repro.errors import ConfigurationError
+
+
+class TestThermalPlant:
+    def test_relaxes_toward_ambient(self):
+        plant = ThermalPlant(temperature_c=80.0, ambient_c=25.0)
+        plant.step(heater_duty=0.0, fan_duty=0.0, dt_s=10.0)
+        assert plant.temperature_c < 80.0
+
+    def test_heater_raises_temperature(self):
+        plant = ThermalPlant(temperature_c=25.0, ambient_c=25.0)
+        plant.step(heater_duty=1.0, fan_duty=0.0, dt_s=1.0)
+        assert plant.temperature_c > 25.0
+
+    def test_fan_lowers_temperature(self):
+        plant = ThermalPlant(temperature_c=90.0, ambient_c=25.0)
+        before = plant.temperature_c
+        plant.step(heater_duty=0.0, fan_duty=0.0, dt_s=1.0)
+        passive = plant.temperature_c
+        plant.temperature_c = before
+        plant.step(heater_duty=0.0, fan_duty=1.0, dt_s=1.0)
+        assert plant.temperature_c < passive
+
+    @pytest.mark.parametrize("heater,fan", [(-0.1, 0), (1.1, 0), (0, -0.1),
+                                            (0, 1.1)])
+    def test_duty_cycle_bounds(self, heater, fan):
+        with pytest.raises(ConfigurationError):
+            ThermalPlant().step(heater, fan, 1.0)
+
+    def test_bad_time_constant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThermalPlant(tau_s=0)
+
+
+class TestPidController:
+    def test_proportional_response_sign(self):
+        pid = PidController()
+        assert pid.update(setpoint=85.0, measurement=50.0, dt_s=1.0) > 0
+        pid.reset()
+        assert pid.update(setpoint=50.0, measurement=85.0, dt_s=1.0) < 0
+
+    def test_output_clamped(self):
+        pid = PidController(kp=100.0)
+        assert pid.update(85.0, 0.0, 1.0) == 1.0
+
+    def test_integral_accumulates(self):
+        pid = PidController(kp=0.0, ki=0.1, kd=0.0)
+        first = pid.update(85.0, 84.0, 1.0)
+        second = pid.update(85.0, 84.0, 1.0)
+        assert second > first
+
+    def test_anti_windup_freezes_integral_when_saturated(self):
+        pid = PidController(kp=1.0, ki=1.0, kd=0.0, output_limit=0.5)
+        for __ in range(100):
+            pid.update(85.0, 0.0, 1.0)
+        # After saturation, a small error must not be swamped by a
+        # wound-up integral term.
+        output = pid.update(85.0, 84.9, 1.0)
+        assert output < 0.5
+
+    def test_zero_dt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PidController().update(85.0, 25.0, 0.0)
+
+
+class TestClosedLoop:
+    def test_settles_at_paper_temperature(self):
+        """The rig must hold 85 degC (the paper's test temperature)."""
+        plant = ThermalPlant(temperature_c=30.0)
+        controller = TemperatureController(plant)
+        controller.set_target(85.0)
+        steps = controller.settle()
+        assert abs(plant.temperature_c - 85.0) <= controller.tolerance_c
+        assert steps > 0
+
+    def test_settles_when_cooling_down(self):
+        plant = ThermalPlant(temperature_c=90.0)
+        controller = TemperatureController(plant)
+        controller.set_target(40.0)
+        controller.settle()
+        assert abs(plant.temperature_c - 40.0) <= controller.tolerance_c
+
+    def test_unreachable_target_raises(self):
+        plant = ThermalPlant(temperature_c=30.0, heater_gain=0.001)
+        controller = TemperatureController(plant)
+        controller.set_target(300.0)
+        with pytest.raises(ConfigurationError):
+            controller.settle(max_steps=200)
+
+    def test_holds_after_settling(self):
+        plant = ThermalPlant(temperature_c=30.0)
+        controller = TemperatureController(plant)
+        controller.set_target(85.0)
+        controller.settle()
+        for __ in range(50):
+            controller.step()
+        assert abs(plant.temperature_c - 85.0) <= 1.0

@@ -1,0 +1,65 @@
+"""Tests for the interpreter's command tracing."""
+
+from repro.bender.interpreter import Interpreter
+from repro.bender.program import ProgramBuilder
+
+from tests.conftest import make_vulnerable_device
+
+
+def build_program(device, loop_count=0):
+    builder = ProgramBuilder()
+    builder.act(0, 0, 0, 10)
+    builder.wr(0, 0, 0, 1, b"\x11" * device.geometry.column_bytes)
+    builder.rd(0, 0, 0, 1)
+    builder.pre(0, 0, 0)
+    if loop_count:
+        with builder.loop(loop_count):
+            builder.act(0, 0, 0, 12)
+            builder.pre(0, 0, 0)
+    builder.ref(0, 0)
+    builder.wait(5)
+    return builder.build()
+
+
+class TestTrace:
+    def test_disabled_by_default(self):
+        device = make_vulnerable_device(seed=1)
+        device.set_ecc_enabled(False)
+        result = Interpreter(device).run(build_program(device))
+        assert result.trace == []
+
+    def test_one_line_per_instruction(self):
+        device = make_vulnerable_device(seed=1)
+        device.set_ecc_enabled(False)
+        result = Interpreter(device, trace=True).run(build_program(device))
+        mnemonics = [line.split()[1] for line in result.trace]
+        assert mnemonics == ["ACT", "WR", "RD", "PRE", "REF", "WAIT"]
+
+    def test_operands_rendered(self):
+        device = make_vulnerable_device(seed=1)
+        device.set_ecc_enabled(False)
+        result = Interpreter(device, trace=True).run(build_program(device))
+        assert "row10" in result.trace[0]
+        assert "col1" in result.trace[1]
+        assert "5 cycles" in result.trace[-1]
+
+    def test_cycles_are_monotone(self):
+        device = make_vulnerable_device(seed=1)
+        device.set_ecc_enabled(False)
+        result = Interpreter(device, trace=True).run(
+            build_program(device, loop_count=4))
+        cycles = [int(line.split()[0]) for line in result.trace]
+        assert cycles == sorted(cycles)
+
+    def test_bulk_loop_summarized(self):
+        device = make_vulnerable_device(seed=1)
+        device.set_ecc_enabled(False)
+        result = Interpreter(device, trace=True).run(
+            build_program(device, loop_count=500))
+        bulk_lines = [line for line in result.trace if "bulk" in line]
+        assert len(bulk_lines) == 1
+        assert "x497" in bulk_lines[0]  # 500 - 2 warmup - 1 final
+        # Warmup (2) + final (1) iterations traced individually.
+        act12_lines = [line for line in result.trace
+                       if "ACT" in line and "row12" in line]
+        assert len(act12_lines) == 3

@@ -1,0 +1,113 @@
+"""Tests for repro.core.ber and repro.core.hcfirst."""
+
+import pytest
+
+from repro.core.ber import BerExperiment
+from repro.core.experiment import ExperimentConfig, InterferenceControls
+from repro.core.hcfirst import HcFirstSearch
+from repro.core.patterns import ROWSTRIPE0, STANDARD_PATTERNS
+from repro.dram.address import DramAddress
+from repro.errors import ExperimentError
+
+VICTIM = DramAddress(0, 0, 0, 20)
+
+
+@pytest.fixture
+def host(vulnerable_board):
+    return vulnerable_board.host
+
+
+@pytest.fixture
+def mapper(vulnerable_board):
+    return vulnerable_board.device.mapper
+
+
+class TestBerExperiment:
+    def test_record_fields(self, host, mapper):
+        config = ExperimentConfig(ber_hammer_count=100_000)
+        experiment = BerExperiment(host, mapper, config)
+        record = experiment.run_row(VICTIM, ROWSTRIPE0, region="first",
+                                    repetition=2)
+        assert record.row_key == (0, 0, 0, 20)
+        assert record.pattern == "Rowstripe0"
+        assert record.region == "first"
+        assert record.repetition == 2
+        assert record.hammer_count == 100_000
+        assert record.flips > 0
+        assert 0.0 < record.ber < 1.0
+        assert record.row_bits == host.device.geometry.row_bits
+
+    def test_run_patterns_covers_table1(self, host, mapper):
+        config = ExperimentConfig(ber_hammer_count=50_000)
+        experiment = BerExperiment(host, mapper, config)
+        records = experiment.run_patterns(VICTIM)
+        assert [record.pattern for record in records] == \
+            [pattern.name for pattern in STANDARD_PATTERNS]
+
+    def test_budget_enforced_on_slow_hammering(self, host, mapper):
+        """A hammer count that cannot fit 27 ms must abort the
+        measurement rather than return retention-contaminated data."""
+        config = ExperimentConfig(ber_hammer_count=400_000)
+        experiment = BerExperiment(host, mapper, config)
+        from repro.errors import ExperimentBudgetError
+        with pytest.raises(ExperimentBudgetError):
+            experiment.run_row(VICTIM, ROWSTRIPE0)
+
+    def test_refresh_enabled_mode_reduces_flips(self, host, mapper):
+        """Ablation A2: with periodic refresh (and therefore the hidden
+        TRR) active, the same hammer count produces fewer flips."""
+        base = ExperimentConfig(ber_hammer_count=100_000)
+        clean = BerExperiment(host, mapper, base).run_row(VICTIM, ROWSTRIPE0)
+        refreshed_config = ExperimentConfig(
+            ber_hammer_count=100_000,
+            controls=InterferenceControls(issue_periodic_refresh=True,
+                                          time_budget_s=1.0))
+        noisy = BerExperiment(host, mapper, refreshed_config).run_row(
+            VICTIM, ROWSTRIPE0)
+        assert noisy.flips < clean.flips
+
+
+class TestHcFirstSearch:
+    def test_finds_exact_first_flip_count(self, host, mapper):
+        config = ExperimentConfig(hcfirst_max_hammers=256 * 1024)
+        search = HcFirstSearch(host, mapper, config)
+        outcome = search.search(VICTIM, ROWSTRIPE0)
+        assert not outcome.censored
+        hc = outcome.hc_first
+        # Exactness: hc flips, hc-1 does not.
+        hammer = search._hammer
+        assert hammer.run(VICTIM, ROWSTRIPE0, hc).flips > 0
+        assert hammer.run(VICTIM, ROWSTRIPE0, hc - 1).flips == 0
+
+    def test_censored_when_no_flip_at_cap(self, host, mapper):
+        config = ExperimentConfig(hcfirst_max_hammers=1024)
+        search = HcFirstSearch(host, mapper, config)
+        outcome = search.search(VICTIM, ROWSTRIPE0)
+        assert outcome.censored
+        assert outcome.hc_first is None
+        assert outcome.flips_at_max == 0
+
+    def test_record_carries_metadata(self, host, mapper):
+        config = ExperimentConfig(hcfirst_max_hammers=128 * 1024)
+        search = HcFirstSearch(host, mapper, config)
+        record = search.record(VICTIM, ROWSTRIPE0, region="middle")
+        assert record.region == "middle"
+        assert record.max_hammers == 128 * 1024
+        assert record.probes > 2
+
+    def test_search_is_repeatable(self, host, mapper):
+        search = HcFirstSearch(host, mapper)
+        first = search.search(VICTIM, ROWSTRIPE0)
+        second = search.search(VICTIM, ROWSTRIPE0)
+        assert first.hc_first == second.hc_first
+
+    def test_record_patterns(self, host, mapper):
+        search = HcFirstSearch(host, mapper)
+        records = search.record_patterns(VICTIM,
+                                         patterns=STANDARD_PATTERNS[:2])
+        assert [record.pattern for record in records] == \
+            ["Rowstripe0", "Rowstripe1"]
+
+    def test_bad_start_rejected(self, host, mapper):
+        with pytest.raises(ExperimentError):
+            HcFirstSearch(host, mapper, start_hammers=0)

@@ -1,0 +1,87 @@
+"""Tests for repro.core.experiment (interference controls, budgets)."""
+
+import pytest
+
+from repro.core.experiment import (
+    DEFAULT_TIME_BUDGET_S,
+    RETENTION_SAFE_WINDOW_S,
+    ExperimentConfig,
+    InterferenceControls,
+    apply_controls,
+    check_time_budget,
+)
+from repro.errors import ExperimentBudgetError, ExperimentError
+
+
+class TestInterferenceControls:
+    def test_paper_defaults(self):
+        controls = InterferenceControls()
+        assert not controls.issue_periodic_refresh
+        assert not controls.ecc_enabled
+        assert controls.enforce_time_budget
+        assert controls.time_budget_s == DEFAULT_TIME_BUDGET_S
+
+    def test_budget_must_fit_retention_window(self):
+        with pytest.raises(ExperimentError):
+            InterferenceControls(time_budget_s=RETENTION_SAFE_WINDOW_S + 1e-3)
+
+    def test_long_budget_allowed_with_refresh_on(self):
+        controls = InterferenceControls(issue_periodic_refresh=True,
+                                        time_budget_s=1.0)
+        assert controls.time_budget_s == 1.0
+
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(ExperimentError):
+            InterferenceControls(time_budget_s=0.0)
+
+
+class TestExperimentConfig:
+    def test_paper_defaults(self):
+        config = ExperimentConfig()
+        assert config.ber_hammer_count == 256 * 1024
+        assert config.hcfirst_max_hammers == 256 * 1024
+        assert config.temperature_c == 85.0
+
+    @pytest.mark.parametrize("field,value", [
+        ("ber_hammer_count", 0),
+        ("hcfirst_max_hammers", -1),
+        ("repetitions", 0),
+    ])
+    def test_invalid_counts_rejected(self, field, value):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(**{field: value})
+
+
+class TestBudgetCheck:
+    def test_within_budget_passes(self):
+        check_time_budget(0.020, InterferenceControls())
+
+    def test_over_budget_raises(self):
+        with pytest.raises(ExperimentBudgetError):
+            check_time_budget(0.030, InterferenceControls())
+
+    def test_disabled_enforcement_passes(self):
+        check_time_budget(10.0, InterferenceControls(
+            enforce_time_budget=False))
+
+    def test_refresh_enabled_passes(self):
+        check_time_budget(10.0, InterferenceControls(
+            issue_periodic_refresh=True, time_budget_s=1.0))
+
+
+class TestApplyControls:
+    def test_sets_temperature_and_ecc(self, vulnerable_board):
+        config = ExperimentConfig(
+            temperature_c=60.0,
+            controls=InterferenceControls(ecc_enabled=True))
+        apply_controls(vulnerable_board, config)
+        assert vulnerable_board.device.temperature_c == pytest.approx(
+            60.0, abs=0.5)
+        for channel in range(vulnerable_board.device.geometry.channels):
+            registers = vulnerable_board.device.mode_registers(channel)
+            assert registers.ecc_enabled
+
+    def test_paper_config_disables_ecc(self, vulnerable_board):
+        apply_controls(vulnerable_board, ExperimentConfig())
+        registers = vulnerable_board.device.mode_registers(0)
+        assert not registers.ecc_enabled

@@ -1,0 +1,156 @@
+"""Tests for repro.core.hammer."""
+
+import pytest
+
+from repro.core.hammer import (
+    DoubleSidedHammer,
+    SingleSidedHammer,
+    build_hammer_program,
+    physical_neighborhood,
+    prepare_neighborhood,
+)
+from repro.core.patterns import CHECKERED0, ROWSTRIPE0, ROWSTRIPE1
+from repro.dram.address import DramAddress, RowAddressMapper
+from repro.errors import ExperimentError
+
+
+@pytest.fixture
+def host(vulnerable_board):
+    return vulnerable_board.host
+
+
+@pytest.fixture
+def mapper(vulnerable_board):
+    return vulnerable_board.device.mapper
+
+
+VICTIM = DramAddress(0, 0, 0, 20)
+
+
+class TestNeighborhood:
+    def test_covers_radius(self, host, mapper):
+        neighborhood = physical_neighborhood(
+            mapper, VICTIM.row, host.device.geometry.rows)
+        assert set(neighborhood) == set(range(-8, 9))
+
+    def test_clips_at_bank_start(self, host):
+        identity = RowAddressMapper.identity(host.device.geometry)
+        neighborhood = physical_neighborhood(
+            identity, 1, host.device.geometry.rows)
+        assert set(neighborhood) == set(range(-1, 9))
+
+    def test_prepare_writes_table1_fills(self, host, mapper):
+        neighborhood = prepare_neighborhood(host, mapper, VICTIM, ROWSTRIPE0)
+        geometry = host.device.geometry
+        victim_bits = host.read_row(VICTIM)
+        assert victim_bits.sum() == 0
+        for offset in (-1, 1):
+            aggressor = VICTIM.with_row(neighborhood[offset])
+            assert host.read_row(aggressor).sum() == geometry.row_bits
+        for offset in (-2, 2, -8, 8):
+            surround = VICTIM.with_row(neighborhood[offset])
+            assert host.read_row(surround).sum() == 0
+
+
+class TestProgramConstruction:
+    def test_double_sided_program_shape(self):
+        program = build_hammer_program(VICTIM, [19, 21], 1000)
+        (loop,) = program.instructions
+        assert loop.count == 1000
+        assert len(loop.body) == 4  # ACT/PRE per aggressor
+
+    def test_zero_hammers_is_empty_program(self):
+        program = build_hammer_program(VICTIM, [19, 21], 0)
+        assert program.instructions == ()
+
+    def test_negative_hammers_rejected(self):
+        with pytest.raises(ExperimentError):
+            build_hammer_program(VICTIM, [19], -1)
+
+    def test_no_aggressors_rejected(self):
+        with pytest.raises(ExperimentError):
+            build_hammer_program(VICTIM, [], 10)
+
+
+class TestDoubleSided:
+    def test_outcome_fields(self, host, mapper):
+        hammer = DoubleSidedHammer(host, mapper)
+        outcome = hammer.run(VICTIM, ROWSTRIPE0, 1000)
+        assert outcome.hammer_count == 1000
+        assert outcome.pattern is ROWSTRIPE0
+        assert outcome.flips == 0  # far below any threshold
+        assert outcome.duration_s > 0
+
+    def test_enough_hammers_flip(self, host, mapper):
+        hammer = DoubleSidedHammer(host, mapper)
+        outcome = hammer.run(VICTIM, ROWSTRIPE0, 100_000)
+        assert outcome.flips > 0
+        assert outcome.ber == outcome.flips / host.device.geometry.row_bits
+
+    def test_duration_tracks_hammer_count(self, host, mapper):
+        hammer = DoubleSidedHammer(host, mapper)
+        short = hammer.run(VICTIM, ROWSTRIPE0, 1000).duration_s
+        long = hammer.run(VICTIM, ROWSTRIPE0, 10_000).duration_s
+        assert long > 5 * short
+
+    def test_victim_at_bank_edge_rejected(self, host):
+        identity = RowAddressMapper.identity(host.device.geometry)
+        hammer = DoubleSidedHammer(host, identity)
+        with pytest.raises(ExperimentError):
+            hammer.run(DramAddress(0, 0, 0, 0), ROWSTRIPE0, 10)
+
+    def test_aggressors_are_physical_neighbors(self, host, mapper):
+        hammer = DoubleSidedHammer(host, mapper)
+        aggressors = hammer.aggressors_of(VICTIM)
+        physical = mapper.logical_to_physical(VICTIM.row)
+        assert sorted(mapper.logical_to_physical(row)
+                      for row in aggressors) == [physical - 1, physical + 1]
+
+    def test_repeatability(self, host, mapper):
+        """Same victim, same pattern, same count: identical flips —
+        the device is deterministic silicon, not a dice roll."""
+        hammer = DoubleSidedHammer(host, mapper)
+        first = hammer.run(VICTIM, ROWSTRIPE1, 100_000)
+        second = hammer.run(VICTIM, ROWSTRIPE1, 100_000)
+        assert first.flips == second.flips
+
+    def test_pattern_changes_flip_count(self, host, mapper):
+        hammer = DoubleSidedHammer(host, mapper)
+        by_pattern = {
+            pattern.name: hammer.run(VICTIM, pattern, 150_000).flips
+            for pattern in (ROWSTRIPE0, ROWSTRIPE1, CHECKERED0)
+        }
+        assert len(set(by_pattern.values())) > 1, \
+            f"patterns should differ: {by_pattern}"
+
+
+class TestSingleSided:
+    def test_reports_both_sides_for_interior_row(self, host, mapper):
+        hammer = SingleSidedHammer(host, mapper)
+        aggressor_logical = mapper.physical_to_logical(20)
+        reports = hammer.run(DramAddress(0, 0, 0, aggressor_logical),
+                             ROWSTRIPE0, 250_000)
+        assert set(reports) == {-1, +1}
+        assert reports[-1].flips > 0
+        assert reports[+1].flips > 0
+
+    def test_subarray_edge_flips_one_side_only(self, host, mapper):
+        """Footnote 3's mechanism on the small device: physical row 64
+        starts the second subarray (64-row tiles), so hammering it can
+        only flip upward."""
+        layout = host.device.subarray_layout
+        boundary = layout.boundaries()[1]
+        hammer = SingleSidedHammer(host, mapper)
+        aggressor_logical = mapper.physical_to_logical(boundary)
+        reports = hammer.run(DramAddress(0, 0, 0, aggressor_logical),
+                             ROWSTRIPE0, 250_000)
+        assert reports[+1].flips > 0
+        assert reports[-1].flips == 0
+
+    def test_single_sided_weaker_than_double(self, host, mapper):
+        double = DoubleSidedHammer(host, mapper).run(
+            VICTIM, ROWSTRIPE0, 60_000)
+        single_reports = SingleSidedHammer(host, mapper).run(
+            VICTIM.with_row(mapper.physical_to_logical(19)),
+            ROWSTRIPE0, 60_000)
+        assert single_reports[+1].flips <= double.flips

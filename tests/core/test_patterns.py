@@ -1,0 +1,85 @@
+"""Tests for repro.core.patterns (Table 1)."""
+
+import pytest
+
+from repro.core.patterns import (
+    CHECKERED0,
+    CHECKERED1,
+    ROWSTRIPE0,
+    ROWSTRIPE1,
+    STANDARD_PATTERNS,
+    WCDP_NAME,
+    DataPattern,
+    pattern_by_name,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTable1:
+    """Byte-for-byte checks against the paper's Table 1."""
+
+    @pytest.mark.parametrize("pattern,victim,aggressor,surround", [
+        (ROWSTRIPE0, 0x00, 0xFF, 0x00),
+        (ROWSTRIPE1, 0xFF, 0x00, 0xFF),
+        (CHECKERED0, 0x55, 0xAA, 0x55),
+        (CHECKERED1, 0xAA, 0x55, 0xAA),
+    ])
+    def test_byte_assignments(self, pattern, victim, aggressor, surround):
+        assert pattern.victim_byte == victim
+        assert pattern.aggressor_byte == aggressor
+        assert pattern.surround_byte == surround
+
+    def test_four_standard_patterns_in_paper_order(self):
+        assert [pattern.name for pattern in STANDARD_PATTERNS] == [
+            "Rowstripe0", "Rowstripe1", "Checkered0", "Checkered1"]
+
+    def test_aggressors_complement_victims(self):
+        for pattern in STANDARD_PATTERNS:
+            assert pattern.aggressor_byte == pattern.victim_byte ^ 0xFF
+
+    def test_surround_equals_victim(self):
+        for pattern in STANDARD_PATTERNS:
+            assert pattern.surround_byte == pattern.victim_byte
+
+
+class TestOffsets:
+    def test_byte_for_offset(self):
+        assert ROWSTRIPE0.byte_for_offset(0) == 0x00
+        assert ROWSTRIPE0.byte_for_offset(1) == 0xFF
+        assert ROWSTRIPE0.byte_for_offset(-1) == 0xFF
+        for offset in list(range(2, 9)) + [-2, -8]:
+            assert ROWSTRIPE0.byte_for_offset(offset) == 0x00
+
+
+class TestRowGeneration:
+    def test_victim_row_length_and_content(self):
+        row = CHECKERED0.victim_row(16)
+        assert row == b"\x55" * 16
+
+    def test_aggressor_row(self):
+        assert CHECKERED0.aggressor_row(4) == b"\xaa" * 4
+
+    def test_surround_row(self):
+        assert ROWSTRIPE1.surround_row(4) == b"\xff" * 4
+
+
+class TestLookup:
+    def test_pattern_by_name(self):
+        assert pattern_by_name("Rowstripe0") is ROWSTRIPE0
+        assert pattern_by_name("Checkered1") is CHECKERED1
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            pattern_by_name("Nonexistent")
+
+    def test_wcdp_is_not_a_standard_pattern(self):
+        with pytest.raises(ConfigurationError):
+            pattern_by_name(WCDP_NAME)
+
+
+class TestValidation:
+    def test_byte_range_enforced(self):
+        with pytest.raises(ConfigurationError):
+            DataPattern("bad", 0x100, 0, 0)
+        with pytest.raises(ConfigurationError):
+            DataPattern("bad", 0, -1, 0)

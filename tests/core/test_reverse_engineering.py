@@ -1,0 +1,139 @@
+"""Tests for repro.core.mapping_re and repro.core.subarray_re.
+
+These run against the small vulnerable device: the methodology must
+discover the device's hidden structure through the command interface.
+"""
+
+import pytest
+
+from repro.core.mapping_re import (
+    AdjacencyObservation,
+    observe_adjacency,
+    reverse_engineer_mapping,
+)
+from repro.core.subarray_re import (
+    INTERIOR,
+    LOWER_EDGE,
+    UPPER_EDGE,
+    EdgeObservation,
+    SubarrayReverseEngineer,
+    SubarrayScanResult,
+)
+from repro.dram.address import RowAddressMapper
+from repro.errors import ExperimentError
+
+from tests.conftest import SMALL_GEOMETRY, make_vulnerable_device
+from repro.bender.board import BenderBoard
+
+
+def make_board(mapper=None, seed=8):
+    device = make_vulnerable_device(seed=seed, mapper=mapper)
+    device.set_temperature(85.0)
+    board = BenderBoard(device)
+    board.host.set_ecc_enabled(False)
+    return board
+
+
+class TestAdjacencyObservation:
+    def test_interior_probe_flips_both_neighbors(self):
+        board = make_board()
+        observation = observe_adjacency(board.host, 0, 0, 0,
+                                        aggressor_row=20, window=4)
+        mapper = board.device.mapper
+        expected = set(mapper.physical_neighbors(20))
+        assert set(observation.victims) == expected
+
+    def test_identity_mapped_device_flips_adjacent_logical_rows(self):
+        identity = RowAddressMapper.identity(SMALL_GEOMETRY)
+        board = make_board(mapper=identity)
+        observation = observe_adjacency(board.host, 0, 0, 0,
+                                        aggressor_row=20, window=4)
+        assert set(observation.victims) == {19, 21}
+
+
+class TestMappingRecovery:
+    def test_recovers_default_scheme(self):
+        board = make_board()
+        discovered = reverse_engineer_mapping(
+            board.host, window=8, hammer_count=200_000)
+        device_mapper = board.device.mapper
+        for row in range(SMALL_GEOMETRY.rows):
+            assert discovered.logical_to_physical(row) == \
+                device_mapper.logical_to_physical(row)
+
+    def test_recovers_identity_scheme(self):
+        identity = RowAddressMapper.identity(SMALL_GEOMETRY)
+        board = make_board(mapper=identity)
+        discovered = reverse_engineer_mapping(
+            board.host, window=8, hammer_count=200_000)
+        for row in range(0, SMALL_GEOMETRY.rows, 7):
+            assert discovered.logical_to_physical(row) == row
+
+    def test_recovers_alternative_scheme(self):
+        alternative = RowAddressMapper(SMALL_GEOMETRY, control_bit=0x4,
+                                       swizzle_mask=0x3)
+        board = make_board(mapper=alternative)
+        discovered = reverse_engineer_mapping(
+            board.host, window=8, hammer_count=200_000)
+        for row in range(SMALL_GEOMETRY.rows):
+            assert discovered.logical_to_physical(row) == \
+                alternative.logical_to_physical(row)
+
+
+class TestEdgeObservation:
+    def test_classification_rules(self):
+        assert EdgeObservation(5, 10, 12).classification == INTERIOR
+        assert EdgeObservation(5, 0, 12).classification == LOWER_EDGE
+        assert EdgeObservation(5, 12, 0).classification == UPPER_EDGE
+
+    def test_min_flips_threshold(self):
+        noisy = EdgeObservation(5, 1, 12, min_flips=2)
+        assert noisy.classification == LOWER_EDGE
+
+    def test_missing_side_counts_as_uncoupled(self):
+        assert EdgeObservation(0, None, 12).classification == LOWER_EDGE
+
+
+class TestSubarrayScan:
+    def test_discovers_boundary(self):
+        board = make_board()
+        layout = board.device.subarray_layout
+        boundary = layout.boundaries()[1]
+        engineer = SubarrayReverseEngineer(board.host, board.device.mapper)
+        result = engineer.scan(start=boundary - 4, end=boundary + 5)
+        assert result.boundaries() == [boundary]
+
+    def test_interior_rows_classified_interior(self):
+        board = make_board()
+        engineer = SubarrayReverseEngineer(board.host, board.device.mapper)
+        observation = engineer.probe(0, 0, 0, 20)
+        assert observation.classification == INTERIOR
+
+    def test_subarray_sizes_from_boundaries(self):
+        result = SubarrayScanResult(observations=(
+            EdgeObservation(64, 0, 9),
+            EdgeObservation(128, 0, 9),
+            EdgeObservation(176, 0, 9),
+        ))
+        assert result.subarray_sizes() == [64, 48]
+
+    def test_refine_boundary(self):
+        board = make_board()
+        layout = board.device.subarray_layout
+        boundary = layout.boundaries()[1]
+        engineer = SubarrayReverseEngineer(board.host, board.device.mapper)
+        found = engineer.refine_boundary(0, 0, 0, boundary - 5,
+                                         boundary + 3)
+        assert found == boundary
+
+    def test_refine_requires_ordered_range(self):
+        board = make_board()
+        engineer = SubarrayReverseEngineer(board.host, board.device.mapper)
+        with pytest.raises(ExperimentError):
+            engineer.refine_boundary(0, 0, 0, 10, 10)
+
+    def test_bad_scan_range_rejected(self):
+        board = make_board()
+        engineer = SubarrayReverseEngineer(board.host, board.device.mapper)
+        with pytest.raises(ExperimentError):
+            engineer.scan(start=100, end=50)

@@ -1,0 +1,127 @@
+"""Tests for repro.core.sweeps."""
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.patterns import ROWSTRIPE0, ROWSTRIPE1
+from repro.core.results import REGION_FIRST, REGION_LAST, REGION_MIDDLE
+from repro.core.sweeps import SpatialSweep, SweepConfig
+from repro.errors import ExperimentError
+
+
+def small_sweep_config(**overrides):
+    defaults = dict(
+        channels=(0,),
+        regions=(REGION_FIRST, REGION_MIDDLE, REGION_LAST),
+        region_size=64,
+        rows_per_region=3,
+        hcfirst_rows_per_region=1,
+        patterns=(ROWSTRIPE0, ROWSTRIPE1),
+        experiment=ExperimentConfig(ber_hammer_count=80_000,
+                                    hcfirst_max_hammers=128 * 1024),
+    )
+    defaults.update(overrides)
+    return SweepConfig(**defaults)
+
+
+class TestConfig:
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ROWS_PER_REGION", "5")
+        monkeypatch.setenv("REPRO_HCFIRST_ROWS", "2")
+        monkeypatch.setenv("REPRO_REPETITIONS", "3")
+        config = SweepConfig.from_env()
+        assert config.rows_per_region == 5
+        assert config.hcfirst_rows_per_region == 2
+        assert config.repetitions == 3
+
+    def test_env_override_with_kwargs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ROWS_PER_REGION", "5")
+        config = SweepConfig.from_env(channels=(1, 2))
+        assert config.channels == (1, 2)
+        assert config.rows_per_region == 5
+
+    def test_bad_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ROWS_PER_REGION", "many")
+        with pytest.raises(ExperimentError):
+            SweepConfig.from_env()
+
+    def test_unknown_region_rejected(self):
+        with pytest.raises(ExperimentError):
+            SweepConfig(regions=("first", "bogus"))
+
+
+class TestRowSelection:
+    def test_regions_land_where_the_paper_says(self, vulnerable_board):
+        sweep = SpatialSweep(vulnerable_board, small_sweep_config())
+        rows = vulnerable_board.device.geometry.rows
+        assert sweep.region_start(REGION_FIRST) == 0
+        assert sweep.region_start(REGION_MIDDLE) == (rows - 64) // 2
+        assert sweep.region_start(REGION_LAST) == rows - 64
+
+    def test_rows_are_within_region(self, vulnerable_board):
+        sweep = SpatialSweep(vulnerable_board, small_sweep_config())
+        for region in (REGION_FIRST, REGION_MIDDLE, REGION_LAST):
+            start = sweep.region_start(region)
+            for row in sweep.region_rows(region, 4):
+                assert start <= row < start + 64
+
+    def test_bank_edge_rows_skipped(self, vulnerable_board):
+        """Physical row 0 has one neighbour; it cannot be a victim."""
+        sweep = SpatialSweep(vulnerable_board, small_sweep_config())
+        mapper = vulnerable_board.device.mapper
+        for row in sweep.region_rows(REGION_FIRST, 4):
+            assert len(mapper.physical_neighbors(row)) == 2
+
+
+class TestRun:
+    def test_dataset_shape(self, vulnerable_board):
+        config = small_sweep_config()
+        dataset = SpatialSweep(vulnerable_board, config).run()
+        # 1 channel x 3 regions x 3 rows x 2 patterns BER records,
+        # plus the synthesized WCDP copies (one per row).
+        plain = [record for record in dataset.ber_records
+                 if record.pattern != "WCDP"]
+        wcdp = [record for record in dataset.ber_records
+                if record.pattern == "WCDP"]
+        assert len(plain) == 1 * 3 * 3 * 2
+        assert len(wcdp) == 1 * 3 * 3
+        hc_plain = [record for record in dataset.hcfirst_records
+                    if record.pattern != "WCDP"]
+        assert len(hc_plain) == 1 * 3 * 1 * 2
+
+    def test_metadata_recorded(self, vulnerable_board):
+        dataset = SpatialSweep(vulnerable_board, small_sweep_config()).run()
+        assert dataset.metadata["channels"] == [0]
+        assert dataset.metadata["patterns"] == ["Rowstripe0", "Rowstripe1"]
+
+    def test_progress_callback_called(self, vulnerable_board):
+        messages = []
+        SpatialSweep(vulnerable_board,
+                     small_sweep_config()).run(progress=messages.append)
+        assert len(messages) == 3  # one per (bank, region)
+        assert "region=first" in messages[0]
+
+    def test_repetitions_multiply_records(self, vulnerable_board):
+        config = small_sweep_config(repetitions=2,
+                                    include_hcfirst=False)
+        dataset = SpatialSweep(vulnerable_board, config).run()
+        plain = [record for record in dataset.ber_records
+                 if record.pattern != "WCDP"]
+        assert len(plain) == 1 * 3 * 3 * 2 * 2
+
+    def test_sweep_applies_ecc_control(self, vulnerable_board):
+        vulnerable_board.host.set_ecc_enabled(True)
+        SpatialSweep(vulnerable_board, small_sweep_config()).run()
+        assert not vulnerable_board.device.mode_registers(0).ecc_enabled
+
+    def test_repetitions_agree_on_deterministic_device(self,
+                                                       vulnerable_board):
+        config = small_sweep_config(repetitions=2, include_hcfirst=False)
+        dataset = SpatialSweep(vulnerable_board, config).run()
+        for record in dataset.ber_records:
+            partner = [other for other in dataset.ber_records
+                       if other.row_key == record.row_key
+                       and other.pattern == record.pattern]
+            flips = {other.flips for other in partner}
+            assert len(flips) == 1, \
+                "same chip, same test => same flips"

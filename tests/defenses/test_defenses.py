@@ -1,0 +1,123 @@
+"""Tests for repro.defenses (PARA, adaptive PARA, evaluation harness)."""
+
+import pytest
+
+from repro.core.patterns import ROWSTRIPE0
+from repro.core.results import CharacterizationDataset, HcFirstRecord
+from repro.defenses.adaptive import (
+    AdaptivePara,
+    AdaptivePolicy,
+    adaptive_policy_from_dataset,
+)
+from repro.defenses.evaluation import compare_defenses
+from repro.defenses.para import ParaDefense
+from repro.dram.address import DramAddress
+from repro.errors import ExperimentError
+
+
+VICTIM = DramAddress(0, 0, 0, 20)
+
+
+def hc_record(channel, hc_first):
+    return HcFirstRecord(channel=channel, pseudo_channel=0, bank=0, row=10,
+                         region="first", pattern="Rowstripe0", repetition=0,
+                         hc_first=hc_first, max_hammers=262144, probes=10,
+                         flips_at_max=3)
+
+
+class TestParaDefense:
+    def test_no_defense_lets_flips_through(self, vulnerable_board):
+        defense = ParaDefense(vulnerable_board.host,
+                              vulnerable_board.device.mapper,
+                              probability=0.0)
+        outcome = defense.defend_attack(VICTIM, ROWSTRIPE0, 120_000)
+        assert outcome.flips > 0
+        assert outcome.refreshes_issued == 0
+
+    def test_strong_defense_prevents_flips(self, vulnerable_board):
+        defense = ParaDefense(vulnerable_board.host,
+                              vulnerable_board.device.mapper,
+                              probability=0.002, seed=3)
+        outcome = defense.defend_attack(VICTIM, ROWSTRIPE0, 120_000)
+        assert outcome.prevented
+        assert outcome.refreshes_issued > 0
+
+    def test_overhead_fraction_tracks_probability(self, vulnerable_board):
+        defense = ParaDefense(vulnerable_board.host,
+                              vulnerable_board.device.mapper,
+                              probability=0.01, seed=3)
+        outcome = defense.defend_attack(VICTIM, ROWSTRIPE0, 50_000)
+        # Each trigger refreshes two neighbours: overhead ~ 2p.
+        assert outcome.overhead_fraction == pytest.approx(0.02, rel=0.3)
+
+    def test_probability_bounds(self, vulnerable_board):
+        with pytest.raises(ExperimentError):
+            ParaDefense(vulnerable_board.host,
+                        vulnerable_board.device.mapper, probability=1.5)
+
+
+class TestAdaptivePolicy:
+    def test_policy_scales_down_robust_channels(self):
+        dataset = CharacterizationDataset()
+        dataset.extend([hc_record(0, 60_000), hc_record(7, 30_000)])
+        policy = adaptive_policy_from_dataset(dataset,
+                                              base_probability=0.002)
+        assert policy.probability_for(7) == pytest.approx(0.002)
+        assert policy.probability_for(0) == pytest.approx(0.001)
+
+    def test_unknown_channel_gets_base_probability(self):
+        policy = AdaptivePolicy(base_probability=0.004, per_channel={0: 0.001})
+        assert policy.probability_for(5) == 0.004
+
+    def test_mean_probability(self):
+        policy = AdaptivePolicy(base_probability=0.004,
+                                per_channel={0: 0.001, 1: 0.003})
+        assert policy.mean_probability() == pytest.approx(0.002)
+
+    def test_probability_capped_at_one(self):
+        dataset = CharacterizationDataset()
+        dataset.extend([hc_record(0, 1), hc_record(7, 100)])
+        policy = adaptive_policy_from_dataset(dataset, base_probability=0.9)
+        assert policy.probability_for(7) <= 1.0
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(ExperimentError):
+            adaptive_policy_from_dataset(CharacterizationDataset(),
+                                         base_probability=0.001)
+
+    def test_adaptive_para_uses_policy(self, vulnerable_board):
+        policy = AdaptivePolicy(base_probability=0.01,
+                                per_channel={0: 0.004, 1: 0.01})
+        defense = AdaptivePara(vulnerable_board.host,
+                               vulnerable_board.device.mapper, policy)
+        assert defense.probability_for(0) == 0.004
+        assert defense.probability_for(1) == 0.01
+
+
+class TestComparisonHarness:
+    def test_compare_defenses_shapes(self, vulnerable_board):
+        dataset = CharacterizationDataset()
+        dataset.extend([hc_record(0, 30_000), hc_record(1, 60_000)])
+        victims = [DramAddress(0, 0, 0, 20), DramAddress(1, 0, 0, 20)]
+        results = compare_defenses(vulnerable_board, dataset, victims,
+                                   base_probability=0.002,
+                                   hammer_count=100_000)
+        assert set(results) == {"none", "uniform", "adaptive"}
+        none = results["none"]
+        assert none.victims_compromised > 0
+        assert none.total_refreshes == 0
+        assert results["uniform"].total_flips <= none.total_flips
+        # Adaptive must be cheaper than uniform (channel 1 runs at half
+        # probability).
+        assert results["adaptive"].total_refreshes < \
+            results["uniform"].total_refreshes
+
+    def test_summary_text(self, vulnerable_board):
+        dataset = CharacterizationDataset()
+        dataset.extend([hc_record(0, 30_000)])
+        results = compare_defenses(vulnerable_board, dataset,
+                                   [DramAddress(0, 0, 0, 20)],
+                                   base_probability=0.001,
+                                   hammer_count=50_000)
+        for comparison in results.values():
+            assert "victims compromised" in comparison.summary()

@@ -1,0 +1,103 @@
+"""Tests for the subarray-adaptive PARA variant."""
+
+import pytest
+
+from repro.core.patterns import ROWSTRIPE0
+from repro.defenses.adaptive import (
+    AdaptivePolicy,
+    SubarrayAdaptivePara,
+    SubarrayAdaptivePolicy,
+)
+from repro.dram.address import DramAddress
+from repro.errors import ExperimentError
+
+
+def channel_policy(base=0.002):
+    return AdaptivePolicy(base_probability=base,
+                          per_channel={0: base, 1: base / 2})
+
+
+class TestPolicy:
+    def test_relief_applies_past_the_boundary(self):
+        policy = SubarrayAdaptivePolicy(
+            channel_policy=channel_policy(),
+            last_subarray_start=15552,  # 16384 - 832
+            last_subarray_relief=4.0)
+        assert policy.probability_for(0, 1000) == pytest.approx(0.002)
+        assert policy.probability_for(0, 15552) == pytest.approx(0.0005)
+        assert policy.probability_for(0, 16383) == pytest.approx(0.0005)
+
+    def test_channel_policy_composes(self):
+        policy = SubarrayAdaptivePolicy(
+            channel_policy=channel_policy(),
+            last_subarray_start=15552,
+            last_subarray_relief=2.0)
+        assert policy.probability_for(1, 16000) == pytest.approx(0.0005)
+
+    def test_relief_below_one_rejected(self):
+        with pytest.raises(ExperimentError):
+            SubarrayAdaptivePolicy(channel_policy=channel_policy(),
+                                   last_subarray_start=100,
+                                   last_subarray_relief=0.5)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ExperimentError):
+            SubarrayAdaptivePolicy(channel_policy=channel_policy(),
+                                   last_subarray_start=-1,
+                                   last_subarray_relief=2.0)
+
+
+class TestDefense:
+    def test_victim_probability_resolves_by_subarray(self,
+                                                     vulnerable_board):
+        rows = vulnerable_board.device.geometry.rows
+        policy = SubarrayAdaptivePolicy(
+            channel_policy=channel_policy(0.004),
+            last_subarray_start=rows - 64,
+            last_subarray_relief=4.0)
+        defense = SubarrayAdaptivePara(vulnerable_board.host,
+                                       vulnerable_board.device.mapper,
+                                       policy)
+        mapper = vulnerable_board.device.mapper
+        interior = DramAddress(0, 0, 0,
+                               mapper.physical_to_logical(50))
+        final = DramAddress(0, 0, 0,
+                            mapper.physical_to_logical(rows - 10))
+        assert defense.probability_for_victim(interior) == \
+            pytest.approx(0.004)
+        assert defense.probability_for_victim(final) == \
+            pytest.approx(0.001)
+
+    def test_relieved_defense_issues_fewer_refreshes(self,
+                                                     vulnerable_board):
+        rows = vulnerable_board.device.geometry.rows
+        policy = SubarrayAdaptivePolicy(
+            channel_policy=channel_policy(0.01),
+            last_subarray_start=rows - 64,
+            last_subarray_relief=5.0)
+        defense = SubarrayAdaptivePara(vulnerable_board.host,
+                                       vulnerable_board.device.mapper,
+                                       policy, seed=3)
+        mapper = vulnerable_board.device.mapper
+        interior = defense.defend_attack(
+            DramAddress(0, 0, 0, mapper.physical_to_logical(50)),
+            ROWSTRIPE0, 40_000)
+        final = defense.defend_attack(
+            DramAddress(0, 0, 0, mapper.physical_to_logical(rows - 10)),
+            ROWSTRIPE0, 40_000)
+        assert final.refreshes_issued < interior.refreshes_issued
+
+    def test_interior_still_protected(self, vulnerable_board):
+        rows = vulnerable_board.device.geometry.rows
+        policy = SubarrayAdaptivePolicy(
+            channel_policy=channel_policy(0.004),
+            last_subarray_start=rows - 64,
+            last_subarray_relief=4.0)
+        defense = SubarrayAdaptivePara(vulnerable_board.host,
+                                       vulnerable_board.device.mapper,
+                                       policy, seed=3)
+        mapper = vulnerable_board.device.mapper
+        outcome = defense.defend_attack(
+            DramAddress(0, 0, 0, mapper.physical_to_logical(50)),
+            ROWSTRIPE0, 120_000)
+        assert outcome.prevented

@@ -1,0 +1,83 @@
+"""Tests for repro.dram.channel."""
+
+import pytest
+
+from repro.dram.timing import TimingParameters
+from repro.errors import AddressError
+
+from tests.conftest import make_small_device
+
+
+@pytest.fixture
+def device():
+    return make_small_device(seed=3)
+
+
+class TestBankCreation:
+    def test_banks_created_lazily(self, device):
+        channel = device.channel(0)
+        assert channel.existing_bank(0, 1) is None
+        bank = channel.bank(0, 1)
+        assert channel.existing_bank(0, 1) is bank
+
+    def test_bank_identity_is_stable(self, device):
+        channel = device.channel(0)
+        assert channel.bank(0, 0) is channel.bank(0, 0)
+
+    def test_bank_keys_carry_channel(self, device):
+        assert device.channel(1).bank(0, 1).key == (1, 0, 1)
+
+    def test_bad_bank_index_raises(self, device):
+        with pytest.raises(AddressError):
+            device.channel(0).bank(0, 99)
+
+    def test_touched_banks_iterates_per_pseudo_channel(self, device):
+        channel = device.channel(0)
+        channel.bank(0, 0)
+        channel.bank(0, 1)
+        touched = list(channel.touched_banks(0))
+        assert {bank.key for bank in touched} == {(0, 0, 0), (0, 0, 1)}
+
+
+class TestRefreshSequencing:
+    def test_rows_per_ref_covers_bank_in_window(self, device):
+        pc_state = device.channel(0).pseudo_channels[0]
+        timing = TimingParameters()
+        refs_per_window = round(timing.t_refw / timing.t_refi)
+        rows = device.geometry.rows
+        assert pc_state.rows_per_ref * refs_per_window >= rows
+
+    def test_refresh_pointer_advances_and_wraps(self, device):
+        pc_state = device.channel(0).pseudo_channels[0]
+        rows = device.geometry.rows
+        step = pc_state.rows_per_ref
+        start, end = pc_state.next_refresh_range(rows)
+        assert (start, end) == (0, step)
+        covered = end
+        while covered < rows:
+            start, end = pc_state.next_refresh_range(rows)
+            assert start == covered
+            covered = end
+        # Next range wraps back to the start of the bank.
+        start, end = pc_state.next_refresh_range(rows)
+        assert start == 0
+
+    def test_ref_count_increments(self, device):
+        pc_state = device.channel(0).pseudo_channels[0]
+        pc_state.next_refresh_range(device.geometry.rows)
+        pc_state.next_refresh_range(device.geometry.rows)
+        assert pc_state.ref_count == 2
+
+    def test_pseudo_channels_are_independent(self, device):
+        paper_device = make_small_device(seed=3)
+        del paper_device
+        channel = device.channel(0)
+        if len(channel.pseudo_channels) < 2:
+            pytest.skip("small geometry has one pseudo channel")
+
+
+class TestModeRegistersPerChannel:
+    def test_channels_have_independent_registers(self, device):
+        device.channel(0).mode_registers.set_ecc_enabled(False)
+        assert not device.channel(0).mode_registers.ecc_enabled
+        assert device.channel(1).mode_registers.ecc_enabled

@@ -1,0 +1,109 @@
+"""Tests for repro.dram.ecc (on-die SEC Hamming codec)."""
+
+import numpy as np
+import pytest
+
+from repro.dram.cellmodel import ECC_PARITY_BITS, ECC_WORD_BITS
+from repro.dram.ecc import decode_words, encode_words
+from repro.errors import ConfigurationError
+
+
+def random_bits(words: int, seed: int) -> np.ndarray:
+    rng = np.random.Generator(np.random.Philox(seed))
+    return rng.integers(0, 2, size=words * ECC_WORD_BITS, dtype=np.uint8)
+
+
+class TestCleanPath:
+    def test_clean_data_decodes_unchanged(self):
+        data = random_bits(8, seed=1)
+        parity = encode_words(data)
+        decoded, corrected, uncorrectable = decode_words(data, parity)
+        assert np.array_equal(decoded, data)
+        assert corrected == 0
+        assert uncorrectable == 0
+
+    def test_parity_length(self):
+        data = random_bits(16, seed=2)
+        assert encode_words(data).shape == (16 * ECC_PARITY_BITS,)
+
+    def test_all_zero_word_has_zero_parity(self):
+        data = np.zeros(ECC_WORD_BITS, dtype=np.uint8)
+        assert encode_words(data).sum() == 0
+
+
+class TestSingleErrorCorrection:
+    @pytest.mark.parametrize("position", [0, 1, 31, 62, 63])
+    def test_single_data_flip_corrected(self, position):
+        data = random_bits(1, seed=3)
+        parity = encode_words(data)
+        corrupted = data.copy()
+        corrupted[position] ^= 1
+        decoded, corrected, uncorrectable = decode_words(corrupted, parity)
+        assert np.array_equal(decoded, data)
+        assert corrected == 1
+        assert uncorrectable == 0
+
+    @pytest.mark.parametrize("parity_position", [0, 3, 7])
+    def test_single_parity_flip_leaves_data_intact(self, parity_position):
+        data = random_bits(1, seed=4)
+        parity = encode_words(data)
+        corrupted_parity = parity.copy()
+        corrupted_parity[parity_position] ^= 1
+        decoded, corrected, uncorrectable = decode_words(data,
+                                                         corrupted_parity)
+        assert np.array_equal(decoded, data)
+        assert corrected == 1
+        assert uncorrectable == 0
+
+    def test_one_flip_in_each_of_many_words(self):
+        words = 128
+        data = random_bits(words, seed=5)
+        parity = encode_words(data)
+        rng = np.random.Generator(np.random.Philox(6))
+        corrupted = data.copy()
+        for word in range(words):
+            position = int(rng.integers(0, ECC_WORD_BITS))
+            corrupted[word * ECC_WORD_BITS + position] ^= 1
+        decoded, corrected, uncorrectable = decode_words(corrupted, parity)
+        assert np.array_equal(decoded, data)
+        assert corrected == words
+        assert uncorrectable == 0
+
+
+class TestMultiBitBehaviour:
+    def test_double_flip_not_silently_corrected_to_original(self):
+        """Two flips in a word exceed SEC; the word must either be
+        flagged uncorrectable or miscorrected — never restored."""
+        data = random_bits(1, seed=7)
+        parity = encode_words(data)
+        corrupted = data.copy()
+        corrupted[3] ^= 1
+        corrupted[17] ^= 1
+        decoded, corrected, uncorrectable = decode_words(corrupted, parity)
+        assert not np.array_equal(decoded, data)
+        assert corrected + uncorrectable == 1
+
+    def test_some_double_flips_flag_uncorrectable(self):
+        """Across many double-flip trials, the non-column syndromes show
+        up as uncorrectable words."""
+        flagged = 0
+        for seed in range(40):
+            data = random_bits(1, seed=100 + seed)
+            parity = encode_words(data)
+            corrupted = data.copy()
+            corrupted[seed % ECC_WORD_BITS] ^= 1
+            corrupted[(seed * 7 + 11) % ECC_WORD_BITS] ^= 1
+            __, __, uncorrectable = decode_words(corrupted, parity)
+            flagged += uncorrectable
+        assert flagged > 0
+
+
+class TestValidation:
+    def test_data_length_must_be_word_multiple(self):
+        with pytest.raises(ConfigurationError):
+            encode_words(np.zeros(65, dtype=np.uint8))
+
+    def test_parity_length_must_match(self):
+        data = random_bits(2, seed=8)
+        with pytest.raises(ConfigurationError):
+            decode_words(data, np.zeros(ECC_PARITY_BITS, dtype=np.uint8))

@@ -1,0 +1,99 @@
+"""Tests for repro.dram.geometry."""
+
+import pytest
+
+from repro.dram.geometry import HBM2Geometry
+from repro.errors import AddressError, ConfigurationError
+
+
+class TestDefaults:
+    def test_paper_chip_dimensions(self):
+        geometry = HBM2Geometry()
+        assert geometry.channels == 8
+        assert geometry.pseudo_channels == 2
+        assert geometry.banks == 16
+        assert geometry.rows == 16384
+        assert geometry.columns == 32
+
+    def test_stack_capacity_is_4gib(self):
+        assert HBM2Geometry().stack_bytes == 4 * 1024 ** 3
+
+    def test_row_is_1kib(self):
+        geometry = HBM2Geometry()
+        assert geometry.row_bytes == 1024
+        assert geometry.row_bits == 8192
+
+    def test_total_banks_is_256(self):
+        assert HBM2Geometry().total_banks == 256
+
+    def test_eight_channels_make_four_dies(self):
+        assert HBM2Geometry().dies == 4
+
+
+class TestDieMapping:
+    def test_channels_pair_onto_dies(self):
+        geometry = HBM2Geometry()
+        assert geometry.die_of_channel(0) == 0
+        assert geometry.die_of_channel(1) == 0
+        assert geometry.die_of_channel(6) == 3
+        assert geometry.die_of_channel(7) == 3
+
+    def test_die_of_bad_channel_raises(self):
+        with pytest.raises(AddressError):
+            HBM2Geometry().die_of_channel(8)
+
+
+class TestValidation:
+    def test_zero_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HBM2Geometry(rows=0)
+
+    def test_negative_banks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HBM2Geometry(banks=-1)
+
+    def test_non_integer_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HBM2Geometry(columns=1.5)
+
+    def test_channels_must_divide_into_dies(self):
+        with pytest.raises(ConfigurationError):
+            HBM2Geometry(channels=7, channels_per_die=2)
+
+    @pytest.mark.parametrize("method,value", [
+        ("check_channel", 8),
+        ("check_pseudo_channel", 2),
+        ("check_bank", 16),
+        ("check_row", 16384),
+        ("check_column", 32),
+    ])
+    def test_range_checks_reject_one_past_end(self, method, value):
+        geometry = HBM2Geometry()
+        with pytest.raises(AddressError):
+            getattr(geometry, method)(value)
+
+    @pytest.mark.parametrize("method", [
+        "check_channel", "check_pseudo_channel", "check_bank",
+        "check_row", "check_column",
+    ])
+    def test_range_checks_reject_negative(self, method):
+        geometry = HBM2Geometry()
+        with pytest.raises(AddressError):
+            getattr(geometry, method)(-1)
+
+    def test_range_checks_accept_zero_and_max(self):
+        geometry = HBM2Geometry()
+        geometry.check_channel(0)
+        geometry.check_channel(7)
+        geometry.check_row(0)
+        geometry.check_row(16383)
+
+
+class TestCustomGeometry:
+    def test_small_geometry_sizes(self):
+        geometry = HBM2Geometry(channels=2, pseudo_channels=1, banks=2,
+                                rows=256, columns=4, column_bytes=8)
+        assert geometry.row_bytes == 32
+        assert geometry.row_bits == 256
+        assert geometry.bank_bytes == 256 * 32
+        assert geometry.total_banks == 4

@@ -1,0 +1,66 @@
+"""Tests for repro.dram.modereg."""
+
+import pytest
+
+from repro.dram.modereg import MR_ECC, ModeRegisters
+from repro.errors import ConfigurationError
+
+
+class TestDefaults:
+    def test_ecc_enabled_at_powerup(self):
+        """On-die ECC defaults on; the methodology must disable it
+        explicitly (§3.1) — forgetting this corrupts measurements."""
+        assert ModeRegisters().ecc_enabled
+
+    def test_documented_trr_mode_off_by_default(self):
+        assert not ModeRegisters().documented_trr_mode
+
+
+class TestEccBit:
+    def test_disable_ecc(self):
+        registers = ModeRegisters()
+        registers.set_ecc_enabled(False)
+        assert not registers.ecc_enabled
+        assert registers.read(MR_ECC) & 1 == 0
+
+    def test_reenable_ecc(self):
+        registers = ModeRegisters()
+        registers.set_ecc_enabled(False)
+        registers.set_ecc_enabled(True)
+        assert registers.ecc_enabled
+
+    def test_ecc_toggle_preserves_other_bits(self):
+        registers = ModeRegisters()
+        registers.write(MR_ECC, 0b1010_0001)
+        registers.set_ecc_enabled(False)
+        assert registers.read(MR_ECC) == 0b1010_0000
+
+
+class TestDocumentedTrrMode:
+    def test_toggle(self):
+        registers = ModeRegisters()
+        registers.set_documented_trr_mode(True)
+        assert registers.documented_trr_mode
+        registers.set_documented_trr_mode(False)
+        assert not registers.documented_trr_mode
+
+
+class TestRawAccess:
+    def test_write_read_roundtrip(self):
+        registers = ModeRegisters()
+        registers.write(3, 0xAB)
+        assert registers.read(3) == 0xAB
+
+    def test_unwritten_register_reads_zero(self):
+        assert ModeRegisters().read(9) == 0
+
+    def test_register_index_bounds(self):
+        registers = ModeRegisters()
+        with pytest.raises(ConfigurationError):
+            registers.read(16)
+        with pytest.raises(ConfigurationError):
+            registers.write(-1, 0)
+
+    def test_value_must_fit_byte(self):
+        with pytest.raises(ConfigurationError):
+            ModeRegisters().write(0, 0x100)

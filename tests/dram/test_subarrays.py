@@ -1,0 +1,112 @@
+"""Tests for repro.dram.subarrays."""
+
+import pytest
+
+from repro.dram.subarrays import SubarrayLayout
+from repro.errors import ConfigurationError
+
+
+class TestPaperDefaultLayout:
+    @pytest.fixture
+    def layout(self):
+        return SubarrayLayout.paper_default(16384)
+
+    def test_covers_the_bank(self, layout):
+        assert layout.total_rows == 16384
+        assert sum(layout.sizes) == 16384
+
+    def test_sizes_are_832_or_768(self, layout):
+        """Footnote 3: subarrays contain either 832 or 768 rows."""
+        assert set(layout.sizes) == {832, 768}
+
+    def test_first_and_last_subarrays_are_832(self, layout):
+        """Fig. 5: SA X (first) and SA Z (last) are 832-row subarrays."""
+        assert layout.sizes[0] == 832
+        assert layout.sizes[-1] == 832
+
+    def test_twenty_subarrays(self, layout):
+        assert layout.count == 20
+        assert layout.sizes.count(832) == 16
+        assert layout.sizes.count(768) == 4
+
+    def test_last_subarray_is_the_last_832_rows(self, layout):
+        """Observation O9 concerns the last 832 rows of the bank."""
+        start, end = layout.bounds(layout.count - 1)
+        assert end - start == 832
+        assert end == 16384
+        assert layout.is_last_subarray(16384 - 832)
+        assert not layout.is_last_subarray(16384 - 833)
+
+
+class TestLookup:
+    @pytest.fixture
+    def layout(self):
+        return SubarrayLayout([10, 20, 30])
+
+    def test_subarray_of(self, layout):
+        assert layout.subarray_of(0) == 0
+        assert layout.subarray_of(9) == 0
+        assert layout.subarray_of(10) == 1
+        assert layout.subarray_of(29) == 1
+        assert layout.subarray_of(30) == 2
+        assert layout.subarray_of(59) == 2
+
+    def test_bounds(self, layout):
+        assert layout.bounds(0) == (0, 10)
+        assert layout.bounds(1) == (10, 30)
+        assert layout.bounds(2) == (30, 60)
+
+    def test_boundaries(self, layout):
+        assert layout.boundaries() == [0, 10, 30]
+
+    def test_same_subarray(self, layout):
+        assert layout.same_subarray(0, 9)
+        assert not layout.same_subarray(9, 10)
+        assert layout.same_subarray(10, 29)
+
+    def test_row_out_of_range_raises(self, layout):
+        with pytest.raises(ConfigurationError):
+            layout.subarray_of(60)
+        with pytest.raises(ConfigurationError):
+            layout.subarray_of(-1)
+
+    def test_bad_index_raises(self, layout):
+        with pytest.raises(ConfigurationError):
+            layout.bounds(3)
+
+
+class TestPositionFraction:
+    def test_edges_and_middle(self):
+        layout = SubarrayLayout([11])
+        assert layout.position_fraction(0) == 0.0
+        assert layout.position_fraction(10) == 1.0
+        assert layout.position_fraction(5) == 0.5
+
+    def test_single_row_subarray_is_centered(self):
+        layout = SubarrayLayout([1, 5])
+        assert layout.position_fraction(0) == 0.5
+
+
+class TestEdgeRows:
+    def test_edge_rows_flank_every_boundary(self):
+        layout = SubarrayLayout([4, 4])
+        assert sorted(layout.edge_rows()) == [0, 3, 4, 7]
+
+    def test_single_row_subarray_listed_once(self):
+        layout = SubarrayLayout([1, 3])
+        assert sorted(layout.edge_rows()) == [0, 1, 3]
+
+
+class TestValidation:
+    def test_empty_layout_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SubarrayLayout([])
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SubarrayLayout([10, 0])
+
+    def test_small_geometry_layout_covers_rows(self):
+        layout = SubarrayLayout.paper_default(256)
+        assert layout.total_rows == 256
+        assert layout.count > 1, "small banks still get multiple subarrays"

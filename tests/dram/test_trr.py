@@ -1,0 +1,92 @@
+"""Tests for repro.dram.trr (the hidden TRR engine)."""
+
+import pytest
+
+from repro.dram.trr import TrrConfig, TrrEngine
+from repro.errors import ConfigurationError
+
+BANK = (0, 0, 0)
+OTHER_BANK = (0, 0, 1)
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = TrrConfig()
+        assert config.enabled
+        assert config.refresh_period == 17
+        assert config.refresh_radius == 1
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrrConfig(refresh_period=0)
+
+    def test_bad_radius_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrrConfig(refresh_radius=0)
+
+
+class TestFiringSchedule:
+    def test_fires_on_every_nth_ref(self):
+        engine = TrrEngine(TrrConfig(refresh_period=17))
+        engine.observe_activation(BANK, 100)
+        firings = [bool(engine.on_refresh()) for _ in range(34)]
+        assert firings.count(True) == 1  # sample consumed after first fire
+        assert firings.index(True) == 16  # the 17th REF
+
+    def test_period_resets_after_firing(self):
+        engine = TrrEngine(TrrConfig(refresh_period=3))
+        fired_at = []
+        for ref_index in range(9):
+            engine.observe_activation(BANK, 50)
+            if engine.on_refresh():
+                fired_at.append(ref_index)
+        assert fired_at == [2, 5, 8]
+
+    def test_no_sample_means_no_victims(self):
+        engine = TrrEngine(TrrConfig(refresh_period=2))
+        assert engine.on_refresh() == []
+        assert engine.on_refresh() == []  # period elapsed, empty sampler
+
+    def test_disabled_engine_is_inert(self):
+        engine = TrrEngine(TrrConfig(enabled=False, refresh_period=1))
+        engine.observe_activation(BANK, 100)
+        assert engine.on_refresh() == []
+
+
+class TestSampler:
+    def test_most_recent_activation_wins(self):
+        engine = TrrEngine(TrrConfig(refresh_period=1))
+        engine.observe_activation(BANK, 100)
+        engine.observe_activation(BANK, 200)
+        victims = engine.on_refresh()
+        assert (BANK, 199) in victims
+        assert (BANK, 201) in victims
+        assert all(victim[1] in (199, 201) for victim in victims)
+
+    def test_per_bank_samples(self):
+        engine = TrrEngine(TrrConfig(refresh_period=1))
+        engine.observe_activation(BANK, 100)
+        engine.observe_activation(OTHER_BANK, 300)
+        victims = dict()
+        for bank, row in engine.on_refresh():
+            victims.setdefault(bank, []).append(row)
+        assert sorted(victims[BANK]) == [99, 101]
+        assert sorted(victims[OTHER_BANK]) == [299, 301]
+
+    def test_sample_consumed_on_fire(self):
+        engine = TrrEngine(TrrConfig(refresh_period=1))
+        engine.observe_activation(BANK, 100)
+        assert engine.on_refresh()
+        assert engine.on_refresh() == []
+
+    def test_radius_two_covers_four_victims(self):
+        engine = TrrEngine(TrrConfig(refresh_period=1, refresh_radius=2))
+        engine.observe_activation(BANK, 100)
+        rows = sorted(row for __, row in engine.on_refresh())
+        assert rows == [98, 99, 101, 102]
+
+    def test_ref_counter_visible_for_diagnostics(self):
+        engine = TrrEngine(TrrConfig(refresh_period=5))
+        assert engine.ref_counter == 0
+        engine.on_refresh()
+        assert engine.ref_counter == 1

@@ -1,0 +1,76 @@
+"""Tests for the wordline-voltage sensitivity (§6 future work 2.4)."""
+
+import pytest
+
+from repro.dram.calibration import default_profile
+from repro.errors import CalibrationError
+
+from tests.conftest import make_vulnerable_device
+
+
+class TestProfileScaling:
+    def test_nominal_voltage_is_neutral(self):
+        profile = default_profile()
+        assert profile.voltage_threshold_scale(
+            profile.nominal_wordline_voltage_v) == pytest.approx(1.0)
+
+    def test_underscaling_raises_thresholds(self):
+        profile = default_profile()
+        assert profile.voltage_threshold_scale(2.2) > \
+            profile.voltage_threshold_scale(2.4) > 1.0
+
+    def test_overvolting_does_not_help_the_attacker_model(self):
+        """Above nominal we clamp at 1.0 (no extra-vulnerability model)."""
+        profile = default_profile()
+        assert profile.voltage_threshold_scale(2.7) == pytest.approx(1.0)
+
+    def test_below_minimum_rejected(self):
+        profile = default_profile()
+        with pytest.raises(CalibrationError):
+            profile.voltage_threshold_scale(1.5)
+
+    def test_profile_validation(self):
+        with pytest.raises(CalibrationError):
+            default_profile().with_overrides(min_wordline_voltage_v=3.0)
+        with pytest.raises(CalibrationError):
+            default_profile().with_overrides(voltage_threshold_coeff=-1)
+
+
+class TestDeviceKnob:
+    def test_device_starts_at_nominal(self):
+        device = make_vulnerable_device(seed=3)
+        assert device.wordline_voltage_v == \
+            device.profile.nominal_wordline_voltage_v
+
+    def test_set_wordline_voltage(self):
+        device = make_vulnerable_device(seed=3)
+        device.set_wordline_voltage(2.2)
+        assert device.wordline_voltage_v == 2.2
+
+    def test_bad_rail_setting_rejected_at_the_knob(self):
+        device = make_vulnerable_device(seed=3)
+        with pytest.raises(CalibrationError):
+            device.set_wordline_voltage(1.0)
+        assert device.wordline_voltage_v == \
+            device.profile.nominal_wordline_voltage_v
+
+
+class TestEndToEndEffect:
+    def test_underscaling_reduces_flips(self, vulnerable_board):
+        """Reduced wordline voltage means fewer RowHammer bitflips —
+        the DSN'22 reduced-voltage observation."""
+        from repro.core.ber import BerExperiment
+        from repro.core.experiment import ExperimentConfig
+        from repro.core.patterns import ROWSTRIPE0
+        from repro.dram.address import DramAddress
+
+        experiment = BerExperiment(vulnerable_board.host,
+                                   vulnerable_board.device.mapper,
+                                   ExperimentConfig(ber_hammer_count=150_000))
+        victim = DramAddress(0, 0, 0, 20)
+        nominal = experiment.run_row(victim, ROWSTRIPE0)
+        vulnerable_board.device.set_wordline_voltage(2.1)
+        reduced = experiment.run_row(victim, ROWSTRIPE0)
+        vulnerable_board.device.set_wordline_voltage(2.5)
+        assert nominal.flips > 0
+        assert reduced.flips < nominal.flips

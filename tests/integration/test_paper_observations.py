@@ -1,0 +1,188 @@
+"""Integration tests: the paper's observations, reproduced end-to-end.
+
+These run the real methodology (through the DRAM Bender host interface)
+against the full paper-scale device at reduced sampling density, and
+check the *shape* of each headline observation — who wins, in which
+direction, by roughly what factor.  Paper-vs-measured numbers at higher
+density are recorded in EXPERIMENTS.md by the benchmark harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import fig3_ber_distributions
+from repro.analysis.tables import ber_channel_extremes
+from repro.core.patterns import ROWSTRIPE0, ROWSTRIPE1
+from repro.core.results import REGION_FIRST, REGION_LAST, REGION_MIDDLE
+from repro.core.sweeps import SpatialSweep, SweepConfig
+from repro.core.experiment import ExperimentConfig
+from repro.core.utrr import UTrrExperiment
+from repro.core.subarray_re import SubarrayReverseEngineer
+from repro.core.mapping_re import reverse_engineer_mapping
+from repro.dram.address import DramAddress
+
+
+@pytest.fixture(scope="module")
+def sweep_dataset(paper_board):
+    """One shared reduced-density Figs. 3/4 campaign over all channels."""
+    config = SweepConfig(
+        channels=tuple(range(8)),
+        rows_per_region=6,
+        hcfirst_rows_per_region=2,
+        experiment=ExperimentConfig(),
+    )
+    return SpatialSweep(paper_board, config).run()
+
+
+class TestObservationO1:
+    def test_every_tested_row_flips_under_wcdp(self, sweep_dataset):
+        """O1: RH bitflips occur in every tested row, in all channels."""
+        for record in sweep_dataset.ber(pattern="WCDP"):
+            assert record.flips > 0, f"row {record.row_key} had no flips"
+
+
+class TestObservationO2O3:
+    def test_channel7_worst_channel0_best_by_about_2x(self, sweep_dataset):
+        """O2: worst/best channel BER ratio is about 2x (paper: 2.03)."""
+        worst, best, worst_ber, best_ber = ber_channel_extremes(
+            sweep_dataset)
+        assert worst in (6, 7)
+        assert best in (0, 1)
+        assert 1.4 < worst_ber / best_ber < 3.2
+
+    def test_channels_cluster_in_die_pairs(self, sweep_dataset):
+        """O3: die-pair channels have similar BER; the worst die's pair
+        (channels 6 and 7) clearly separates from the best die's."""
+        distributions = fig3_ber_distributions(sweep_dataset)["WCDP"]
+        means = {channel: stats.mean
+                 for channel, stats in distributions.items()}
+        worst_pair = min(means[6], means[7])
+        best_pair = max(means[0], means[1])
+        assert worst_pair > 1.2 * best_pair
+
+
+class TestObservationO4O7:
+    def test_ber_depends_on_data_pattern(self, sweep_dataset):
+        """O4: per-channel BER differs across Table 1 patterns."""
+        distributions = fig3_ber_distributions(sweep_dataset)
+        for channel in (0, 7):
+            means = {pattern: distributions[pattern][channel].mean
+                     for pattern in ("Rowstripe0", "Rowstripe1",
+                                     "Checkered0", "Checkered1")}
+            spread = max(means.values()) / max(min(means.values()), 1e-9)
+            assert spread > 1.2, f"channel {channel}: {means}"
+
+    def test_no_single_pattern_wins_everywhere(self, sweep_dataset):
+        """The paper's conclusion that testing multiple patterns is
+        necessary: different rows pick different WCDPs."""
+        from repro.core.wcdp import wcdp_assignments
+        chosen = set(wcdp_assignments(sweep_dataset).values())
+        assert len(chosen) > 1
+
+    def test_ch0_rowstripe0_beats_rowstripe1(self, sweep_dataset):
+        """O7 direction: channel 0's Rowstripe0 HC_first mean is lower
+        than Rowstripe1's (paper: 57,925 vs 79,179)."""
+        rs0 = [record.hc_first for record in sweep_dataset.hcfirst(
+            channel=0, pattern="Rowstripe0", include_censored=False)]
+        rs1 = [record.hc_first for record in sweep_dataset.hcfirst(
+            channel=0, pattern="Rowstripe1", include_censored=False)]
+        assert rs0 and rs1
+        assert np.mean(rs0) < np.mean(rs1)
+
+
+class TestObservationO5O6:
+    def test_min_hcfirst_magnitude(self, sweep_dataset):
+        """O5: HC_first minima in the low-tens-of-thousands (the paper's
+        global minimum over 72K rows is 14,531; a 96-row sample sits a
+        bit higher but in the same decade)."""
+        values = [record.hc_first for record in
+                  sweep_dataset.hcfirst(include_censored=False)]
+        assert min(values) < 70_000
+
+    def test_worst_die_has_lower_hcfirst_rows(self, sweep_dataset):
+        """O6: channels 6/7 contain more rows with small HC_first."""
+        worst = [record.hc_first for record in sweep_dataset.hcfirst(
+            pattern="WCDP", include_censored=False)
+            if record.channel in (6, 7)]
+        best = [record.hc_first for record in sweep_dataset.hcfirst(
+            pattern="WCDP", include_censored=False)
+            if record.channel in (0, 1)]
+        assert np.mean(worst) < np.mean(best)
+
+
+class TestObservationO9:
+    def test_last_region_is_least_vulnerable(self, paper_board):
+        """O9: the last rows of the bank flip far less (the protected
+        final subarray)."""
+        config = SweepConfig(
+            channels=(7,),
+            regions=(REGION_MIDDLE, REGION_LAST),
+            region_size=832,  # exactly the final subarray for `last`
+            rows_per_region=8,
+            include_hcfirst=False,
+            patterns=(ROWSTRIPE0, ROWSTRIPE1),
+        )
+        dataset = SpatialSweep(paper_board, config).run()
+        middle = [record.ber for record in
+                  dataset.ber(pattern="WCDP", region=REGION_MIDDLE)]
+        last = [record.ber for record in
+                dataset.ber(pattern="WCDP", region=REGION_LAST)]
+        assert np.mean(last) < 0.4 * np.mean(middle)
+
+
+class TestObservationO8:
+    def test_subarray_boundary_discovered_at_832(self, paper_board):
+        """Footnote 3 methodology finds the 832-row subarray edge."""
+        paper_board.host.set_ecc_enabled(False)
+        engineer = SubarrayReverseEngineer(paper_board.host,
+                                           paper_board.device.mapper)
+        result = engineer.scan(channel=7, start=828, end=837)
+        assert result.boundaries() == [832]
+
+    def test_mid_subarray_more_vulnerable_than_edges(self, paper_board):
+        """Fig. 5 shape: BER peaks mid-subarray, droops at the edges."""
+        from repro.core.ber import BerExperiment
+        paper_board.host.set_ecc_enabled(False)
+        experiment = BerExperiment(paper_board.host,
+                                   paper_board.device.mapper)
+        mapper = paper_board.device.mapper
+        # Subarray 1 of channel 7 spans physical rows 832..1663.
+        edge_rows = [834, 836, 1658, 1660]
+        center_rows = [1244, 1246, 1248, 1250]
+        def mean_ber(physical_rows):
+            records = []
+            for physical in physical_rows:
+                logical = mapper.physical_to_logical(physical)
+                victim = DramAddress(7, 0, 0, logical)
+                records.append(experiment.run_row(victim, ROWSTRIPE1))
+            return np.mean([record.ber for record in records])
+        assert mean_ber(center_rows) > 1.2 * mean_ber(edge_rows)
+
+
+class TestObservationO11:
+    def test_utrr_uncovers_period_17(self, paper_board):
+        """§5: the hidden TRR refreshes a victim every 17 REFs."""
+        paper_board.host.set_ecc_enabled(False)
+        experiment = UTrrExperiment(paper_board.host,
+                                    paper_board.device.mapper)
+        result = experiment.run(DramAddress(0, 0, 0, 6000), iterations=70)
+        assert result.inferred_period == 17
+
+
+class TestMethodologyHonesty:
+    def test_discovered_mapping_matches_device(self, paper_board):
+        """The self-contained methodology (mapping reverse engineering)
+        agrees with the device's hidden mapping — the sweeps' use of
+        ``board.device.mapper`` is therefore a shortcut, not a cheat."""
+        paper_board.host.set_ecc_enabled(False)
+        discovered = reverse_engineer_mapping(paper_board.host, channel=7)
+        device_mapper = paper_board.device.mapper
+        sample = range(0, paper_board.device.geometry.rows, 509)
+        for row in sample:
+            assert sorted(discovered.physical_neighbors(row)) == \
+                sorted(device_mapper.physical_neighbors(row))
+
+    def test_experiment_times_fit_the_budget(self, sweep_dataset):
+        """§3.1: every refresh-disabled hammer phase fits 27 ms."""
+        for record in sweep_dataset.ber_records:
+            assert record.duration_s < 27e-3

@@ -1,0 +1,72 @@
+"""Property test: the interpreter's bulk fast path is semantics-preserving.
+
+For randomly generated ACT/PRE/WAIT hammering loops, executing with the
+fast path enabled must leave the device in exactly the state the unrolled
+execution produces: same clock, same read-back data for every touched
+row, same accumulated disturbance.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bender.interpreter import Interpreter
+from repro.bender.program import ProgramBuilder
+
+from tests.conftest import make_vulnerable_device
+
+
+def build_and_run(enable_fast, aggressor_rows, iterations, wait_cycles,
+                  seed):
+    device = make_vulnerable_device(seed=seed)
+    device.set_ecc_enabled(False)
+    builder = ProgramBuilder()
+    # Initialize a window of rows around the aggressors so flips have
+    # charged cells to act on.
+    touched = set()
+    for row in aggressor_rows:
+        for offset in range(-2, 3):
+            neighbor = row + offset
+            if 16 <= neighbor < 60:
+                touched.add(neighbor)
+    for row in sorted(touched):
+        builder.act(0, 0, 0, row)
+        builder.wr_row(0, 0, 0, b"\x0f" * device.geometry.row_bytes)
+        builder.pre(0, 0, 0)
+    with builder.loop(iterations):
+        for row in aggressor_rows:
+            builder.act(0, 0, 0, row)
+            builder.pre(0, 0, 0)
+        if wait_cycles:
+            builder.wait(wait_cycles)
+    for row in sorted(touched):
+        builder.act(0, 0, 0, row)
+        builder.rd_row(0, 0, 0)
+        builder.pre(0, 0, 0)
+    interpreter = Interpreter(device, enable_fast_loops=enable_fast)
+    result = interpreter.run(builder.build())
+    return result, device
+
+
+@given(
+    aggressor_rows=st.lists(st.integers(min_value=20, max_value=55),
+                            min_size=1, max_size=3, unique=True),
+    iterations=st.integers(min_value=4, max_value=400),
+    wait_cycles=st.integers(min_value=0, max_value=50),
+    seed=st.integers(min_value=0, max_value=5),
+)
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_fast_path_equals_unrolled_execution(aggressor_rows, iterations,
+                                             wait_cycles, seed):
+    fast_result, fast_device = build_and_run(
+        True, aggressor_rows, iterations, wait_cycles, seed)
+    slow_result, slow_device = build_and_run(
+        False, aggressor_rows, iterations, wait_cycles, seed)
+
+    assert fast_result.duration_cycles == slow_result.duration_cycles
+    assert fast_device.command_counts == slow_device.command_counts
+    assert len(fast_result.row_reads) == len(slow_result.row_reads)
+    for fast_bits, slow_bits in zip(fast_result.row_reads,
+                                    slow_result.row_reads):
+        assert np.array_equal(fast_bits, slow_bits)

@@ -1,0 +1,96 @@
+"""Property test: the interpreter executes any well-formed program.
+
+Random programs (bank-consistent command sequences with legal operands)
+must run without timing violations, advance the clock monotonically,
+and return exactly as many read results as the program requests —
+regardless of loop structure or fast-path eligibility.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bender import isa
+from repro.bender.interpreter import Interpreter
+from repro.bender.program import Program
+
+from tests.conftest import make_vulnerable_device
+
+CH, PC, BA = 0, 0, 0
+
+
+@st.composite
+def bank_consistent_body(draw, max_len=8):
+    """A command sequence that respects open/closed row discipline.
+
+    The generator tracks whether the bank is open so ACT/RD/WR/PRE/REF
+    are only emitted in states where they are legal; the sequence always
+    ends precharged (so it can be looped or followed by REF).
+    """
+    instructions = []
+    is_open = False
+    length = draw(st.integers(min_value=1, max_value=max_len))
+    for __ in range(length):
+        if is_open:
+            choice = draw(st.sampled_from(["pre", "rd", "wr", "wait"]))
+        else:
+            choice = draw(st.sampled_from(["act", "ref", "wait", "prea"]))
+        if choice == "act":
+            row = draw(st.integers(min_value=1, max_value=254))
+            instructions.append(isa.Act(CH, PC, BA, row))
+            is_open = True
+        elif choice == "pre":
+            instructions.append(isa.Pre(CH, PC, BA))
+            is_open = False
+        elif choice == "prea":
+            instructions.append(isa.PreA(CH, PC))
+        elif choice == "rd":
+            column = draw(st.integers(min_value=0, max_value=3))
+            instructions.append(isa.Rd(CH, PC, BA, column))
+        elif choice == "wr":
+            column = draw(st.integers(min_value=0, max_value=3))
+            instructions.append(isa.Wr(CH, PC, BA, column, b"\xa5" * 8))
+        elif choice == "ref":
+            instructions.append(isa.Ref(CH, PC))
+        else:
+            instructions.append(isa.Wait(draw(st.integers(0, 200))))
+    if is_open:
+        instructions.append(isa.Pre(CH, PC, BA))
+    return tuple(instructions)
+
+
+@st.composite
+def random_programs(draw):
+    segments = []
+    for __ in range(draw(st.integers(min_value=1, max_value=3))):
+        body = draw(bank_consistent_body())
+        if draw(st.booleans()):
+            count = draw(st.integers(min_value=0, max_value=40))
+            segments.append(isa.Loop(count, body))
+        else:
+            segments.extend(body)
+    return Program(tuple(segments))
+
+
+def expected_reads(instructions) -> int:
+    total = 0
+    for instruction in instructions:
+        if isinstance(instruction, isa.Loop):
+            total += instruction.count * expected_reads(instruction.body)
+        elif isinstance(instruction, isa.Rd):
+            total += 1
+    return total
+
+
+@given(program=random_programs(), seed=st.integers(0, 3))
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_interpreter_handles_any_wellformed_program(program, seed):
+    device = make_vulnerable_device(seed=seed)
+    device.set_ecc_enabled(False)
+    start = device.now
+    result = Interpreter(device).run(program)
+    assert device.now >= start
+    assert result.end_cycle >= result.start_cycle
+    assert len(result.column_reads) == expected_reads(program.instructions)
+    for data in result.column_reads:
+        assert len(data) == device.geometry.column_bytes

@@ -1,0 +1,128 @@
+"""Tests for repro.cli (the ``python -m repro`` interface).
+
+CLI runs use the paper-scale device, so tests stick to cheap
+subcommands and small parameters.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("ber", "hcfirst", "sweep", "utrr", "mapping",
+                        "subarrays", "report"):
+            args = {
+                "ber": ["ber"],
+                "hcfirst": ["hcfirst"],
+                "sweep": ["sweep"],
+                "utrr": ["utrr"],
+                "mapping": ["mapping"],
+                "subarrays": ["subarrays"],
+                "report": ["report", "x.json"],
+            }[command]
+            parsed = parser.parse_args(args)
+            assert parsed.command == command
+
+    def test_station_options(self):
+        parsed = build_parser().parse_args(
+            ["ber", "--seed", "3", "--temperature", "60",
+             "--voltage", "2.2"])
+        assert parsed.seed == 3
+        assert parsed.temperature == 60.0
+        assert parsed.voltage == 2.2
+
+
+class TestBerCommand:
+    def test_single_pattern(self, capsys):
+        code = main(["ber", "--seed", "1", "--channel", "7",
+                     "--row", "5000", "--pattern", "Rowstripe0",
+                     "--hammers", "100000"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Rowstripe0" in output
+        assert "BER=" in output
+
+    def test_all_patterns_by_default(self, capsys):
+        code = main(["ber", "--seed", "1", "--row", "5000",
+                     "--hammers", "65536"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert output.count("BER=") == 4
+
+
+class TestHcFirstCommand:
+    def test_reports_exact_count(self, capsys):
+        code = main(["hcfirst", "--seed", "1", "--channel", "7",
+                     "--row", "5000", "--pattern", "Rowstripe1"])
+        assert code == 0
+        assert "HC_first=" in capsys.readouterr().out
+
+    def test_censored_result(self, capsys):
+        code = main(["hcfirst", "--seed", "1", "--row", "5000",
+                     "--pattern", "Solid0", "--max-hammers", "4096"])
+        assert code == 0
+        assert "censored" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_sweep_writes_dataset(self, capsys, tmp_path):
+        output = tmp_path / "dataset.json"
+        code = main(["sweep", "--seed", "1", "--channels", "0",
+                     "--rows-per-region", "2", "--hcfirst-rows", "1",
+                     "-o", str(output)])
+        assert code == 0
+        assert output.exists()
+        payload = json.loads(output.read_text())
+        assert payload["ber_records"]
+        stdout = capsys.readouterr().out
+        assert "Fig. 3 axes" in stdout
+        assert "measured" in stdout
+
+
+class TestUtrrCommand:
+    def test_detects_period(self, capsys):
+        code = main(["utrr", "--seed", "1", "--row", "6000",
+                     "--iterations", "60"])
+        assert code == 0
+        assert "every 17 REFs" in capsys.readouterr().out
+
+
+class TestSubarraysCommand:
+    def test_finds_boundary(self, capsys):
+        code = main(["subarrays", "--seed", "1", "--start", "828",
+                     "--end", "838"])
+        assert code == 0
+        assert "[832]" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_renders_markdown(self, capsys, tmp_path):
+        from repro.core.results import BerRecord, CharacterizationDataset
+        dataset = CharacterizationDataset()
+        for row in (10, 20):
+            for channel in (0, 7):
+                dataset.add(BerRecord(
+                    channel=channel, pseudo_channel=0, bank=0, row=row,
+                    region="first", pattern="WCDP", repetition=0,
+                    hammer_count=262144, flips=40 + row + channel,
+                    row_bits=8192, duration_s=0.025))
+        path = tmp_path / "dataset.json"
+        dataset.to_json(path)
+        code = main(["report", str(path), "--utrr-period", "17"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Headline numbers" in output
+        assert "17" in output
+
+    def test_missing_dataset_is_an_error(self):
+        with pytest.raises(FileNotFoundError):
+            main(["report", "/nonexistent/dataset.json"])
