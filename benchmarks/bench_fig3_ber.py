@@ -11,20 +11,22 @@ import json
 
 from repro.analysis.figures import fig3_ber_distributions, render_box_table
 from repro.analysis.tables import ber_channel_extremes, channel_groups_by_ber
-from repro.core.sweeps import SpatialSweep, SweepConfig
+from repro.core.parallel import run_sweep
+from repro.core.sweeps import SweepConfig
 
 from benchmarks.conftest import emit, env_int
 
 
-def test_fig3_ber_distribution(benchmark, board, results_dir):
+def test_fig3_ber_distribution(benchmark, board, board_spec, results_dir):
     config = SweepConfig.from_env(
         channels=tuple(range(8)),
         rows_per_region=env_int("REPRO_ROWS_PER_REGION", 10),
         include_hcfirst=False,
     )
-    sweep = SpatialSweep(board, config)
 
-    dataset = benchmark.pedantic(sweep.run, rounds=1, iterations=1)
+    dataset = benchmark.pedantic(
+        lambda: run_sweep(config, spec=board_spec, board=board),
+        rounds=1, iterations=1)
 
     dataset.to_json(results_dir / "fig3_dataset.json")
     distributions = fig3_ber_distributions(dataset)

@@ -11,13 +11,17 @@ clearly above the rest).
 import numpy as np
 
 from repro.analysis.figures import fig6_bank_scatter, render_scatter_table
+from repro.core.parallel import run_sweep
 from repro.core.patterns import ROWSTRIPE0, ROWSTRIPE1
-from repro.core.sweeps import SpatialSweep, SweepConfig
+from repro.core.sweeps import SweepConfig
 
 from benchmarks.conftest import emit, env_int
 
 
-def test_fig6_bank_scatter(benchmark, board, results_dir):
+def test_fig6_bank_scatter(benchmark, board, board_spec, results_dir):
+    """The 256-bank campaign: the sweep that gains the most from
+    ``REPRO_JOBS`` — its 8 x 2 x banks x 3 shard grid keeps every worker
+    busy."""
     config = SweepConfig.from_env(
         channels=tuple(range(8)),
         pseudo_channels=(0, 1),
@@ -27,9 +31,10 @@ def test_fig6_bank_scatter(benchmark, board, results_dir):
         patterns=(ROWSTRIPE0, ROWSTRIPE1),
         include_hcfirst=False,
     )
-    sweep = SpatialSweep(board, config)
 
-    dataset = benchmark.pedantic(sweep.run, rounds=1, iterations=1)
+    dataset = benchmark.pedantic(
+        lambda: run_sweep(config, spec=board_spec, board=board),
+        rounds=1, iterations=1)
     dataset.to_json(results_dir / "fig6_dataset.json")
 
     points = fig6_bank_scatter(dataset)

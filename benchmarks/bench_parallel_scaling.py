@@ -1,0 +1,100 @@
+"""P1 — parallel sweep scaling: rows/sec at jobs = 1 / 2 / 4.
+
+Times a fixed, small Fig. 3-shaped campaign (all 8 channels, three
+regions, BER only) through the serial path and the parallel executor,
+checks the datasets are identical at every jobs level (the sharding
+determinism contract), and archives throughput per jobs level in
+``BENCH_parallel_scaling.json`` so the perf trajectory is tracked
+across future changes.
+
+Speedup is hardware-dependent: on a single-core container the parallel
+levels only measure sharding overhead, so no speedup is asserted here —
+the JSON records what this machine delivered (``cpu_count`` is archived
+alongside for interpretation).
+"""
+
+import json
+import os
+import time
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.parallel import run_sweep
+from repro.core.patterns import ROWSTRIPE0, ROWSTRIPE1
+from repro.core.sweeps import SweepConfig
+
+from benchmarks.conftest import emit, env_int
+
+JOBS_LEVELS = (1, 2, 4)
+
+
+def scaling_config(jobs: int) -> SweepConfig:
+    return SweepConfig(
+        channels=tuple(range(8)),
+        rows_per_region=env_int("REPRO_SCALING_ROWS", 2),
+        patterns=(ROWSTRIPE0, ROWSTRIPE1),
+        include_hcfirst=False,
+        jobs=jobs,
+        experiment=ExperimentConfig(
+            ber_hammer_count=env_int("REPRO_SCALING_HAMMERS", 64 * 1024)),
+    )
+
+
+def test_parallel_scaling(benchmark, board_spec, results_dir):
+    datasets = {}
+    levels = {}
+    for jobs in JOBS_LEVELS:
+        config = scaling_config(jobs)
+        if jobs == 1:
+            started = time.perf_counter()
+            dataset = benchmark.pedantic(
+                lambda: run_sweep(config, spec=board_spec),
+                rounds=1, iterations=1)
+            elapsed = time.perf_counter() - started
+        else:
+            started = time.perf_counter()
+            dataset = run_sweep(config, spec=board_spec)
+            elapsed = time.perf_counter() - started
+        datasets[jobs] = dataset
+        measurements = len([record for record in dataset.ber_records
+                            if record.pattern != "WCDP"])
+        levels[str(jobs)] = {
+            "elapsed_s": round(elapsed, 3),
+            "measurements": measurements,
+            "rows_per_s": round(measurements / elapsed, 3),
+        }
+
+    # Determinism contract: every jobs level produces the same dataset.
+    reference = datasets[JOBS_LEVELS[0]]
+    for jobs in JOBS_LEVELS[1:]:
+        assert datasets[jobs].ber_records == reference.ber_records
+        assert datasets[jobs].hcfirst_records == reference.hcfirst_records
+        assert datasets[jobs].metadata == reference.metadata
+
+    baseline = levels["1"]["rows_per_s"]
+    payload = {
+        "campaign": {
+            "channels": 8, "regions": 3,
+            "rows_per_region": levels["1"]["measurements"] // (8 * 3 * 2),
+            "patterns": 2,
+            "ber_hammer_count": scaling_config(1).experiment.ber_hammer_count,
+        },
+        "cpu_count": os.cpu_count(),
+        "jobs": levels,
+        "speedup": {str(jobs): round(levels[str(jobs)]["rows_per_s"]
+                                     / baseline, 3)
+                    for jobs in JOBS_LEVELS},
+    }
+    (results_dir / "BENCH_parallel_scaling.json").write_text(
+        json.dumps(payload, indent=1))
+
+    lines = [f"cpu_count: {os.cpu_count()}"]
+    for jobs in JOBS_LEVELS:
+        level = levels[str(jobs)]
+        lines.append(
+            f"jobs={jobs}: {level['measurements']} measurements in "
+            f"{level['elapsed_s']:.2f}s = {level['rows_per_s']:.1f} rows/s "
+            f"({payload['speedup'][str(jobs)]:.2f}x)")
+    emit(results_dir, "parallel_scaling", "\n".join(lines))
+
+    for jobs in JOBS_LEVELS:
+        assert levels[str(jobs)]["rows_per_s"] > 0

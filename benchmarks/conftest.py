@@ -17,7 +17,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.bender.board import make_paper_setup
+from repro.bender.board import BoardSpec, make_paper_setup
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -39,6 +39,13 @@ def results_dir() -> Path:
 def board():
     """The paper's testing station: calibrated chip at 85 degC."""
     return make_paper_setup(seed=CHIP_SEED)
+
+
+@pytest.fixture(scope="session")
+def board_spec() -> BoardSpec:
+    """Picklable recipe for the same station, for parallel sweep workers
+    (``REPRO_JOBS`` > 1 runs the sweep benchmarks across processes)."""
+    return BoardSpec(seed=CHIP_SEED)
 
 
 def emit(results_dir: Path, name: str, text: str) -> None:

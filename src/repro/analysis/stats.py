@@ -33,6 +33,29 @@ class BoxStats:
         return self.q3 - self.q1
 
 
+def _validated(values: Sequence[float], what: str) -> np.ndarray:
+    """``values`` as a 1-D float array, or a clear :class:`AnalysisError`.
+
+    Every public function below funnels through this, so empty input,
+    nested/scalar shapes, and NaN/inf contamination (e.g. a BER series
+    divided by a zero denominator upstream) fail with the *metric name*
+    instead of a ZeroDivisionError or a silent numpy warning.
+    """
+    try:
+        array = np.asarray(values, dtype=np.float64)
+    except (TypeError, ValueError):
+        raise AnalysisError(
+            f"{what} needs a sequence of numbers, got {values!r}") from None
+    if array.ndim != 1:
+        raise AnalysisError(
+            f"{what} needs a 1-D sequence, got shape {array.shape}")
+    if array.size == 0:
+        raise AnalysisError(f"{what} of an empty sequence")
+    if not np.all(np.isfinite(array)):
+        raise AnalysisError(f"{what} of non-finite values (NaN/inf present)")
+    return array
+
+
 def quartiles(values: Sequence[float]) -> Tuple[float, float, float]:
     """(Q1, median, Q3) using the median-of-halves convention.
 
@@ -40,9 +63,7 @@ def quartiles(values: Sequence[float]) -> Tuple[float, float, float]:
     second half of the ordered set of data points", so we implement that
     convention rather than numpy's default interpolation.
     """
-    if len(values) == 0:
-        raise AnalysisError("quartiles of an empty sequence")
-    ordered = np.sort(np.asarray(values, dtype=np.float64))
+    ordered = np.sort(_validated(values, "quartiles"))
     n = len(ordered)
     median = float(np.median(ordered))
     half = n // 2
@@ -55,9 +76,7 @@ def quartiles(values: Sequence[float]) -> Tuple[float, float, float]:
 
 def box_stats(values: Sequence[float]) -> BoxStats:
     """Full box-plot summary of ``values``."""
-    if len(values) == 0:
-        raise AnalysisError("box_stats of an empty sequence")
-    array = np.asarray(values, dtype=np.float64)
+    array = _validated(values, "box_stats")
     q1, median, q3 = quartiles(array)
     return BoxStats(count=len(array),
                     minimum=float(array.min()), q1=q1, median=median, q3=q3,
@@ -67,15 +86,18 @@ def box_stats(values: Sequence[float]) -> BoxStats:
 def coefficient_of_variation(values: Sequence[float]) -> float:
     """Standard deviation normalized to the mean (paper footnote 4).
 
-    Uses the population standard deviation; raises on an all-zero mean
-    (the CV is undefined there).
+    Uses the population standard deviation; raises on a zero mean — both
+    the all-zero case (e.g. a flip-free bank) and a cancelling mixed-sign
+    case — because the CV is undefined there.
     """
-    if len(values) == 0:
-        raise AnalysisError("CV of an empty sequence")
-    array = np.asarray(values, dtype=np.float64)
+    array = _validated(values, "coefficient_of_variation")
     mean = float(array.mean())
     if mean == 0.0:
-        raise AnalysisError("CV undefined for zero-mean data")
+        detail = ("all zero" if not array.any()
+                  else "mixed signs cancelling to zero mean")
+        raise AnalysisError(
+            "coefficient of variation undefined for zero-mean data "
+            f"({array.size} values, {detail})")
     return float(array.std()) / mean
 
 
@@ -86,16 +108,25 @@ def relative_difference(larger: float, smaller: float) -> float:
     channel's BER is 21% of the worst's, i.e. a 2.03x ratio the other way
     up — both numbers the abstract quotes come from this definition.
     """
+    if not (np.isfinite(larger) and np.isfinite(smaller)):
+        raise AnalysisError(
+            f"relative difference of non-finite values "
+            f"({larger!r}, {smaller!r})")
     if larger == 0:
         raise AnalysisError("relative difference with zero reference")
     return (larger - smaller) / larger
 
 
 def geometric_mean(values: Sequence[float]) -> float:
-    """Geometric mean (summary across multiplicative effects)."""
-    if len(values) == 0:
-        raise AnalysisError("geometric mean of an empty sequence")
-    array = np.asarray(values, dtype=np.float64)
+    """Geometric mean (summary across multiplicative effects).
+
+    Zero or negative entries (an all-zero BER series included) are
+    rejected up front — ``log`` of them would emit numpy warnings and
+    propagate ``-inf``/NaN into downstream summaries.
+    """
+    array = _validated(values, "geometric mean")
     if np.any(array <= 0):
-        raise AnalysisError("geometric mean needs positive values")
+        raise AnalysisError(
+            f"geometric mean needs positive values; "
+            f"{int(np.count_nonzero(array <= 0))} of {array.size} are <= 0")
     return float(np.exp(np.log(array).mean()))

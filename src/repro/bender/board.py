@@ -12,6 +12,7 @@ the hidden TRR engine, and the chip held at 85 degC.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.bender.host import HostInterface
@@ -55,6 +56,45 @@ class BenderBoard:
     @property
     def temperature_c(self) -> float:
         return self.device.temperature_c
+
+
+@dataclass(frozen=True)
+class BoardSpec:
+    """A serializable recipe for (re)constructing one testing station.
+
+    A :class:`BenderBoard` holds live simulator state and cannot cross a
+    process boundary; a spec is a plain frozen dataclass of picklable
+    configuration, so parallel sweep workers can carry it into their own
+    process and rebuild an *identical* board there (the device seed keys
+    every cell property — see :mod:`repro.rng` — so two boards built from
+    the same spec are the same chip specimen).
+
+    ``build()`` reproduces exactly what the CLI's station setup does:
+    :func:`make_paper_setup` plus the ECC mode-register write and the
+    optional wordline-voltage override.
+    """
+
+    seed: int = 0
+    temperature_c: float = 85.0
+    ecc_enabled: bool = False
+    wordline_voltage_v: Optional[float] = None
+    settle_thermals: bool = True
+    geometry: Optional[HBM2Geometry] = None
+    timing: Optional[TimingParameters] = None
+    profile: Optional[DeviceProfile] = None
+    trr_config: Optional[TrrConfig] = None
+
+    def build(self) -> BenderBoard:
+        """Construct the board this spec describes."""
+        board = make_paper_setup(
+            seed=self.seed, geometry=self.geometry, timing=self.timing,
+            profile=self.profile, trr_config=self.trr_config,
+            temperature_c=self.temperature_c,
+            settle_thermals=self.settle_thermals)
+        board.host.set_ecc_enabled(self.ecc_enabled)
+        if self.wordline_voltage_v is not None:
+            board.device.set_wordline_voltage(self.wordline_voltage_v)
+        return board
 
 
 def make_paper_setup(seed: int = 0,

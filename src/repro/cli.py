@@ -28,18 +28,19 @@ from repro.analysis.figures import (
 )
 from repro.analysis.report import experiment_report
 from repro.analysis.tables import format_headline_table, headline_numbers
-from repro.bender.board import BenderBoard, make_paper_setup
+from repro.bender.board import BenderBoard, BoardSpec
 from repro.core.ber import BerExperiment
 from repro.core.experiment import ExperimentConfig, apply_controls
 from repro.core.hcfirst import HcFirstSearch
 from repro.core.mapping_re import reverse_engineer_mapping
+from repro.core.parallel import ParallelSweepRunner
 from repro.core.patterns import (
     STANDARD_PATTERNS,
     pattern_by_name,
 )
 from repro.core.results import CharacterizationDataset
 from repro.core.subarray_re import SubarrayReverseEngineer
-from repro.core.sweeps import SpatialSweep, SweepConfig
+from repro.core.sweeps import SweepConfig
 from repro.core.utrr import UTrrExperiment
 from repro.dram.address import DramAddress
 from repro.errors import ReproError
@@ -54,13 +55,13 @@ def _add_station_options(parser: argparse.ArgumentParser) -> None:
                         help="wordline voltage in V (default: nominal)")
 
 
+def _make_spec(args: argparse.Namespace) -> BoardSpec:
+    return BoardSpec(seed=args.seed, temperature_c=args.temperature,
+                     ecc_enabled=False, wordline_voltage_v=args.voltage)
+
+
 def _make_station(args: argparse.Namespace) -> BenderBoard:
-    board = make_paper_setup(seed=args.seed,
-                             temperature_c=args.temperature)
-    board.host.set_ecc_enabled(False)
-    if args.voltage is not None:
-        board.device.set_wordline_voltage(args.voltage)
-    return board
+    return _make_spec(args).build()
 
 
 def _address(args: argparse.Namespace) -> DramAddress:
@@ -106,16 +107,24 @@ def cmd_hcfirst(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    board = _make_station(args)
-    config = SweepConfig.from_env(
+    overrides = dict(
         channels=tuple(args.channels),
         rows_per_region=args.rows_per_region,
         hcfirst_rows_per_region=args.hcfirst_rows,
         repetitions=args.repetitions,
     )
-    sweep = SpatialSweep(board, config)
-    dataset = sweep.run(progress=lambda message: print(f"  {message}",
-                                                       file=sys.stderr))
+    if args.jobs is not None:
+        overrides["jobs"] = args.jobs
+    config = SweepConfig.from_env(**overrides)
+    runner = ParallelSweepRunner(_make_spec(args), config)
+    dataset = runner.run(progress=lambda message: print(f"  {message}",
+                                                        file=sys.stderr))
+    for error in runner.errors:
+        print(f"warning: shard {error.index} "
+              f"(ch{error.channel} pc{error.pseudo_channel} "
+              f"ba{error.bank} region={error.region}) failed after "
+              f"{error.attempts} attempts: "
+              f"{error.error_type}: {error.message}", file=sys.stderr)
     print(render_box_table(fig3_ber_distributions(dataset),
                            value_format="{:.5f}",
                            title="BER across rows (Fig. 3 axes)"))
@@ -230,6 +239,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--rows-per-region", type=int, default=8)
     sweep.add_argument("--hcfirst-rows", type=int, default=3)
     sweep.add_argument("--repetitions", type=int, default=1)
+    sweep.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for the sweep (default: "
+                            "$REPRO_JOBS or 1 = serial); results are "
+                            "identical at any jobs level")
     sweep.add_argument("-o", "--output", help="archive dataset as JSON")
     sweep.add_argument("--export-dir",
                        help="also write figure CSVs into this directory")

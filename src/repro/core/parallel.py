@@ -1,0 +1,365 @@
+"""Parallel sweep executor: deterministic sharding over worker processes.
+
+The Figs. 3-6 campaigns are embarrassingly parallel across (channel,
+pseudo channel, bank, region): the keyed counter-based RNG
+(:mod:`repro.rng`) gives every cell identical physical properties in
+every process, and each measurement re-initializes its victim
+neighbourhood before hammering, so per-shard results do not depend on
+what other shards ran before — the same property the paper's FPGA
+infrastructure exploits by characterizing many banks concurrently.
+
+:class:`ShardPlan` splits a :class:`~repro.core.sweeps.SweepConfig` into
+single-(channel, pseudo channel, bank, region) work units *in the serial
+nesting order*; :class:`ParallelSweepRunner` fans them out over a
+:class:`concurrent.futures.ProcessPoolExecutor` (each worker rebuilds
+its own :class:`~repro.bender.board.BenderBoard` from a picklable
+:class:`~repro.bender.board.BoardSpec`, so no live simulator state
+crosses the process boundary) and merges the shard datasets back in plan
+order.  Because merge order equals serial iteration order and the WCDP
+synthesis runs on the merged dataset, a parallel sweep produces a
+byte-identical exported dataset to the serial
+:class:`~repro.core.sweeps.SpatialSweep` for the same spec and config.
+
+Fault tolerance: a shard whose worker raises, crashes, or times out is
+retried once on a fresh pool; a shard that fails again is reported as a
+structured :class:`ShardError` (and under ``metadata["shard_errors"]``)
+instead of killing the campaign.
+
+Limitations: the parallel path always uses the device's own row mapping
+(a custom ``mapper`` cannot cross the fork); pass ``jobs=1`` to sweep
+with a reverse-engineered mapper.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bender.board import BenderBoard, BoardSpec
+from repro.core.results import CharacterizationDataset
+from repro.core.sweeps import (
+    ProgressCallback,
+    SpatialSweep,
+    SweepConfig,
+    sweep_metadata,
+)
+from repro.core.wcdp import append_wcdp_records
+from repro.errors import ExperimentError
+
+__all__ = [
+    "ShardError",
+    "ShardPlan",
+    "SweepShard",
+    "ParallelSweepRunner",
+    "run_shard",
+    "run_sweep",
+]
+
+
+@dataclass(frozen=True)
+class SweepShard:
+    """One independent work unit: a single (ch, pc, bank, region) cell.
+
+    ``config`` is the parent sweep config narrowed to this cell, with
+    WCDP synthesis disabled (it runs once, on the merged dataset) and
+    ``jobs`` forced to 1 (a shard is the unit of parallelism).
+    """
+
+    index: int
+    channel: int
+    pseudo_channel: int
+    bank: int
+    region: str
+    config: SweepConfig
+
+    def describe(self) -> str:
+        return (f"ch{self.channel} pc{self.pseudo_channel} "
+                f"ba{self.bank} region={self.region}")
+
+
+@dataclass(frozen=True)
+class ShardError:
+    """A shard that failed after exhausting its retries."""
+
+    index: int
+    channel: int
+    pseudo_channel: int
+    bank: int
+    region: str
+    error_type: str
+    message: str
+    attempts: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "shard": self.index,
+            "channel": self.channel,
+            "pseudo_channel": self.pseudo_channel,
+            "bank": self.bank,
+            "region": self.region,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """All shards of one sweep, in the serial path's iteration order.
+
+    The serial :meth:`SpatialSweep.run` nests channel -> pseudo channel
+    -> bank -> region; concatenating shard datasets in this plan's order
+    therefore reproduces the serial record order exactly.
+    """
+
+    shards: Tuple[SweepShard, ...]
+
+    @classmethod
+    def from_config(cls, config: SweepConfig) -> "ShardPlan":
+        shards: List[SweepShard] = []
+        for channel in config.channels:
+            for pseudo_channel in config.pseudo_channels:
+                for bank in config.banks:
+                    for region in config.regions:
+                        shard_config = replace(
+                            config,
+                            channels=(channel,),
+                            pseudo_channels=(pseudo_channel,),
+                            banks=(bank,),
+                            regions=(region,),
+                            append_wcdp=False,
+                            jobs=1,
+                        )
+                        shards.append(SweepShard(
+                            index=len(shards), channel=channel,
+                            pseudo_channel=pseudo_channel, bank=bank,
+                            region=region, config=shard_config))
+        return cls(shards=tuple(shards))
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self):
+        return iter(self.shards)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+#: Per-process station cache: one board per (spec, experiment config),
+#: reused across the shards a worker executes so the (deterministic but
+#: not free) device construction and PID settle are paid once.
+_WORKER_STATIONS: Dict[bytes, BenderBoard] = {}
+
+
+def _worker_station(spec: BoardSpec, config: SweepConfig) -> BenderBoard:
+    from repro.core.experiment import apply_controls
+
+    key = pickle.dumps((spec, config.experiment))
+    board = _WORKER_STATIONS.get(key)
+    if board is None:
+        board = spec.build()
+        # Apply the interference controls exactly once per station, as
+        # the serial sweep does: re-settling the PID rig between shards
+        # could land on a fractionally different plant temperature and
+        # break bit-for-bit equality with the serial path.
+        apply_controls(board, config.experiment)
+        _WORKER_STATIONS[key] = board
+    return board
+
+
+def run_shard(spec: BoardSpec, shard: SweepShard) -> CharacterizationDataset:
+    """Execute one shard in the current process and return its dataset.
+
+    The default shard runner submitted to worker processes; also usable
+    inline (e.g. by tests) since it has no pool-specific state.
+    """
+    board = _worker_station(spec, shard.config)
+    sweep = SpatialSweep(board, shard.config)
+    return sweep.run(apply_interference_controls=False)
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+ShardRunner = Callable[[BoardSpec, SweepShard], CharacterizationDataset]
+
+
+class ParallelSweepRunner:
+    """Runs one characterization campaign across worker processes.
+
+    Drop-in equivalent of ``SpatialSweep(spec.build(), config).run()``:
+    same dataset, same record order, same metadata — plus
+    ``metadata["shard_errors"]`` when shards failed permanently.
+    """
+
+    def __init__(self, spec: BoardSpec, config: Optional[SweepConfig] = None,
+                 *, shard_runner: Optional[ShardRunner] = None,
+                 max_retries: int = 1, mp_context=None) -> None:
+        """
+        Args:
+            spec: recipe each worker rebuilds its own board from.
+            config: sweep axes/density; ``config.jobs`` sets the worker
+                count (1 falls back to the serial path in-process).
+            shard_runner: override for the per-shard entry point (must be
+                picklable; used by fault-injection tests).
+            max_retries: extra attempts for a failed shard (default 1).
+            mp_context: multiprocessing context for the pool (default:
+                the platform default).
+        """
+        if max_retries < 0:
+            raise ExperimentError("max_retries must be >= 0")
+        self._spec = spec
+        self._config = config or SweepConfig()
+        self._shard_runner: ShardRunner = shard_runner or run_shard
+        self._max_retries = max_retries
+        self._mp_context = mp_context
+        self._errors: Tuple[ShardError, ...] = ()
+
+    @property
+    def config(self) -> SweepConfig:
+        return self._config
+
+    @property
+    def errors(self) -> Tuple[ShardError, ...]:
+        """Shards that failed permanently in the last :meth:`run`."""
+        return self._errors
+
+    # ------------------------------------------------------------------
+    def run(self, progress: Optional[ProgressCallback] = None
+            ) -> CharacterizationDataset:
+        """Execute the campaign and return the merged dataset."""
+        config = self._config
+        self._errors = ()
+        if config.jobs == 1:
+            sweep = SpatialSweep(self._spec.build(), config)
+            return sweep.run(progress)
+
+        plan = ShardPlan.from_config(config)
+        results: Dict[int, CharacterizationDataset] = {}
+        failures: Dict[int, BaseException] = {}
+        pending = list(plan.shards)
+        attempts = 1 + self._max_retries
+        for attempt in range(attempts):
+            if not pending:
+                break
+            # Retry rounds isolate each shard in its own single-worker
+            # pool: one crashing worker breaks the whole shared pool and
+            # would otherwise burn innocent shards' retries with it.
+            pending = self._run_round(pending, results, failures,
+                                      progress, len(plan), attempt,
+                                      isolate=attempt > 0)
+
+        self._errors = tuple(
+            ShardError(index=shard.index, channel=shard.channel,
+                       pseudo_channel=shard.pseudo_channel, bank=shard.bank,
+                       region=shard.region,
+                       error_type=type(failures[shard.index]).__name__,
+                       message=str(failures[shard.index]),
+                       attempts=attempts)
+            for shard in sorted(pending, key=lambda shard: shard.index))
+
+        dataset = CharacterizationDataset.merged(
+            (results[shard.index] for shard in plan.shards
+             if shard.index in results),
+            metadata=sweep_metadata(config))
+        if self._errors:
+            dataset.metadata["shard_errors"] = [
+                error.as_dict() for error in self._errors]
+        if config.append_wcdp:
+            append_wcdp_records(dataset)
+        return dataset
+
+    # ------------------------------------------------------------------
+    def _run_round(self, shards: List[SweepShard],
+                   results: Dict[int, CharacterizationDataset],
+                   failures: Dict[int, BaseException],
+                   progress: Optional[ProgressCallback],
+                   total: int, attempt: int,
+                   isolate: bool = False) -> List[SweepShard]:
+        """Run ``shards`` on fresh pool(s); returns the ones that failed.
+
+        ``isolate=True`` gives every shard its own single-worker pool so
+        a crashing worker cannot fail neighbouring shards by breaking a
+        shared pool (retry rounds use this).
+        """
+        if isolate:
+            failed: List[SweepShard] = []
+            for shard in shards:
+                failed.extend(self._run_pool([shard], 1, results, failures,
+                                             progress, total, attempt))
+            return failed
+        workers = min(self._config.jobs, len(shards))
+        return self._run_pool(shards, workers, results, failures,
+                              progress, total, attempt)
+
+    def _run_pool(self, shards: List[SweepShard], workers: int,
+                  results: Dict[int, CharacterizationDataset],
+                  failures: Dict[int, BaseException],
+                  progress: Optional[ProgressCallback],
+                  total: int, attempt: int) -> List[SweepShard]:
+        config = self._config
+        executor = ProcessPoolExecutor(max_workers=workers,
+                                       mp_context=self._mp_context)
+        failed: List[SweepShard] = []
+        timed_out = False
+        try:
+            futures = [(shard,
+                        executor.submit(self._shard_runner, self._spec, shard))
+                       for shard in shards]
+            for shard, future in futures:
+                status = "ok"
+                try:
+                    # Collected in submission order: a later shard's wait
+                    # includes earlier ones, so the timeout bounds the
+                    # pool, not each shard exactly — good enough to keep
+                    # one wedged worker from hanging the campaign.
+                    results[shard.index] = future.result(
+                        timeout=config.shard_timeout_s)
+                    failures.pop(shard.index, None)
+                except Exception as error:
+                    failures[shard.index] = error
+                    failed.append(shard)
+                    if isinstance(error, FuturesTimeoutError):
+                        timed_out = True
+                    status = f"FAILED ({type(error).__name__})"
+                if progress is not None:
+                    retry = " retry" if attempt else ""
+                    progress(f"[{len(results)}/{total} shards{retry}] "
+                             f"{shard.describe()} {status}")
+        finally:
+            executor.shutdown(wait=not timed_out, cancel_futures=True)
+        return failed
+
+
+def run_sweep(config: SweepConfig, *, spec: Optional[BoardSpec] = None,
+              board: Optional[BenderBoard] = None,
+              progress: Optional[ProgressCallback] = None
+              ) -> CharacterizationDataset:
+    """Run a sweep serially or in parallel, per ``config.jobs``.
+
+    Args:
+        config: the sweep; ``jobs > 1`` selects the parallel executor.
+        spec: board recipe — required for parallel runs (workers rebuild
+            from it) and used to build the board for serial runs when no
+            ``board`` is given.
+        board: an existing station for the serial path (avoids a
+            rebuild); ignored when ``jobs > 1``.
+        progress: per-(bank, region) callback (serial) or per-shard
+            completion callback (parallel).
+    """
+    if config.jobs > 1:
+        if spec is None:
+            raise ExperimentError(
+                "a parallel sweep needs a BoardSpec so workers can "
+                "rebuild the station (jobs="
+                f"{config.jobs}, spec=None)")
+        return ParallelSweepRunner(spec, config).run(progress)
+    if board is None:
+        if spec is None:
+            raise ExperimentError("run_sweep needs a board or a spec")
+        board = spec.build()
+    return SpatialSweep(board, config).run(progress)

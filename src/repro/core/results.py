@@ -110,6 +110,27 @@ class CharacterizationDataset:
         self.hcfirst_records.extend(other.hcfirst_records)
         self.metadata.update(other.metadata)
 
+    @classmethod
+    def merged(cls, parts: Iterable["CharacterizationDataset"],
+               metadata: Optional[Dict[str, object]] = None
+               ) -> "CharacterizationDataset":
+        """Concatenate ``parts`` in order into one dataset.
+
+        The deterministic-merge primitive of the parallel sweep executor:
+        record order is exactly the concatenation order of ``parts``, and
+        the result's metadata is ``metadata`` (not a union of the parts'
+        metadata, which would depend on which shards succeeded).
+        """
+        dataset = cls(metadata=dict(metadata or {}))
+        for part in parts:
+            dataset.ber_records.extend(part.ber_records)
+            dataset.hcfirst_records.extend(part.hcfirst_records)
+        return dataset
+
+    def record_counts(self) -> Tuple[int, int]:
+        """(BER records, HC_first records) — a cheap progress/size probe."""
+        return len(self.ber_records), len(self.hcfirst_records)
+
     # -- filtering ------------------------------------------------------
     def ber(self, channel: Optional[int] = None,
             pattern: Optional[str] = None,

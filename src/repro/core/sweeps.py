@@ -14,7 +14,14 @@ scale up via environment variables:
                               ~20x the cost of one BER test)
 ``REPRO_REPETITIONS``         independent repetitions of each measurement
 ``REPRO_REGION_SIZE``         region size in rows (paper: 3072)
+``REPRO_JOBS``                worker processes for the sweep (1 = serial)
 ============================  =============================================
+
+Setting ``jobs > 1`` does not change this module: :class:`SpatialSweep`
+is always the serial reference implementation.  The parallel executor in
+:mod:`repro.core.parallel` shards a sweep by (channel, pseudo channel,
+bank, region) and merges the per-shard datasets back into exactly the
+record order the serial path produces.
 """
 
 from __future__ import annotations
@@ -42,15 +49,20 @@ from repro.errors import ExperimentError
 ProgressCallback = Callable[[str], None]
 
 
-def _env_int(name: str, default: int) -> int:
+def _env_int(name: str, default: int, minimum: int = 0) -> int:
     raw = os.environ.get(name)
     if raw is None:
         return default
     try:
-        return int(raw)
+        value = int(raw)
     except ValueError:
         raise ExperimentError(
-            f"environment variable {name} must be an int, got {raw!r}")
+            f"environment variable {name} must be an int, "
+            f"got {raw!r}") from None
+    if value < minimum:
+        raise ExperimentError(
+            f"environment variable {name} must be >= {minimum}, got {value}")
+    return value
 
 
 @dataclass(frozen=True)
@@ -75,6 +87,11 @@ class SweepConfig:
     release_rows_between_regions: bool = True
     #: Synthesize the WCDP records after the sweep (Figs. 3-5 need them).
     append_wcdp: bool = True
+    #: Worker processes for the sweep; 1 = the serial path in this module,
+    #: > 1 = :class:`repro.core.parallel.ParallelSweepRunner` sharding.
+    jobs: int = 1
+    #: Per-shard wall-clock timeout for parallel runs (None = unlimited).
+    shard_timeout_s: Optional[float] = None
     experiment: ExperimentConfig = field(default_factory=ExperimentConfig)
 
     def __post_init__(self) -> None:
@@ -86,6 +103,10 @@ class SweepConfig:
             raise ExperimentError("hcfirst_rows_per_region must be >= 0")
         if self.repetitions <= 0:
             raise ExperimentError("repetitions must be positive")
+        if self.jobs <= 0:
+            raise ExperimentError("jobs must be positive")
+        if self.shard_timeout_s is not None and self.shard_timeout_s <= 0:
+            raise ExperimentError("shard_timeout_s must be positive")
         unknown = set(self.regions) - set(REGIONS)
         if unknown:
             raise ExperimentError(f"unknown regions: {sorted(unknown)}")
@@ -98,8 +119,32 @@ class SweepConfig:
             hcfirst_rows_per_region=_env_int("REPRO_HCFIRST_ROWS", 6),
             repetitions=_env_int("REPRO_REPETITIONS", 1),
             region_size=_env_int("REPRO_REGION_SIZE", 3072),
+            jobs=_env_int("REPRO_JOBS", 1, minimum=1),
         )
         return replace(base, **overrides)
+
+
+def sweep_metadata(config: SweepConfig) -> dict:
+    """The dataset metadata a sweep with ``config`` records.
+
+    Shared by the serial and parallel executors so that both produce
+    byte-identical exported datasets for the same config.  Deliberately
+    excludes execution details (``jobs``): how a dataset was computed is
+    not part of what was measured.
+    """
+    return {
+        "channels": list(config.channels),
+        "pseudo_channels": list(config.pseudo_channels),
+        "banks": list(config.banks),
+        "regions": list(config.regions),
+        "region_size": config.region_size,
+        "rows_per_region": config.rows_per_region,
+        "hcfirst_rows_per_region": config.hcfirst_rows_per_region,
+        "patterns": [pattern.name for pattern in config.patterns],
+        "repetitions": config.repetitions,
+        "ber_hammer_count": config.experiment.ber_hammer_count,
+        "temperature_c": config.experiment.temperature_c,
+    }
 
 
 class SpatialSweep:
@@ -148,48 +193,66 @@ class SpatialSweep:
 
         Rows whose wordline sits at a bank edge (only one physical
         neighbour) cannot be double-sided hammered and are skipped in
-        favour of the next row.
+        favour of the nearest usable row.
+
+        The even-spacing grid is computed first and each gridpoint is
+        then bumped independently past edge rows, so one skip does not
+        drag every subsequent sample off the grid (which would compress
+        the spacing for the rest of the region).  A gridpoint whose
+        forward bump would run past the region end falls back to the
+        nearest unused row before it.
         """
         geometry = self._board.device.geometry
         start = self.region_start(region)
         size = min(self._config.region_size, geometry.rows)
         count = min(count, size)
         stride = max(1, size // count)
+        end = start + size
+
+        def usable(row: int) -> bool:
+            return len(self._mapper.physical_neighbors(row)) == 2
+
         rows: List[int] = []
-        candidate = start
-        while len(rows) < count and candidate < start + size:
-            if len(self._mapper.physical_neighbors(candidate)) == 2:
-                rows.append(candidate)
-                candidate += stride
-            else:
+        previous = start - 1
+        for index in range(count):
+            gridpoint = max(start + index * stride, previous + 1)
+            candidate = gridpoint
+            while candidate < end and not usable(candidate):
                 candidate += 1
+            if candidate >= end:
+                # Off the region end: take the closest unused row below
+                # the gridpoint instead of silently dropping the sample.
+                candidate = min(gridpoint, end - 1)
+                while candidate > previous and not usable(candidate):
+                    candidate -= 1
+                if candidate <= previous:
+                    continue  # no usable row left for this gridpoint
+            rows.append(candidate)
+            previous = candidate
+        if len(set(rows)) != len(rows):
+            raise ExperimentError(
+                f"region_rows produced duplicate rows for region "
+                f"{region!r}: {rows}")
         return rows
 
     # ------------------------------------------------------------------
-    def run(self, progress: Optional[ProgressCallback] = None
+    def run(self, progress: Optional[ProgressCallback] = None, *,
+            apply_interference_controls: bool = True
             ) -> CharacterizationDataset:
         """Execute the campaign; returns the dataset (with WCDP records).
 
         Applies the §3.1 interference controls first: sets the chip
         temperature through the PID rig and writes the ECC mode register
         (forgetting the latter silently halves measured vulnerability —
-        on-die ECC eats isolated bitflips).
+        on-die ECC eats isolated bitflips).  Parallel sweep workers pass
+        ``apply_interference_controls=False`` for the shards after a
+        station's first, having applied the controls exactly once per
+        station as this method does for a whole serial campaign.
         """
         config = self._config
-        apply_controls(self._board, config.experiment)
-        dataset = CharacterizationDataset(metadata={
-            "channels": list(config.channels),
-            "pseudo_channels": list(config.pseudo_channels),
-            "banks": list(config.banks),
-            "regions": list(config.regions),
-            "region_size": config.region_size,
-            "rows_per_region": config.rows_per_region,
-            "hcfirst_rows_per_region": config.hcfirst_rows_per_region,
-            "patterns": [pattern.name for pattern in config.patterns],
-            "repetitions": config.repetitions,
-            "ber_hammer_count": config.experiment.ber_hammer_count,
-            "temperature_c": config.experiment.temperature_c,
-        })
+        if apply_interference_controls:
+            apply_controls(self._board, config.experiment)
+        dataset = CharacterizationDataset(metadata=sweep_metadata(config))
         for channel in config.channels:
             for pseudo_channel in config.pseudo_channels:
                 for bank in config.banks:

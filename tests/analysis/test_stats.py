@@ -41,6 +41,14 @@ class TestQuartiles:
         with pytest.raises(AnalysisError):
             quartiles([])
 
+    def test_nan_rejected_with_clear_error(self):
+        with pytest.raises(AnalysisError, match="non-finite"):
+            quartiles([1.0, float("nan"), 3.0])
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(AnalysisError, match="1-D"):
+            quartiles([[1.0, 2.0], [3.0, 4.0]])
+
 
 class TestBoxStats:
     def test_full_summary(self):

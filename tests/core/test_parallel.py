@@ -1,0 +1,181 @@
+"""Tests for repro.core.parallel — sharding, determinism, fault tolerance.
+
+The fault-injection shard runners live at module level so the process
+pool can pickle them by reference.
+"""
+
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.bender.board import BoardSpec
+from repro.core import parallel
+from repro.core.experiment import ExperimentConfig
+from repro.core.parallel import ParallelSweepRunner, ShardPlan, run_sweep
+from repro.core.patterns import ROWSTRIPE0, ROWSTRIPE1
+from repro.core.results import REGION_MIDDLE, REGIONS
+from repro.core.sweeps import SpatialSweep, SweepConfig
+from repro.errors import ExperimentError
+from tests.conftest import SMALL_GEOMETRY, vulnerable_profile
+
+
+def small_spec() -> BoardSpec:
+    return BoardSpec(seed=5, temperature_c=85.0, settle_thermals=False,
+                     geometry=SMALL_GEOMETRY, profile=vulnerable_profile())
+
+
+def small_config(**overrides) -> SweepConfig:
+    defaults = dict(
+        channels=(0, 1),
+        banks=(0, 1),
+        region_size=64,
+        rows_per_region=3,
+        hcfirst_rows_per_region=1,
+        patterns=(ROWSTRIPE0, ROWSTRIPE1),
+        experiment=ExperimentConfig(ber_hammer_count=80_000,
+                                    hcfirst_max_hammers=128 * 1024),
+    )
+    defaults.update(overrides)
+    return SweepConfig(**defaults)
+
+
+def lean_config(**overrides) -> SweepConfig:
+    """Cheaper variant for the fault-tolerance tests."""
+    defaults = dict(
+        banks=(0,),
+        rows_per_region=2,
+        hcfirst_rows_per_region=0,
+        include_hcfirst=False,
+        patterns=(ROWSTRIPE0,),
+    )
+    defaults.update(overrides)
+    return small_config(**defaults)
+
+
+def _fail_middle_of_ch1(spec, shard):
+    """Shard runner that raises inside the worker for one shard."""
+    if shard.channel == 1 and shard.region == REGION_MIDDLE:
+        raise RuntimeError("injected shard fault")
+    return parallel.run_shard(spec, shard)
+
+
+def _crash_middle_of_ch1(spec, shard):
+    """Shard runner that hard-kills its worker (breaks the pool)."""
+    if shard.channel == 1 and shard.region == REGION_MIDDLE:
+        os._exit(13)
+    return parallel.run_shard(spec, shard)
+
+
+class TestShardPlan:
+    def test_serial_nesting_order(self):
+        config = small_config()
+        plan = ShardPlan.from_config(config)
+        assert len(plan) == 2 * 1 * 2 * 3
+        expected = [(channel, 0, bank, region)
+                    for channel in (0, 1)
+                    for bank in (0, 1)
+                    for region in REGIONS]
+        observed = [(shard.channel, shard.pseudo_channel, shard.bank,
+                     shard.region) for shard in plan]
+        assert observed == expected
+        assert [shard.index for shard in plan] == list(range(len(plan)))
+
+    def test_shard_configs_are_narrowed(self):
+        plan = ShardPlan.from_config(small_config(jobs=4))
+        for shard in plan:
+            assert shard.config.channels == (shard.channel,)
+            assert shard.config.pseudo_channels == (shard.pseudo_channel,)
+            assert shard.config.banks == (shard.bank,)
+            assert shard.config.regions == (shard.region,)
+            assert shard.config.append_wcdp is False
+            assert shard.config.jobs == 1
+
+
+class TestDeterminism:
+    def test_parallel_dataset_is_byte_identical_to_serial(self, tmp_path):
+        """The acceptance contract: jobs=4 == jobs=1, record for record."""
+        spec = small_spec()
+        config = small_config()
+
+        serial = SpatialSweep(spec.build(), config).run()
+        runner = ParallelSweepRunner(spec, replace(config, jobs=4))
+        parallel_dataset = runner.run()
+
+        assert runner.errors == ()
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        serial.to_json(serial_path)
+        parallel_dataset.to_json(parallel_path)
+        assert serial_path.read_bytes() == parallel_path.read_bytes()
+
+    def test_progress_reports_every_shard(self):
+        spec = small_spec()
+        config = lean_config(jobs=2)
+        messages = []
+        ParallelSweepRunner(spec, config).run(progress=messages.append)
+        assert len(messages) == len(ShardPlan.from_config(config))
+        assert all("ok" in message for message in messages)
+
+
+class TestFaultTolerance:
+    def test_raising_shard_is_reported_not_fatal(self):
+        spec = small_spec()
+        config = lean_config(jobs=2)
+        runner = ParallelSweepRunner(spec, config,
+                                     shard_runner=_fail_middle_of_ch1)
+        dataset = runner.run()
+
+        assert len(runner.errors) == 1
+        error = runner.errors[0]
+        assert (error.channel, error.region) == (1, REGION_MIDDLE)
+        assert error.error_type == "RuntimeError"
+        assert "injected shard fault" in error.message
+        assert error.attempts == 2  # initial try + one retry
+
+        # The campaign completed: every other shard's records are there,
+        # the failed shard's are absent, and the failure is archived in
+        # the dataset itself.
+        measured = {(record.channel, record.region)
+                    for record in dataset.ber_records}
+        assert (1, REGION_MIDDLE) not in measured
+        expected = {(channel, region) for channel in (0, 1)
+                    for region in REGIONS} - {(1, REGION_MIDDLE)}
+        assert measured == expected
+        assert dataset.metadata["shard_errors"] == [error.as_dict()]
+
+    def test_crashed_worker_does_not_sink_other_shards(self):
+        """A hard crash breaks the shared pool; the isolated retry round
+        must still complete every innocent shard."""
+        spec = small_spec()
+        config = lean_config(jobs=2)
+        runner = ParallelSweepRunner(spec, config,
+                                     shard_runner=_crash_middle_of_ch1)
+        dataset = runner.run()
+
+        assert [
+            (error.channel, error.region) for error in runner.errors
+        ] == [(1, REGION_MIDDLE)]
+        measured = {(record.channel, record.region)
+                    for record in dataset.ber_records}
+        expected = {(channel, region) for channel in (0, 1)
+                    for region in REGIONS} - {(1, REGION_MIDDLE)}
+        assert measured == expected
+
+
+class TestRunSweepDispatch:
+    def test_serial_uses_given_board(self):
+        spec = small_spec()
+        config = lean_config()
+        board = spec.build()
+        dataset = run_sweep(config, board=board)
+        reference = SpatialSweep(spec.build(), config).run()
+        assert dataset.ber_records == reference.ber_records
+
+    def test_parallel_requires_spec(self):
+        with pytest.raises(ExperimentError):
+            run_sweep(lean_config(jobs=2))
+
+    def test_serial_requires_board_or_spec(self):
+        with pytest.raises(ExperimentError):
+            run_sweep(lean_config())

@@ -45,6 +45,34 @@ class TestConfig:
         with pytest.raises(ExperimentError):
             SweepConfig.from_env()
 
+    def test_bad_env_value_does_not_chain_traceback(self, monkeypatch):
+        """The ValueError from int() is noise; it must be suppressed."""
+        monkeypatch.setenv("REPRO_ROWS_PER_REGION", "many")
+        with pytest.raises(ExperimentError) as excinfo:
+            SweepConfig.from_env()
+        assert excinfo.value.__suppress_context__
+        assert excinfo.value.__cause__ is None
+
+    def test_negative_env_value_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REGION_SIZE", "-1")
+        with pytest.raises(ExperimentError, match="REPRO_REGION_SIZE"):
+            SweepConfig.from_env()
+
+    def test_jobs_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert SweepConfig.from_env().jobs == 3
+
+    def test_zero_jobs_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        with pytest.raises(ExperimentError, match="REPRO_JOBS"):
+            SweepConfig.from_env()
+
+    def test_non_positive_jobs_rejected(self):
+        with pytest.raises(ExperimentError):
+            SweepConfig(jobs=0)
+        with pytest.raises(ExperimentError):
+            SweepConfig(shard_timeout_s=0.0)
+
     def test_unknown_region_rejected(self):
         with pytest.raises(ExperimentError):
             SweepConfig(regions=("first", "bogus"))
@@ -71,6 +99,33 @@ class TestRowSelection:
         mapper = vulnerable_board.device.mapper
         for row in sweep.region_rows(REGION_FIRST, 4):
             assert len(mapper.physical_neighbors(row)) == 2
+
+    def test_edge_skip_does_not_compress_the_grid(self, vulnerable_board):
+        """Skipping the bank-edge row at gridpoint 0 must not drag the
+        later samples off the even-spacing grid (the old code resumed
+        striding from the *skipped* position)."""
+        sweep = SpatialSweep(vulnerable_board, small_sweep_config())
+        mapper = vulnerable_board.device.mapper
+        # Region "first" of the 64-row config: gridpoints 0/16/32/48.
+        # Logical row 0 is physical row 0 (a bank edge) and is bumped;
+        # the others are usable and must stay exactly on-grid.
+        assert len(mapper.physical_neighbors(0)) == 1
+        rows = sweep.region_rows(REGION_FIRST, 4)
+        assert rows[0] > 0
+        assert rows[1:] == [16, 32, 48]
+
+    def test_full_density_region_has_unique_rows(self, vulnerable_board):
+        """count == region size: every usable row exactly once, no
+        silent compression-duplicates, edge rows excluded."""
+        sweep = SpatialSweep(vulnerable_board, small_sweep_config())
+        mapper = vulnerable_board.device.mapper
+        for region in (REGION_FIRST, REGION_MIDDLE, REGION_LAST):
+            rows = sweep.region_rows(region, 64)
+            assert len(rows) == len(set(rows))
+            start = sweep.region_start(region)
+            usable = [row for row in range(start, start + 64)
+                      if len(mapper.physical_neighbors(row)) == 2]
+            assert rows == usable
 
 
 class TestRun:
