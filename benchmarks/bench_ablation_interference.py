@@ -20,7 +20,7 @@ from repro.core.experiment import ExperimentConfig, InterferenceControls
 from repro.core.patterns import ROWSTRIPE0
 from repro.dram.address import DramAddress
 
-from benchmarks.conftest import emit, env_int
+from benchmarks.conftest import emit
 
 ROWS = range(5000, 5064, 8)
 

@@ -8,25 +8,38 @@ die-pair grouping; rowstripe > checkered; WCDP on top.
 """
 
 import json
+import time
 
 from repro.analysis.figures import fig3_ber_distributions, render_box_table
 from repro.analysis.tables import ber_channel_extremes, channel_groups_by_ber
 from repro.core.parallel import run_sweep
 from repro.core.sweeps import SweepConfig
 
-from benchmarks.conftest import emit, env_int
+from benchmarks.conftest import (
+    emit,
+    env_int,
+    metrics_summary,
+    write_bench_json,
+)
 
 
-def test_fig3_ber_distribution(benchmark, board, board_spec, results_dir):
+def test_fig3_ber_distribution(benchmark, board, board_spec, results_dir,
+                               campaign_metrics):
     config = SweepConfig.from_env(
         channels=tuple(range(8)),
         rows_per_region=env_int("REPRO_ROWS_PER_REGION", 10),
         include_hcfirst=False,
     )
 
-    dataset = benchmark.pedantic(
-        lambda: run_sweep(config, spec=board_spec, board=board),
-        rounds=1, iterations=1)
+    timing = {}
+
+    def campaign():
+        started = time.perf_counter()
+        dataset = run_sweep(config, spec=board_spec, board=board)
+        timing["wall_s"] = time.perf_counter() - started
+        return dataset
+
+    dataset = benchmark.pedantic(campaign, rounds=1, iterations=1)
 
     dataset.to_json(results_dir / "fig3_dataset.json")
     distributions = fig3_ber_distributions(dataset)
@@ -51,6 +64,17 @@ def test_fig3_ber_distribution(benchmark, board, board_spec, results_dir):
         "worst_ber": worst_ber, "best_ber": best_ber,
         "ratio": worst_ber / best_ber,
     }, indent=1))
+
+    write_bench_json(results_dir, "fig3_ber", {
+        "campaign": {
+            "channels": len(config.channels),
+            "rows_per_region": config.rows_per_region,
+            "patterns": len(config.patterns),
+            "jobs": config.jobs,
+        },
+        "elapsed_s": round(timing["wall_s"], 3),
+        "metrics": metrics_summary(campaign_metrics, timing["wall_s"]),
+    })
 
     assert worst in (6, 7)
     assert worst_ber / best_ber > 1.4

@@ -13,7 +13,6 @@ the JSON records what this machine delivered (``cpu_count`` is archived
 alongside for interpretation).
 """
 
-import json
 import os
 import time
 
@@ -21,8 +20,14 @@ from repro.core.experiment import ExperimentConfig
 from repro.core.parallel import run_sweep
 from repro.core.patterns import ROWSTRIPE0, ROWSTRIPE1
 from repro.core.sweeps import SweepConfig
+from repro.obs import MetricsRegistry, use_metrics
 
-from benchmarks.conftest import emit, env_int
+from benchmarks.conftest import (
+    emit,
+    env_int,
+    metrics_summary,
+    write_bench_json,
+)
 
 JOBS_LEVELS = (1, 2, 4)
 
@@ -44,16 +49,20 @@ def test_parallel_scaling(benchmark, board_spec, results_dir):
     levels = {}
     for jobs in JOBS_LEVELS:
         config = scaling_config(jobs)
-        if jobs == 1:
-            started = time.perf_counter()
-            dataset = benchmark.pedantic(
-                lambda: run_sweep(config, spec=board_spec),
-                rounds=1, iterations=1)
-            elapsed = time.perf_counter() - started
-        else:
-            started = time.perf_counter()
-            dataset = run_sweep(config, spec=board_spec)
-            elapsed = time.perf_counter() - started
+        # A fresh registry per jobs level: each level's command counts
+        # and (for jobs > 1) merged shard telemetry stand alone.
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            if jobs == 1:
+                started = time.perf_counter()
+                dataset = benchmark.pedantic(
+                    lambda: run_sweep(config, spec=board_spec),
+                    rounds=1, iterations=1)
+                elapsed = time.perf_counter() - started
+            else:
+                started = time.perf_counter()
+                dataset = run_sweep(config, spec=board_spec)
+                elapsed = time.perf_counter() - started
         datasets[jobs] = dataset
         measurements = len([record for record in dataset.ber_records
                             if record.pattern != "WCDP"])
@@ -61,9 +70,18 @@ def test_parallel_scaling(benchmark, board_spec, results_dir):
             "elapsed_s": round(elapsed, 3),
             "measurements": measurements,
             "rows_per_s": round(measurements / elapsed, 3),
+            "metrics": metrics_summary(registry, elapsed),
         }
+        if jobs > 1:
+            # The parallel executor lands per-shard wall/throughput rows
+            # under metadata["telemetry"] when observability is active.
+            telemetry = dataset.metadata.pop("telemetry")
+            assert len(telemetry["shards"]) == 8 * 3  # every shard covered
+            levels[str(jobs)]["shard_wall_s"] = [
+                shard["wall_s"] for shard in telemetry["shards"]]
 
-    # Determinism contract: every jobs level produces the same dataset.
+    # Determinism contract: every jobs level produces the same dataset
+    # (telemetry, an execution detail, was popped above).
     reference = datasets[JOBS_LEVELS[0]]
     for jobs in JOBS_LEVELS[1:]:
         assert datasets[jobs].ber_records == reference.ber_records
@@ -84,8 +102,7 @@ def test_parallel_scaling(benchmark, board_spec, results_dir):
                                      / baseline, 3)
                     for jobs in JOBS_LEVELS},
     }
-    (results_dir / "BENCH_parallel_scaling.json").write_text(
-        json.dumps(payload, indent=1))
+    write_bench_json(results_dir, "parallel_scaling", payload)
 
     lines = [f"cpu_count: {os.cpu_count()}"]
     for jobs in JOBS_LEVELS:

@@ -12,12 +12,15 @@ is rows_per_region=3072, repetitions=5.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
+from typing import Dict, Optional
 
 import pytest
 
 from repro.bender.board import BoardSpec, make_paper_setup
+from repro.obs import MetricsRegistry, use_metrics
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -54,3 +57,45 @@ def emit(results_dir: Path, name: str, text: str) -> None:
     print(f"=== {name} ===")
     print(text)
     (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture()
+def campaign_metrics():
+    """A live metrics registry installed for the duration of one
+    benchmark, so its campaign runs under command-stream accounting
+    (summarize with :func:`metrics_summary`, archive with
+    :func:`write_bench_json`)."""
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        yield registry
+
+
+def metrics_summary(registry: MetricsRegistry,
+                    wall_s: Optional[float] = None) -> Dict[str, object]:
+    """Condense a registry into the BENCH_*.json telemetry block:
+    commands issued by type, hammer/bitflip totals, and throughput."""
+    counters = registry.snapshot()["counters"]
+    commands = {name.rsplit(".", 1)[-1]: int(value)
+                for name, value in counters.items()
+                if name.startswith("dram.commands.")}
+    rows = int(counters.get("sweep.ber_records", 0) +
+               counters.get("sweep.hcfirst_records", 0))
+    summary: Dict[str, object] = {
+        "dram_commands": commands,
+        "dram_commands_total": sum(commands.values()),
+        "hammer_pairs": int(counters.get("hammer.pairs", 0)),
+        "bitflips_observed": int(counters.get("bitflips.observed", 0)),
+        "rows_measured": rows,
+    }
+    if wall_s:
+        summary["rows_per_s"] = round(rows / wall_s, 3)
+        summary["commands_per_s"] = round(
+            sum(commands.values()) / wall_s, 3)
+    return summary
+
+
+def write_bench_json(results_dir: Path, name: str, payload: Dict) -> None:
+    """Archive one benchmark's machine-readable record (with its
+    telemetry block) as ``BENCH_<name>.json``."""
+    (results_dir / f"BENCH_{name}.json").write_text(
+        json.dumps(payload, indent=1) + "\n")

@@ -11,8 +11,6 @@ all of them and which vary chip-to-chip.
 Run:  python examples/multi_chip_study.py
 """
 
-import numpy as np
-
 from repro import SpatialSweep, SweepConfig, UTrrExperiment, make_paper_setup
 from repro.analysis.tables import ber_channel_extremes
 from repro.dram.address import DramAddress

@@ -7,7 +7,7 @@ can regenerate EXPERIMENTS.md in one call.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.analysis.figures import (
     fig3_ber_distributions,

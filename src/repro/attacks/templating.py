@@ -16,7 +16,7 @@ is the same budget a real attacker pays.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.bender.host import HostInterface
 from repro.core.hammer import DoubleSidedHammer

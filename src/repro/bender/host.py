@@ -10,7 +10,7 @@ device for real hardware would only replace this module's backend.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 

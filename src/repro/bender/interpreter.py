@@ -28,6 +28,7 @@ from repro.bender import isa
 from repro.bender.program import Program
 from repro.dram.device import HBM2Device
 from repro.errors import ProgramError
+from repro.obs import get_metrics
 
 
 @dataclass
@@ -79,6 +80,7 @@ class Interpreter:
 
     def run(self, program: Program) -> ExecutionResult:
         """Execute ``program``; returns the readback stream."""
+        get_metrics().counter("bender.programs").inc()
         result = ExecutionResult(start_cycle=self._device.now)
         self._run_sequence(program.instructions, result)
         result.end_cycle = self._device.now
@@ -136,10 +138,13 @@ class Interpreter:
     # ------------------------------------------------------------------
     def _run_loop(self, loop: isa.Loop, result: ExecutionResult) -> None:
         if not self._loop_is_fast_eligible(loop):
+            get_metrics().counter("bender.loop_iterations.slow").inc(
+                loop.count)
             for _ in range(loop.count):
                 self._run_sequence(loop.body, result)
             return
 
+        get_metrics().counter("bender.loop_iterations.fast").inc(loop.count)
         device = self._device
         # Warm-up: first iteration may pay cold timing (e.g. a pending
         # tRP); the second runs at steady state.

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.obs import get_metrics
 
 
 @dataclass
@@ -150,6 +151,8 @@ class TemperatureController:
             if abs(temperature - self.target_c) <= self.tolerance_c:
                 consecutive += 1
                 if consecutive >= self.settle_steps:
+                    get_metrics().histogram("thermal.settle_steps").observe(
+                        step_index + 1)
                     return step_index + 1
             else:
                 consecutive = 0

@@ -20,7 +20,7 @@ directly by default — but running through it buys two things:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.bender.assembler import assemble, disassemble
 from repro.bender.interpreter import ExecutionResult, Interpreter

@@ -10,16 +10,20 @@ installed).  Each subcommand wraps one methodology entry point::
     python -m repro mapping
     python -m repro subarrays --start 800 --end 870
     python -m repro report out.json
+    python -m repro obs summarize trace.jsonl --metrics metrics.json
 
 All subcommands share the station options ``--seed`` (chip specimen),
-``--temperature`` (degC) and ``--voltage`` (wordline rail).
+``--temperature`` (degC) and ``--voltage`` (wordline rail), plus the
+observability options ``--trace PATH`` (span trace as JSON Lines) and
+``--metrics PATH`` (metric snapshot as JSON); ``repro obs summarize``
+renders either into a profile table.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.analysis.figures import (
     fig3_ber_distributions,
@@ -44,6 +48,8 @@ from repro.core.sweeps import SweepConfig
 from repro.core.utrr import UTrrExperiment
 from repro.dram.address import DramAddress
 from repro.errors import ReproError
+from repro.obs import ObsSession
+from repro.obs.summarize import summarize_trace
 
 
 def _add_station_options(parser: argparse.ArgumentParser) -> None:
@@ -53,6 +59,12 @@ def _add_station_options(parser: argparse.ArgumentParser) -> None:
                         help="chip temperature in degC (default: 85)")
     parser.add_argument("--voltage", type=float, default=None,
                         help="wordline voltage in V (default: nominal)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record a span trace to PATH (JSON Lines); "
+                             "inspect with 'repro obs summarize PATH'")
+    parser.add_argument("--metrics", metavar="PATH", default=None,
+                        help="write a metric snapshot (commands by type, "
+                             "hammers, bitflips, ...) to PATH as JSON")
 
 
 def _make_spec(args: argparse.Namespace) -> BoardSpec:
@@ -198,6 +210,12 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs_summarize(args: argparse.Namespace) -> int:
+    print(summarize_trace(args.trace, metrics_path=args.metrics,
+                          top=args.top))
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -278,6 +296,18 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--utrr-period", type=int, default=None)
     report.set_defaults(handler=cmd_report)
 
+    obs = subparsers.add_parser(
+        "obs", help="inspect recorded observability artifacts")
+    obs_subparsers = obs.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_subparsers.add_parser(
+        "summarize", help="render a profile table from a --trace file")
+    summarize.add_argument("trace", help="trace written by --trace PATH")
+    summarize.add_argument("--metrics", default=None,
+                           help="metric snapshot written by --metrics PATH")
+    summarize.add_argument("--top", type=int, default=5,
+                           help="slowest shards to list (default: 5)")
+    summarize.set_defaults(handler=cmd_obs_summarize)
+
     return parser
 
 
@@ -285,7 +315,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if args.handler is cmd_obs_summarize:
+        trace_path = metrics_path = None  # inputs, not collection targets
     try:
+        if trace_path or metrics_path:
+            with ObsSession(trace_path=trace_path,
+                            metrics_path=metrics_path):
+                code = args.handler(args)
+            if trace_path:
+                print(f"trace written to {trace_path} "
+                      f"(see: repro obs summarize {trace_path})",
+                      file=sys.stderr)
+            if metrics_path:
+                print(f"metrics written to {metrics_path}",
+                      file=sys.stderr)
+            return code
         return args.handler(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -20,7 +20,6 @@ disabled for a clean RowHammer characterization, and how each is handled:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.bender.board import BenderBoard
 from repro.errors import ExperimentBudgetError, ExperimentError

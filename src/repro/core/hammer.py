@@ -18,9 +18,8 @@ Both primitives are built from the same ingredients:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
-import numpy as np
 
 from repro.bender.host import HostInterface
 from repro.bender.program import Program, ProgramBuilder
@@ -28,6 +27,7 @@ from repro.core.patterns import DataPattern
 from repro.core.rowdata import FlipReport, byte_fill_bits, flip_report
 from repro.dram.address import DramAddress, RowAddressMapper
 from repro.errors import ExperimentError
+from repro.obs import get_metrics, get_tracer
 
 #: Physical radius of rows initialized around the victim (Table 1 uses
 #: V±[2:8] around the aggressors at V±1).
@@ -132,22 +132,31 @@ class DoubleSidedHammer:
         """
         host = self._host
         geometry = host.device.geometry
+        tracer = get_tracer()
+        metrics = get_metrics()
         if prepare:
-            prepare_neighborhood(host, self._mapper, victim, pattern)
+            with tracer.span("prepare"):
+                prepare_neighborhood(host, self._mapper, victim, pattern)
         aggressors = self.aggressors_of(victim)
         if len(aggressors) < 2:
             raise ExperimentError(
                 f"victim {victim} has {len(aggressors)} physical "
                 "neighbour(s); double-sided hammering needs two")
         program = build_hammer_program(victim, aggressors, hammer_count)
-        execution = host.run(program)
+        with tracer.span("hammer", hammers=hammer_count):
+            execution = host.run(program)
         duration_s = host.device.timing.seconds(execution.duration_cycles)
 
-        read_bits = host.read_row(victim)
-        expected = byte_fill_bits(pattern.victim_byte, geometry.row_bytes)
+        with tracer.span("readback"):
+            read_bits = host.read_row(victim)
+            expected = byte_fill_bits(pattern.victim_byte, geometry.row_bytes)
+            report = flip_report(read_bits, expected)
+        metrics.counter("hammer.double_sided").inc()
+        metrics.counter("hammer.pairs").inc(hammer_count)
+        metrics.counter("bitflips.observed").inc(report.flips)
         return HammerOutcome(victim=victim, pattern=pattern,
                              hammer_count=hammer_count,
-                             report=flip_report(read_bits, expected),
+                             report=report,
                              duration_s=duration_s)
 
 
@@ -196,7 +205,9 @@ class SingleSidedHammer:
 
         program = build_hammer_program(aggressor, [aggressor.row],
                                        hammer_count)
-        host.run(program)
+        with get_tracer().span("hammer", hammers=hammer_count,
+                               single_sided=True):
+            host.run(program)
 
         expected = byte_fill_bits(pattern.victim_byte, geometry.row_bytes)
         physical_aggressor = mapper.logical_to_physical(aggressor.row)
@@ -208,4 +219,9 @@ class SingleSidedHammer:
             logical = mapper.physical_to_logical(physical)
             read_bits = host.read_row(aggressor.with_row(logical))
             reports[offset] = flip_report(read_bits, expected)
+        metrics = get_metrics()
+        metrics.counter("hammer.single_sided").inc()
+        metrics.counter("hammer.pairs").inc(hammer_count)
+        metrics.counter("bitflips.observed").inc(
+            sum(report.flips for report in reports.values()))
         return reports

@@ -19,7 +19,7 @@ than one) survives, it raises instead of guessing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import List, Sequence, Set, Tuple
 
 from repro.bender.host import HostInterface
 from repro.core.patterns import ROWSTRIPE0, DataPattern

@@ -21,7 +21,7 @@ other dies prefer Rowstripe1), and a tool the paper's future-work
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.bender.host import HostInterface
 from repro.core.hammer import DoubleSidedHammer

@@ -20,10 +20,22 @@ synthesis runs on the merged dataset, a parallel sweep produces a
 byte-identical exported dataset to the serial
 :class:`~repro.core.sweeps.SpatialSweep` for the same spec and config.
 
+Observability: when the parent process has a tracer or metrics registry
+installed (:mod:`repro.obs`), each worker collects its own per-shard
+span tree and metric snapshot, spools them to disk, and the runner
+merges them back *in plan order* — so a ``jobs=N`` campaign yields one
+coherent trace whose shard subtrees sit under a single ``campaign``
+span, one aggregated metrics snapshot, and per-shard wall-time /
+throughput telemetry under ``dataset.metadata["telemetry"]``.  With
+observability disabled (the default) none of this machinery runs.
+
 Fault tolerance: a shard whose worker raises, crashes, or times out is
 retried once on a fresh pool; a shard that fails again is reported as a
 structured :class:`ShardError` (and under ``metadata["shard_errors"]``)
-instead of killing the campaign.
+instead of killing the campaign.  Workers wrap their failures in
+:class:`ShardRunError`, carrying the shard's wall time and metric
+snapshot back to the parent, so a failed shard is diagnosable without
+rerunning it.
 
 Limitations: the parallel path always uses the device's own row mapping
 (a custom ``mapper`` cannot cross the fork); pass ``jobs=1`` to sweep
@@ -33,10 +45,12 @@ with a reverse-engineered mapper.
 from __future__ import annotations
 
 import pickle
+import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bender.board import BenderBoard, BoardSpec
 from repro.core.results import CharacterizationDataset
@@ -47,11 +61,23 @@ from repro.core.sweeps import (
     sweep_metadata,
 )
 from repro.core.wcdp import append_wcdp_records
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, ReproError
+from repro.obs import (
+    NOOP_TRACER,
+    MetricsRegistry,
+    ObsConfig,
+    Tracer,
+    get_metrics,
+    get_tracer,
+    read_jsonl,
+    use_metrics,
+    use_tracer,
+)
 
 __all__ = [
     "ShardError",
     "ShardPlan",
+    "ShardRunError",
     "SweepShard",
     "ParallelSweepRunner",
     "run_shard",
@@ -80,9 +106,38 @@ class SweepShard:
                 f"ba{self.bank} region={self.region}")
 
 
+class ShardRunError(ReproError):
+    """A shard failed in its worker; carries the worker-side diagnosis.
+
+    Raised by :func:`run_shard` so the parent learns not just *that* the
+    shard failed but how long it ran and what its metric snapshot looked
+    like at the point of failure (commands issued, hammers, settle
+    iterations, ...) — enough to diagnose most failures without
+    rerunning the shard.  Picklable: crosses the process pool boundary
+    intact.
+    """
+
+    def __init__(self, original_type: str, message: str,
+                 wall_s: float, metrics: Dict[str, Dict[str, object]]
+                 ) -> None:
+        super().__init__(original_type, message, wall_s, metrics)
+        self.original_type = original_type
+        self.message = message
+        self.wall_s = wall_s
+        self.metrics = metrics
+
+    def __str__(self) -> str:
+        return f"{self.original_type}: {self.message}"
+
+
 @dataclass(frozen=True)
 class ShardError:
-    """A shard that failed after exhausting its retries."""
+    """A shard that failed after exhausting its retries.
+
+    ``wall_s`` and ``metrics`` hold the originating worker's wall time
+    and metric snapshot from the *last* failing attempt when the worker
+    lived long enough to report them (None for hard crashes/timeouts).
+    """
 
     index: int
     channel: int
@@ -92,6 +147,8 @@ class ShardError:
     error_type: str
     message: str
     attempts: int
+    wall_s: Optional[float] = None
+    metrics: Optional[Dict[str, Dict[str, object]]] = None
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -103,7 +160,25 @@ class ShardError:
             "error_type": self.error_type,
             "message": self.message,
             "attempts": self.attempts,
+            "wall_s": self.wall_s,
+            "metrics": self.metrics,
         }
+
+    @classmethod
+    def from_failure(cls, shard: SweepShard, error: BaseException,
+                     attempts: int) -> "ShardError":
+        if isinstance(error, ShardRunError):
+            return cls(index=shard.index, channel=shard.channel,
+                       pseudo_channel=shard.pseudo_channel,
+                       bank=shard.bank, region=shard.region,
+                       error_type=error.original_type,
+                       message=error.message, attempts=attempts,
+                       wall_s=error.wall_s, metrics=error.metrics)
+        return cls(index=shard.index, channel=shard.channel,
+                   pseudo_channel=shard.pseudo_channel, bank=shard.bank,
+                   region=shard.region,
+                   error_type=type(error).__name__, message=str(error),
+                   attempts=attempts)
 
 
 @dataclass(frozen=True)
@@ -138,6 +213,11 @@ class ShardPlan:
                             pseudo_channel=pseudo_channel, bank=bank,
                             region=region, config=shard_config))
         return cls(shards=tuple(shards))
+
+    def with_obs(self, obs: ObsConfig) -> Tuple[SweepShard, ...]:
+        """The plan's shards with ``obs`` injected into every config."""
+        return tuple(replace(shard, config=replace(shard.config, obs=obs))
+                     for shard in self.shards)
 
     def __len__(self) -> int:
         return len(self.shards)
@@ -176,10 +256,40 @@ def run_shard(spec: BoardSpec, shard: SweepShard) -> CharacterizationDataset:
 
     The default shard runner submitted to worker processes; also usable
     inline (e.g. by tests) since it has no pool-specific state.
+
+    Every shard runs under its own metrics registry (cheap enough to be
+    always-on) so that a *failing* shard can report its wall time and
+    metric snapshot via :class:`ShardRunError`.  When the shard config
+    carries an :class:`~repro.obs.ObsConfig` the collected trace/metrics
+    are additionally spooled to per-shard files for the parent to merge.
     """
-    board = _worker_station(spec, shard.config)
-    sweep = SpatialSweep(board, shard.config)
-    return sweep.run(apply_interference_controls=False)
+    obs = shard.config.obs
+    want_trace = bool(obs is not None and obs.trace)
+    registry = MetricsRegistry()
+    tracer = Tracer() if want_trace else NOOP_TRACER
+    started = time.perf_counter()
+    try:
+        with use_metrics(registry), use_tracer(tracer):
+            with tracer.span("shard", shard=shard.index,
+                             channel=shard.channel,
+                             pseudo_channel=shard.pseudo_channel,
+                             bank=shard.bank, region=shard.region):
+                board = _worker_station(spec, shard.config)
+                sweep = SpatialSweep(board, shard.config)
+                dataset = sweep.run(apply_interference_controls=False)
+    except Exception as error:
+        wall_s = time.perf_counter() - started
+        registry.gauge("shard.wall_s").set(wall_s)
+        raise ShardRunError(type(error).__name__, str(error), wall_s,
+                            registry.snapshot()) from error
+    wall_s = time.perf_counter() - started
+    registry.gauge("shard.wall_s").set(wall_s)
+    registry.gauge("shard.records").set(sum(dataset.record_counts()))
+    if obs is not None and obs.active:
+        if want_trace:
+            tracer.write_jsonl(obs.trace_path(shard.index))
+        registry.to_json(obs.metrics_path(shard.index))
+    return dataset
 
 
 # ----------------------------------------------------------------------
@@ -188,12 +298,58 @@ def run_shard(spec: BoardSpec, shard: SweepShard) -> CharacterizationDataset:
 ShardRunner = Callable[[BoardSpec, SweepShard], CharacterizationDataset]
 
 
+class _ProgressAggregator:
+    """Idempotent shard/record progress accounting across retry rounds.
+
+    A retried shard reports completion at most once: completed shard
+    indices live in a set and record totals accumulate only on first
+    completion, so the ``completed/total`` figures a callback sees never
+    double-count a shard that failed, was retried, and then finished
+    (or — with a timeout — finished twice).
+    """
+
+    def __init__(self, total: int,
+                 callback: Optional[ProgressCallback]) -> None:
+        self._total = total
+        self._callback = callback
+        self._done: set = set()
+        self._records = 0
+
+    @property
+    def records_done(self) -> int:
+        return self._records
+
+    def completed(self, shard: SweepShard,
+                  dataset: CharacterizationDataset, attempt: int) -> bool:
+        """Register a completed shard; returns True on first completion."""
+        first = shard.index not in self._done
+        if first:
+            self._done.add(shard.index)
+            self._records += sum(dataset.record_counts())
+        self._emit(shard, "ok", attempt)
+        return first
+
+    def failed(self, shard: SweepShard, error: BaseException,
+               attempt: int) -> None:
+        name = (error.original_type if isinstance(error, ShardRunError)
+                else type(error).__name__)
+        self._emit(shard, f"FAILED ({name})", attempt)
+
+    def _emit(self, shard: SweepShard, status: str, attempt: int) -> None:
+        if self._callback is None:
+            return
+        retry = " retry" if attempt else ""
+        self._callback(f"[{len(self._done)}/{self._total} shards{retry}] "
+                       f"{shard.describe()} {status}")
+
+
 class ParallelSweepRunner:
     """Runs one characterization campaign across worker processes.
 
     Drop-in equivalent of ``SpatialSweep(spec.build(), config).run()``:
     same dataset, same record order, same metadata — plus
-    ``metadata["shard_errors"]`` when shards failed permanently.
+    ``metadata["shard_errors"]`` when shards failed permanently and
+    ``metadata["telemetry"]`` when observability is active.
     """
 
     def __init__(self, spec: BoardSpec, config: Optional[SweepConfig] = None,
@@ -234,51 +390,137 @@ class ParallelSweepRunner:
         """Execute the campaign and return the merged dataset."""
         config = self._config
         self._errors = ()
+        tracer = get_tracer()
+        metrics = get_metrics()
         if config.jobs == 1:
-            sweep = SpatialSweep(self._spec.build(), config)
-            return sweep.run(progress)
+            with tracer.span("campaign", jobs=1):
+                sweep = SpatialSweep(self._spec.build(), config)
+                return sweep.run(progress)
 
         plan = ShardPlan.from_config(config)
-        results: Dict[int, CharacterizationDataset] = {}
-        failures: Dict[int, BaseException] = {}
-        pending = list(plan.shards)
-        attempts = 1 + self._max_retries
-        for attempt in range(attempts):
-            if not pending:
-                break
-            # Retry rounds isolate each shard in its own single-worker
-            # pool: one crashing worker breaks the whole shared pool and
-            # would otherwise burn innocent shards' retries with it.
-            pending = self._run_round(pending, results, failures,
-                                      progress, len(plan), attempt,
-                                      isolate=attempt > 0)
+        obs_active = tracer.enabled or metrics.enabled
+        spool = (tempfile.TemporaryDirectory(prefix="repro-obs-")
+                 if obs_active else None)
+        started = time.perf_counter()
+        try:
+            with tracer.span("campaign", jobs=config.jobs,
+                             shards=len(plan)) as campaign:
+                if spool is not None:
+                    shards: Sequence[SweepShard] = plan.with_obs(ObsConfig(
+                        trace=tracer.enabled, metrics=metrics.enabled,
+                        spool_dir=spool.name))
+                else:
+                    shards = plan.shards
 
-        self._errors = tuple(
-            ShardError(index=shard.index, channel=shard.channel,
-                       pseudo_channel=shard.pseudo_channel, bank=shard.bank,
-                       region=shard.region,
-                       error_type=type(failures[shard.index]).__name__,
-                       message=str(failures[shard.index]),
-                       attempts=attempts)
-            for shard in sorted(pending, key=lambda shard: shard.index))
+                results: Dict[int, CharacterizationDataset] = {}
+                failures: Dict[int, BaseException] = {}
+                aggregator = _ProgressAggregator(len(plan), progress)
+                pending = list(shards)
+                attempts = 1 + self._max_retries
+                for attempt in range(attempts):
+                    if not pending:
+                        break
+                    if attempt:
+                        metrics.counter("sweep.shard_retries").inc(
+                            len(pending))
+                    # Retry rounds isolate each shard in its own single-
+                    # worker pool: one crashing worker breaks the whole
+                    # shared pool and would otherwise burn innocent
+                    # shards' retries with it.
+                    pending = self._run_round(pending, results, failures,
+                                              aggregator, attempt,
+                                              isolate=attempt > 0)
+                if pending:
+                    metrics.counter("sweep.shard_failures").inc(
+                        len(pending))
 
-        dataset = CharacterizationDataset.merged(
-            (results[shard.index] for shard in plan.shards
-             if shard.index in results),
-            metadata=sweep_metadata(config))
-        if self._errors:
-            dataset.metadata["shard_errors"] = [
-                error.as_dict() for error in self._errors]
-        if config.append_wcdp:
-            append_wcdp_records(dataset)
-        return dataset
+                self._errors = tuple(
+                    ShardError.from_failure(shard, failures[shard.index],
+                                            attempts)
+                    for shard in sorted(pending,
+                                        key=lambda shard: shard.index))
+
+                dataset = CharacterizationDataset.merged(
+                    (results[shard.index] for shard in plan.shards
+                     if shard.index in results),
+                    metadata=sweep_metadata(config))
+                if self._errors:
+                    dataset.metadata["shard_errors"] = [
+                        error.as_dict() for error in self._errors]
+                if config.append_wcdp:
+                    with tracer.span("wcdp"):
+                        append_wcdp_records(dataset)
+                if spool is not None:
+                    wall_s = time.perf_counter() - started
+                    self._merge_spool(plan, results, spool.name, tracer,
+                                      metrics, campaign, dataset, wall_s)
+                return dataset
+        finally:
+            if spool is not None:
+                spool.cleanup()
+
+    # ------------------------------------------------------------------
+    def _merge_spool(self, plan: ShardPlan,
+                     results: Dict[int, CharacterizationDataset],
+                     spool_dir: str, tracer, metrics, campaign,
+                     dataset: CharacterizationDataset,
+                     wall_s: float) -> None:
+        """Fold worker spool files back into the parent collectors.
+
+        Iterates in plan order, so the grafted shard subtrees appear in
+        the merged trace exactly as the serial path would visit them,
+        and builds the per-shard telemetry block.
+        """
+        obs = ObsConfig(trace=tracer.enabled, metrics=metrics.enabled,
+                        spool_dir=spool_dir)
+        shard_rows: List[Dict[str, object]] = []
+        total_records = 0
+        for shard in plan.shards:
+            if tracer.enabled:
+                trace_path = obs.trace_path(shard.index)
+                if trace_path.exists():
+                    tracer.graft(read_jsonl(trace_path),
+                                 parent_id=campaign.span_id)
+            metrics_path = obs.metrics_path(shard.index)
+            if not metrics_path.exists():
+                continue
+            snapshot = MetricsRegistry.read_snapshot(metrics_path)
+            gauges = snapshot.get("gauges", {})
+            shard_wall = gauges.pop("shard.wall_s", None)
+            shard_records = gauges.pop("shard.records", None)
+            if metrics.enabled:
+                metrics.merge_snapshot(snapshot)
+                if shard_wall:
+                    metrics.histogram("sweep.shard_wall_s").observe(
+                        shard_wall)
+            row: Dict[str, object] = {
+                "shard": shard.index,
+                "channel": shard.channel,
+                "pseudo_channel": shard.pseudo_channel,
+                "bank": shard.bank,
+                "region": shard.region,
+                "wall_s": shard_wall,
+            }
+            if shard_records is not None:
+                total_records += int(shard_records)
+                row["records"] = int(shard_records)
+                if shard_wall:
+                    row["rows_per_s"] = round(shard_records / shard_wall, 3)
+            shard_rows.append(row)
+        dataset.metadata["telemetry"] = {
+            "jobs": self._config.jobs,
+            "wall_s": round(wall_s, 6),
+            "records": total_records,
+            "rows_per_s": (round(total_records / wall_s, 3)
+                           if wall_s > 0 else None),
+            "shards": shard_rows,
+        }
 
     # ------------------------------------------------------------------
     def _run_round(self, shards: List[SweepShard],
                    results: Dict[int, CharacterizationDataset],
                    failures: Dict[int, BaseException],
-                   progress: Optional[ProgressCallback],
-                   total: int, attempt: int,
+                   aggregator: _ProgressAggregator, attempt: int,
                    isolate: bool = False) -> List[SweepShard]:
         """Run ``shards`` on fresh pool(s); returns the ones that failed.
 
@@ -290,17 +532,17 @@ class ParallelSweepRunner:
             failed: List[SweepShard] = []
             for shard in shards:
                 failed.extend(self._run_pool([shard], 1, results, failures,
-                                             progress, total, attempt))
+                                             aggregator, attempt))
             return failed
         workers = min(self._config.jobs, len(shards))
         return self._run_pool(shards, workers, results, failures,
-                              progress, total, attempt)
+                              aggregator, attempt)
 
     def _run_pool(self, shards: List[SweepShard], workers: int,
                   results: Dict[int, CharacterizationDataset],
                   failures: Dict[int, BaseException],
-                  progress: Optional[ProgressCallback],
-                  total: int, attempt: int) -> List[SweepShard]:
+                  aggregator: _ProgressAggregator,
+                  attempt: int) -> List[SweepShard]:
         config = self._config
         executor = ProcessPoolExecutor(max_workers=workers,
                                        mp_context=self._mp_context)
@@ -311,25 +553,24 @@ class ParallelSweepRunner:
                         executor.submit(self._shard_runner, self._spec, shard))
                        for shard in shards]
             for shard, future in futures:
-                status = "ok"
                 try:
                     # Collected in submission order: a later shard's wait
                     # includes earlier ones, so the timeout bounds the
                     # pool, not each shard exactly — good enough to keep
                     # one wedged worker from hanging the campaign.
-                    results[shard.index] = future.result(
-                        timeout=config.shard_timeout_s)
-                    failures.pop(shard.index, None)
+                    dataset = future.result(timeout=config.shard_timeout_s)
                 except Exception as error:
                     failures[shard.index] = error
                     failed.append(shard)
                     if isinstance(error, FuturesTimeoutError):
                         timed_out = True
-                    status = f"FAILED ({type(error).__name__})"
-                if progress is not None:
-                    retry = " retry" if attempt else ""
-                    progress(f"[{len(results)}/{total} shards{retry}] "
-                             f"{shard.describe()} {status}")
+                        get_metrics().counter("sweep.shard_timeouts").inc()
+                    aggregator.failed(shard, error, attempt)
+                else:
+                    if shard.index not in results:
+                        results[shard.index] = dataset
+                    failures.pop(shard.index, None)
+                    aggregator.completed(shard, dataset, attempt)
         finally:
             executor.shutdown(wait=not timed_out, cancel_futures=True)
         return failed

@@ -175,11 +175,16 @@ class CharacterizationDataset:
         present.update(r.pattern for r in self.hcfirst_records)
         return sorted(present)
 
+    #: Metadata keys that describe the run, not the chip — excluded from
+    #: archives so a parallel sweep exports byte-identically to a serial one.
+    RUNTIME_METADATA_KEYS = ("telemetry",)
+
     # -- serialization ----------------------------------------------------
     def to_json(self, path: Union[str, Path]) -> None:
-        """Archive the dataset as JSON."""
+        """Archive the dataset as JSON (runtime telemetry excluded)."""
         payload = {
-            "metadata": self.metadata,
+            "metadata": {key: value for key, value in self.metadata.items()
+                         if key not in self.RUNTIME_METADATA_KEYS},
             "ber_records": [asdict(record) for record in self.ber_records],
             "hcfirst_records": [asdict(record)
                                 for record in self.hcfirst_records],

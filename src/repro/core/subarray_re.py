@@ -16,7 +16,7 @@ side flips), or upper edge (only the lower side flips).  The paper finds
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.bender.host import HostInterface
 from repro.core.hammer import SingleSidedHammer

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.bender.board import BenderBoard
 from repro.core.ber import BerExperiment
@@ -45,6 +45,7 @@ from repro.core.results import (
 from repro.core.wcdp import append_wcdp_records
 from repro.dram.address import DramAddress, RowAddressMapper
 from repro.errors import ExperimentError
+from repro.obs import ObsConfig, get_metrics, get_tracer
 
 ProgressCallback = Callable[[str], None]
 
@@ -92,6 +93,11 @@ class SweepConfig:
     jobs: int = 1
     #: Per-shard wall-clock timeout for parallel runs (None = unlimited).
     shard_timeout_s: Optional[float] = None
+    #: Observability carried across the process boundary: the parallel
+    #: executor injects this into shard configs so workers know what to
+    #: collect and where to spool it (None = nothing; the serial path
+    #: ignores it and uses the process's current collectors instead).
+    obs: Optional[ObsConfig] = None
     experiment: ExperimentConfig = field(default_factory=ExperimentConfig)
 
     def __post_init__(self) -> None:
@@ -250,16 +256,32 @@ class SpatialSweep:
         station as this method does for a whole serial campaign.
         """
         config = self._config
+        tracer = get_tracer()
+        metrics = get_metrics()
+        counts_before = (dict(self._board.device.command_counts)
+                         if metrics.enabled else None)
         if apply_interference_controls:
-            apply_controls(self._board, config.experiment)
+            with tracer.span("controls"):
+                apply_controls(self._board, config.experiment)
         dataset = CharacterizationDataset(metadata=sweep_metadata(config))
-        for channel in config.channels:
-            for pseudo_channel in config.pseudo_channels:
-                for bank in config.banks:
-                    self._sweep_bank(dataset, channel, pseudo_channel, bank,
-                                     progress)
-        if config.append_wcdp:
-            append_wcdp_records(dataset)
+        with tracer.span("sweep", channels=list(config.channels),
+                         pseudo_channels=list(config.pseudo_channels),
+                         banks=list(config.banks),
+                         regions=list(config.regions)):
+            for channel in config.channels:
+                for pseudo_channel in config.pseudo_channels:
+                    for bank in config.banks:
+                        self._sweep_bank(dataset, channel, pseudo_channel,
+                                         bank, progress)
+            measured_ber, measured_hcfirst = dataset.record_counts()
+            if config.append_wcdp:
+                with tracer.span("wcdp"):
+                    append_wcdp_records(dataset)
+        if counts_before is not None:
+            metrics.count_commands(counts_before,
+                                   self._board.device.command_counts)
+            metrics.counter("sweep.ber_records").inc(measured_ber)
+            metrics.counter("sweep.hcfirst_records").inc(measured_hcfirst)
         return dataset
 
     def _sweep_bank(self, dataset: CharacterizationDataset, channel: int,
@@ -267,20 +289,33 @@ class SpatialSweep:
                     progress: Optional[ProgressCallback]) -> None:
         config = self._config
         device = self._board.device
+        tracer = get_tracer()
         for region in config.regions:
             if progress is not None:
                 progress(f"ch{channel} pc{pseudo_channel} ba{bank} "
                          f"region={region}")
-            ber_rows = self.region_rows(region, config.rows_per_region)
-            hcfirst_rows = ber_rows[:config.hcfirst_rows_per_region]
-            for row in ber_rows:
-                victim = DramAddress(channel, pseudo_channel, bank, row)
-                for repetition in range(config.repetitions):
-                    if config.include_ber:
-                        dataset.extend(self._ber.run_patterns(
-                            victim, config.patterns, region, repetition))
-                    if config.include_hcfirst and row in hcfirst_rows:
-                        dataset.extend(self._hcfirst.record_patterns(
-                            victim, config.patterns, region, repetition))
+            with tracer.span("region", channel=channel,
+                             pseudo_channel=pseudo_channel, bank=bank,
+                             region=region):
+                ber_rows = self.region_rows(region, config.rows_per_region)
+                hcfirst_rows = ber_rows[:config.hcfirst_rows_per_region]
+                for row in ber_rows:
+                    victim = DramAddress(channel, pseudo_channel, bank, row)
+                    with tracer.span("cell", row=row):
+                        for repetition in range(config.repetitions):
+                            if config.include_ber:
+                                with tracer.span("ber",
+                                                 repetition=repetition):
+                                    dataset.extend(self._ber.run_patterns(
+                                        victim, config.patterns, region,
+                                        repetition))
+                            if (config.include_hcfirst
+                                    and row in hcfirst_rows):
+                                with tracer.span("hcfirst",
+                                                 repetition=repetition):
+                                    dataset.extend(
+                                        self._hcfirst.record_patterns(
+                                            victim, config.patterns,
+                                            region, repetition))
             if config.release_rows_between_regions:
                 device.bank(channel, pseudo_channel, bank).release_all_rows()

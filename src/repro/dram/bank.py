@@ -25,7 +25,7 @@ from repro.dram.cellmodel import (
     ECC_WORD_BITS,
     GroundTruthProvider,
 )
-from repro.dram.disturb import SIDE_ABOVE, SIDE_BELOW, DisturbanceTracker
+from repro.dram.disturb import DisturbanceTracker
 from repro.dram.ecc import decode_words, encode_words
 from repro.dram.geometry import HBM2Geometry
 from repro.dram.subarrays import SubarrayLayout

@@ -43,8 +43,8 @@ from __future__ import annotations
 
 import math
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Tuple
+from dataclasses import dataclass, replace
+from typing import Tuple
 
 from repro.errors import CalibrationError
 

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

@@ -13,7 +13,7 @@ cycle counts for the interface frequency in use.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.errors import ConfigurationError, TimingViolationError

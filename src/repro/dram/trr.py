@@ -22,9 +22,10 @@ Design notes mirroring what U-TRR reports about real samplers:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import ConfigurationError
+from repro.obs import get_metrics
 
 BankKey = Tuple[int, int, int]
 
@@ -100,4 +101,7 @@ class TrrEngine:
                 victims.append((bank, aggressor - distance))
                 victims.append((bank, aggressor + distance))
         self._sampled.clear()
+        if victims:
+            get_metrics().counter("trr.preventive_refreshes").inc(
+                len(victims))
         return victims

@@ -1,0 +1,191 @@
+"""Observability: structured tracing + metrics for the whole stack.
+
+The characterization campaigns are long, command-stream-heavy, and (since
+the parallel executor) multi-process; hammer-count and REF accounting *is*
+the experiment, so runtime visibility is a first-class subsystem rather
+than scattered prints.  This package provides:
+
+* :mod:`repro.obs.trace` — a hierarchical span tracer (campaign → shard →
+  sweep → region → cell → hammer/measure) with JSONL export,
+* :mod:`repro.obs.metrics` — a registry of counters/gauges/histograms
+  (DRAM commands by type, hammer pairs, bitflips, TRR preventive
+  refreshes, PID settle iterations, shard retries/timeouts),
+* :mod:`repro.obs.summarize` — a profile renderer for exported traces
+  (``python -m repro obs summarize t.jsonl``).
+
+**Activation model.**  Instrumented code reads the *current* tracer and
+registry through :func:`get_tracer` / :func:`get_metrics`; the defaults
+are do-nothing singletons, so every instrumentation point costs one
+global read + method call until someone installs real collectors
+(:func:`set_tracer` / :func:`set_metrics`, the :func:`use_tracer` /
+:func:`use_metrics` context managers, or an :class:`ObsSession` — which
+is what the CLI ``--trace`` / ``--metrics`` flags create).  State is
+process-local: parallel sweep workers install their own collectors and
+spool results to disk for the parent to merge (see
+:mod:`repro.core.parallel`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
+from repro.obs.trace import (
+    NOOP_TRACER,
+    NoopTracer,
+    Span,
+    SpanRecord,
+    Tracer,
+    read_jsonl,
+)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullMetrics",
+    "NULL_METRICS",
+    "Tracer", "NoopTracer", "Span", "SpanRecord", "NOOP_TRACER",
+    "read_jsonl",
+    "get_tracer", "set_tracer", "use_tracer", "tracing_active",
+    "get_metrics", "set_metrics", "use_metrics", "metrics_active",
+    "ObsConfig", "ObsSession",
+]
+
+_tracer = NOOP_TRACER
+_metrics = NULL_METRICS
+
+
+# ----------------------------------------------------------------------
+# Current-collector accessors
+# ----------------------------------------------------------------------
+def get_tracer():
+    """The process's current tracer (default: the no-op tracer)."""
+    return _tracer
+
+
+def set_tracer(tracer) -> None:
+    """Install ``tracer`` as the current tracer (None restores no-op)."""
+    global _tracer
+    _tracer = tracer if tracer is not None else NOOP_TRACER
+
+
+def tracing_active() -> bool:
+    return _tracer.enabled
+
+
+@contextmanager
+def use_tracer(tracer) -> Iterator[None]:
+    """Scoped :func:`set_tracer`; restores the previous tracer on exit."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer if tracer is not None else NOOP_TRACER
+    try:
+        yield
+    finally:
+        _tracer = previous
+
+
+def get_metrics():
+    """The process's current metrics registry (default: null registry)."""
+    return _metrics
+
+
+def set_metrics(registry) -> None:
+    """Install ``registry`` as current (None restores the null registry)."""
+    global _metrics
+    _metrics = registry if registry is not None else NULL_METRICS
+
+
+def metrics_active() -> bool:
+    return _metrics.enabled
+
+
+@contextmanager
+def use_metrics(registry) -> Iterator[None]:
+    """Scoped :func:`set_metrics`; restores the previous registry on exit."""
+    global _metrics
+    previous = _metrics
+    _metrics = registry if registry is not None else NULL_METRICS
+    try:
+        yield
+    finally:
+        _metrics = previous
+
+
+# ----------------------------------------------------------------------
+# Cross-process configuration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ObsConfig:
+    """What a parallel sweep worker should collect, and where to spool it.
+
+    Carried inside the (picklable) shard config so the observability
+    decision made in the parent crosses the process boundary.  The
+    worker writes per-shard files into ``spool_dir``
+    (``shard_NNNNN.trace.jsonl`` / ``shard_NNNNN.metrics.json``); the
+    parent merges them in plan order.
+    """
+
+    trace: bool = False
+    metrics: bool = False
+    spool_dir: Optional[str] = None
+
+    @property
+    def active(self) -> bool:
+        return (self.trace or self.metrics) and self.spool_dir is not None
+
+    def trace_path(self, shard_index: int) -> Path:
+        return Path(self.spool_dir) / f"shard_{shard_index:05d}.trace.jsonl"
+
+    def metrics_path(self, shard_index: int) -> Path:
+        return Path(self.spool_dir) / f"shard_{shard_index:05d}.metrics.json"
+
+
+class ObsSession:
+    """One process-wide observability scope with file export on close.
+
+    What the CLI flags construct::
+
+        with ObsSession(trace_path="t.jsonl", metrics_path="m.json"):
+            run_sweep(...)
+        # t.jsonl and m.json now hold the (merged) campaign telemetry
+
+    A path of None disables the corresponding collector.  Reentrant use
+    restores whatever collectors were active before.
+    """
+
+    def __init__(self, trace_path: Union[str, Path, None] = None,
+                 metrics_path: Union[str, Path, None] = None,
+                 tracer: Optional[Tracer] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.trace_path = Path(trace_path) if trace_path else None
+        self.metrics_path = Path(metrics_path) if metrics_path else None
+        self.tracer = tracer or (Tracer() if self.trace_path else None)
+        self.registry = registry or (MetricsRegistry() if self.metrics_path
+                                     else None)
+        self._previous = None
+
+    def __enter__(self) -> "ObsSession":
+        self._previous = (_tracer, _metrics)
+        if self.tracer is not None:
+            set_tracer(self.tracer)
+        if self.registry is not None:
+            set_metrics(self.registry)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        previous_tracer, previous_metrics = self._previous
+        set_tracer(previous_tracer)
+        set_metrics(previous_metrics)
+        if self.trace_path is not None and self.tracer is not None:
+            self.tracer.write_jsonl(self.trace_path)
+        if self.metrics_path is not None and self.registry is not None:
+            self.registry.to_json(self.metrics_path)

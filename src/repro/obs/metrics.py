@@ -1,0 +1,242 @@
+"""Metrics registry: counters, gauges, and histograms for campaigns.
+
+The registry holds the quantities the paper's infrastructure accounts
+for because they *are* the experiment — DRAM commands issued by type,
+hammer pairs, bitflips observed, TRR preventive refreshes, PID settle
+iterations, shard retries — as three metric kinds:
+
+* :class:`Counter` — monotonically increasing total (``inc``),
+* :class:`Gauge` — last-written value (``set``),
+* :class:`Histogram` — streaming count/sum/min/max summary (``observe``).
+
+Everything is process-local and single-threaded (matching the rest of
+the simulator); cross-process aggregation happens by snapshotting a
+worker's registry to JSON and :meth:`MetricsRegistry.merge_snapshot`-ing
+it in the parent — counters add, gauges take the later write, histograms
+combine their summaries.
+
+The module-level default registry is :data:`NULL_METRICS`, whose metric
+handles are shared do-nothing objects, so instrumented code pays only a
+lookup + call when metrics are disabled.  Naming convention:
+dot-separated lowercase paths, e.g. ``dram.commands.ACT``,
+``hammer.pairs``, ``sweep.shard_retries``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counters only increase; got inc({amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary of an observed distribution.
+
+    Tracks count/sum/min/max (means derive); deliberately bucket-free —
+    the quantities observed here (settle steps, shard wall times) are
+    analysed per-campaign, not percentile-alerted.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def summary(self) -> Dict[str, float]:
+        return {"count": self.count, "sum": self.total,
+                "min": self.min, "max": self.max, "mean": self.mean}
+
+    def combine(self, other: Mapping[str, float]) -> None:
+        """Fold another histogram's summary into this one."""
+        count = int(other.get("count", 0))
+        if count == 0:
+            return
+        self.count += count
+        self.total += float(other.get("sum", 0.0))
+        for bound, pick in (("min", min), ("max", max)):
+            value = other.get(bound)
+            if value is None:
+                continue
+            own = getattr(self, bound)
+            setattr(self, bound,
+                    value if own is None else pick(own, value))
+
+
+class _NullMetric:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+    value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullMetrics:
+    """The default disabled registry: accepts everything, records nothing."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_METRICS = NullMetrics()
+
+
+class MetricsRegistry:
+    """Create-or-get registry of named metrics."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            self._check_free(name, self._counters)
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            self._check_free(name, self._gauges)
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            self._check_free(name, self._histograms)
+            metric = self._histograms[name] = Histogram()
+        return metric
+
+    def _check_free(self, name: str, target: Dict[str, object]) -> None:
+        for kind, table in (("counter", self._counters),
+                            ("gauge", self._gauges),
+                            ("histogram", self._histograms)):
+            if table is not target and name in table:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as a {kind}")
+
+    # ------------------------------------------------------------------
+    def count_commands(self, before: Mapping[str, int],
+                       after: Mapping[str, int],
+                       prefix: str = "dram.commands.") -> None:
+        """Record the delta of two device command-count snapshots.
+
+        The device model already accounts every issued command by
+        mnemonic (:attr:`repro.dram.device.HBM2Device.command_counts`);
+        pulling deltas here keeps the per-command hot path untouched.
+        """
+        for mnemonic, total in after.items():
+            delta = total - before.get(mnemonic, 0)
+            if delta:
+                self.counter(prefix + mnemonic).inc(delta)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-ready dump of every metric."""
+        return {
+            "counters": {name: metric.value
+                         for name, metric in sorted(self._counters.items())},
+            "gauges": {name: metric.value
+                       for name, metric in sorted(self._gauges.items())},
+            "histograms": {name: metric.summary()
+                           for name, metric in
+                           sorted(self._histograms.items())},
+        }
+
+    def merge_snapshot(self, snapshot: Mapping[str, Mapping[str, object]]
+                       ) -> None:
+        """Fold a snapshot (e.g. a worker's) into this registry."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            if value is not None:
+                self.gauge(name).set(value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            self.histogram(name).combine(summary)
+
+    # ------------------------------------------------------------------
+    def to_json(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.snapshot(), indent=1) + "\n")
+
+    @staticmethod
+    def read_snapshot(path: Union[str, Path]
+                      ) -> Dict[str, Dict[str, object]]:
+        return json.loads(Path(path).read_text())

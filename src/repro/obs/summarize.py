@@ -1,0 +1,177 @@
+"""Render exported traces/metrics as a human-readable profile.
+
+Backs ``python -m repro obs summarize t.jsonl [--metrics m.json]``: a
+per-phase time profile (where did the campaign's wall time go), the
+slowest shards (where to look when ``--jobs N`` does not scale), and —
+when a metrics snapshot is given — the command-stream accounting
+(commands issued by type, commands/s, rows/s, shard retries/timeouts).
+
+Works on any trace this package wrote: a serial sweep, a merged
+parallel campaign, or a single CLI command.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.obs.trace import SpanRecord, read_jsonl
+
+__all__ = [
+    "phase_profile",
+    "slowest_spans",
+    "render_profile",
+    "summarize_trace",
+]
+
+
+def _wall_seconds(records: Sequence[SpanRecord]) -> float:
+    """Total campaign wall time: the summed duration of the root spans.
+
+    Roots of a merged parallel trace are campaigns (shards are children);
+    a bare worker trace or a single-command trace may have several roots,
+    which ran sequentially in one process, so their durations add.
+    """
+    return sum(record.duration_s for record in records
+               if record.parent_id is None)
+
+
+def phase_profile(records: Sequence[SpanRecord]
+                  ) -> List[Dict[str, object]]:
+    """Aggregate spans by name: count, total/mean duration, wall share.
+
+    ``total_s`` sums each span's own duration (children nest inside
+    parents, so the column is *inclusive* time — the tree view of where
+    time went, not an exclusive flat profile).
+    """
+    wall = _wall_seconds(records)
+    by_name: Dict[str, List[float]] = {}
+    order: List[str] = []
+    for record in records:
+        if record.name not in by_name:
+            by_name[record.name] = []
+            order.append(record.name)
+        by_name[record.name].append(record.duration_s)
+    profile = []
+    for name in order:
+        durations = by_name[name]
+        total = sum(durations)
+        profile.append({
+            "phase": name,
+            "count": len(durations),
+            "total_s": total,
+            "mean_ms": 1e3 * total / len(durations),
+            "share": total / wall if wall > 0 else 0.0,
+        })
+    profile.sort(key=lambda row: row["total_s"], reverse=True)
+    return profile
+
+
+def slowest_spans(records: Sequence[SpanRecord], name: str = "shard",
+                  top: int = 5) -> List[SpanRecord]:
+    """The ``top`` longest spans named ``name`` (default: shards)."""
+    matching = [record for record in records if record.name == name]
+    matching.sort(key=lambda record: record.duration_s, reverse=True)
+    return matching[:top]
+
+
+def _format_rows(rows: List[Sequence[str]], header: Sequence[str]) -> str:
+    widths = [max(len(str(row[i])) for row in [header] + rows)
+              for i in range(len(header))]
+    lines = ["  ".join(str(cell).ljust(width) if i == 0
+                       else str(cell).rjust(width)
+                       for i, (cell, width) in enumerate(zip(row, widths)))
+             for row in [header] + rows]
+    lines.insert(1, "-" * len(lines[0]))
+    return "\n".join(lines)
+
+
+def _describe(record: SpanRecord) -> str:
+    attrs = record.attrs
+    keys = ("shard", "channel", "pseudo_channel", "bank", "region", "row")
+    parts = [f"{key}={attrs[key]}" for key in keys if key in attrs]
+    return " ".join(parts) if parts else "-"
+
+
+def render_profile(records: Sequence[SpanRecord],
+                   metrics: Optional[Mapping[str, Mapping[str, object]]]
+                   = None,
+                   top: int = 5) -> str:
+    """The full profile rendering (see module docstring)."""
+    wall = _wall_seconds(records)
+    sections: List[str] = []
+
+    sections.append(f"spans: {len(records)}    campaign wall: {wall:.3f} s")
+
+    rows = [[row["phase"], row["count"], f"{row['total_s']:.3f}",
+             f"{row['mean_ms']:.2f}", f"{row['share']:.1%}"]
+            for row in phase_profile(records)]
+    sections.append("time per phase (inclusive)\n" + _format_rows(
+        rows, ["phase", "count", "total_s", "mean_ms", "share"]))
+
+    shards = slowest_spans(records, "shard", top)
+    if shards:
+        shard_rows = [[_describe(record), f"{record.duration_s:.3f}"]
+                      for record in shards]
+        sections.append(f"slowest shards (top {len(shards)})\n" +
+                        _format_rows(shard_rows, ["shard", "wall_s"]))
+
+    if metrics is not None:
+        sections.append(_render_metrics(metrics, wall))
+
+    return "\n\n".join(sections)
+
+
+def _render_metrics(metrics: Mapping[str, Mapping[str, object]],
+                    wall: float) -> str:
+    counters = metrics.get("counters", {})
+    commands = {name.rsplit(".", 1)[-1]: value
+                for name, value in counters.items()
+                if name.startswith("dram.commands.")}
+    lines: List[str] = []
+    if commands:
+        total = sum(commands.values())
+        per_type = "  ".join(f"{mnemonic}={int(value):,}"
+                             for mnemonic, value in sorted(commands.items()))
+        lines.append(f"DRAM commands: {int(total):,}  ({per_type})")
+        if wall > 0:
+            lines.append(f"command throughput: {total / wall:,.0f} "
+                         "commands/s")
+    measurements = (counters.get("sweep.ber_records", 0) +
+                    counters.get("sweep.hcfirst_records", 0))
+    if measurements and wall > 0:
+        lines.append(f"measurements: {int(measurements):,} "
+                     f"({measurements / wall:.2f} rows/s)")
+    for name, label in (("hammer.pairs", "hammer pairs"),
+                        ("bitflips.observed", "bitflips observed"),
+                        ("trr.preventive_refreshes",
+                         "TRR preventive refreshes"),
+                        ("sweep.shard_retries", "shard retries"),
+                        ("sweep.shard_timeouts", "shard timeouts"),
+                        ("sweep.shard_failures", "shard failures")):
+        if name in counters:
+            lines.append(f"{label}: {int(counters[name]):,}")
+    if not lines:
+        lines.append("(metrics snapshot holds no campaign counters)")
+    return "command-stream metrics\n" + "\n".join(
+        "  " + line for line in lines)
+
+
+def summarize_trace(trace_path: Union[str, Path],
+                    metrics_path: Union[str, Path, None] = None,
+                    top: int = 5) -> str:
+    """Load a trace (and optional metrics snapshot) and render it."""
+    if not Path(trace_path).exists():
+        raise ConfigurationError(
+            f"no trace at {trace_path} (record one with --trace PATH)")
+    records = read_jsonl(trace_path)
+    metrics = None
+    if metrics_path is not None:
+        if not Path(metrics_path).exists():
+            raise ConfigurationError(
+                f"no metrics snapshot at {metrics_path} "
+                "(record one with --metrics PATH)")
+        import json
+        metrics = json.loads(Path(metrics_path).read_text())
+    return render_profile(records, metrics, top=top)

@@ -1,0 +1,265 @@
+"""Hierarchical span tracer for campaigns, sweeps, shards, and phases.
+
+A *span* is one timed, named region of work.  Spans nest: the tracer
+keeps an open-span stack, so a span opened while another is open becomes
+its child.  The span tree of a characterization campaign looks like::
+
+    campaign                      (repro.core.parallel)
+      shard                       (worker process, one per plan entry)
+        sweep                     (repro.core.sweeps)
+          region                  (one (ch, pc, bank, region) cell grid)
+            cell                  (one victim row)
+              ber / hcfirst       (one measurement)
+                prepare / hammer / readback   (repro.core.hammer)
+
+Design constraints, in priority order:
+
+1. **Zero cost when disabled.**  The module-level default tracer is
+   :data:`NOOP_TRACER`; its :meth:`~NoopTracer.span` returns one shared
+   no-op context manager, so an instrumented hot path pays a function
+   call and nothing else.  Enabling tracing is an explicit act
+   (:func:`repro.obs.set_tracer` / the CLI ``--trace`` flag).
+2. **Dependency-free.**  Only the standard library; traces serialize to
+   JSON Lines (one span object per line) so any tool can consume them.
+3. **Deterministic export order.**  Spans are recorded when *opened*,
+   i.e. the export order is the pre-order traversal of the span tree —
+   for a merged parallel trace this equals the shard plan order.
+
+Cross-process traces: worker processes run their own :class:`Tracer`
+with their own monotonic clock.  :meth:`Tracer.graft` imports a worker's
+span records into a parent tracer, rebasing span ids and re-parenting
+the worker's root spans, so one coherent tree covers the whole campaign.
+Timestamps stay in each recorder's own clock domain (durations are
+meaningful everywhere; absolute starts only within one process).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+__all__ = [
+    "SpanRecord",
+    "Span",
+    "Tracer",
+    "NoopTracer",
+    "NOOP_TRACER",
+    "read_jsonl",
+]
+
+Clock = Callable[[], float]
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or still-open) span.
+
+    ``end_s`` is None while the span is open; an exported open span
+    (e.g. from a crashed worker) keeps it None.
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start_s: float
+    end_s: Optional[float] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        """Span duration; 0.0 while the span is still open."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+        }
+        if self.attrs:
+            payload["attrs"] = self.attrs
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SpanRecord":
+        return cls(span_id=int(payload["span"]),
+                   parent_id=(None if payload.get("parent") is None
+                              else int(payload["parent"])),
+                   name=str(payload["name"]),
+                   start_s=float(payload["start_s"]),
+                   end_s=(None if payload.get("end_s") is None
+                          else float(payload["end_s"])),
+                   attrs=dict(payload.get("attrs") or {}))
+
+
+class Span:
+    """Context-manager handle of one open span."""
+
+    __slots__ = ("_tracer", "_record")
+
+    def __init__(self, tracer: "Tracer", record: SpanRecord) -> None:
+        self._tracer = tracer
+        self._record = record
+
+    @property
+    def span_id(self) -> int:
+        """This span's id (e.g. a graft point for imported subtrees)."""
+        return self._record.span_id
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach attributes to the span (e.g. results known at close)."""
+        self._record.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._close(self._record, failed=exc_type is not None)
+
+
+class _NoopSpan:
+    """Shared do-nothing span; the disabled-path cost of instrumentation."""
+
+    __slots__ = ()
+    span_id = None
+
+    def set(self, **attrs: object) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class NoopTracer:
+    """The default tracer: records nothing, allocates nothing per span."""
+
+    enabled = False
+    records: Sequence[SpanRecord] = ()
+    dropped = 0
+
+    def span(self, name: str, **attrs: object) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def write_jsonl(self, path: Union[str, Path]) -> None:
+        raise RuntimeError(
+            "the no-op tracer has nothing to export; install a real "
+            "Tracer first (repro.obs.set_tracer)")
+
+
+NOOP_TRACER = NoopTracer()
+
+
+class Tracer:
+    """Records a tree of timed spans.
+
+    Args:
+        clock: monotonic time source (seconds).  Pluggable so tests can
+            drive deterministic timelines.
+        max_spans: hard cap on recorded spans; spans opened beyond it
+            are silently no-ops and counted in :attr:`dropped` (a full-
+            density campaign traced at cell granularity would otherwise
+            grow without bound).
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Clock] = None,
+                 max_spans: int = 1_000_000) -> None:
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        self._clock: Clock = clock or time.monotonic
+        self._max_spans = max_spans
+        self.records: List[SpanRecord] = []
+        self.dropped = 0
+        self._stack: List[SpanRecord] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: object):
+        """Open a span; use as ``with tracer.span("hammer", rows=2):``."""
+        if len(self.records) >= self._max_spans:
+            self.dropped += 1
+            return _NOOP_SPAN
+        parent = self._stack[-1].span_id if self._stack else None
+        record = SpanRecord(span_id=self._next_id, parent_id=parent,
+                            name=name, start_s=self._clock(), attrs=attrs)
+        self._next_id += 1
+        self.records.append(record)
+        self._stack.append(record)
+        return Span(self, record)
+
+    def _close(self, record: SpanRecord, failed: bool) -> None:
+        record.end_s = self._clock()
+        if failed:
+            record.attrs["failed"] = True
+        # Exiting out of order (a caller holding a span handle across a
+        # generator boundary) closes everything opened inside it too.
+        while self._stack:
+            top = self._stack.pop()
+            if top is record:
+                break
+            if top.end_s is None:
+                top.end_s = record.end_s
+
+    # ------------------------------------------------------------------
+    def graft(self, records: Iterable[SpanRecord],
+              parent_id: Optional[int] = None) -> int:
+        """Import foreign span records (e.g. a worker shard's trace).
+
+        Span ids are rebased onto this tracer's id space and the foreign
+        roots are re-parented under ``parent_id`` (or left as roots).
+        Records are appended in their given order, preserving the
+        foreign pre-order.  Returns the number of spans grafted.
+        """
+        remap: Dict[int, int] = {}
+        count = 0
+        for record in records:
+            new_id = self._next_id
+            self._next_id += 1
+            remap[record.span_id] = new_id
+            if record.parent_id is None:
+                new_parent = parent_id
+            else:
+                new_parent = remap.get(record.parent_id)
+                if new_parent is None:
+                    # Orphaned subtree (truncated trace): hang it off the
+                    # graft point rather than dropping it.
+                    new_parent = parent_id
+            self.records.append(SpanRecord(
+                span_id=new_id, parent_id=new_parent, name=record.name,
+                start_s=record.start_s, end_s=record.end_s,
+                attrs=dict(record.attrs)))
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    def write_jsonl(self, path: Union[str, Path]) -> None:
+        """Export all recorded spans as JSON Lines, in open order."""
+        with open(path, "w") as handle:
+            for record in self.records:
+                handle.write(json.dumps(record.as_dict()) + "\n")
+
+
+def read_jsonl(path: Union[str, Path]) -> List[SpanRecord]:
+    """Load a trace exported with :meth:`Tracer.write_jsonl`."""
+    records: List[SpanRecord] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(SpanRecord.from_dict(json.loads(line)))
+    return records

@@ -1,7 +1,5 @@
 """Tests for repro.analysis.report."""
 
-import pytest
-
 from repro.analysis.report import experiment_report
 from repro.core.results import (
     BerRecord,

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.bender.host import HostInterface
-from repro.bender.interpreter import Interpreter
 from repro.bender.program import ProgramBuilder
 from repro.bender.transport import PcieTransport
 from repro.dram.address import DramAddress

@@ -18,8 +18,6 @@ from repro.bender.board import BenderBoard, make_paper_setup
 from repro.dram.calibration import DeviceProfile, default_profile
 from repro.dram.device import HBM2Device
 from repro.dram.geometry import HBM2Geometry
-from repro.dram.timing import TimingParameters
-from repro.dram.trr import TrrConfig
 
 
 SMALL_GEOMETRY = HBM2Geometry(channels=2, pseudo_channels=1, banks=2,

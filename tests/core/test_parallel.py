@@ -6,6 +6,7 @@ pool can pickle them by reference.
 
 import os
 from dataclasses import replace
+from pathlib import Path
 
 import pytest
 
@@ -17,6 +18,7 @@ from repro.core.patterns import ROWSTRIPE0, ROWSTRIPE1
 from repro.core.results import REGION_MIDDLE, REGIONS
 from repro.core.sweeps import SpatialSweep, SweepConfig
 from repro.errors import ExperimentError
+from repro.obs import MetricsRegistry, Tracer, use_metrics, use_tracer
 from tests.conftest import SMALL_GEOMETRY, vulnerable_profile
 
 
@@ -65,6 +67,35 @@ def _crash_middle_of_ch1(spec, shard):
     if shard.channel == 1 and shard.region == REGION_MIDDLE:
         os._exit(13)
     return parallel.run_shard(spec, shard)
+
+
+def _break_inside_run_shard(spec, shard):
+    """Make one shard fail *inside* run_shard (not in the wrapper), so
+    the failure carries the worker's wall time and metric snapshot."""
+    if shard.channel == 1 and shard.region == REGION_MIDDLE:
+        spec = replace(spec, wordline_voltage_v=-5.0)  # fails at build()
+    return parallel.run_shard(spec, shard)
+
+
+def _transient_fail_ch1_middle(spec, shard):
+    """Fail one shard on its first attempt only (file-flag sentinel, so
+    the state survives the process boundary and the retry round)."""
+    if shard.channel == 1 and shard.region == REGION_MIDDLE:
+        flag = Path(os.environ["REPRO_TEST_FLAG_DIR"]) / "tripped"
+        if not flag.exists():
+            flag.write_text("tripped")
+            raise RuntimeError("transient fault")
+    return parallel.run_shard(spec, shard)
+
+
+class _FakeDataset:
+    """Stands in for a shard dataset in aggregator unit tests."""
+
+    def __init__(self, ber=3, hcfirst=1):
+        self._counts = (ber, hcfirst)
+
+    def record_counts(self):
+        return self._counts
 
 
 class TestShardPlan:
@@ -179,3 +210,157 @@ class TestRunSweepDispatch:
     def test_serial_requires_board_or_spec(self):
         with pytest.raises(ExperimentError):
             run_sweep(lean_config())
+
+
+def _measurement_spans(records):
+    """The ordered (name, key attrs) sequence of the measurement spans —
+    the part of a trace that must be identical serial vs parallel."""
+    keys = ("channel", "pseudo_channel", "bank", "region", "row",
+            "repetition")
+    return [(record.name,
+             tuple((key, record.attrs[key]) for key in keys
+                   if key in record.attrs))
+            for record in records
+            if record.name in ("region", "cell", "ber", "hcfirst")]
+
+
+class TestObservability:
+    def test_merged_parallel_trace_matches_serial(self):
+        """jobs=4 yields the same measurement spans, in plan order, as
+        the serial sweep — one coherent trace, not four interleaved."""
+        spec = small_spec()
+        config = small_config()
+
+        serial_tracer = Tracer()
+        with use_tracer(serial_tracer):
+            SpatialSweep(spec.build(), config).run()
+
+        parallel_tracer = Tracer()
+        with use_tracer(parallel_tracer):
+            runner = ParallelSweepRunner(spec, replace(config, jobs=4))
+            runner.run()
+        assert runner.errors == ()
+
+        assert (_measurement_spans(parallel_tracer.records)
+                == _measurement_spans(serial_tracer.records))
+
+        # Structure of the merged trace: one campaign root, one shard
+        # span per plan entry, all parented to the campaign, in order.
+        campaign = parallel_tracer.records[0]
+        assert campaign.name == "campaign"
+        shards = [record for record in parallel_tracer.records
+                  if record.name == "shard"]
+        plan = ShardPlan.from_config(config)
+        assert [span.attrs["shard"] for span in shards] == \
+            [shard.index for shard in plan]
+        assert all(span.parent_id == campaign.span_id for span in shards)
+
+    def test_parallel_metrics_match_serial_counts(self):
+        spec = small_spec()
+        config = lean_config()
+
+        serial_metrics = MetricsRegistry()
+        with use_metrics(serial_metrics):
+            SpatialSweep(spec.build(), config).run()
+
+        parallel_metrics = MetricsRegistry()
+        with use_metrics(parallel_metrics):
+            ParallelSweepRunner(spec, replace(config, jobs=2)).run()
+
+        serial_counters = serial_metrics.snapshot()["counters"]
+        merged_counters = parallel_metrics.snapshot()["counters"]
+        for name in ("dram.commands.ACT", "hammer.pairs",
+                     "bitflips.observed", "sweep.ber_records"):
+            assert merged_counters[name] == serial_counters[name], name
+
+    def test_telemetry_present_only_when_obs_active(self):
+        spec = small_spec()
+        # no WCDP: telemetry counts measured (shard) records only, so
+        # the totals line up exactly with the dataset
+        config = lean_config(jobs=2, append_wcdp=False)
+
+        plain = ParallelSweepRunner(spec, config).run()
+        assert "telemetry" not in plain.metadata
+
+        with use_metrics(MetricsRegistry()):
+            observed = ParallelSweepRunner(spec, config).run()
+        telemetry = observed.metadata["telemetry"]
+        assert telemetry["jobs"] == 2
+        plan = ShardPlan.from_config(config)
+        assert [row["shard"] for row in telemetry["shards"]] == \
+            [shard.index for shard in plan]
+        for row in telemetry["shards"]:
+            assert row["wall_s"] > 0
+            assert row["records"] > 0
+            assert row["rows_per_s"] > 0
+        assert telemetry["records"] == sum(plain.record_counts())
+
+        # Telemetry is execution detail: it must never leak into the
+        # measurement payload, which stays byte-comparable to serial.
+        observed.metadata.pop("telemetry")
+        assert observed.metadata == plain.metadata
+
+    def test_archive_excludes_telemetry(self, tmp_path):
+        spec = small_spec()
+        config = lean_config(jobs=2, append_wcdp=False)
+
+        plain = ParallelSweepRunner(spec, config).run()
+        with use_metrics(MetricsRegistry()):
+            observed = ParallelSweepRunner(spec, config).run()
+        assert "telemetry" in observed.metadata
+
+        plain.to_json(tmp_path / "plain.json")
+        observed.to_json(tmp_path / "observed.json")
+        assert (tmp_path / "plain.json").read_bytes() == \
+            (tmp_path / "observed.json").read_bytes()
+
+    def test_shard_error_carries_wall_time_and_metrics(self):
+        spec = small_spec()
+        config = lean_config(jobs=2)
+        runner = ParallelSweepRunner(
+            spec, config, shard_runner=_break_inside_run_shard)
+        runner.run()
+
+        assert len(runner.errors) == 1
+        error = runner.errors[0]
+        assert (error.channel, error.region) == (1, REGION_MIDDLE)
+        assert error.error_type != "ShardRunError"  # unwrapped
+        assert error.wall_s > 0
+        assert set(error.metrics) == {"counters", "gauges", "histograms"}
+        assert error.metrics["gauges"]["shard.wall_s"] == error.wall_s
+        archived = runner.errors[0].as_dict()
+        assert archived["wall_s"] == error.wall_s
+        assert archived["metrics"] == error.metrics
+
+    def test_retried_shard_not_double_counted(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_FLAG_DIR", str(tmp_path))
+        spec = small_spec()
+        config = lean_config(jobs=2)
+        messages = []
+        runner = ParallelSweepRunner(
+            spec, config, shard_runner=_transient_fail_ch1_middle)
+        dataset = runner.run(progress=messages.append)
+
+        assert runner.errors == ()
+        plan_size = len(ShardPlan.from_config(config))
+        # One message per attempt: every shard once, the flaky one twice.
+        assert len(messages) == plan_size + 1
+        assert sum("FAILED" in message for message in messages) == 1
+        assert sum(" ok" in message for message in messages) == plan_size
+        # The final completion count is exact — no shard counted twice.
+        assert f"[{plan_size}/{plan_size} shards" in messages[-1]
+        measured = {(record.channel, record.region)
+                    for record in dataset.ber_records}
+        assert (1, REGION_MIDDLE) in measured
+
+    def test_aggregator_is_idempotent_per_shard(self):
+        shard = ShardPlan.from_config(lean_config()).shards[0]
+        messages = []
+        aggregator = parallel._ProgressAggregator(2, messages.append)
+        dataset = _FakeDataset(ber=3, hcfirst=1)
+        assert aggregator.completed(shard, dataset, attempt=0) is True
+        # e.g. a timed-out shard that still finished, then passed retry:
+        assert aggregator.completed(shard, dataset, attempt=1) is False
+        assert aggregator.records_done == 4
+        assert len(messages) == 2
+        assert all("[1/2 shards" in message for message in messages)

@@ -6,11 +6,7 @@ discover the device's hidden structure through the command interface.
 
 import pytest
 
-from repro.core.mapping_re import (
-    AdjacencyObservation,
-    observe_adjacency,
-    reverse_engineer_mapping,
-)
+from repro.core.mapping_re import observe_adjacency, reverse_engineer_mapping
 from repro.core.subarray_re import (
     INTERIOR,
     LOWER_EDGE,

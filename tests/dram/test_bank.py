@@ -4,9 +4,7 @@ import numpy as np
 import pytest
 
 from repro.dram.bank import Bank, DeviceEnvironment
-from repro.dram.calibration import default_profile
 from repro.dram.cellmodel import GroundTruthProvider
-from repro.dram.geometry import HBM2Geometry
 from repro.dram.subarrays import SubarrayLayout
 from repro.dram.timing import TimingParameters
 from repro.errors import CommandError

@@ -15,11 +15,7 @@ from repro.dram.subarrays import SubarrayLayout
 from repro.dram.trr import TrrConfig
 from repro.errors import CommandError
 
-from tests.conftest import (
-    SMALL_GEOMETRY,
-    make_small_device,
-    make_vulnerable_device,
-)
+from tests.conftest import make_small_device, make_vulnerable_device
 
 
 @pytest.fixture

@@ -13,7 +13,7 @@ import pytest
 from repro.analysis.figures import fig3_ber_distributions
 from repro.analysis.tables import ber_channel_extremes
 from repro.core.patterns import ROWSTRIPE0, ROWSTRIPE1
-from repro.core.results import REGION_FIRST, REGION_LAST, REGION_MIDDLE
+from repro.core.results import REGION_LAST, REGION_MIDDLE
 from repro.core.sweeps import SpatialSweep, SweepConfig
 from repro.core.experiment import ExperimentConfig
 from repro.core.utrr import UTrrExperiment

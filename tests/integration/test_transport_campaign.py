@@ -5,8 +5,6 @@ unchanged — results bit-identical to direct execution, with the link
 statistics reflecting the campaign's real I/O profile.
 """
 
-import pytest
-
 from repro.bender.board import BenderBoard
 from repro.bender.host import HostInterface
 from repro.bender.transport import PcieTransport

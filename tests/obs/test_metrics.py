@@ -1,0 +1,126 @@
+"""Tests for repro.obs.metrics — kinds, snapshots, cross-process merge."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    NULL_METRICS,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+
+
+class TestMetricKinds:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("hammer.pairs").inc()
+        registry.counter("hammer.pairs").inc(41)
+        assert registry.counter("hammer.pairs").value == 42
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("shard.wall_s")
+        assert gauge.value is None
+        gauge.set(1.5)
+        gauge.set(2.5)
+        assert gauge.value == 2.5
+
+    def test_histogram_summary(self):
+        histogram = MetricsRegistry().histogram("thermal.settle_steps")
+        for value in (4, 10, 7):
+            histogram.observe(value)
+        assert histogram.summary() == {
+            "count": 3, "sum": 21, "min": 4, "max": 10, "mean": 7.0}
+
+    def test_cross_kind_name_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("hammer.pairs")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("hammer.pairs")
+        with pytest.raises(ConfigurationError):
+            registry.histogram("hammer.pairs")
+
+
+class TestCommandCounting:
+    def test_count_commands_records_deltas_only(self):
+        registry = MetricsRegistry()
+        before = {"ACT": 100, "PRE": 100, "RD": 5}
+        after = {"ACT": 180, "PRE": 180, "RD": 5, "WR": 3}
+        registry.count_commands(before, after)
+        snapshot = registry.snapshot()["counters"]
+        assert snapshot["dram.commands.ACT"] == 80
+        assert snapshot["dram.commands.WR"] == 3
+        assert "dram.commands.RD" not in snapshot  # zero delta elided
+
+
+class TestSnapshotMerge:
+    def test_merge_adds_counters_and_combines_histograms(self):
+        worker = MetricsRegistry()
+        worker.counter("bitflips.observed").inc(10)
+        worker.gauge("shard.wall_s").set(1.0)
+        worker.histogram("h").observe(2.0)
+        worker.histogram("h").observe(4.0)
+
+        parent = MetricsRegistry()
+        parent.counter("bitflips.observed").inc(5)
+        parent.histogram("h").observe(10.0)
+        parent.merge_snapshot(worker.snapshot())
+
+        snapshot = parent.snapshot()
+        assert snapshot["counters"]["bitflips.observed"] == 15
+        assert snapshot["gauges"]["shard.wall_s"] == 1.0
+        combined = snapshot["histograms"]["h"]
+        assert combined["count"] == 3
+        assert combined["min"] == 2.0
+        assert combined["max"] == 10.0
+
+    def test_json_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("dram.commands.ACT").inc(1234)
+        registry.histogram("sweep.shard_wall_s").observe(0.5)
+        path = tmp_path / "metrics.json"
+        registry.to_json(path)
+
+        loaded = MetricsRegistry.read_snapshot(path)
+        assert loaded == registry.snapshot()
+
+        merged = MetricsRegistry()
+        merged.merge_snapshot(loaded)
+        assert merged.snapshot() == registry.snapshot()
+
+
+class TestNullPath:
+    def test_default_registry_is_null(self):
+        assert get_metrics() is NULL_METRICS
+        assert NULL_METRICS.enabled is False
+
+    def test_null_metrics_share_one_inert_handle(self):
+        counter = NULL_METRICS.counter("a")
+        gauge = NULL_METRICS.gauge("b")
+        histogram = NULL_METRICS.histogram("c")
+        assert counter is gauge is histogram
+        counter.inc(5)
+        gauge.set(1.0)
+        histogram.observe(2.0)
+        assert NULL_METRICS.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_use_metrics_restores_previous(self):
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            assert get_metrics() is registry
+        assert get_metrics() is NULL_METRICS
+
+    def test_set_metrics_none_restores_null(self):
+        set_metrics(MetricsRegistry())
+        try:
+            assert get_metrics() is not NULL_METRICS
+        finally:
+            set_metrics(None)
+        assert get_metrics() is NULL_METRICS

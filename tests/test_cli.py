@@ -104,6 +104,56 @@ class TestSubarraysCommand:
         assert "[832]" in capsys.readouterr().out
 
 
+class TestObservabilityOptions:
+    def test_trace_and_metrics_flags_write_files(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        metrics_path = tmp_path / "metrics.json"
+        code = main(["ber", "--seed", "1", "--row", "5000",
+                     "--pattern", "Rowstripe0", "--hammers", "65536",
+                     "--trace", str(trace_path),
+                     "--metrics", str(metrics_path)])
+        assert code == 0
+
+        from repro.obs import read_jsonl
+        names = {record.name for record in read_jsonl(trace_path)}
+        assert {"prepare", "hammer", "readback"} <= names
+
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["counters"]["hammer.double_sided"] == 1
+        assert snapshot["counters"]["hammer.pairs"] == 65536
+        assert snapshot["counters"]["bender.programs"] > 0
+        errout = capsys.readouterr().err
+        assert str(trace_path) in errout
+        assert str(metrics_path) in errout
+
+    def test_collectors_are_restored_after_run(self):
+        from repro.obs import NOOP_TRACER, NULL_METRICS
+        from repro.obs import get_metrics, get_tracer
+        assert get_tracer() is NOOP_TRACER
+        assert get_metrics() is NULL_METRICS
+
+    def test_obs_summarize_renders_profile(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        metrics_path = tmp_path / "metrics.json"
+        main(["ber", "--seed", "1", "--row", "5000",
+              "--pattern", "Rowstripe0", "--hammers", "65536",
+              "--trace", str(trace_path), "--metrics", str(metrics_path)])
+        capsys.readouterr()
+
+        code = main(["obs", "summarize", str(trace_path),
+                     "--metrics", str(metrics_path)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "time per phase" in output
+        assert "hammer" in output
+        assert "hammer pairs: 65,536" in output
+
+    def test_obs_summarize_missing_trace_is_an_error(self, capsys):
+        code = main(["obs", "summarize", "/nonexistent/trace.jsonl"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestReportCommand:
     def test_renders_markdown(self, capsys, tmp_path):
         from repro.core.results import BerRecord, CharacterizationDataset

@@ -33,8 +33,6 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
-
 from repro.analysis.tables import headline_numbers, format_headline_table
 from repro.bender.board import make_paper_setup
 from repro.core.sweeps import SpatialSweep, SweepConfig

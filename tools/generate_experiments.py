@@ -45,6 +45,7 @@ from repro.core.utrr import UTrrExperiment
 from repro.dram.address import DramAddress
 from repro.defenses.evaluation import compare_defenses
 from repro.attacks.templating import MemoryTemplater
+from repro.obs import MetricsRegistry, use_metrics
 
 
 def env_int(name: str, default: int) -> int:
@@ -57,6 +58,27 @@ def log(message: str) -> None:
 
 
 START = time.time()
+
+
+def telemetry_lines(label: str, registry: MetricsRegistry,
+                    wall_s: float) -> list:
+    """Command-count telemetry bullet for one sweep campaign."""
+    counters = registry.snapshot()["counters"]
+    commands = {name.rsplit(".", 1)[-1]: int(value)
+                for name, value in counters.items()
+                if name.startswith("dram.commands.")}
+    per_type = "  ".join(f"{mnemonic}={value:,}"
+                         for mnemonic, value in sorted(commands.items()))
+    rows = int(counters.get("sweep.ber_records", 0) +
+               counters.get("sweep.hcfirst_records", 0))
+    return [
+        f"- {label}: {sum(commands.values()):,} DRAM commands "
+        f"({per_type});",
+        f"  {int(counters.get('hammer.pairs', 0)):,} hammer pairs, "
+        f"{int(counters.get('bitflips.observed', 0)):,} bitflips "
+        f"observed, {rows:,} rows measured "
+        f"({rows / wall_s:.1f} rows/s wall clock)",
+    ]
 
 
 def discover_subarray_sizes(board, dataset, count=3):
@@ -101,8 +123,13 @@ def main() -> None:
         rows_per_region=env_int("REPRO_ROWS_PER_REGION", 12),
         hcfirst_rows_per_region=env_int("REPRO_HCFIRST_ROWS", 5),
     )
-    dataset = run_sweep(config, spec=spec, board=board,
-                        progress=lambda message: log(f"  {message}"))
+    fig34_metrics = MetricsRegistry()
+    fig34_started = time.perf_counter()
+    with use_metrics(fig34_metrics):
+        dataset = run_sweep(config, spec=spec, board=board,
+                            progress=lambda message: log(f"  {message}"))
+    fig34_wall = time.perf_counter() - fig34_started
+    dataset.metadata.pop("telemetry", None)  # keep the dataset serial-shaped
 
     log("running the Fig. 6 bank campaign ...")
     fig6_config = SweepConfig.from_env(
@@ -114,7 +141,12 @@ def main() -> None:
         patterns=(ROWSTRIPE0, ROWSTRIPE1),
         include_hcfirst=False,
     )
-    fig6_dataset = run_sweep(fig6_config, spec=spec, board=board)
+    fig6_metrics = MetricsRegistry()
+    fig6_started = time.perf_counter()
+    with use_metrics(fig6_metrics):
+        fig6_dataset = run_sweep(fig6_config, spec=spec, board=board)
+    fig6_wall = time.perf_counter() - fig6_started
+    fig6_dataset.metadata.pop("telemetry", None)
 
     log("discovering subarray structure (footnote 3) ...")
     boundaries = discover_subarray_sizes(board, dataset)
@@ -232,6 +264,15 @@ def main() -> None:
         "job count — shards split by (channel, pseudo channel, bank,",
         "region), workers rebuild the same deterministic chip from its",
         "`BoardSpec`, and datasets merge back in serial order.",
+        "",
+        "## Campaign telemetry",
+        "",
+        "Command-stream accounting from `repro.obs` (the same registry",
+        "the CLI's `--metrics` flag snapshots; record a full trace with",
+        "`--trace` and render it via `repro obs summarize`):",
+        "",
+        *telemetry_lines("Figs. 3/4 campaign", fig34_metrics, fig34_wall),
+        *telemetry_lines("Fig. 6 bank campaign", fig6_metrics, fig6_wall),
         "",
         "## Headline numbers (K1)",
         "",
