@@ -13,7 +13,10 @@ the hidden TRR engine, and the chip held at 85 degC.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.faults.plan import FaultSpec
 
 from repro.bender.host import HostInterface
 from repro.bender.interpreter import Interpreter
@@ -33,9 +36,11 @@ class BenderBoard:
     """One testing station: simulated FPGA board + thermal rig."""
 
     def __init__(self, device: HBM2Device,
-                 thermal: Optional[TemperatureController] = None) -> None:
+                 thermal: Optional[TemperatureController] = None,
+                 transport=None) -> None:
         self.device = device
-        self.host = HostInterface(device, Interpreter(device))
+        self.host = HostInterface(device, Interpreter(device),
+                                  transport=transport)
         if thermal is None:
             plant = ThermalPlant(temperature_c=device.temperature_c)
             thermal = TemperatureController(plant, PidController())
@@ -83,6 +88,12 @@ class BoardSpec:
     timing: Optional[TimingParameters] = None
     profile: Optional[DeviceProfile] = None
     trr_config: Optional[TrrConfig] = None
+    #: Fault plan for the station's PCIe link: when it carries link-fault
+    #: rates, ``build()`` routes programs through a fault-injecting
+    #: transport wrapped in the retrying :class:`~repro.bender.transport.
+    #: ResilientTransport` (execution/thermal rates are handled by the
+    #: sweep layer, not here).
+    faults: Optional["FaultSpec"] = None
 
     def build(self) -> BenderBoard:
         """Construct the board this spec describes."""
@@ -91,6 +102,9 @@ class BoardSpec:
             profile=self.profile, trr_config=self.trr_config,
             temperature_c=self.temperature_c,
             settle_thermals=self.settle_thermals)
+        if self.faults is not None and self.faults.has_link_faults:
+            from repro.faults.inject import build_link
+            board.host.set_transport(build_link(board.device, self.faults))
         board.host.set_ecc_enabled(self.ecc_enabled)
         if self.wordline_voltage_v is not None:
             board.device.set_wordline_voltage(self.wordline_voltage_v)

@@ -49,6 +49,15 @@ class HostInterface:
             return self._transport.run(program)
         return self._interpreter.run(program)
 
+    def set_transport(self, transport) -> None:
+        """Route subsequent programs through ``transport`` (None = direct)."""
+        self._transport = transport
+
+    @property
+    def transport(self):
+        """The link programs round-trip through (None = direct)."""
+        return self._transport
+
     def builder(self) -> ProgramBuilder:
         """A fresh program builder (pure convenience)."""
         return ProgramBuilder()

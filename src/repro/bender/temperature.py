@@ -130,6 +130,30 @@ class TemperatureController:
         self.target_c = target_c
         self.controller.reset()
 
+    def inject_disturbance(self, delta_c: float) -> float:
+        """Shift the plant by ``delta_c`` degC; returns the new temperature.
+
+        Models an exogenous thermal excursion (lab HVAC cycling, a pad
+        adhesion hiccup) hitting the rig between control periods — the
+        fault-injection entry point for :class:`~repro.faults.thermal.
+        ThermalGuard`.
+        """
+        self.plant.temperature_c += delta_c
+        return self.plant.temperature_c
+
+    def in_envelope(self, envelope_c: float) -> bool:
+        """Whether the plant currently holds the target within ±envelope."""
+        return abs(self.plant.temperature_c - self.target_c) <= envelope_c
+
+    def resettle(self, max_steps: int = 100_000) -> int:
+        """Re-run the loop back to the current target; returns steps.
+
+        Resets the PID state first (integral windup from the excursion
+        would otherwise fight the recovery).
+        """
+        self.controller.reset()
+        return self.settle(max_steps)
+
     def step(self) -> float:
         """One control period; returns the new plant temperature."""
         actuation = self.controller.update(

@@ -48,6 +48,7 @@ from repro.core.sweeps import SweepConfig
 from repro.core.utrr import UTrrExperiment
 from repro.dram.address import DramAddress
 from repro.errors import ReproError
+from repro.faults import FaultSpec
 from repro.obs import ObsSession
 from repro.obs.summarize import summarize_trace
 
@@ -59,6 +60,11 @@ def _add_station_options(parser: argparse.ArgumentParser) -> None:
                         help="chip temperature in degC (default: 85)")
     parser.add_argument("--voltage", type=float, default=None,
                         help="wordline voltage in V (default: nominal)")
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="deterministic fault plan: 'key=value,...' "
+                             "(e.g. 'seed=1,link_corrupt=0.01,"
+                             "shard_error=0.05') or @file / a JSON file "
+                             "path; see 'repro faults demo'")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="record a span trace to PATH (JSON Lines); "
                              "inspect with 'repro obs summarize PATH'")
@@ -67,9 +73,15 @@ def _add_station_options(parser: argparse.ArgumentParser) -> None:
                              "hammers, bitflips, ...) to PATH as JSON")
 
 
+def _fault_spec(args: argparse.Namespace) -> Optional[FaultSpec]:
+    raw = getattr(args, "faults", None)
+    return FaultSpec.parse(raw) if raw else None
+
+
 def _make_spec(args: argparse.Namespace) -> BoardSpec:
     return BoardSpec(seed=args.seed, temperature_c=args.temperature,
-                     ecc_enabled=False, wordline_voltage_v=args.voltage)
+                     ecc_enabled=False, wordline_voltage_v=args.voltage,
+                     faults=_fault_spec(args))
 
 
 def _make_station(args: argparse.Namespace) -> BenderBoard:
@@ -124,19 +136,32 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         rows_per_region=args.rows_per_region,
         hcfirst_rows_per_region=args.hcfirst_rows,
         repetitions=args.repetitions,
+        faults=_fault_spec(args),
     )
     if args.jobs is not None:
         overrides["jobs"] = args.jobs
     config = SweepConfig.from_env(**overrides)
-    runner = ParallelSweepRunner(_make_spec(args), config)
+    runner = ParallelSweepRunner(_make_spec(args), config,
+                                 max_retries=args.max_retries,
+                                 retry_backoff_s=args.retry_backoff,
+                                 campaign_dir=args.resume)
     dataset = runner.run(progress=lambda message: print(f"  {message}",
                                                         file=sys.stderr))
     for error in runner.errors:
         print(f"warning: shard {error.index} "
               f"(ch{error.channel} pc{error.pseudo_channel} "
-              f"ba{error.bank} region={error.region}) failed after "
-              f"{error.attempts} attempts: "
+              f"ba{error.bank} region={error.region}) quarantined "
+              f"[{error.fault_category}] after {error.attempts} attempts "
+              f"(+{error.backoff_s:.3f}s backoff): "
               f"{error.error_type}: {error.message}", file=sys.stderr)
+    coverage = runner.coverage
+    if coverage is not None and not coverage["complete"]:
+        shards, rows = coverage["shards"], coverage["rows"]
+        print(f"warning: partial coverage — "
+              f"{shards['completed']}/{shards['total']} shards, "
+              f"{rows['completed']}/{rows['attempted']} rows "
+              f"({shards['quarantined']} shard(s) quarantined)",
+              file=sys.stderr)
     print(render_box_table(fig3_ber_distributions(dataset),
                            value_format="{:.5f}",
                            title="BER across rows (Fig. 3 axes)"))
@@ -216,6 +241,81 @@ def cmd_obs_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults_demo(args: argparse.Namespace) -> int:
+    """Run a tiny campaign under a fault plan, twice, and show that the
+    fault schedule is deterministic and the resilience layer recovers a
+    byte-identical dataset."""
+    from repro.core.patterns import ROWSTRIPE0
+    from repro.dram.geometry import HBM2Geometry
+    from repro.faults import FaultPlan
+    from repro.obs import MetricsRegistry, use_metrics
+
+    spec_text = args.faults or ("seed=7,link_corrupt=0.01,link_stall=0.02,"
+                                "shard_error=0.1,thermal_drift=0.1")
+    fault_spec = FaultSpec.parse(spec_text)
+    plan = FaultPlan(fault_spec)
+    print(f"fault plan: {fault_spec.describe()}")
+
+    geometry = HBM2Geometry(channels=2, pseudo_channels=1, banks=2,
+                            rows=256, columns=4, column_bytes=8,
+                            channels_per_die=2)
+    board_spec = BoardSpec(seed=args.seed, temperature_c=args.temperature,
+                           settle_thermals=False, geometry=geometry,
+                           faults=fault_spec)
+    config = SweepConfig(
+        channels=(0, 1), banks=(0, 1), region_size=64, rows_per_region=2,
+        hcfirst_rows_per_region=0, include_hcfirst=False,
+        patterns=(ROWSTRIPE0,), jobs=2, faults=fault_spec,
+        experiment=ExperimentConfig(ber_hammer_count=30_000))
+
+    shards = [(channel, 0, bank, region)
+              for channel in (0, 1) for bank in (0, 1)
+              for region in ("first", "middle", "last")]
+    schedule = {f"ch{c} ba{b} {r}": plan.shard_fault(c, pc, b, r, 0)
+                for c, pc, b, r in shards
+                if plan.shard_fault(c, pc, b, r, 0)}
+    print(f"shard-fault schedule (attempt 0): {schedule or 'clean'}")
+    excursions = [f"ch{c} ba{b} row{row}"
+                  for c, pc, b, _ in shards for row in range(geometry.rows)
+                  if plan.thermal_excursion(c, pc, b, row)]
+    print(f"thermal excursions scheduled: {len(excursions)}")
+
+    def campaign():
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            runner = ParallelSweepRunner(board_spec, config,
+                                         max_retries=args.max_retries,
+                                         retry_backoff_s=0.001)
+            dataset = runner.run()
+        return dataset, runner, registry.snapshot()["counters"]
+
+    results = []
+    for attempt in (1, 2):
+        dataset, runner, counters = campaign()
+        results.append(dataset)
+        coverage = runner.coverage
+        print(f"run {attempt}: "
+              f"{coverage['shards']['completed']}/"
+              f"{coverage['shards']['total']} shards, "
+              f"retries={counters.get('sweep.shard_retries', 0)}, "
+              f"thermal.excursions="
+              f"{counters.get('thermal.excursions', 0)}, "
+              f"transport.faults={counters.get('transport.faults', 0)}, "
+              f"quarantined={len(runner.errors)}")
+    first, second = results
+    identical = (first.ber_records == second.ber_records
+                 and first.hcfirst_records == second.hcfirst_records)
+    print(f"datasets identical across runs: {identical}")
+    from dataclasses import replace
+    clean = ParallelSweepRunner(
+        BoardSpec(seed=args.seed, temperature_c=args.temperature,
+                  settle_thermals=False, geometry=geometry),
+        replace(config, faults=None)).run()
+    matches_clean = first.ber_records == clean.ber_records
+    print(f"dataset identical to fault-free campaign: {matches_clean}")
+    return 0 if identical else 1
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -261,6 +361,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the sweep (default: "
                             "$REPRO_JOBS or 1 = serial); results are "
                             "identical at any jobs level")
+    sweep.add_argument("--resume", metavar="DIR", default=None,
+                       help="campaign directory: checkpoint completed "
+                            "shards there and resume a killed campaign "
+                            "from it (byte-identical to an uninterrupted "
+                            "run)")
+    sweep.add_argument("--max-retries", type=int, default=1,
+                       help="extra attempts per failed shard (default: 1)")
+    sweep.add_argument("--retry-backoff", type=float, default=0.0,
+                       metavar="S",
+                       help="base backoff before retry rounds, seconds "
+                            "(doubles per round, deterministic jitter; "
+                            "default: 0)")
     sweep.add_argument("-o", "--output", help="archive dataset as JSON")
     sweep.add_argument("--export-dir",
                        help="also write figure CSVs into this directory")
@@ -295,6 +407,18 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("dataset")
     report.add_argument("--utrr-period", type=int, default=None)
     report.set_defaults(handler=cmd_report)
+
+    faults = subparsers.add_parser(
+        "faults", help="fault-injection and resilience tooling")
+    faults_subparsers = faults.add_subparsers(dest="faults_command",
+                                              required=True)
+    demo = faults_subparsers.add_parser(
+        "demo", help="run a tiny campaign under a fault plan, twice, "
+                     "to show deterministic injection and recovery")
+    _add_station_options(demo)
+    demo.add_argument("--max-retries", type=int, default=2,
+                      help="extra attempts per failed shard (default: 2)")
+    demo.set_defaults(handler=cmd_faults_demo)
 
     obs = subparsers.add_parser(
         "obs", help="inspect recorded observability artifacts")

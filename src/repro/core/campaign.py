@@ -1,0 +1,126 @@
+"""Campaign checkpointing: spool completed shards, resume killed runs.
+
+A characterization campaign over thousands of rows is hours of work; a
+parent process killed at 95% must not cost 95% of the campaign.  A
+:class:`CampaignCheckpoint` binds a campaign to a directory:
+
+* ``campaign.json`` — a manifest carrying a fingerprint of everything
+  that determines the measured data (board spec + sweep axes/density),
+  so a resume against a different configuration fails loudly instead
+  of merging datasets from two different experiments;
+* ``shard_NNNNN.json`` — each shard's dataset, written atomically
+  (temp file + rename) the moment the shard first completes.
+
+Because shard datasets round-trip exactly through the JSON archive
+format and the merge runs in plan order from whatever source (live
+worker or checkpoint), a campaign killed mid-run and resumed produces
+a byte-identical merged dataset to an uninterrupted run — at any jobs
+level, before or after the kill.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, Union
+
+from repro.core.results import CharacterizationDataset
+from repro.errors import CampaignStateError
+
+__all__ = ["CampaignCheckpoint", "campaign_fingerprint"]
+
+_MANIFEST_NAME = "campaign.json"
+_MANIFEST_VERSION = 1
+
+
+def campaign_fingerprint(spec, config, shards_total: int) -> str:
+    """Digest of everything that determines a campaign's measured data.
+
+    Execution details (jobs, observability, timeouts) are normalized
+    away — resuming with a different worker count is explicitly
+    supported and still byte-identical.  The board spec and the full
+    sweep config (including the fault plan: a ``flag``-policy thermal
+    plan changes measured values) are included via their dataclass
+    reprs, which are deterministic for the plain-scalar configuration
+    types used throughout.
+    """
+    from dataclasses import replace
+
+    normalized = replace(config, jobs=1, obs=None, shard_timeout_s=None)
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(repr(spec).encode())
+    hasher.update(repr(normalized).encode())
+    hasher.update(str(shards_total).encode())
+    return hasher.hexdigest()
+
+
+class CampaignCheckpoint:
+    """Shard-granular persistence for one campaign directory."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / _MANIFEST_NAME
+
+    def shard_path(self, index: int) -> Path:
+        return self.directory / f"shard_{index:05d}.json"
+
+    # ------------------------------------------------------------------
+    def prepare(self, fingerprint: str, shards_total: int) -> bool:
+        """Create or validate the campaign directory; True if resuming.
+
+        A fresh directory gets a manifest; an existing one must carry a
+        matching fingerprint or the resume is refused
+        (:class:`~repro.errors.CampaignStateError`) — checkpoints from
+        a different spec/config describe a different experiment.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if self.manifest_path.exists():
+            try:
+                manifest = json.loads(self.manifest_path.read_text())
+            except (OSError, json.JSONDecodeError) as error:
+                raise CampaignStateError(
+                    f"unreadable campaign manifest "
+                    f"{self.manifest_path}: {error}") from error
+            if manifest.get("fingerprint") != fingerprint:
+                raise CampaignStateError(
+                    f"campaign directory {self.directory} was created "
+                    f"for a different spec/config (fingerprint "
+                    f"{manifest.get('fingerprint')!r} != "
+                    f"{fingerprint!r}); refusing to merge datasets "
+                    f"from two different experiments")
+            return True
+        self.manifest_path.write_text(json.dumps({
+            "version": _MANIFEST_VERSION,
+            "fingerprint": fingerprint,
+            "shards_total": shards_total,
+        }, indent=1) + "\n")
+        return False
+
+    # ------------------------------------------------------------------
+    def load(self, indices: Iterable[int]
+             ) -> Dict[int, CharacterizationDataset]:
+        """Checkpointed datasets for ``indices``, keyed by shard index."""
+        loaded: Dict[int, CharacterizationDataset] = {}
+        for index in indices:
+            path = self.shard_path(index)
+            if not path.exists():
+                continue
+            try:
+                loaded[index] = CharacterizationDataset.from_json(path)
+            except Exception as error:
+                raise CampaignStateError(
+                    f"unreadable shard checkpoint {path}: "
+                    f"{error}") from error
+        return loaded
+
+    def write(self, index: int, dataset: CharacterizationDataset) -> None:
+        """Atomically persist one completed shard's dataset."""
+        path = self.shard_path(index)
+        temporary = path.with_suffix(".json.tmp")
+        dataset.to_json(temporary)
+        os.replace(temporary, path)

@@ -29,13 +29,28 @@ span, one aggregated metrics snapshot, and per-shard wall-time /
 throughput telemetry under ``dataset.metadata["telemetry"]``.  With
 observability disabled (the default) none of this machinery runs.
 
-Fault tolerance: a shard whose worker raises, crashes, or times out is
-retried once on a fresh pool; a shard that fails again is reported as a
-structured :class:`ShardError` (and under ``metadata["shard_errors"]``)
-instead of killing the campaign.  Workers wrap their failures in
-:class:`ShardRunError`, carrying the shard's wall time and metric
-snapshot back to the parent, so a failed shard is diagnosable without
-rerunning it.
+Resilience: a shard whose worker raises, crashes, hangs past
+``shard_timeout_s``, or returns a dataset failing its integrity
+fingerprint is retried (with exponential backoff and deterministic
+jitter between rounds) on a fresh pool; a shard that exhausts its
+retries is quarantined as a structured :class:`ShardError` — carrying
+its attempt count, total backoff, and fault category — instead of
+killing the campaign, and the dataset gains an exact
+``metadata["coverage"]`` account of what was measured versus lost.
+Timeouts are measured from when a shard's work item is *dispatched*,
+not from pool submission, so a long queue behind a few slow shards is
+not misread as a hang; when every worker is wedged, queued shards are
+failed fast as ``starved`` rather than waiting out a timeout each.
+Workers wrap their failures in :class:`ShardRunError`, carrying the
+shard's wall time and metric snapshot back to the parent, so a failed
+shard is diagnosable without rerunning it.
+
+Checkpoint/resume: pass ``campaign_dir`` and every completed shard's
+dataset is spooled there atomically (see
+:mod:`repro.core.campaign`); re-running the same campaign against the
+same directory — e.g. after the parent was killed — loads the
+checkpointed shards instead of re-measuring them and produces a
+byte-identical merged dataset to an uninterrupted run.
 
 Limitations: the parallel path always uses the device's own row mapping
 (a custom ``mapper`` cannot cross the fork); pass ``jobs=1`` to sweep
@@ -47,12 +62,16 @@ from __future__ import annotations
 import pickle
 import tempfile
 import time
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor
+from concurrent.futures import Future  # noqa: F401  (typing)
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bender.board import BenderBoard, BoardSpec
+from repro.core.campaign import CampaignCheckpoint, campaign_fingerprint
 from repro.core.results import CharacterizationDataset
 from repro.core.sweeps import (
     ProgressCallback,
@@ -61,7 +80,9 @@ from repro.core.sweeps import (
     sweep_metadata,
 )
 from repro.core.wcdp import append_wcdp_records
-from repro.errors import ExperimentError, ReproError
+from repro.errors import ExperimentError, ReproError, ShardFault
+from repro.faults.plan import FaultPlan, resolve_fault_spec
+from repro.faults.thermal import ThermalGuard
 from repro.obs import (
     NOOP_TRACER,
     MetricsRegistry,
@@ -73,6 +94,7 @@ from repro.obs import (
     use_metrics,
     use_tracer,
 )
+from repro.rng import uniform_hash01
 
 __all__ = [
     "ShardError",
@@ -84,6 +106,9 @@ __all__ = [
     "run_sweep",
 ]
 
+#: Cadence of the dispatch/deadline poll when ``shard_timeout_s`` is set.
+_POLL_S = 0.05
+
 
 @dataclass(frozen=True)
 class SweepShard:
@@ -92,6 +117,9 @@ class SweepShard:
     ``config`` is the parent sweep config narrowed to this cell, with
     WCDP synthesis disabled (it runs once, on the merged dataset) and
     ``jobs`` forced to 1 (a shard is the unit of parallelism).
+    ``attempt`` is the retry round the shard is being executed under —
+    fault plans key injected shard faults on it, so an injected fault
+    is transient and a retry of the same shard can succeed.
     """
 
     index: int
@@ -100,6 +128,7 @@ class SweepShard:
     bank: int
     region: str
     config: SweepConfig
+    attempt: int = 0
 
     def describe(self) -> str:
         return (f"ch{self.channel} pc{self.pseudo_channel} "
@@ -118,16 +147,30 @@ class ShardRunError(ReproError):
     """
 
     def __init__(self, original_type: str, message: str,
-                 wall_s: float, metrics: Dict[str, Dict[str, object]]
-                 ) -> None:
-        super().__init__(original_type, message, wall_s, metrics)
+                 wall_s: float, metrics: Dict[str, Dict[str, object]],
+                 category: str = "error") -> None:
+        super().__init__(original_type, message, wall_s, metrics, category)
         self.original_type = original_type
         self.message = message
         self.wall_s = wall_s
         self.metrics = metrics
+        self.category = category
 
     def __str__(self) -> str:
         return f"{self.original_type}: {self.message}"
+
+
+def _fault_category(error: BaseException) -> str:
+    """Structured failure category for quarantine reports and metrics."""
+    if isinstance(error, FuturesTimeoutError):
+        return "timeout"
+    if isinstance(error, BrokenExecutor):
+        return "crash"
+    if isinstance(error, ShardFault):
+        return error.category
+    if isinstance(error, ShardRunError):
+        return error.category
+    return "exception"
 
 
 @dataclass(frozen=True)
@@ -137,6 +180,9 @@ class ShardError:
     ``wall_s`` and ``metrics`` hold the originating worker's wall time
     and metric snapshot from the *last* failing attempt when the worker
     lived long enough to report them (None for hard crashes/timeouts).
+    ``backoff_s`` is the total retry backoff the runner spent on this
+    shard across rounds; ``fault_category`` classifies the last failure
+    (``timeout``/``crash``/``poison``/``starved``/``error``/...).
     """
 
     index: int
@@ -149,6 +195,8 @@ class ShardError:
     attempts: int
     wall_s: Optional[float] = None
     metrics: Optional[Dict[str, Dict[str, object]]] = None
+    backoff_s: float = 0.0
+    fault_category: str = "error"
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -162,23 +210,28 @@ class ShardError:
             "attempts": self.attempts,
             "wall_s": self.wall_s,
             "metrics": self.metrics,
+            "backoff_s": self.backoff_s,
+            "fault_category": self.fault_category,
         }
 
     @classmethod
     def from_failure(cls, shard: SweepShard, error: BaseException,
-                     attempts: int) -> "ShardError":
+                     attempts: int, backoff_s: float = 0.0) -> "ShardError":
+        category = _fault_category(error)
         if isinstance(error, ShardRunError):
             return cls(index=shard.index, channel=shard.channel,
                        pseudo_channel=shard.pseudo_channel,
                        bank=shard.bank, region=shard.region,
                        error_type=error.original_type,
                        message=error.message, attempts=attempts,
-                       wall_s=error.wall_s, metrics=error.metrics)
+                       wall_s=error.wall_s, metrics=error.metrics,
+                       backoff_s=backoff_s, fault_category=category)
         return cls(index=shard.index, channel=shard.channel,
                    pseudo_channel=shard.pseudo_channel, bank=shard.bank,
                    region=shard.region,
                    error_type=type(error).__name__, message=str(error),
-                   attempts=attempts)
+                   attempts=attempts, backoff_s=backoff_s,
+                   fault_category=category)
 
 
 @dataclass(frozen=True)
@@ -262,6 +315,14 @@ def run_shard(spec: BoardSpec, shard: SweepShard) -> CharacterizationDataset:
     metric snapshot via :class:`ShardRunError`.  When the shard config
     carries an :class:`~repro.obs.ObsConfig` the collected trace/metrics
     are additionally spooled to per-shard files for the parent to merge.
+
+    Fault plumbing: when the shard config (or ``$REPRO_FAULTS``)
+    carries a fault spec, injected execution faults fire at shard entry
+    — keyed on (coordinates, attempt), so retries of an injured shard
+    draw fresh — and the returned dataset is fingerprinted
+    (``metadata["integrity"]``) *before* any injected readback
+    poisoning corrupts it, letting the parent detect the poisoning
+    exactly as it would detect real in-transit corruption.
     """
     obs = shard.config.obs
     want_trace = bool(obs is not None and obs.trace)
@@ -274,14 +335,28 @@ def run_shard(spec: BoardSpec, shard: SweepShard) -> CharacterizationDataset:
                              channel=shard.channel,
                              pseudo_channel=shard.pseudo_channel,
                              bank=shard.bank, region=shard.region):
+                fault_spec = resolve_fault_spec(shard.config.faults)
+                if fault_spec is not None and fault_spec.has_shard_faults:
+                    from repro.faults.inject import injure_worker
+                    injure_worker(FaultPlan(fault_spec), shard.channel,
+                                  shard.pseudo_channel, shard.bank,
+                                  shard.region, shard.attempt)
                 board = _worker_station(spec, shard.config)
                 sweep = SpatialSweep(board, shard.config)
                 dataset = sweep.run(apply_interference_controls=False)
+                dataset.metadata["integrity"] = dataset.fingerprint()
+                if fault_spec is not None and fault_spec.shard_poison:
+                    from repro.faults.inject import poison_dataset
+                    poison_dataset(FaultPlan(fault_spec), dataset,
+                                   shard.channel, shard.pseudo_channel,
+                                   shard.bank, shard.region, shard.attempt)
     except Exception as error:
         wall_s = time.perf_counter() - started
         registry.gauge("shard.wall_s").set(wall_s)
+        category = (error.category if isinstance(error, ShardFault)
+                    else "error")
         raise ShardRunError(type(error).__name__, str(error), wall_s,
-                            registry.snapshot()) from error
+                            registry.snapshot(), category) from error
     wall_s = time.perf_counter() - started
     registry.gauge("shard.wall_s").set(wall_s)
     registry.gauge("shard.records").set(sum(dataset.record_counts()))
@@ -319,6 +394,14 @@ class _ProgressAggregator:
     def records_done(self) -> int:
         return self._records
 
+    def preload(self, datasets: Dict[int, CharacterizationDataset]) -> None:
+        """Mark checkpointed shards as done without emitting per-shard
+        callbacks (a resumed campaign reports them in one line)."""
+        for index, dataset in datasets.items():
+            if index not in self._done:
+                self._done.add(index)
+                self._records += sum(dataset.record_counts())
+
     def completed(self, shard: SweepShard,
                   dataset: CharacterizationDataset, attempt: int) -> bool:
         """Register a completed shard; returns True on first completion."""
@@ -348,32 +431,51 @@ class ParallelSweepRunner:
 
     Drop-in equivalent of ``SpatialSweep(spec.build(), config).run()``:
     same dataset, same record order, same metadata — plus
-    ``metadata["shard_errors"]`` when shards failed permanently and
-    ``metadata["telemetry"]`` when observability is active.
+    ``metadata["shard_errors"]`` and ``metadata["coverage"]`` when
+    shards were quarantined and ``metadata["telemetry"]`` when
+    observability is active.
     """
 
     def __init__(self, spec: BoardSpec, config: Optional[SweepConfig] = None,
                  *, shard_runner: Optional[ShardRunner] = None,
-                 max_retries: int = 1, mp_context=None) -> None:
+                 max_retries: int = 1, retry_backoff_s: float = 0.0,
+                 campaign_dir=None, mp_context=None) -> None:
         """
         Args:
             spec: recipe each worker rebuilds its own board from.
             config: sweep axes/density; ``config.jobs`` sets the worker
-                count (1 falls back to the serial path in-process).
+                count (1 falls back to the serial path in-process unless
+                ``campaign_dir`` asks for the checkpointing shard path).
             shard_runner: override for the per-shard entry point (must be
                 picklable; used by fault-injection tests).
             max_retries: extra attempts for a failed shard (default 1).
+            retry_backoff_s: base delay before retry round ``n``
+                (doubled each round, scaled by a deterministic jitter in
+                [0.5, 1.5) keyed on the fault seed; 0 = no backoff).
+            campaign_dir: directory to checkpoint completed shards into
+                and resume from (see :mod:`repro.core.campaign`).
             mp_context: multiprocessing context for the pool (default:
                 the platform default).
         """
         if max_retries < 0:
             raise ExperimentError("max_retries must be >= 0")
+        if retry_backoff_s < 0:
+            raise ExperimentError("retry_backoff_s must be >= 0")
         self._spec = spec
         self._config = config or SweepConfig()
         self._shard_runner: ShardRunner = shard_runner or run_shard
         self._max_retries = max_retries
+        self._retry_backoff_s = retry_backoff_s
+        self._campaign_dir = campaign_dir
         self._mp_context = mp_context
+        self._sleep = time.sleep
         self._errors: Tuple[ShardError, ...] = ()
+        self._coverage: Optional[Dict[str, object]] = None
+        self._checkpoint: Optional[CampaignCheckpoint] = None
+        self._backoff_totals: Dict[int, float] = {}
+        faults = self._config.faults
+        self._backoff_seed = (faults.seed if faults is not None
+                              else getattr(spec, "seed", 0))
 
     @property
     def config(self) -> SweepConfig:
@@ -384,18 +486,27 @@ class ParallelSweepRunner:
         """Shards that failed permanently in the last :meth:`run`."""
         return self._errors
 
+    @property
+    def coverage(self) -> Optional[Dict[str, object]]:
+        """Shard/row coverage accounting for the last :meth:`run`."""
+        return self._coverage
+
     # ------------------------------------------------------------------
     def run(self, progress: Optional[ProgressCallback] = None
             ) -> CharacterizationDataset:
         """Execute the campaign and return the merged dataset."""
         config = self._config
         self._errors = ()
+        self._coverage = None
+        self._backoff_totals = {}
         tracer = get_tracer()
         metrics = get_metrics()
-        if config.jobs == 1:
+        if config.jobs == 1 and self._campaign_dir is None:
             with tracer.span("campaign", jobs=1):
                 sweep = SpatialSweep(self._spec.build(), config)
-                return sweep.run(progress)
+                dataset = sweep.run(progress)
+            self._coverage = self._serial_coverage(config, dataset)
+            return dataset
 
         plan = ShardPlan.from_config(config)
         obs_active = tracer.enabled or metrics.enabled
@@ -415,7 +526,10 @@ class ParallelSweepRunner:
                 results: Dict[int, CharacterizationDataset] = {}
                 failures: Dict[int, BaseException] = {}
                 aggregator = _ProgressAggregator(len(plan), progress)
-                pending = list(shards)
+                self._checkpoint = self._open_campaign(
+                    plan, results, aggregator, metrics, progress)
+                pending = [shard for shard in shards
+                           if shard.index not in results]
                 attempts = 1 + self._max_retries
                 for attempt in range(attempts):
                     if not pending:
@@ -423,20 +537,29 @@ class ParallelSweepRunner:
                     if attempt:
                         metrics.counter("sweep.shard_retries").inc(
                             len(pending))
-                    # Retry rounds isolate each shard in its own single-
-                    # worker pool: one crashing worker breaks the whole
-                    # shared pool and would otherwise burn innocent
-                    # shards' retries with it.
-                    pending = self._run_round(pending, results, failures,
-                                              aggregator, attempt,
-                                              isolate=attempt > 0)
+                        self._backoff(pending, attempt, metrics)
+                        # Retry rounds isolate each shard in its own
+                        # single-worker pool: one crashing worker breaks
+                        # the whole shared pool and would otherwise burn
+                        # innocent shards' retries with it.
+                        with tracer.span("retry-round", attempt=attempt,
+                                         shards=len(pending)):
+                            pending = self._run_round(
+                                pending, results, failures, aggregator,
+                                attempt, isolate=True)
+                    else:
+                        pending = self._run_round(pending, results,
+                                                  failures, aggregator,
+                                                  attempt, isolate=False)
                 if pending:
                     metrics.counter("sweep.shard_failures").inc(
                         len(pending))
 
                 self._errors = tuple(
-                    ShardError.from_failure(shard, failures[shard.index],
-                                            attempts)
+                    ShardError.from_failure(
+                        shard, failures[shard.index], attempts,
+                        backoff_s=round(
+                            self._backoff_totals.get(shard.index, 0.0), 9))
                     for shard in sorted(pending,
                                         key=lambda shard: shard.index))
 
@@ -444,9 +567,16 @@ class ParallelSweepRunner:
                     (results[shard.index] for shard in plan.shards
                      if shard.index in results),
                     metadata=sweep_metadata(config))
+                thermal = ThermalGuard.merge_metadata(
+                    [results[shard.index] for shard in plan.shards
+                     if shard.index in results])
+                if thermal is not None:
+                    dataset.metadata["thermal"] = thermal
+                self._coverage = self._parallel_coverage(plan, results)
                 if self._errors:
                     dataset.metadata["shard_errors"] = [
                         error.as_dict() for error in self._errors]
+                    dataset.metadata["coverage"] = self._coverage
                 if config.append_wcdp:
                     with tracer.span("wcdp"):
                         append_wcdp_records(dataset)
@@ -456,8 +586,98 @@ class ParallelSweepRunner:
                                       metrics, campaign, dataset, wall_s)
                 return dataset
         finally:
+            self._checkpoint = None
             if spool is not None:
                 spool.cleanup()
+
+    # ------------------------------------------------------------------
+    def _open_campaign(self, plan: ShardPlan,
+                       results: Dict[int, CharacterizationDataset],
+                       aggregator: _ProgressAggregator, metrics,
+                       progress: Optional[ProgressCallback]
+                       ) -> Optional[CampaignCheckpoint]:
+        """Prepare the campaign directory and preload checkpointed shards."""
+        if self._campaign_dir is None:
+            return None
+        checkpoint = CampaignCheckpoint(self._campaign_dir)
+        fingerprint = campaign_fingerprint(self._spec, self._config,
+                                           len(plan))
+        resuming = checkpoint.prepare(fingerprint, len(plan))
+        if resuming:
+            loaded = checkpoint.load(shard.index for shard in plan.shards)
+            if loaded:
+                results.update(loaded)
+                aggregator.preload(loaded)
+                metrics.counter("campaign.checkpoint_loads").inc(
+                    len(loaded))
+                if progress is not None:
+                    progress(f"[resume] {len(loaded)}/{len(plan)} shards "
+                             f"loaded from {checkpoint.directory}")
+        return checkpoint
+
+    def _backoff(self, pending: List[SweepShard], attempt: int,
+                 metrics) -> None:
+        """Exponential backoff with deterministic jitter before a retry
+        round; the delay is attributed to every shard in the round so
+        quarantine reports carry exact per-shard backoff totals."""
+        base = self._retry_backoff_s
+        if base <= 0:
+            return
+        jitter = 0.5 + uniform_hash01(self._backoff_seed,
+                                      ("retry-round", attempt))
+        delay = base * (2 ** (attempt - 1)) * jitter
+        metrics.histogram("sweep.retry_backoff_s").observe(delay)
+        for shard in pending:
+            self._backoff_totals[shard.index] = (
+                self._backoff_totals.get(shard.index, 0.0) + delay)
+        self._sleep(delay)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _serial_coverage(config: SweepConfig,
+                         dataset: CharacterizationDataset
+                         ) -> Dict[str, object]:
+        shards_total = (len(config.channels) * len(config.pseudo_channels)
+                        * len(config.banks) * len(config.regions))
+        rows = {record.row_key for record in dataset.ber_records}
+        rows.update(record.row_key for record in dataset.hcfirst_records)
+        return {
+            "shards": {"total": shards_total, "completed": shards_total,
+                       "quarantined": 0},
+            "rows": {"attempted": len(rows), "completed": len(rows),
+                     "quarantined": 0},
+            "complete": True,
+        }
+
+    @staticmethod
+    def _parallel_coverage(plan: ShardPlan,
+                           results: Dict[int, CharacterizationDataset]
+                           ) -> Dict[str, object]:
+        completed = [shard for shard in plan.shards
+                     if shard.index in results]
+        quarantined = [shard for shard in plan.shards
+                       if shard.index not in results]
+        rows_completed = 0
+        for shard in completed:
+            dataset = results[shard.index]
+            rows = {record.row_key for record in dataset.ber_records}
+            rows.update(record.row_key
+                        for record in dataset.hcfirst_records)
+            rows_completed += len(rows)
+        # A quarantined shard never reported which rows it sampled, so
+        # its loss is accounted at the planned sampling density.
+        rows_quarantined = sum(
+            min(shard.config.rows_per_region, shard.config.region_size)
+            for shard in quarantined)
+        return {
+            "shards": {"total": len(plan.shards),
+                       "completed": len(completed),
+                       "quarantined": len(quarantined)},
+            "rows": {"attempted": rows_completed + rows_quarantined,
+                     "completed": rows_completed,
+                     "quarantined": rows_quarantined},
+            "complete": not quarantined,
+        }
 
     # ------------------------------------------------------------------
     def _merge_spool(self, plan: ShardPlan,
@@ -469,7 +689,9 @@ class ParallelSweepRunner:
 
         Iterates in plan order, so the grafted shard subtrees appear in
         the merged trace exactly as the serial path would visit them,
-        and builds the per-shard telemetry block.
+        and builds the per-shard telemetry block.  Shards satisfied from
+        a checkpoint have no spool files and contribute no telemetry —
+        they did no work this run.
         """
         obs = ObsConfig(trace=tracer.enabled, metrics=metrics.enabled,
                         spool_dir=spool_dir)
@@ -544,42 +766,117 @@ class ParallelSweepRunner:
                   aggregator: _ProgressAggregator,
                   attempt: int) -> List[SweepShard]:
         config = self._config
+        metrics = get_metrics()
+        timeout = config.shard_timeout_s
         executor = ProcessPoolExecutor(max_workers=workers,
                                        mp_context=self._mp_context)
         failed: List[SweepShard] = []
-        timed_out = False
+        abandoned = False
+
+        def record_failure(shard: SweepShard, error: BaseException) -> None:
+            failures[shard.index] = error
+            failed.append(shard)
+            aggregator.failed(shard, error, attempt)
+
         try:
-            futures = [(shard,
-                        executor.submit(self._shard_runner, self._spec, shard))
-                       for shard in shards]
-            for shard, future in futures:
-                try:
-                    # Collected in submission order: a later shard's wait
-                    # includes earlier ones, so the timeout bounds the
-                    # pool, not each shard exactly — good enough to keep
-                    # one wedged worker from hanging the campaign.
-                    dataset = future.result(timeout=config.shard_timeout_s)
-                except Exception as error:
-                    failures[shard.index] = error
-                    failed.append(shard)
-                    if isinstance(error, FuturesTimeoutError):
-                        timed_out = True
-                        get_metrics().counter("sweep.shard_timeouts").inc()
-                    aggregator.failed(shard, error, attempt)
-                else:
-                    if shard.index not in results:
-                        results[shard.index] = dataset
-                    failures.pop(shard.index, None)
-                    aggregator.completed(shard, dataset, attempt)
+            live: Dict[int, Tuple[SweepShard, Future]] = {}
+            for shard in shards:
+                job = replace(shard, attempt=attempt)
+                live[shard.index] = (
+                    shard, executor.submit(self._shard_runner, self._spec,
+                                           job))
+            # Per-shard deadlines armed when the pool *dispatches* the
+            # work item (future.running()), not at submission — so a
+            # shard that sat in the queue behind slow siblings still
+            # gets its full timeout.  (The pool's call queue holds one
+            # item beyond the workers, so one queued shard's clock may
+            # start marginally early; the timeout is a hang guard, not
+            # a precision limit.)
+            deadlines: Dict[int, float] = {}
+            last_event = time.monotonic()
+            while live:
+                done, _ = futures_wait(
+                    [future for _, future in live.values()],
+                    timeout=(_POLL_S if timeout is not None else None),
+                    return_when=FIRST_COMPLETED)
+                now = time.monotonic()
+                if done:
+                    last_event = now
+                for index in [index for index, (_, future) in live.items()
+                              if future in done]:
+                    shard, future = live.pop(index)
+                    try:
+                        dataset = future.result()
+                    except Exception as error:
+                        record_failure(shard, error)
+                    else:
+                        self._accept(shard, dataset, results, failures,
+                                     aggregator, attempt, record_failure)
+                if timeout is None:
+                    continue
+                for index, (_, future) in live.items():
+                    if index not in deadlines and future.running():
+                        deadlines[index] = now + timeout
+                for index in [index for index in list(live)
+                              if deadlines.get(index, now + 1) <= now]:
+                    shard, future = live.pop(index)
+                    future.cancel()
+                    abandoned = True
+                    metrics.counter("sweep.shard_timeouts").inc()
+                    record_failure(shard, FuturesTimeoutError(
+                        f"shard {shard.describe()} exceeded "
+                        f"shard_timeout_s={timeout}"))
+                # Starvation: nothing is running and nothing has
+                # completed for a full timeout — every worker is wedged
+                # on an already-expired shard, so the queued shards will
+                # never start.  Fail them fast (category "starved") so
+                # the isolated retry rounds can run them on fresh pools
+                # instead of waiting out a timeout each.
+                if (live and now - last_event > timeout
+                        and not any(future.running()
+                                    for _, future in live.values())):
+                    abandoned = True
+                    for index in list(live):
+                        shard, future = live.pop(index)
+                        future.cancel()
+                        metrics.counter("sweep.shard_starved").inc()
+                        record_failure(shard, ShardFault(
+                            f"shard {shard.describe()} starved: pool has "
+                            f"no live workers left to run it",
+                            category="starved"))
         finally:
-            executor.shutdown(wait=not timed_out, cancel_futures=True)
+            executor.shutdown(wait=not abandoned, cancel_futures=True)
         return failed
+
+    def _accept(self, shard: SweepShard, dataset: CharacterizationDataset,
+                results: Dict[int, CharacterizationDataset],
+                failures: Dict[int, BaseException],
+                aggregator: _ProgressAggregator, attempt: int,
+                record_failure) -> None:
+        """Integrity-check and register one completed shard dataset."""
+        fingerprint = dataset.metadata.pop("integrity", None)
+        if (fingerprint is not None
+                and fingerprint != dataset.fingerprint()):
+            get_metrics().counter("sweep.shard_poisoned").inc()
+            record_failure(shard, ShardFault(
+                f"shard {shard.describe()} dataset failed its integrity "
+                f"check (readback poisoned in transit)",
+                category="poison"))
+            return
+        if shard.index not in results:
+            results[shard.index] = dataset
+            if self._checkpoint is not None:
+                self._checkpoint.write(shard.index, dataset)
+                get_metrics().counter("campaign.checkpoint_writes").inc()
+        failures.pop(shard.index, None)
+        aggregator.completed(shard, dataset, attempt)
 
 
 def run_sweep(config: SweepConfig, *, spec: Optional[BoardSpec] = None,
               board: Optional[BenderBoard] = None,
-              progress: Optional[ProgressCallback] = None
-              ) -> CharacterizationDataset:
+              progress: Optional[ProgressCallback] = None,
+              campaign_dir=None, max_retries: int = 1,
+              retry_backoff_s: float = 0.0) -> CharacterizationDataset:
     """Run a sweep serially or in parallel, per ``config.jobs``.
 
     Args:
@@ -591,14 +888,22 @@ def run_sweep(config: SweepConfig, *, spec: Optional[BoardSpec] = None,
             rebuild); ignored when ``jobs > 1``.
         progress: per-(bank, region) callback (serial) or per-shard
             completion callback (parallel).
+        campaign_dir: checkpoint/resume directory; setting it routes
+            even ``jobs=1`` runs through the (byte-identical) sharded
+            executor so their shards checkpoint too.
+        max_retries: extra attempts per failed shard (parallel path).
+        retry_backoff_s: base backoff before retry rounds (parallel).
     """
-    if config.jobs > 1:
+    if config.jobs > 1 or campaign_dir is not None:
         if spec is None:
             raise ExperimentError(
-                "a parallel sweep needs a BoardSpec so workers can "
-                "rebuild the station (jobs="
+                "a parallel or checkpointed sweep needs a BoardSpec so "
+                "workers can rebuild the station (jobs="
                 f"{config.jobs}, spec=None)")
-        return ParallelSweepRunner(spec, config).run(progress)
+        runner = ParallelSweepRunner(spec, config, max_retries=max_retries,
+                                     retry_backoff_s=retry_backoff_s,
+                                     campaign_dir=campaign_dir)
+        return runner.run(progress)
     if board is None:
         if spec is None:
             raise ExperimentError("run_sweep needs a board or a spec")

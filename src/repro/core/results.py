@@ -10,6 +10,7 @@ without re-running experiments.
 from __future__ import annotations
 
 import csv
+import hashlib
 import json
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -215,6 +216,25 @@ class CharacterizationDataset:
                      ["channel", "pseudo_channel", "bank", "row", "region",
                       "pattern", "repetition", "hc_first", "max_hammers",
                       "probes", "flips_at_max"])
+
+    # -- integrity --------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable digest of the dataset's records (metadata excluded).
+
+        The integrity handshake of the parallel executor: a shard
+        worker fingerprints its dataset before returning it and the
+        parent re-fingerprints after unpickling, so a readback poisoned
+        in flight is detected instead of merged.  Metadata is excluded
+        because the parent legitimately rewrites it (telemetry,
+        coverage); the measured records are what must survive the trip.
+        """
+        hasher = hashlib.blake2b(digest_size=16)
+        for record in self.ber_records:
+            hasher.update(repr(asdict(record)).encode())
+        hasher.update(b"|")
+        for record in self.hcfirst_records:
+            hasher.update(repr(asdict(record)).encode())
+        return hasher.hexdigest()
 
     @staticmethod
     def _to_csv(path: Union[str, Path], records: List[Record],

@@ -45,6 +45,8 @@ from repro.core.results import (
 from repro.core.wcdp import append_wcdp_records
 from repro.dram.address import DramAddress, RowAddressMapper
 from repro.errors import ExperimentError
+from repro.faults.plan import FaultPlan, FaultSpec, resolve_fault_spec
+from repro.faults.thermal import ThermalGuard
 from repro.obs import ObsConfig, get_metrics, get_tracer
 
 ProgressCallback = Callable[[str], None]
@@ -98,6 +100,9 @@ class SweepConfig:
     #: collect and where to spool it (None = nothing; the serial path
     #: ignores it and uses the process's current collectors instead).
     obs: Optional[ObsConfig] = None
+    #: Deterministic fault plan for resilience testing (None = consult
+    #: ``$REPRO_FAULTS``, see :meth:`repro.faults.FaultSpec.from_env`).
+    faults: Optional[FaultSpec] = None
     experiment: ExperimentConfig = field(default_factory=ExperimentConfig)
 
     def __post_init__(self) -> None:
@@ -176,6 +181,7 @@ class SpatialSweep:
                                   self._config.experiment)
         self._hcfirst = HcFirstSearch(board.host, self._mapper,
                                       self._config.experiment)
+        self._thermal_guard: Optional[ThermalGuard] = None
 
     @property
     def config(self) -> SweepConfig:
@@ -263,6 +269,13 @@ class SpatialSweep:
         if apply_interference_controls:
             with tracer.span("controls"):
                 apply_controls(self._board, config.experiment)
+        # The thermal guard is built *after* the controls settle the rig
+        # so it captures the calibrated operating point to snap back to.
+        fault_spec = resolve_fault_spec(config.faults)
+        self._thermal_guard = (
+            ThermalGuard(self._board, FaultPlan(fault_spec))
+            if fault_spec is not None and fault_spec.has_thermal_faults
+            else None)
         dataset = CharacterizationDataset(metadata=sweep_metadata(config))
         with tracer.span("sweep", channels=list(config.channels),
                          pseudo_channels=list(config.pseudo_channels),
@@ -274,6 +287,10 @@ class SpatialSweep:
                         self._sweep_bank(dataset, channel, pseudo_channel,
                                          bank, progress)
             measured_ber, measured_hcfirst = dataset.record_counts()
+            if self._thermal_guard is not None:
+                thermal = self._thermal_guard.metadata()
+                if thermal is not None:
+                    dataset.metadata["thermal"] = thermal
             if config.append_wcdp:
                 with tracer.span("wcdp"):
                     append_wcdp_records(dataset)
@@ -301,6 +318,10 @@ class SpatialSweep:
                 hcfirst_rows = ber_rows[:config.hcfirst_rows_per_region]
                 for row in ber_rows:
                     victim = DramAddress(channel, pseudo_channel, bank, row)
+                    guard = self._thermal_guard
+                    if guard is not None:
+                        guard.before_cell(channel, pseudo_channel, bank,
+                                          row)
                     with tracer.span("cell", row=row):
                         for repetition in range(config.repetitions):
                             if config.include_ber:
@@ -317,5 +338,7 @@ class SpatialSweep:
                                         self._hcfirst.record_patterns(
                                             victim, config.patterns,
                                             region, repetition))
+                    if guard is not None:
+                        guard.after_cell()
             if config.release_rows_between_regions:
                 device.bank(channel, pseudo_channel, bank).release_all_rows()

@@ -40,8 +40,40 @@ class AssemblyError(ProgramError):
     """Test-program assembly text could not be parsed."""
 
 
+class TransportFault(ReproError):
+    """A transient link-level failure (dropped or corrupted transfer).
+
+    Distinct from :class:`ConfigurationError`: a transport fault is an
+    infrastructure hiccup that a resilient caller may retry, not a bug
+    in the software stack.  Raised by the transport layer when an
+    uplinked program is lost or arrives unparseable board-side.
+    """
+
+
+class ShardFault(ReproError):
+    """An injected or detected fault in a sweep shard worker.
+
+    Carries a machine-readable ``category`` (``"error"``, ``"poison"``,
+    ...) so retry/quarantine accounting can classify the failure.
+    Picklable: crosses the process pool boundary intact.
+    """
+
+    def __init__(self, message: str, category: str = "error") -> None:
+        super().__init__(message, category)
+        self.message = message
+        self.category = category
+
+    def __str__(self) -> str:
+        return self.message
+
+
 class ExperimentError(ReproError):
     """An experiment could not be run as configured."""
+
+
+class CampaignStateError(ExperimentError):
+    """A campaign directory cannot be resumed (config mismatch, corrupt
+    manifest, or unreadable shard checkpoint)."""
 
 
 class ExperimentBudgetError(ExperimentError):

@@ -1,0 +1,53 @@
+"""Deterministic fault injection for campaign-resilience testing.
+
+The paper's methodology assumes trustworthy infrastructure: a PCIe
+link that faithfully round-trips programs, workers that finish their
+shards, and a PID loop that holds the chip inside a ±0.5 degC envelope
+(§3).  This package makes the opposite assumption testable: a seeded
+:class:`FaultSpec`/:class:`FaultPlan` (same seed ⇒ same fault
+schedule, via the :mod:`repro.rng` keyed-hash idiom) drives injectors
+for
+
+* the PCIe hop (:class:`~repro.faults.inject.FaultyTransport` —
+  corruption, drops, duplicates, stalls, poisoned readback),
+* sweep shard workers (:func:`~repro.faults.inject.injure_worker` —
+  crash, hang, error; :func:`~repro.faults.inject.poison_dataset`),
+* the thermal rig (:class:`~repro.faults.thermal.ThermalGuard` —
+  setpoint excursions past the envelope, with re-settle or flag
+  policies),
+
+and the resilience layer in :mod:`repro.bender.transport` and
+:mod:`repro.core.parallel` proves campaigns degrade gracefully under
+them.  Export a low-rate plan via ``$REPRO_FAULTS`` (see
+:meth:`FaultSpec.from_env`) to run any sweep — including the test
+suite — under chaos.
+"""
+
+from repro.faults.inject import (
+    FaultyTransport,
+    build_link,
+    injure_worker,
+    poison_dataset,
+)
+from repro.faults.plan import (
+    LINK_CATEGORIES,
+    SHARD_CATEGORIES,
+    FaultPlan,
+    FaultSpec,
+    resolve_fault_spec,
+)
+from repro.faults.thermal import ENVELOPE_C, ThermalGuard
+
+__all__ = [
+    "ENVELOPE_C",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyTransport",
+    "LINK_CATEGORIES",
+    "SHARD_CATEGORIES",
+    "ThermalGuard",
+    "build_link",
+    "injure_worker",
+    "poison_dataset",
+    "resolve_fault_spec",
+]

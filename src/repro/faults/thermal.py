@@ -1,0 +1,150 @@
+"""Thermal envelope guard: keep measurements inside the PID envelope.
+
+The paper holds the chip at 85 degC with a PID-controlled heating
+pad/fan rig; both RowHammer thresholds and retention times are
+temperature sensitive, so a measurement taken during an excursion past
+the control envelope (±0.5 degC around the setpoint) is suspect.  The
+:class:`ThermalGuard` wraps each cell measurement of a sweep:
+
+* it lets the fault plan inject an excursion (setpoint drift of
+  ``drift_c`` degC) keyed on the *physical cell coordinates*, so the
+  excursion schedule is identical under any sharding or resume point;
+* on an out-of-envelope rig it applies the configured policy —
+  ``"resettle"`` aborts the measurement attempt, re-runs the PID loop
+  to the target, and restores the calibrated operating point before
+  measuring (the measurement is effectively *re-run* inside the
+  envelope, so data is identical to a fault-free campaign), while
+  ``"flag"`` measures at the drifted temperature and tags the rows as
+  suspect;
+* every excursion is recorded as a machine-readable event for
+  ``dataset.metadata["thermal"]`` and counted in the ``thermal.*``
+  metrics.
+
+Events deliberately contain only schedule-deterministic values (cell
+coordinates, the spec's drift, the action taken) — never transient
+plant state — so serial, parallel, and resumed campaigns produce
+byte-identical metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.faults.plan import FaultPlan
+from repro.obs import get_metrics
+
+__all__ = ["ThermalGuard", "ENVELOPE_C"]
+
+#: The paper's control envelope around the setpoint (§3.1), degC.
+ENVELOPE_C = 0.5
+
+
+class ThermalGuard:
+    """Per-cell envelope enforcement around a board's thermal rig."""
+
+    def __init__(self, board, plan: FaultPlan,
+                 envelope_c: float = ENVELOPE_C) -> None:
+        """
+        Args:
+            board: the testing station (needs ``.thermal`` and
+                ``.device``).
+            plan: the fault plan driving injected excursions.
+            envelope_c: allowed deviation from the setpoint, degC.
+        """
+        self._board = board
+        self._plan = plan
+        self.envelope_c = envelope_c
+        self.policy = plan.spec.thermal_policy
+        #: The calibrated chip temperature measurements should see —
+        #: captured at guard construction (station already settled).
+        self._operating_point_c = board.device.temperature_c
+        self._flagged = False
+        self.events: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------
+    def before_cell(self, channel: int, pseudo_channel: int, bank: int,
+                    row: int) -> Optional[Dict[str, object]]:
+        """Guard one cell measurement; returns the excursion event, if any.
+
+        Must be paired with :meth:`after_cell` once the cell's
+        measurements are done (restores the operating point after a
+        flagged measurement).
+        """
+        drift = self._plan.thermal_excursion(channel, pseudo_channel,
+                                             bank, row)
+        thermal = self._board.thermal
+        if drift is None:
+            if not thermal.in_envelope(self.envelope_c):
+                # Defensive: an un-injected violation (e.g. accumulated
+                # sub-envelope drifts).  Correct it silently — recorded
+                # events stay purely plan-determined, so the excursion
+                # schedule is identical under any sharding.
+                self._restore()
+            return None
+        thermal.inject_disturbance(drift)
+        metrics = get_metrics()
+        metrics.counter("thermal.excursions").inc()
+        event: Dict[str, object] = {
+            "channel": channel, "pseudo_channel": pseudo_channel,
+            "bank": bank, "row": row, "drift_c": drift,
+        }
+        if self.policy == "flag":
+            # Measure at the drifted temperature; the rows are tagged
+            # as suspect and the rig is restored after the cell.
+            self._board.device.set_temperature(
+                thermal.plant.temperature_c)
+            self._flagged = True
+            event["action"] = "flagged"
+        else:
+            # Abort-and-re-run: bring the rig back inside the envelope
+            # and restore the calibrated operating point, then measure.
+            self._restore()
+            event["action"] = "resettled"
+        self.events.append(event)
+        return event
+
+    def after_cell(self) -> None:
+        """Restore the operating point after a flagged measurement."""
+        if not self._flagged:
+            return
+        self._flagged = False
+        self._restore()
+
+    def _restore(self) -> None:
+        """Re-settle the rig and snap the chip to the operating point.
+
+        The snap-back makes recovery *exact*: the PID endpoint depends
+        on the plant's excursion history, but the chip temperature the
+        next measurement sees is always the calibrated operating point,
+        which is what keeps fault-injected campaigns byte-identical to
+        fault-free ones under the re-settle policy.
+        """
+        self._board.thermal.resettle()
+        self._board.device.set_temperature(self._operating_point_c)
+        get_metrics().counter("thermal.resettles").inc()
+
+    # ------------------------------------------------------------------
+    def metadata(self) -> Optional[Dict[str, object]]:
+        """The ``dataset.metadata["thermal"]`` block (None if clean)."""
+        if not self.events:
+            return None
+        return {
+            "envelope_c": self.envelope_c,
+            "policy": self.policy,
+            "excursions": list(self.events),
+        }
+
+    @staticmethod
+    def merge_metadata(parts) -> Optional[Dict[str, object]]:
+        """Combine per-shard thermal blocks, preserving part order."""
+        merged: Optional[Dict[str, object]] = None
+        for part in parts:
+            block = part.metadata.get("thermal") if part is not None \
+                else None
+            if not block:
+                continue
+            if merged is None:
+                merged = {"envelope_c": block["envelope_c"],
+                          "policy": block["policy"], "excursions": []}
+            merged["excursions"].extend(block["excursions"])
+        return merged

@@ -85,6 +85,17 @@ class TestAccounting:
         with pytest.raises(ConfigurationError):
             PcieTransport(device, bandwidth_bytes_per_s=0)
 
+    def test_readback_rounds_partial_bytes_up(self):
+        """A row read whose bit count is not byte-aligned still occupies
+        whole bytes on the wire: 13 bits bill as 2 bytes, not 1."""
+        from repro.bender.interpreter import ExecutionResult
+
+        transport = PcieTransport(make_vulnerable_device(seed=4))
+        result = ExecutionResult(column_reads=[b"\x00" * 3],
+                                 row_reads=[np.zeros(13, dtype=np.uint8)])
+        assert transport._readback_bytes(result) == \
+            3 + 2 + PcieTransport.TRANSFER_OVERHEAD_BYTES
+
 
 class TestCorruptionCheck:
     def test_wire_corruption_detected(self, monkeypatch):

@@ -5,6 +5,7 @@ pool can pickle them by reference.
 """
 
 import os
+import uuid
 from dataclasses import replace
 from pathlib import Path
 
@@ -15,9 +16,10 @@ from repro.core import parallel
 from repro.core.experiment import ExperimentConfig
 from repro.core.parallel import ParallelSweepRunner, ShardPlan, run_sweep
 from repro.core.patterns import ROWSTRIPE0, ROWSTRIPE1
-from repro.core.results import REGION_MIDDLE, REGIONS
+from repro.core.results import REGION_FIRST, REGION_MIDDLE, REGIONS
 from repro.core.sweeps import SpatialSweep, SweepConfig
-from repro.errors import ExperimentError
+from repro.errors import CampaignStateError, ExperimentError
+from repro.faults.plan import FaultSpec
 from repro.obs import MetricsRegistry, Tracer, use_metrics, use_tracer
 from tests.conftest import SMALL_GEOMETRY, vulnerable_profile
 
@@ -74,6 +76,15 @@ def _break_inside_run_shard(spec, shard):
     the failure carries the worker's wall time and metric snapshot."""
     if shard.channel == 1 and shard.region == REGION_MIDDLE:
         spec = replace(spec, wordline_voltage_v=-5.0)  # fails at build()
+    return parallel.run_shard(spec, shard)
+
+
+def _counting_run_shard(spec, shard):
+    """Delegate to run_shard, recording every (shard, attempt) execution
+    on disk so tests can prove checkpointed shards are not re-run."""
+    flag_dir = Path(os.environ["REPRO_TEST_FLAG_DIR"])
+    name = f"ran-{shard.index:05d}-{shard.attempt}-{uuid.uuid4().hex}"
+    (flag_dir / name).write_text("")
     return parallel.run_shard(spec, shard)
 
 
@@ -364,3 +375,236 @@ class TestObservability:
         assert aggregator.records_done == 4
         assert len(messages) == 2
         assert all("[1/2 shards" in message for message in messages)
+
+
+def _archive_bytes(dataset, path):
+    dataset.to_json(path)
+    return path.read_bytes()
+
+
+class TestInjectedFaultRecovery:
+    """Campaigns under seeded fault plans.  The seeds were chosen (by
+    searching the deterministic schedules) so that specific shards of
+    the lean topology are injured on attempt 0 and draw clean on retry;
+    the assertions pin the exact counts, so a schedule change surfaces
+    as a loud failure rather than a silently weaker test."""
+
+    def test_transient_shard_errors_recovered_with_full_coverage(
+            self, tmp_path):
+        spec = small_spec()
+        # An explicit empty spec suppresses any $REPRO_FAULTS plan, so
+        # the baseline stays clean even under the CI chaos job.
+        clean = ParallelSweepRunner(
+            spec, lean_config(jobs=2, faults=FaultSpec())).run()
+        faults = FaultSpec(seed=0, shard_error=0.15)  # 2 shards injured
+        runner = ParallelSweepRunner(
+            spec, lean_config(jobs=2, faults=faults))
+        metrics = MetricsRegistry()
+        with use_metrics(metrics):
+            dataset = runner.run()
+
+        assert runner.errors == ()
+        assert runner.coverage["complete"] is True
+        counters = metrics.snapshot()["counters"]
+        assert counters["sweep.shard_retries"] == 2
+        assert _archive_bytes(dataset, tmp_path / "faulty.json") == \
+            _archive_bytes(clean, tmp_path / "clean.json")
+
+    def test_hang_detected_by_dispatch_timeout_and_retried(self, tmp_path):
+        spec = small_spec()
+        faults = FaultSpec(seed=5, shard_hang=0.12, hang_s=6.0)  # 1 hangs
+        config = lean_config(jobs=2, shard_timeout_s=2.0, faults=faults)
+        runner = ParallelSweepRunner(spec, config)
+        metrics = MetricsRegistry()
+        with use_metrics(metrics):
+            dataset = runner.run()
+
+        assert runner.errors == ()
+        counters = metrics.snapshot()["counters"]
+        # Exactly the hung shard timed out — healthy shards that merely
+        # queued behind it must not be misread as hangs.
+        assert counters["sweep.shard_timeouts"] == 1
+        assert counters["sweep.shard_retries"] == 1
+        clean = ParallelSweepRunner(
+            spec, lean_config(jobs=2, faults=FaultSpec())).run()
+        assert _archive_bytes(dataset, tmp_path / "faulty.json") == \
+            _archive_bytes(clean, tmp_path / "clean.json")
+
+    def test_poisoned_readback_detected_and_retried(self, tmp_path):
+        spec = small_spec()
+        faults = FaultSpec(seed=8, shard_poison=0.15)  # 1 shard poisoned
+        runner = ParallelSweepRunner(
+            spec, lean_config(jobs=2, faults=faults))
+        metrics = MetricsRegistry()
+        with use_metrics(metrics):
+            dataset = runner.run()
+
+        assert runner.errors == ()
+        counters = metrics.snapshot()["counters"]
+        assert counters["sweep.shard_poisoned"] == 1
+        assert counters["sweep.shard_retries"] == 1
+        clean = ParallelSweepRunner(
+            spec, lean_config(jobs=2, faults=FaultSpec())).run()
+        assert _archive_bytes(dataset, tmp_path / "faulty.json") == \
+            _archive_bytes(clean, tmp_path / "clean.json")
+
+    def test_exhausted_retries_quarantine_with_exact_coverage(self):
+        spec = small_spec()
+        faults = FaultSpec(seed=8, shard_poison=0.15)
+        runner = ParallelSweepRunner(
+            spec, lean_config(jobs=2, faults=faults), max_retries=0)
+        dataset = runner.run()
+
+        assert len(runner.errors) == 1
+        error = runner.errors[0]
+        assert (error.channel, error.region) == (1, REGION_FIRST)
+        assert error.fault_category == "poison"
+        assert error.attempts == 1
+        archived = error.as_dict()
+        assert archived["fault_category"] == "poison"
+        assert archived["backoff_s"] == 0.0
+
+        expected_coverage = {
+            "shards": {"total": 6, "completed": 5, "quarantined": 1},
+            "rows": {"attempted": 12, "completed": 10, "quarantined": 2},
+            "complete": False,
+        }
+        assert runner.coverage == expected_coverage
+        assert dataset.metadata["coverage"] == expected_coverage
+        assert dataset.metadata["shard_errors"] == [archived]
+
+
+class TestRetryBackoff:
+    @staticmethod
+    def _run_with_backoff(delays):
+        runner = ParallelSweepRunner(
+            small_spec(), lean_config(jobs=2),
+            shard_runner=_fail_middle_of_ch1, max_retries=2,
+            retry_backoff_s=0.01)
+        runner._sleep = delays.append  # spy: no real sleeping in tests
+        runner.run()
+        return runner
+
+    def test_backoff_metadata_is_exact_and_deterministic(self):
+        first_delays, second_delays = [], []
+        first = self._run_with_backoff(first_delays)
+        second = self._run_with_backoff(second_delays)
+
+        assert first_delays == second_delays
+        assert len(first_delays) == 2  # one backoff before each retry
+        for attempt, delay in enumerate(first_delays, start=1):
+            base = 0.01 * 2 ** (attempt - 1)
+            assert 0.5 * base <= delay < 1.5 * base
+
+        assert len(first.errors) == len(second.errors) == 1
+        error = first.errors[0]
+        assert error.attempts == 3
+        assert error.fault_category == "exception"
+        assert error.backoff_s == round(sum(first_delays), 9)
+        assert error.as_dict()["backoff_s"] == error.backoff_s
+
+
+class TestCheckpointResume:
+    def test_killed_campaign_resumes_byte_identical(self, tmp_path,
+                                                    monkeypatch):
+        flag_dir = tmp_path / "flags"
+        flag_dir.mkdir()
+        monkeypatch.setenv("REPRO_TEST_FLAG_DIR", str(flag_dir))
+        spec = small_spec()
+        # Explicitly fault-free: an env-injected transient fault would
+        # add retry attempts and skew the exact execution counts below.
+        config = lean_config(jobs=2, faults=FaultSpec())
+        baseline = _archive_bytes(
+            ParallelSweepRunner(spec, config).run(),
+            tmp_path / "baseline.json")
+
+        campaign = tmp_path / "campaign"
+        ParallelSweepRunner(spec, config,
+                            shard_runner=_counting_run_shard,
+                            campaign_dir=campaign).run()
+        assert len(list(flag_dir.iterdir())) == 6
+        # Simulate a parent killed mid-run: half the checkpoints exist.
+        for index in (1, 3, 5):
+            (campaign / f"shard_{index:05d}.json").unlink()
+
+        metrics = MetricsRegistry()
+        messages = []
+        resumed = ParallelSweepRunner(spec, config,
+                                      shard_runner=_counting_run_shard,
+                                      campaign_dir=campaign)
+        with use_metrics(metrics):
+            dataset = resumed.run(progress=messages.append)
+
+        counters = metrics.snapshot()["counters"]
+        assert counters["campaign.checkpoint_loads"] == 3
+        assert counters["campaign.checkpoint_writes"] == 3
+        assert messages[0].startswith("[resume] 3/6 shards loaded")
+        # Only the lost shards re-ran; checkpointed ones were not.
+        executions = {}
+        for flag in flag_dir.iterdir():
+            index = int(flag.name.split("-")[1])
+            executions[index] = executions.get(index, 0) + 1
+        assert executions == {0: 1, 1: 2, 2: 1, 3: 2, 4: 1, 5: 2}
+
+        assert resumed.coverage["complete"] is True
+        assert _archive_bytes(dataset,
+                              tmp_path / "resumed.json") == baseline
+
+    def test_resume_ignores_execution_only_config_changes(self, tmp_path):
+        """jobs / obs / timeouts are normalized out of the campaign
+        fingerprint: resuming at a different worker count is supported
+        and still byte-identical."""
+        spec = small_spec()
+        campaign = tmp_path / "campaign"
+        base = ParallelSweepRunner(spec, lean_config(jobs=2),
+                                   campaign_dir=campaign).run()
+        resumed = ParallelSweepRunner(
+            spec, lean_config(jobs=1, shard_timeout_s=30.0),
+            campaign_dir=campaign).run()
+        assert _archive_bytes(resumed, tmp_path / "resumed.json") == \
+            _archive_bytes(base, tmp_path / "base.json")
+
+    def test_resume_against_different_experiment_refused(self, tmp_path):
+        spec = small_spec()
+        campaign = tmp_path / "campaign"
+        ParallelSweepRunner(spec, lean_config(jobs=2),
+                            campaign_dir=campaign).run()
+        other = ParallelSweepRunner(spec,
+                                    lean_config(jobs=2, rows_per_region=3),
+                                    campaign_dir=campaign)
+        with pytest.raises(CampaignStateError):
+            other.run()
+
+
+class TestThermalGuardIntegration:
+    def test_resettled_excursions_tagged_and_byte_identical(self, tmp_path):
+        spec = small_spec()
+        faults = FaultSpec(seed=1, thermal_drift=0.3)
+        serial = SpatialSweep(spec.build(),
+                              lean_config(faults=faults)).run()
+        events = serial.metadata["thermal"]["excursions"]
+        assert events
+        assert all(event["action"] == "resettled" for event in events)
+        # Re-settled measurements run inside the envelope: the measured
+        # records match a fault-free campaign exactly.
+        clean = SpatialSweep(spec.build(),
+                             lean_config(faults=FaultSpec())).run()
+        assert serial.ber_records == clean.ber_records
+
+        runner = ParallelSweepRunner(
+            spec, lean_config(jobs=2, faults=faults))
+        merged = runner.run()
+        assert _archive_bytes(merged, tmp_path / "parallel.json") == \
+            _archive_bytes(serial, tmp_path / "serial.json")
+
+    def test_flag_policy_tags_suspect_measurements(self):
+        spec = small_spec()
+        faults = FaultSpec(seed=1, thermal_drift=0.3,
+                           thermal_policy="flag")
+        dataset = SpatialSweep(spec.build(),
+                               lean_config(faults=faults)).run()
+        block = dataset.metadata["thermal"]
+        assert block["policy"] == "flag"
+        assert block["excursions"]
+        assert all(event["action"] == "flagged"
+                   for event in block["excursions"])

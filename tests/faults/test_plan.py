@@ -1,0 +1,190 @@
+"""Tests for repro.faults.plan — specs, parsing, and fault schedules."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import (
+    ENV_VAR,
+    FaultPlan,
+    FaultSpec,
+    resolve_fault_spec,
+)
+
+
+class TestFaultSpec:
+    def test_default_spec_injects_nothing(self):
+        spec = FaultSpec()
+        assert not spec.any_faults
+        assert not spec.has_link_faults
+        assert not spec.has_shard_faults
+        assert not spec.has_thermal_faults
+
+    def test_category_summaries(self):
+        assert FaultSpec(link_stall=0.1).has_link_faults
+        assert FaultSpec(shard_poison=0.1).has_shard_faults
+        assert FaultSpec(thermal_drift=0.1).has_thermal_faults
+        assert FaultSpec(link_poison=0.01).any_faults
+
+    def test_rates_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(link_corrupt=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(shard_error=-0.1)
+
+    def test_magnitudes_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(stall_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(hang_s=0.0)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(thermal_policy="panic")
+
+    def test_parse_assignment_list(self):
+        spec = FaultSpec.parse(
+            "seed=7, link_corrupt=0.01, shard_error=0.02, "
+            "thermal_policy=flag")
+        assert spec.seed == 7
+        assert spec.link_corrupt == 0.01
+        assert spec.shard_error == 0.02
+        assert spec.thermal_policy == "flag"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec.parse("link_corrupt")
+        with pytest.raises(ConfigurationError):
+            FaultSpec.parse("no_such_field=1")
+
+    def test_parse_json_file(self, tmp_path):
+        path = tmp_path / "faults.json"
+        path.write_text(json.dumps({"seed": 3, "link_drop": 0.05}))
+        for text in (str(path), f"@{path}"):
+            spec = FaultSpec.parse(text)
+            assert spec.seed == 3
+            assert spec.link_drop == 0.05
+
+    def test_parse_unreadable_file(self, tmp_path):
+        path = tmp_path / "faults.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            FaultSpec.parse(f"@{path}")
+
+    def test_describe_round_trips_nonzero_rates(self):
+        spec = FaultSpec(seed=9, link_stall=0.25, shard_hang=0.125)
+        assert FaultSpec.parse(spec.describe()) == FaultSpec(
+            seed=9, link_stall=0.25, shard_hang=0.125)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert FaultSpec.from_env() is None
+        monkeypatch.setenv(ENV_VAR, "seed=2,shard_error=0.01")
+        assert FaultSpec.from_env() == FaultSpec(seed=2, shard_error=0.01)
+
+
+class TestResolveFaultSpec:
+    def test_explicit_spec_wins(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "seed=2,shard_error=0.5")
+        explicit = FaultSpec(seed=1, link_corrupt=0.1)
+        assert resolve_fault_spec(explicit) is explicit
+
+    def test_empty_explicit_spec_resolves_to_none(self, monkeypatch):
+        # A default spec injects nothing, so there is no plan to run —
+        # even when the environment would otherwise supply one (the
+        # explicit spec is still an explicit choice).
+        monkeypatch.setenv(ENV_VAR, "seed=2,shard_error=0.5")
+        assert resolve_fault_spec(FaultSpec()) is None
+
+    def test_falls_back_to_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "seed=4,thermal_drift=0.1")
+        assert resolve_fault_spec(None) == FaultSpec(seed=4,
+                                                     thermal_drift=0.1)
+        monkeypatch.delenv(ENV_VAR)
+        assert resolve_fault_spec(None) is None
+
+
+def _link_schedule(plan, transfers=200):
+    return [(plan.link_fault(index), plan.link_effects(index),
+             plan.readback_poisoned(index)) for index in range(transfers)]
+
+
+def _shard_schedule(plan, attempts=4):
+    return [(plan.shard_fault(ch, 0, bank, region, attempt),
+             plan.shard_poisoned(ch, 0, bank, region, attempt))
+            for ch in (0, 1) for bank in (0, 1)
+            for region in ("first", "middle", "last")
+            for attempt in range(attempts)]
+
+
+def _thermal_schedule(plan, rows=64):
+    return [plan.thermal_excursion(0, 0, 0, row) for row in range(rows)]
+
+
+BUSY_SPEC = FaultSpec(seed=11, link_corrupt=0.05, link_drop=0.05,
+                      link_duplicate=0.05, link_stall=0.05,
+                      link_poison=0.05, shard_crash=0.1, shard_hang=0.1,
+                      shard_error=0.1, shard_poison=0.1,
+                      thermal_drift=0.15)
+
+
+class TestFaultPlanDeterminism:
+    def test_same_seed_same_schedule(self):
+        one, two = FaultPlan(BUSY_SPEC), FaultPlan(BUSY_SPEC)
+        assert _link_schedule(one) == _link_schedule(two)
+        assert _shard_schedule(one) == _shard_schedule(two)
+        assert _thermal_schedule(one) == _thermal_schedule(two)
+
+    def test_different_seed_different_schedule(self):
+        one = FaultPlan(BUSY_SPEC)
+        two = FaultPlan(BUSY_SPEC.with_overrides(seed=12))
+        assert _link_schedule(one) != _link_schedule(two)
+        assert _shard_schedule(one) != _shard_schedule(two)
+        assert _thermal_schedule(one) != _thermal_schedule(two)
+
+    def test_schedule_actually_fires(self):
+        """The busy spec's rates are high enough that every category
+        fires somewhere in the sampled window (a schedule of Nones
+        would make the determinism assertions vacuous)."""
+        plan = FaultPlan(BUSY_SPEC)
+        faults = {fault for fault, _, _ in _link_schedule(plan)}
+        assert {"drop", "corrupt"} <= faults
+        assert any(effects for _, effects, _ in _link_schedule(plan))
+        assert any(poisoned for _, _, poisoned in _link_schedule(plan))
+        assert any(fault for fault, _ in _shard_schedule(plan))
+        assert any(poisoned for _, poisoned in _shard_schedule(plan))
+        assert any(drift for drift in _thermal_schedule(plan))
+
+    def test_shard_faults_are_transient_across_attempts(self):
+        """The attempt number is part of the draw key, so an injured
+        shard redraws its fate on retry instead of failing forever."""
+        plan = FaultPlan(FaultSpec(seed=0, shard_error=0.3))
+        fates = {}
+        for ch in range(4):
+            for bank in range(4):
+                fates[(ch, bank)] = [
+                    plan.shard_fault(ch, 0, bank, "middle", attempt)
+                    for attempt in range(4)]
+        injured = {key: fate for key, fate in fates.items()
+                   if fate[0] is not None}
+        assert injured, "no shard injured at attempt 0 — rate too low"
+        assert any(fate[1] is None for fate in injured.values()), \
+            "every injured shard stayed injured on retry"
+
+    def test_thermal_schedule_keys_on_physical_cell(self):
+        """Identical under any sharding: the draw depends only on the
+        cell coordinates, never on shard or attempt structure."""
+        plan = FaultPlan(FaultSpec(seed=1, thermal_drift=0.3))
+        drifted = [row for row in range(128)
+                   if plan.thermal_excursion(0, 0, 0, row) is not None]
+        assert drifted
+        for row in drifted:
+            assert plan.thermal_excursion(0, 0, 0, row) == \
+                plan.spec.drift_c
+
+    def test_jitter_is_deterministic_uniform(self):
+        plan = FaultPlan(FaultSpec(seed=5))
+        draws = [plan.jitter("retry", index) for index in range(32)]
+        assert draws == [plan.jitter("retry", index)
+                         for index in range(32)]
+        assert all(0.0 <= draw < 1.0 for draw in draws)
+        assert len(set(draws)) > 1

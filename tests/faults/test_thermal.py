@@ -1,0 +1,109 @@
+"""Tests for repro.faults.thermal — the PID-envelope guard."""
+
+from repro.bender.board import BenderBoard
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.thermal import ENVELOPE_C, ThermalGuard
+from tests.conftest import make_vulnerable_device
+
+
+def make_guard(spec, seed=3):
+    device = make_vulnerable_device(seed=seed)
+    board = BenderBoard(device)
+    board.set_target_temperature(85.0)
+    return board, ThermalGuard(board, FaultPlan(spec))
+
+
+def drifted_rows(plan, rows=128):
+    return [row for row in range(rows)
+            if plan.thermal_excursion(0, 0, 0, row) is not None]
+
+
+RESETTLE = FaultSpec(seed=1, thermal_drift=0.3)
+FLAG = FaultSpec(seed=1, thermal_drift=0.3, thermal_policy="flag")
+
+
+class TestExcursionSchedule:
+    def test_guard_fires_exactly_on_the_plan_schedule(self):
+        board, guard = make_guard(RESETTLE)
+        plan = FaultPlan(RESETTLE)
+        expected = drifted_rows(plan)
+        assert expected, "rate too low — no excursion in the window"
+        for row in range(128):
+            event = guard.before_cell(0, 0, 0, row)
+            guard.after_cell()
+            assert (event is not None) == (row in expected)
+        assert [event["row"] for event in guard.events] == expected
+
+    def test_events_carry_only_plan_determined_values(self):
+        """No transient plant state in the events: serial, parallel, and
+        resumed campaigns must produce byte-identical metadata."""
+        __, guard = make_guard(RESETTLE)
+        row = drifted_rows(FaultPlan(RESETTLE))[0]
+        event = guard.before_cell(0, 0, 0, row)
+        guard.after_cell()
+        assert event == {"channel": 0, "pseudo_channel": 0, "bank": 0,
+                         "row": row, "drift_c": RESETTLE.drift_c,
+                         "action": "resettled"}
+
+
+class TestResettlePolicy:
+    def test_excursion_recovered_before_measurement(self):
+        """The re-settle policy restores the calibrated operating point
+        *exactly*, so the measurement runs as if no fault fired."""
+        board, guard = make_guard(RESETTLE)
+        operating_point = board.device.temperature_c
+        row = drifted_rows(FaultPlan(RESETTLE))[0]
+        event = guard.before_cell(0, 0, 0, row)
+        assert event["action"] == "resettled"
+        assert board.device.temperature_c == operating_point
+        assert board.thermal.in_envelope(ENVELOPE_C)
+
+
+class TestFlagPolicy:
+    def test_measurement_tagged_and_rig_restored_after_cell(self):
+        board, guard = make_guard(FLAG)
+        operating_point = board.device.temperature_c
+        row = drifted_rows(FaultPlan(FLAG))[0]
+        event = guard.before_cell(0, 0, 0, row)
+        assert event["action"] == "flagged"
+        # The measurement sees the drifted chip ...
+        assert abs(board.device.temperature_c - operating_point) > \
+            ENVELOPE_C
+        # ... and the rig comes back once the cell is done.
+        guard.after_cell()
+        assert board.device.temperature_c == operating_point
+        assert board.thermal.in_envelope(ENVELOPE_C)
+
+
+class TestMetadata:
+    def test_clean_guard_reports_none(self):
+        __, guard = make_guard(FaultSpec(seed=1, thermal_drift=0.001))
+        guard.before_cell(0, 0, 0, 0)
+        guard.after_cell()
+        assert guard.metadata() is None
+
+    def test_metadata_block_shape(self):
+        __, guard = make_guard(RESETTLE)
+        for row in drifted_rows(FaultPlan(RESETTLE))[:2]:
+            guard.before_cell(0, 0, 0, row)
+            guard.after_cell()
+        block = guard.metadata()
+        assert block["envelope_c"] == ENVELOPE_C
+        assert block["policy"] == "resettle"
+        assert len(block["excursions"]) == 2
+
+    def test_merge_preserves_part_order_and_skips_clean_parts(self):
+        class Part:
+            def __init__(self, thermal):
+                self.metadata = {}
+                if thermal is not None:
+                    self.metadata["thermal"] = thermal
+
+        def block(*rows):
+            return {"envelope_c": ENVELOPE_C, "policy": "resettle",
+                    "excursions": [{"row": row} for row in rows]}
+
+        merged = ThermalGuard.merge_metadata(
+            [Part(block(5)), None, Part(None), Part(block(1, 9))])
+        assert merged == block(5, 1, 9)
+        assert ThermalGuard.merge_metadata([Part(None), None]) is None

@@ -263,7 +263,13 @@ def main() -> None:
         "`repro.core.parallel`) every number below is identical at any",
         "job count — shards split by (channel, pseudo channel, bank,",
         "region), workers rebuild the same deterministic chip from its",
-        "`BoardSpec`, and datasets merge back in serial order.",
+        "`BoardSpec`, and datasets merge back in serial order.  The",
+        "campaign ran under a fault-free plan; by the resilience",
+        "contract (README \"Fault injection & resilience\",",
+        "`repro.faults`) every number is also unchanged under any",
+        "recoverable fault plan — injected link/worker/thermal faults",
+        "are retried, re-requested, or re-settled back to a",
+        "byte-identical dataset.",
         "",
         "## Campaign telemetry",
         "",
