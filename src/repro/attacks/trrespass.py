@@ -30,6 +30,7 @@ from repro.core.patterns import DataPattern, ROWSTRIPE0
 from repro.core.rowdata import byte_fill_bits, count_flips
 from repro.dram.address import DramAddress, RowAddressMapper
 from repro.errors import ExperimentError
+from repro.verify.program import VerifyContext, assert_verified
 
 
 @dataclass(frozen=True)
@@ -53,7 +54,7 @@ class TrrBypassAttack:
 
     def __init__(self, host: HostInterface, mapper: RowAddressMapper,
                  pattern: DataPattern = ROWSTRIPE0,
-                 decoy_distance: int = 512) -> None:
+                 decoy_distance: int = 512, verify: bool = True) -> None:
         """
         Args:
             decoy_distance: physical rows between the victim and the
@@ -67,6 +68,7 @@ class TrrBypassAttack:
         self._mapper = mapper
         self._pattern = pattern
         self._decoy_distance = decoy_distance
+        self._verify = verify
 
     def run(self, victim: DramAddress, hammer_count: int,
             use_decoy: bool) -> BypassOutcome:
@@ -118,7 +120,22 @@ class TrrBypassAttack:
             builder.ref(victim.channel, victim.pseudo_channel)
         if remainder:
             emit_burst(remainder)
-        execution = host.run(builder.build())
+        program = builder.build()
+        if self._verify:
+            expected = {(victim.channel, victim.pseudo_channel,
+                         victim.bank, row): hammer_count
+                        for row in aggressors}
+            if use_decoy:
+                expected[(victim.channel, victim.pseudo_channel,
+                          victim.bank, decoy_logical)] = bursts
+            # Deliberately NOT assume_trr_escaped: the attack runs with
+            # TRR live and either loses to it (naive) or decoys it.
+            assert_verified(
+                program,
+                VerifyContext(timing=timing, expected_hammers=expected,
+                              columns=device.geometry.columns),
+                what=f"TRR bypass program for {victim}")
+        execution = host.run(program)
 
         read_bits = host.read_row(victim)
         expected = byte_fill_bits(self._pattern.victim_byte,

@@ -31,7 +31,9 @@ from repro.bender.program import Program
 from repro.errors import AssemblyError
 
 _REPEAT_RE = re.compile(r"^0[xX]([0-9a-fA-F]{2})\*(\d+)$")
-_HEX_RE = re.compile(r"^0[xX]([0-9a-fA-F]+)$")
+# Zero digits allowed: WR/WRROW with empty payloads disassemble to a
+# bare "0x", which must round-trip back to b"".
+_HEX_RE = re.compile(r"^0[xX]([0-9a-fA-F]*)$")
 
 
 def _parse_data(token: str) -> bytes:

@@ -126,9 +126,35 @@ class ProgramBuilder:
             self._emit(isa.Loop(loop_count, tuple(body)))
 
     # -- finalization -------------------------------------------------------
-    def build(self) -> Program:
+    def build(self, verify: bool = True) -> Program:
+        """Finalize the program.
+
+        With ``verify`` (the default) the instruction stream passes the
+        timing-free protocol check from :mod:`repro.verify.program`
+        (bank open/close discipline: no ACT on an open bank, no RD/WR
+        against a closed row, no REF with a bank open); a violation
+        raises :class:`~repro.errors.VerificationError`.  Timing-aware
+        verification is a separate, explicit step
+        (:func:`repro.verify.verify_program`) because it needs context —
+        timing parameters, declared hammer counts — the builder does
+        not have.
+        """
         if len(self._stack) != 1:
             raise ProgramError(
                 f"unbalanced loop nesting: {len(self._stack) - 1} loop(s) "
                 "still open")
-        return Program(tuple(self._stack[0]))
+        program = Program(tuple(self._stack[0]))
+        if verify:
+            # Imported lazily: repro.verify.program imports this module.
+            from repro.verify.program import verify_protocol
+
+            report = verify_protocol(program)
+            if report.violations:
+                from repro.errors import VerificationError
+
+                raise VerificationError(
+                    "program violates DRAM protocol: "
+                    + "; ".join(diagnostic.render()
+                                for diagnostic in report.violations[:3]),
+                    diagnostics=report.violations)
+        return program

@@ -241,6 +241,57 @@ def cmd_obs_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_report(report, output_format: str) -> int:
+    """Render a verification report; returns the 0/1/2 exit code."""
+    if output_format == "json":
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return report.exit_code
+
+
+def cmd_lint_program(args: argparse.Namespace) -> int:
+    from repro.bender.assembler import assemble
+    from repro.dram.timing import TimingParameters
+    from repro.verify import (
+        VerifyContext,
+        count_activations,
+        verify_program,
+    )
+
+    if args.program == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.program, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    program = assemble(text)
+    expected = None
+    if args.expect_hammers is not None:
+        # Every activated row must be activated exactly N times.
+        expected = {key: args.expect_hammers
+                    for key in count_activations(program)}
+        if not expected:
+            print("error: --expect-hammers given but the program "
+                  "contains no ACT", file=sys.stderr)
+            return 2
+    context = VerifyContext(
+        timing=TimingParameters(),
+        expected_hammers=expected,
+        assume_scheduler=not args.strict,
+        allow_retention_decay=args.allow_retention_decay,
+        assume_trr_escaped=args.assume_trr_escaped,
+    )
+    return _print_report(verify_program(program, context), args.format)
+
+
+def cmd_lint_source(args: argparse.Namespace) -> int:
+    from repro.verify import lint_source
+
+    return _print_report(lint_source(args.paths or None), args.format)
+
+
 def cmd_faults_demo(args: argparse.Namespace) -> int:
     """Run a tiny campaign under a fault plan, twice, and show that the
     fault schedule is deterministic and the resilience layer recovers a
@@ -419,6 +470,48 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--max-retries", type=int, default=2,
                       help="extra attempts per failed shard (default: 2)")
     demo.set_defaults(handler=cmd_faults_demo)
+
+    lint = subparsers.add_parser(
+        "lint", help="static analyzers (exit codes: 0 clean, 1 warnings, "
+                     "2 violations)")
+    lint_subparsers = lint.add_subparsers(dest="lint_command",
+                                          required=True)
+    lint_program = lint_subparsers.add_parser(
+        "program", help="statically verify a DRAM Bender program "
+                        "(assembly text; see 'repro lint program -' "
+                        "for stdin)")
+    lint_program.add_argument(
+        "program", help="assembly file, or '-' to read stdin")
+    lint_program.add_argument(
+        "--strict", action="store_true",
+        help="as-written timing: commands issue exactly one bus cycle "
+             "apart (plus WAITs) instead of at their earliest legal "
+             "cycle; reports TimingViolation diagnostics")
+    lint_program.add_argument(
+        "--expect-hammers", type=int, default=None, metavar="N",
+        help="require every activated row to be ACTed exactly N times")
+    lint_program.add_argument(
+        "--allow-retention-decay", action="store_true",
+        help="suppress RefreshStarvation (for deliberate-decay "
+             "experiments such as RowPress or retention profiling)")
+    lint_program.add_argument(
+        "--assume-trr-escaped", action="store_true",
+        help="warn when the REF cadence would let the 17-REF TRR "
+             "sampler fire in a program assuming TRR escape")
+    lint_program.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="diagnostic output format (default: text)")
+    lint_program.set_defaults(handler=cmd_lint_program)
+    lint_source = lint_subparsers.add_parser(
+        "source", help="determinism lint over Python sources "
+                       "(default: the installed repro package)")
+    lint_source.add_argument(
+        "paths", nargs="*",
+        help="files or directories (default: the repro package)")
+    lint_source.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="diagnostic output format (default: text)")
+    lint_source.set_defaults(handler=cmd_lint_source)
 
     obs = subparsers.add_parser(
         "obs", help="inspect recorded observability artifacts")

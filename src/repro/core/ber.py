@@ -16,7 +16,11 @@ from typing import List, Optional, Sequence
 from repro.bender.host import HostInterface
 from repro.bender.program import ProgramBuilder
 from repro.core.experiment import ExperimentConfig, check_time_budget
-from repro.core.hammer import DoubleSidedHammer, prepare_neighborhood
+from repro.core.hammer import (
+    DoubleSidedHammer,
+    prepare_neighborhood,
+    verify_hammer_program,
+)
 from repro.core.patterns import DataPattern, STANDARD_PATTERNS
 from repro.core.results import BerRecord
 from repro.core.rowdata import byte_fill_bits, flip_report
@@ -32,7 +36,8 @@ class BerExperiment:
         self._host = host
         self._mapper = mapper
         self._config = config or ExperimentConfig()
-        self._hammer = DoubleSidedHammer(host, mapper)
+        self._hammer = DoubleSidedHammer(
+            host, mapper, verify=self._config.verify_programs)
 
     @property
     def config(self) -> ExperimentConfig:
@@ -105,7 +110,11 @@ class BerExperiment:
                                 victim.bank, row)
                     builder.pre(victim.channel, victim.pseudo_channel,
                                 victim.bank)
-        execution = host.run(builder.build())
+        program = builder.build()
+        if config.verify_programs:
+            verify_hammer_program(program, host, victim, aggressors,
+                                  config.ber_hammer_count)
+        execution = host.run(program)
         duration_s = timing.seconds(execution.duration_cycles)
 
         read_bits = host.read_row(victim)

@@ -31,6 +31,7 @@ from repro.bender.program import ProgramBuilder
 from repro.core.rowdata import byte_fill_bits, count_flips
 from repro.dram.address import DramAddress, RowAddressMapper
 from repro.errors import ExperimentError
+from repro.verify.program import VerifyContext, assert_verified
 
 
 @dataclass(frozen=True)
@@ -57,10 +58,11 @@ class CrossChannelExperiment:
     """Differential aggressor-channel stress test."""
 
     def __init__(self, host: HostInterface, mapper: RowAddressMapper,
-                 fill_byte: int = 0x00) -> None:
+                 fill_byte: int = 0x00, verify: bool = True) -> None:
         self._host = host
         self._mapper = mapper
         self._fill_byte = fill_byte
+        self._verify = verify
 
     def vertical_neighbor_channels(self, channel: int) -> list:
         """Channels stacked directly above/below ``channel``."""
@@ -91,7 +93,20 @@ class CrossChannelExperiment:
         else:
             # Idle for exactly the duration the stress arm spends.
             builder.wait(activations * timing.rc_cycles)
-        host.run(builder.build())
+        program = builder.build()
+        if self._verify:
+            expected = {(aggressor_channel, victim.pseudo_channel,
+                         victim.bank, victim.row): activations} \
+                if stressed else None
+            # Both arms deliberately leave the victim unrefreshed for the
+            # whole duration — decay is the experiment's common mode.
+            assert_verified(
+                program,
+                VerifyContext(timing=timing, expected_hammers=expected,
+                              columns=geometry.columns,
+                              allow_retention_decay=True),
+                what="cross-channel stress program")
+        host.run(program)
 
         read_bits = host.read_row(victim)
         expected = byte_fill_bits(self._fill_byte, geometry.row_bytes)

@@ -68,6 +68,11 @@ class ExperimentConfig:
     repetitions: int = 1
     #: Chip temperature during experiments (degC).
     temperature_c: float = 85.0
+    #: Statically verify every generated test program before it runs
+    #: (protocol + timing + hammer-count checks, :mod:`repro.verify`).
+    #: Programs are small, so the cost is negligible; turn off only to
+    #: deliberately run a program the verifier rejects.
+    verify_programs: bool = True
     controls: InterferenceControls = field(default_factory=InterferenceControls)
 
     def __post_init__(self) -> None:

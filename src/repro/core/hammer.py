@@ -28,6 +28,7 @@ from repro.core.rowdata import FlipReport, byte_fill_bits, flip_report
 from repro.dram.address import DramAddress, RowAddressMapper
 from repro.errors import ExperimentError
 from repro.obs import get_metrics, get_tracer
+from repro.verify.program import VerifyContext, assert_verified
 
 #: Physical radius of rows initialized around the victim (Table 1 uses
 #: V±[2:8] around the aggressors at V±1).
@@ -107,12 +108,35 @@ def build_hammer_program(victim: DramAddress, aggressor_rows: Sequence[int],
     return builder.build()
 
 
+def verify_hammer_program(program: Program, host: HostInterface,
+                          victim: DramAddress,
+                          aggressor_rows: Sequence[int],
+                          hammer_count: int) -> None:
+    """Statically verify a hammer payload before it touches the device.
+
+    Checks DRAM protocol and timing against the host's parameters and —
+    the property dynamic execution cannot check — that every declared
+    aggressor row is activated exactly ``hammer_count`` times, so BER
+    and HC_first are attributed to the hammer count the experiment
+    records.  Raises :class:`~repro.errors.VerificationError`.
+    """
+    expected = {(victim.channel, victim.pseudo_channel, victim.bank, row):
+                hammer_count for row in aggressor_rows}
+    assert_verified(program,
+                    VerifyContext(timing=host.device.timing,
+                                  expected_hammers=expected,
+                                  columns=host.device.geometry.columns),
+                    what=f"hammer program for {victim}")
+
+
 class DoubleSidedHammer:
     """The paper's primary access pattern (§3.1)."""
 
-    def __init__(self, host: HostInterface, mapper: RowAddressMapper) -> None:
+    def __init__(self, host: HostInterface, mapper: RowAddressMapper,
+                 verify: bool = True) -> None:
         self._host = host
         self._mapper = mapper
+        self._verify = verify
 
     def aggressors_of(self, victim: DramAddress) -> List[int]:
         """Logical rows physically adjacent to the victim."""
@@ -143,6 +167,9 @@ class DoubleSidedHammer:
                 f"victim {victim} has {len(aggressors)} physical "
                 "neighbour(s); double-sided hammering needs two")
         program = build_hammer_program(victim, aggressors, hammer_count)
+        if self._verify:
+            verify_hammer_program(program, host, victim, aggressors,
+                                  hammer_count)
         with tracer.span("hammer", hammers=hammer_count):
             execution = host.run(program)
         duration_s = host.device.timing.seconds(execution.duration_cycles)
@@ -168,9 +195,11 @@ class SingleSidedHammer:
     neighbours.
     """
 
-    def __init__(self, host: HostInterface, mapper: RowAddressMapper) -> None:
+    def __init__(self, host: HostInterface, mapper: RowAddressMapper,
+                 verify: bool = True) -> None:
         self._host = host
         self._mapper = mapper
+        self._verify = verify
 
     def run(self, aggressor: DramAddress, pattern: DataPattern,
             hammer_count: int,
@@ -205,6 +234,9 @@ class SingleSidedHammer:
 
         program = build_hammer_program(aggressor, [aggressor.row],
                                        hammer_count)
+        if self._verify:
+            verify_hammer_program(program, host, aggressor,
+                                  [aggressor.row], hammer_count)
         with get_tracer().span("hammer", hammers=hammer_count,
                                single_sided=True):
             host.run(program)

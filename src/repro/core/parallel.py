@@ -876,7 +876,8 @@ def run_sweep(config: SweepConfig, *, spec: Optional[BoardSpec] = None,
               board: Optional[BenderBoard] = None,
               progress: Optional[ProgressCallback] = None,
               campaign_dir=None, max_retries: int = 1,
-              retry_backoff_s: float = 0.0) -> CharacterizationDataset:
+              retry_backoff_s: float = 0.0,
+              verify: Optional[bool] = None) -> CharacterizationDataset:
     """Run a sweep serially or in parallel, per ``config.jobs``.
 
     Args:
@@ -893,7 +894,12 @@ def run_sweep(config: SweepConfig, *, spec: Optional[BoardSpec] = None,
             executor so their shards checkpoint too.
         max_retries: extra attempts per failed shard (parallel path).
         retry_backoff_s: base backoff before retry rounds (parallel).
+        verify: override ``config.experiment.verify_programs`` (static
+            verification of every generated hammer program; default on).
     """
+    if verify is not None and verify != config.experiment.verify_programs:
+        config = replace(config, experiment=replace(
+            config.experiment, verify_programs=verify))
     if config.jobs > 1 or campaign_dir is not None:
         if spec is None:
             raise ExperimentError(

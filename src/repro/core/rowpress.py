@@ -37,6 +37,7 @@ from repro.core.patterns import DataPattern, ROWSTRIPE0
 from repro.core.rowdata import byte_fill_bits, flip_report
 from repro.dram.address import DramAddress, RowAddressMapper
 from repro.errors import ExperimentError
+from repro.verify.program import VerifyContext, assert_verified
 
 
 @dataclass(frozen=True)
@@ -87,10 +88,12 @@ class RowPressExperiment:
     """Sweeps aggressor-on time at a fixed hammer count."""
 
     def __init__(self, host: HostInterface, mapper: RowAddressMapper,
-                 pattern: DataPattern = ROWSTRIPE0) -> None:
+                 pattern: DataPattern = ROWSTRIPE0,
+                 verify: bool = True) -> None:
         self._host = host
         self._mapper = mapper
         self._pattern = pattern
+        self._verify = verify
 
     def run_point(self, victim: DramAddress, hammer_count: int,
                   extra_open_cycles: int) -> RowPressPoint:
@@ -104,6 +107,19 @@ class RowPressExperiment:
                 f"victim {victim} lacks two physical neighbours")
         program = build_rowpress_program(victim, aggressors, hammer_count,
                                          extra_open_cycles)
+        if self._verify:
+            expected = {(victim.channel, victim.pseudo_channel,
+                         victim.bank, row): hammer_count
+                        for row in aggressors}
+            # Long aggressor-on times deliberately run past tREFW (the
+            # module docstring's retention note), so decay is allowed.
+            assert_verified(
+                program,
+                VerifyContext(timing=host.device.timing,
+                              expected_hammers=expected,
+                              columns=geometry.columns,
+                              allow_retention_decay=True),
+                what=f"RowPress program for {victim}")
         execution = host.run(program)
         read_bits = host.read_row(victim)
         expected = byte_fill_bits(self._pattern.victim_byte,

@@ -13,8 +13,9 @@ cycle counts for the interface frequency in use.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Deque, Dict, Tuple
 
 from repro.errors import ConfigurationError, TimingViolationError
 from repro.units import cycles_for_time
@@ -34,6 +35,11 @@ class TimingParameters:
         t_ras: ACT -> PRE minimum row-open time.
         t_rp: PRE -> ACT delay (precharge).
         t_rrd: ACT -> ACT delay to *different* banks.
+        t_faw: rolling window in which at most four ACTs may issue to one
+            pseudo channel.  The nominal value sits inside 3 x tRRD at the
+            paper's clock, so it never delays JEDEC-paced streams; it
+            exists so overridden (guardband-probing) parameters and the
+            static verifier share one constraint definition.
         t_ccd: RD/WR -> RD/WR column-to-column delay.
         t_wr: write recovery (last WR data -> PRE).
         t_rfc: REF -> next command delay (refresh cycle time).
@@ -46,6 +52,7 @@ class TimingParameters:
     t_ras: float = 33.0
     t_rp: float = 15.0
     t_rrd: float = 4.0
+    t_faw: float = 14.0
     t_ccd: float = 3.3
     t_wr: float = 15.0
     t_rfc: float = 260.0
@@ -56,8 +63,8 @@ class TimingParameters:
         if self.frequency_hz <= 0:
             raise ConfigurationError(
                 f"frequency_hz must be positive, got {self.frequency_hz}")
-        for name in ("t_rcd", "t_ras", "t_rp", "t_rrd", "t_ccd", "t_wr",
-                     "t_rfc", "t_refi", "t_refw"):
+        for name in ("t_rcd", "t_ras", "t_rp", "t_rrd", "t_faw", "t_ccd",
+                     "t_wr", "t_rfc", "t_refi", "t_refw"):
             if getattr(self, name) < 0:
                 raise ConfigurationError(f"{name} must be non-negative")
 
@@ -89,6 +96,10 @@ class TimingParameters:
         return self.cycles(self.t_rrd)
 
     @property
+    def faw_cycles(self) -> int:
+        return self.cycles(self.t_faw)
+
+    @property
     def ccd_cycles(self) -> int:
         return self.cycles(self.t_ccd)
 
@@ -105,9 +116,35 @@ class TimingParameters:
         return self.cycles(self.t_refi)
 
     @property
+    def refw_cycles(self) -> int:
+        return self.cycles(self.t_refw)
+
+    @property
     def rc_cycles(self) -> int:
         """ACT -> ACT same bank: tRAS + tRP (the hammer period)."""
         return self.ras_cycles + self.rp_cycles
+
+    def constraints(self) -> "ConstraintTable":
+        """The integer-cycle constraint table for this parameter set.
+
+        The single source of timing truth: the runtime
+        :class:`TimingChecker` and the static verifier in
+        :mod:`repro.verify.program` both consume this table, so the two
+        cannot disagree about what "legal" means.
+        """
+        return ConstraintTable(
+            act_to_act_same_bank=self.rc_cycles,
+            act_to_act_same_pc=self.rrd_cycles,
+            four_act_window=self.faw_cycles,
+            act_to_pre=self.ras_cycles,
+            pre_to_act=self.rp_cycles,
+            act_to_rdwr=self.rcd_cycles,
+            rdwr_to_rdwr=self.ccd_cycles,
+            write_to_pre=self.wr_cycles,
+            ref_to_any=self.rfc_cycles,
+            refresh_interval=self.refi_cycles,
+            refresh_window=self.refw_cycles,
+        )
 
     def hammer_duration_cycles(self, hammer_count: int) -> int:
         """Cycles for ``hammer_count`` double-sided hammers.
@@ -122,6 +159,55 @@ class TimingParameters:
     def seconds(self, cycles: int) -> float:
         """Wall-clock seconds for a cycle count at this frequency."""
         return cycles / self.frequency_hz
+
+
+@dataclass(frozen=True)
+class ConstraintTable:
+    """Minimum-delay constraints in integer interface cycles.
+
+    Field names describe the command pair each constraint separates; the
+    canonical JEDEC names (used in diagnostics) live in
+    :data:`CONSTRAINT_NAMES`.
+    """
+
+    #: tRC: ACT -> ACT, same bank.
+    act_to_act_same_bank: int
+    #: tRRD: ACT -> ACT, different banks of one pseudo channel.
+    act_to_act_same_pc: int
+    #: tFAW: window that at most four ACTs per pseudo channel may share.
+    four_act_window: int
+    #: tRAS: ACT -> PRE, same bank.
+    act_to_pre: int
+    #: tRP: PRE -> ACT, same bank.
+    pre_to_act: int
+    #: tRCD: ACT -> RD/WR, same bank.
+    act_to_rdwr: int
+    #: tCCD: RD/WR -> RD/WR, same bank.
+    rdwr_to_rdwr: int
+    #: tWR: WR -> PRE, same bank.
+    write_to_pre: int
+    #: tRFC: REF -> any command, same pseudo channel.
+    ref_to_any: int
+    #: tREFI: nominal REF cadence (advisory; not a hard delay).
+    refresh_interval: int
+    #: tREFW: window within which every row must be refreshed.
+    refresh_window: int
+
+
+#: JEDEC name of each :class:`ConstraintTable` field, for diagnostics.
+CONSTRAINT_NAMES = {
+    "act_to_act_same_bank": "tRC",
+    "act_to_act_same_pc": "tRRD",
+    "four_act_window": "tFAW",
+    "act_to_pre": "tRAS",
+    "pre_to_act": "tRP",
+    "act_to_rdwr": "tRCD",
+    "rdwr_to_rdwr": "tCCD",
+    "write_to_pre": "tWR",
+    "ref_to_any": "tRFC",
+    "refresh_interval": "tREFI",
+    "refresh_window": "tREFW",
+}
 
 
 class BankTimingState:
@@ -151,9 +237,18 @@ class TimingChecker:
 
     def __init__(self, timing: TimingParameters) -> None:
         self._timing = timing
+        self._constraints = timing.constraints()
         self._banks: Dict[Tuple[int, int, int], BankTimingState] = {}
         self._pc_next_act: Dict[Tuple[int, int], int] = {}
         self._pc_next_any: Dict[Tuple[int, int], int] = {}
+        # Last three ACT cycles per pseudo channel: the fourth ACT of any
+        # rolling window may not issue before the first + tFAW.
+        self._pc_act_history: Dict[Tuple[int, int], Deque[int]] = {}
+
+    @property
+    def constraints(self) -> ConstraintTable:
+        """The constraint table this checker enforces."""
+        return self._constraints
 
     def _bank(self, key: Tuple[int, int, int]) -> BankTimingState:
         state = self._banks.get(key)
@@ -166,9 +261,14 @@ class TimingChecker:
     def earliest_activate(self, key: Tuple[int, int, int], now: int) -> int:
         bank = self._bank(key)
         pc = key[:2]
-        return max(now, bank.next_act,
-                   self._pc_next_act.get(pc, 0),
-                   self._pc_next_any.get(pc, 0))
+        earliest = max(now, bank.next_act,
+                       self._pc_next_act.get(pc, 0),
+                       self._pc_next_any.get(pc, 0))
+        history = self._pc_act_history.get(pc)
+        if history is not None and len(history) == 3:
+            earliest = max(earliest,
+                           history[0] + self._constraints.four_act_window)
+        return earliest
 
     def earliest_precharge(self, key: Tuple[int, int, int], now: int) -> int:
         bank = self._bank(key)
@@ -185,7 +285,7 @@ class TimingChecker:
 
     # -- recording -----------------------------------------------------
     def record_activate(self, key: Tuple[int, int, int], cycle: int) -> None:
-        t = self._timing
+        table = self._constraints
         bank = self._bank(key)
         legal = self.earliest_activate(key, cycle)
         if cycle < legal:
@@ -193,41 +293,46 @@ class TimingChecker:
                 f"ACT to bank {key} at cycle {cycle}, earliest legal {legal}")
         bank.act_cycle = cycle
         bank.is_open = True
-        bank.next_pre = cycle + t.ras_cycles
-        bank.next_rdwr = cycle + t.rcd_cycles
-        bank.next_act = cycle + t.rc_cycles
+        bank.next_pre = cycle + table.act_to_pre
+        bank.next_rdwr = cycle + table.act_to_rdwr
+        bank.next_act = cycle + table.act_to_act_same_bank
         pc = key[:2]
-        self._pc_next_act[pc] = cycle + t.rrd_cycles
+        self._pc_next_act[pc] = cycle + table.act_to_act_same_pc
+        history = self._pc_act_history.get(pc)
+        if history is None:
+            history = deque(maxlen=3)
+            self._pc_act_history[pc] = history
+        history.append(cycle)
 
     def record_precharge(self, key: Tuple[int, int, int], cycle: int) -> None:
-        t = self._timing
+        table = self._constraints
         bank = self._bank(key)
         legal = self.earliest_precharge(key, cycle)
         if cycle < legal:
             raise TimingViolationError(
                 f"PRE to bank {key} at cycle {cycle}, earliest legal {legal}")
         bank.is_open = False
-        bank.next_act = max(bank.next_act, cycle + t.rp_cycles)
+        bank.next_act = max(bank.next_act, cycle + table.pre_to_act)
 
     def record_rdwr(self, key: Tuple[int, int, int], cycle: int,
                     is_write: bool) -> None:
-        t = self._timing
+        table = self._constraints
         bank = self._bank(key)
         legal = self.earliest_rdwr(key, cycle)
         if cycle < legal:
             raise TimingViolationError(
                 f"RD/WR to bank {key} at cycle {cycle}, earliest legal {legal}")
-        bank.next_rdwr = cycle + t.ccd_cycles
+        bank.next_rdwr = cycle + table.rdwr_to_rdwr
         if is_write:
-            bank.next_pre = max(bank.next_pre, cycle + t.wr_cycles)
+            bank.next_pre = max(bank.next_pre, cycle + table.write_to_pre)
 
     def record_refresh(self, pc: Tuple[int, int], cycle: int) -> None:
-        t = self._timing
+        table = self._constraints
         legal = self.earliest_refresh(pc, cycle)
         if cycle < legal:
             raise TimingViolationError(
                 f"REF to pc {pc} at cycle {cycle}, earliest legal {legal}")
-        self._pc_next_any[pc] = cycle + t.rfc_cycles
+        self._pc_next_any[pc] = cycle + table.ref_to_any
 
     def bank_is_open(self, key: Tuple[int, int, int]) -> bool:
         return self._bank(key).is_open
@@ -259,3 +364,7 @@ class TimingChecker:
                 self._pc_next_act[pc] += delta
             if pc in self._pc_next_any:
                 self._pc_next_any[pc] += delta
+            history = self._pc_act_history.get(pc)
+            if history:
+                self._pc_act_history[pc] = deque(
+                    (stamp + delta for stamp in history), maxlen=3)

@@ -40,6 +40,18 @@ class AssemblyError(ProgramError):
     """Test-program assembly text could not be parsed."""
 
 
+class VerificationError(ProgramError):
+    """A test program failed static verification.
+
+    Carries the list of :class:`repro.verify.Diagnostic` objects whose
+    severity is ``violation``, so callers can render or serialize them.
+    """
+
+    def __init__(self, message: str, diagnostics=()) -> None:
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)
+
+
 class TransportFault(ReproError):
     """A transient link-level failure (dropped or corrupted transfer).
 

@@ -1,0 +1,61 @@
+"""Static analyzers: program verification and source determinism lint.
+
+Two analyzers share the :class:`Diagnostic` / :class:`VerificationReport`
+types and the CLI exit-code contract (0 clean / 1 warnings / 2
+violations):
+
+* :func:`verify_program` — abstract interpretation of a DRAM Bender
+  :class:`~repro.bender.program.Program` against the same
+  :class:`~repro.dram.timing.ConstraintTable` the runtime enforces.
+* :func:`lint_source` — AST lint over the package source for
+  reproducibility hazards (unseeded RNG, wall-clock reads, set-order
+  dependence in fingerprinted paths).
+"""
+
+from repro.verify.diagnostics import (
+    ANALYSIS_TRUNCATED,
+    HAMMER_COUNT_MISMATCH,
+    PROTOCOL_VIOLATION,
+    REFRESH_STARVATION,
+    SEVERITY_VIOLATION,
+    SEVERITY_WARNING,
+    TIMING_VIOLATION,
+    TRR_WINDOW_WARNING,
+    Diagnostic,
+    VerificationReport,
+)
+from repro.verify.determinism import (
+    FINGERPRINTED_SUFFIXES,
+    lint_file,
+    lint_source,
+    lint_text,
+)
+from repro.verify.program import (
+    VerifyContext,
+    assert_verified,
+    count_activations,
+    verify_program,
+    verify_protocol,
+)
+
+__all__ = [
+    "ANALYSIS_TRUNCATED",
+    "HAMMER_COUNT_MISMATCH",
+    "PROTOCOL_VIOLATION",
+    "REFRESH_STARVATION",
+    "SEVERITY_VIOLATION",
+    "SEVERITY_WARNING",
+    "TIMING_VIOLATION",
+    "TRR_WINDOW_WARNING",
+    "Diagnostic",
+    "VerificationReport",
+    "FINGERPRINTED_SUFFIXES",
+    "lint_file",
+    "lint_source",
+    "lint_text",
+    "VerifyContext",
+    "assert_verified",
+    "count_activations",
+    "verify_program",
+    "verify_protocol",
+]

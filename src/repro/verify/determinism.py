@@ -1,0 +1,272 @@
+"""AST lint enforcing the repo's determinism contract.
+
+Campaign fingerprints, shard checkpoints and the fault plan all promise
+byte-identical re-runs from a seed (PRs 1-3).  That contract dies the
+moment library code consults an unseeded RNG, reads the wall clock, or
+iterates a set in hash order inside a fingerprinted path.  This module
+turns the convention into lint rules over the package source:
+
+``DET001`` (violation)
+    Unseeded randomness: ``random``-module functions, the legacy
+    ``numpy.random`` functions, ``random.Random()`` /
+    ``numpy.random.default_rng()`` without a seed, ``numpy.random.seed``
+    (global state).  Seeded construction — ``default_rng(seed)``,
+    ``Generator(PCG64(seed))``, ``random.Random(seed)`` — is fine;
+    :mod:`repro.rng` wraps exactly those.
+
+``DET002`` (violation)
+    Wall-clock reads: ``time.time``/``time_ns``,
+    ``datetime.datetime.now``/``utcnow``/``today``,
+    ``datetime.date.today``.  Monotonic and duration clocks
+    (``perf_counter``, ``monotonic``, ``process_time``) and ``sleep``
+    are allowed — they never end up in fingerprinted bytes.
+
+``DET003`` (warning, fingerprinted files only)
+    Iterating a set (literal, ``set(...)`` call, or a local name bound
+    to one) in a ``for`` or comprehension inside a file whose bytes feed
+    fingerprints (:data:`FINGERPRINTED_SUFFIXES`).  Wrap in ``sorted``.
+
+Suppress a finding with ``# noqa`` (blanket) or ``# noqa: DET001`` on
+the offending line, mirroring ruff's convention.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.verify.diagnostics import (
+    SEVERITY_VIOLATION,
+    SEVERITY_WARNING,
+    Diagnostic,
+    VerificationReport,
+)
+
+#: Files whose iteration order reaches campaign fingerprints / manifests.
+FINGERPRINTED_SUFFIXES = (
+    "core/campaign.py",
+    "faults/plan.py",
+    "core/parallel.py",
+)
+
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*([A-Z0-9, ]+))?", re.IGNORECASE)
+
+_RANDOM_MODULE_FUNCTIONS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "triangular", "betavariate", "expovariate",
+    "gammavariate", "gauss", "lognormvariate", "normalvariate",
+    "vonmisesvariate", "paretovariate", "weibullvariate", "getrandbits",
+    "randbytes", "seed",
+})
+
+_NUMPY_LEGACY_FUNCTIONS = frozenset({
+    "seed", "rand", "randn", "randint", "random", "random_sample",
+    "ranf", "sample", "choice", "shuffle", "permutation", "uniform",
+    "normal", "standard_normal", "bytes", "beta", "binomial", "poisson",
+    "exponential", "geometric", "gamma",
+})
+
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+#: Callables that are deterministic *only* when given a seed argument.
+_SEED_REQUIRED_CALLS = frozenset({
+    "random.Random",
+    "numpy.random.default_rng",
+})
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    if isinstance(node, ast.Set):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "set")
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, filename: str, source_lines: Sequence[str],
+                 fingerprinted: bool) -> None:
+        self._filename = filename
+        self._lines = source_lines
+        self._fingerprinted = fingerprinted
+        self.diagnostics: List[Diagnostic] = []
+        # local name -> dotted module/attribute path it aliases
+        self._aliases: Dict[str, str] = {}
+        # local names currently bound to a set expression (DET003)
+        self._set_names: set = set()
+
+    # -- reporting -----------------------------------------------------
+    def _suppressed(self, line_number: int, rule: str) -> bool:
+        if 1 <= line_number <= len(self._lines):
+            match = _NOQA_RE.search(self._lines[line_number - 1])
+            if match:
+                codes = match.group(1)
+                if codes is None:
+                    return True
+                return rule in {code.strip().upper()
+                                for code in codes.split(",")}
+        return False
+
+    def _emit(self, rule: str, severity: str, message: str,
+              node: ast.AST) -> None:
+        line = getattr(node, "lineno", 0)
+        if self._suppressed(line, rule):
+            return
+        column = getattr(node, "col_offset", 0) + 1
+        self.diagnostics.append(Diagnostic(
+            kind=rule, severity=severity, message=message,
+            location=f"{self._filename}:{line}:{column}"))
+
+    # -- import tracking -----------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0])
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self._aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}")
+        self.generic_visit(node)
+
+    def _dotted(self, node: ast.AST) -> Optional[str]:
+        """Resolve a Name/Attribute chain to a dotted path through the
+        import alias map (``np.random.seed`` -> ``numpy.random.seed``)."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self._aliases.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    # -- DET001 / DET002 -----------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self._dotted(node.func)
+        if dotted is not None:
+            self._check_call(dotted, node)
+        self.generic_visit(node)
+
+    def _check_call(self, dotted: str, node: ast.Call) -> None:
+        if dotted in _WALL_CLOCK_CALLS:
+            self._emit("DET002", SEVERITY_VIOLATION,
+                       f"wall-clock read {dotted}() is not reproducible; "
+                       "pass timestamps in or use a monotonic clock for "
+                       "durations", node)
+            return
+        parts = dotted.split(".")
+        if (parts[0] == "random" and len(parts) == 2
+                and parts[1] in _RANDOM_MODULE_FUNCTIONS):
+            self._emit("DET001", SEVERITY_VIOLATION,
+                       f"{dotted}() uses the process-global RNG; use "
+                       "repro.rng (seeded generators) instead", node)
+            return
+        if (len(parts) == 3 and parts[0] == "numpy"
+                and parts[1] == "random"
+                and parts[2] in _NUMPY_LEGACY_FUNCTIONS):
+            self._emit("DET001", SEVERITY_VIOLATION,
+                       f"{dotted}() is numpy's legacy global-state RNG; "
+                       "use numpy.random.default_rng(seed) via repro.rng",
+                       node)
+            return
+        if dotted in _SEED_REQUIRED_CALLS and not node.args \
+                and not node.keywords:
+            self._emit("DET001", SEVERITY_VIOLATION,
+                       f"{dotted}() without a seed draws OS entropy; "
+                       "pass an explicit seed", node)
+
+    # -- DET003 --------------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._fingerprinted:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    if _is_set_expression(node.value):
+                        self._set_names.add(target.id)
+                    else:
+                        self._set_names.discard(target.id)
+        self.generic_visit(node)
+
+    def _iter_is_set(self, node: ast.AST) -> bool:
+        if _is_set_expression(node):
+            return True
+        return isinstance(node, ast.Name) and node.id in self._set_names
+
+    def _check_iteration(self, iter_node: ast.AST, node: ast.AST) -> None:
+        if self._fingerprinted and self._iter_is_set(iter_node):
+            self._emit("DET003", SEVERITY_WARNING,
+                       "iterating a set in a fingerprinted path visits "
+                       "elements in hash order; wrap in sorted(...)", node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter, node)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for generator in node.generators:
+            self._check_iteration(generator.iter, node)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+
+def lint_text(text: str, filename: str = "<string>") -> List[Diagnostic]:
+    """Lint one unit of Python source; returns its diagnostics."""
+    try:
+        tree = ast.parse(text, filename=filename)
+    except SyntaxError as error:
+        return [Diagnostic(
+            kind="DET000", severity=SEVERITY_VIOLATION,
+            message=f"cannot parse: {error.msg}",
+            location=f"{filename}:{error.lineno or 0}:"
+                     f"{(error.offset or 0)}")]
+    normalized = filename.replace("\\", "/")
+    fingerprinted = normalized.endswith(FINGERPRINTED_SUFFIXES)
+    linter = _Linter(filename, text.splitlines(), fingerprinted)
+    linter.visit(tree)
+    return linter.diagnostics
+
+
+def lint_file(path) -> List[Diagnostic]:
+    path = Path(path)
+    return lint_text(path.read_text(encoding="utf-8"), str(path))
+
+
+def _default_root() -> Path:
+    # The repro package directory itself (verify/ lives one level in).
+    return Path(__file__).resolve().parents[1]
+
+
+def iter_source_files(paths: Optional[Iterable] = None) -> List[Path]:
+    """Expand files/directories into the sorted .py file list to lint."""
+    roots = [Path(p) for p in paths] if paths else [_default_root()]
+    files: List[Path] = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+        else:
+            files.append(root)
+    return files
+
+
+def lint_source(paths: Optional[Iterable] = None) -> VerificationReport:
+    """Lint the package source (default) or the given files/dirs."""
+    report = VerificationReport()
+    for path in iter_source_files(paths):
+        report.diagnostics.extend(lint_file(path))
+    return report

@@ -1,11 +1,16 @@
 """Tests for repro.bender.assembler."""
 
 import pytest
+from hypothesis import given, settings
 
 from repro.bender import isa
 from repro.bender.assembler import assemble, disassemble
-from repro.bender.program import ProgramBuilder
+from repro.bender.program import Program, ProgramBuilder
+from repro.core.hammer import build_hammer_program
+from repro.core.rowpress import build_rowpress_program
+from repro.dram.address import DramAddress
 from repro.errors import AssemblyError
+from tests.property.test_program_robustness import random_programs
 
 
 class TestAssemble:
@@ -96,11 +101,12 @@ class TestRoundTrip:
             builder.act(0, 0, 0, 42)
             builder.pre(0, 0, 0)
         builder.ref(0, 0)
+        builder.act(0, 0, 0, 43)
         builder.rd(0, 0, 0, 7)
         builder.rd_row(0, 0, 0)
+        builder.wr(0, 0, 0, 1, b"\x01\x02\x03")
         builder.pre_all(0, 0)
         builder.wait(99)
-        builder.wr(0, 0, 0, 1, b"\x01\x02\x03")
         return builder.build()
 
     def test_disassemble_assemble_roundtrip(self):
@@ -115,3 +121,45 @@ class TestRoundTrip:
     def test_repeat_syntax_used_for_uniform_data(self):
         text = disassemble(self.build_reference())
         assert "0x55*16" in text
+
+
+class TestGeneratorRoundTrip:
+    """assemble(disassemble(p)) == p for every shipped program generator.
+
+    The assembly text is the archival/debug format for test programs
+    (and the input format of ``repro lint program``), so it must be a
+    lossless encoding of everything the experiment layer generates.
+    """
+
+    VICTIM = DramAddress(channel=0, pseudo_channel=0, bank=0, row=100)
+
+    @pytest.mark.parametrize("count", [0, 1, 7, 4096, 256 * 1024])
+    def test_hammer_programs(self, count):
+        program = build_hammer_program(self.VICTIM, (99, 101), count)
+        assert assemble(disassemble(program)) == program
+
+    @pytest.mark.parametrize("extra", [0, 1, 37])
+    def test_rowpress_programs(self, extra):
+        program = build_rowpress_program(self.VICTIM, (99, 101), 64, extra)
+        assert assemble(disassemble(program)) == program
+
+    def test_refresh_interleaved_shape(self):
+        builder = ProgramBuilder()
+        with builder.loop(10):
+            with builder.loop(64):
+                builder.act(0, 0, 0, 99)
+                builder.pre(0, 0, 0)
+            builder.ref(0, 0)
+        program = builder.build()
+        assert assemble(disassemble(program)) == program
+
+    def test_empty_write_payload(self):
+        # b"" disassembles to a bare "0x"; it must parse back to b"".
+        program = Program((isa.Act(0, 0, 0, 1), isa.WrRow(0, 0, 0, b""),
+                           isa.Wr(0, 0, 0, 3, b""), isa.Pre(0, 0, 0)))
+        assert assemble(disassemble(program)) == program
+
+    @given(program=random_programs())
+    @settings(max_examples=50, deadline=None)
+    def test_random_programs(self, program):
+        assert assemble(disassemble(program)) == program

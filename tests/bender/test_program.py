@@ -94,8 +94,10 @@ class TestBuilder:
 
     def test_data_is_copied_to_bytes(self):
         builder = ProgramBuilder()
+        builder.act(0, 0, 0, 1)
         builder.wr(0, 0, 0, 0, bytearray(b"\x01\x02"))
-        (write,) = builder.build().instructions
+        builder.pre(0, 0, 0)
+        (_, write, _) = builder.build().instructions
         assert isinstance(write.data, bytes)
 
     def test_programs_are_immutable_values(self):

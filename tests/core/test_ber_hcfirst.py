@@ -46,12 +46,27 @@ class TestBerExperiment:
 
     def test_budget_enforced_on_slow_hammering(self, host, mapper):
         """A hammer count that cannot fit 27 ms must abort the
-        measurement rather than return retention-contaminated data."""
-        config = ExperimentConfig(ber_hammer_count=400_000)
+        measurement rather than return retention-contaminated data.
+
+        300K hammers (~30 ms) sit between the 27 ms experiment budget
+        and the 32 ms tREFW guarantee: the static verifier passes the
+        program, so the runtime duration check must still catch it."""
+        config = ExperimentConfig(ber_hammer_count=300_000)
         experiment = BerExperiment(host, mapper, config)
         from repro.errors import ExperimentBudgetError
         with pytest.raises(ExperimentBudgetError):
             experiment.run_row(VICTIM, ROWSTRIPE0)
+
+    def test_starving_hammer_count_rejected_statically(self, host, mapper):
+        """400K hammers (~40 ms) exceed tREFW itself: the static
+        verifier rejects the program before it ever executes."""
+        config = ExperimentConfig(ber_hammer_count=400_000)
+        experiment = BerExperiment(host, mapper, config)
+        from repro.errors import VerificationError
+        with pytest.raises(VerificationError) as excinfo:
+            experiment.run_row(VICTIM, ROWSTRIPE0)
+        assert any(d.kind == "RefreshStarvation"
+                   for d in excinfo.value.diagnostics)
 
     def test_refresh_enabled_mode_reduces_flips(self, host, mapper):
         """Ablation A2: with periodic refresh (and therefore the hidden

@@ -176,3 +176,101 @@ class TestReportCommand:
     def test_missing_dataset_is_an_error(self):
         with pytest.raises(FileNotFoundError):
             main(["report", "/nonexistent/dataset.json"])
+
+
+class TestLintProgramCommand:
+    CLEAN = ("LOOP 5\n"
+             "  ACT 0 0 0 99\n"
+             "  PRE 0 0 0\n"
+             "  ACT 0 0 0 101\n"
+             "  PRE 0 0 0\n"
+             "ENDLOOP\n")
+    DOUBLE_ACT = ("ACT 0 0 0 99\n"
+                  "ACT 0 0 0 101\n"
+                  "PRE 0 0 0\n")
+
+    def _write(self, tmp_path, text):
+        path = tmp_path / "program.bender"
+        path.write_text(text, encoding="utf-8")
+        return str(path)
+
+    def test_clean_program_exits_zero(self, capsys, tmp_path):
+        code = main(["lint", "program", self._write(tmp_path, self.CLEAN)])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violation_exits_two(self, capsys, tmp_path):
+        code = main(["lint", "program",
+                     self._write(tmp_path, self.DOUBLE_ACT)])
+        assert code == 2
+        output = capsys.readouterr().out
+        assert "ProtocolViolation" in output
+
+    def test_json_format_round_trips(self, capsys, tmp_path):
+        code = main(["lint", "program",
+                     self._write(tmp_path, self.DOUBLE_ACT),
+                     "--format", "json"])
+        assert code == 2
+        data = json.loads(capsys.readouterr().out)
+        assert data["exit_code"] == 2
+        assert data["summary"]["violations"] == 1
+        assert data["diagnostics"][0]["kind"] == "ProtocolViolation"
+
+    def test_reads_stdin_dash(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(self.CLEAN))
+        code = main(["lint", "program", "-"])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_expect_hammers(self, capsys, tmp_path):
+        path = self._write(tmp_path, self.CLEAN)
+        assert main(["lint", "program", path,
+                     "--expect-hammers", "5"]) == 0
+        capsys.readouterr()
+        code = main(["lint", "program", path, "--expect-hammers", "4"])
+        assert code == 2
+        assert "HammerCountMismatch" in capsys.readouterr().out
+
+    def test_strict_mode_flags_as_written_timing(self, capsys, tmp_path):
+        text = "ACT 0 0 0 99\nWAIT 5\nPRE 0 0 0\n"
+        code = main(["lint", "program", self._write(tmp_path, text),
+                     "--strict"])
+        assert code == 2
+        assert "tRAS" in capsys.readouterr().out
+
+    def test_warnings_exit_one(self, capsys, tmp_path):
+        text = ("LOOP 20\n"
+                "  LOOP 10\n"
+                "    ACT 0 0 0 1\n"
+                "    PRE 0 0 0\n"
+                "  ENDLOOP\n"
+                "  REF 0 0\n"
+                "ENDLOOP\n")
+        code = main(["lint", "program", self._write(tmp_path, text),
+                     "--assume-trr-escaped"])
+        assert code == 1
+        assert "TrrWindowWarning" in capsys.readouterr().out
+
+    def test_unparseable_program_is_an_error(self, capsys, tmp_path):
+        code = main(["lint", "program",
+                     self._write(tmp_path, "FROB 1 2 3\n")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestLintSourceCommand:
+    def test_package_default_is_clean(self, capsys):
+        code = main(["lint", "source"])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_explicit_path_with_violations(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n",
+                       encoding="utf-8")
+        code = main(["lint", "source", str(bad), "--format", "json"])
+        assert code == 2
+        data = json.loads(capsys.readouterr().out)
+        assert data["diagnostics"][0]["kind"] == "DET001"

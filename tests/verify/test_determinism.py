@@ -1,0 +1,169 @@
+"""Tests for the determinism source lint (repro.verify.determinism)."""
+
+import textwrap
+
+from repro.verify import lint_source, lint_text
+from repro.verify.determinism import FINGERPRINTED_SUFFIXES
+
+FINGERPRINTED = "src/repro/" + FINGERPRINTED_SUFFIXES[0]
+
+
+def lint(snippet, filename="src/repro/example.py"):
+    return lint_text(textwrap.dedent(snippet), filename)
+
+
+def rules(diagnostics):
+    return [diagnostic.kind for diagnostic in diagnostics]
+
+
+class TestPackageIsClean:
+    def test_repro_package_has_no_diagnostics(self):
+        """The determinism contract holds over the entire package."""
+        report = lint_source()
+        assert report.ok, report.render()
+
+
+class TestDet001UnseededRandomness:
+    def test_random_module_function(self):
+        diagnostics = lint("""\
+            import random
+            x = random.random()
+        """)
+        assert rules(diagnostics) == ["DET001"]
+        assert diagnostics[0].severity == "violation"
+
+    def test_random_from_import(self):
+        assert rules(lint("""\
+            from random import randint
+            x = randint(0, 10)
+        """)) == ["DET001"]
+
+    def test_numpy_legacy_global_rng(self):
+        assert rules(lint("""\
+            import numpy as np
+            np.random.seed(7)
+            x = np.random.randint(0, 10)
+        """)) == ["DET001", "DET001"]
+
+    def test_unseeded_default_rng(self):
+        assert rules(lint("""\
+            import numpy as np
+            rng = np.random.default_rng()
+        """)) == ["DET001"]
+
+    def test_seeded_default_rng_allowed(self):
+        assert not lint("""\
+            import numpy as np
+            rng = np.random.default_rng(1234)
+        """)
+
+    def test_seeded_random_instance_allowed(self):
+        assert not lint("""\
+            import random
+            rng = random.Random(42)
+            x = rng.random()
+        """)
+
+    def test_unseeded_random_instance(self):
+        assert rules(lint("""\
+            import random
+            rng = random.Random()
+        """)) == ["DET001"]
+
+
+class TestDet002WallClock:
+    def test_time_time(self):
+        assert rules(lint("""\
+            import time
+            stamp = time.time()
+        """)) == ["DET002"]
+
+    def test_datetime_now_via_from_import(self):
+        assert rules(lint("""\
+            from datetime import datetime
+            stamp = datetime.now()
+        """)) == ["DET002"]
+
+    def test_module_alias_resolved(self):
+        assert rules(lint("""\
+            import datetime as dt
+            stamp = dt.datetime.utcnow()
+        """)) == ["DET002"]
+
+    def test_monotonic_clocks_allowed(self):
+        assert not lint("""\
+            import time
+            start = time.perf_counter()
+            time.sleep(0.1)
+            elapsed = time.monotonic() - start
+        """)
+
+
+class TestDet003SetIteration:
+    SNIPPET = """\
+        rows = {3, 1, 2}
+        for row in rows:
+            print(row)
+        doubled = [row * 2 for row in {4, 5}]
+        cast = set([9, 8])
+        total = sum(x for x in cast)
+    """
+
+    def test_flagged_in_fingerprinted_file(self):
+        diagnostics = lint(self.SNIPPET, filename=FINGERPRINTED)
+        assert rules(diagnostics) == ["DET003", "DET003", "DET003"]
+        assert all(d.severity == "warning" for d in diagnostics)
+
+    def test_ignored_outside_fingerprinted_paths(self):
+        assert not lint(self.SNIPPET, filename="src/repro/example.py")
+
+    def test_sorted_iteration_allowed(self):
+        assert not lint("""\
+            rows = {3, 1, 2}
+            for row in sorted(rows):
+                print(row)
+        """, filename=FINGERPRINTED)
+
+    def test_rebinding_clears_tracking(self):
+        assert not lint("""\
+            rows = {3, 1, 2}
+            rows = sorted(rows)
+            for row in rows:
+                print(row)
+        """, filename=FINGERPRINTED)
+
+
+class TestSuppression:
+    def test_blanket_noqa(self):
+        assert not lint("""\
+            import random
+            x = random.random()  # noqa
+        """)
+
+    def test_coded_noqa_matches(self):
+        assert not lint("""\
+            import time
+            stamp = time.time()  # noqa: DET002
+        """)
+
+    def test_coded_noqa_for_other_rule_does_not_suppress(self):
+        assert rules(lint("""\
+            import time
+            stamp = time.time()  # noqa: DET001
+        """)) == ["DET002"]
+
+
+class TestSyntaxError:
+    def test_reported_as_det000(self):
+        diagnostics = lint("def broken(:\n    pass\n")
+        assert rules(diagnostics) == ["DET000"]
+        assert diagnostics[0].severity == "violation"
+
+
+class TestLocations:
+    def test_location_is_file_line_column(self):
+        (diagnostic,) = lint("""\
+            import random
+            x = random.random()
+        """)
+        assert diagnostic.location == "src/repro/example.py:2:5"

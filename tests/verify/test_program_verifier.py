@@ -1,0 +1,308 @@
+"""Tests for the static program verifier (repro.verify.program)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.bender import isa
+from repro.bender.interpreter import Interpreter
+from repro.bender.program import Program, ProgramBuilder
+from repro.core.hammer import build_hammer_program
+from repro.dram.address import DramAddress
+from repro.dram.timing import TimingParameters
+from repro.errors import VerificationError
+from repro.verify import (
+    ANALYSIS_TRUNCATED,
+    HAMMER_COUNT_MISMATCH,
+    PROTOCOL_VIOLATION,
+    REFRESH_STARVATION,
+    TRR_WINDOW_WARNING,
+    VerifyContext,
+    assert_verified,
+    count_activations,
+    verify_program,
+    verify_protocol,
+)
+from tests.conftest import make_vulnerable_device
+from tests.property.test_program_robustness import random_programs
+
+VICTIM = DramAddress(channel=0, pseudo_channel=0, bank=0, row=100)
+
+
+def kinds(report):
+    return [diagnostic.kind for diagnostic in report.diagnostics]
+
+
+class TestProtocolChecks:
+    def test_act_on_open_bank(self):
+        program = Program((isa.Act(0, 0, 0, 5), isa.Act(0, 0, 0, 6),
+                           isa.Pre(0, 0, 0)))
+        report = verify_program(program)
+        assert kinds(report) == [PROTOCOL_VIOLATION]
+        assert report.exit_code == 2
+
+    def test_rd_on_closed_row(self):
+        program = Program((isa.Rd(0, 0, 0, 3),))
+        assert kinds(verify_program(program)) == [PROTOCOL_VIOLATION]
+
+    def test_ref_with_open_bank(self):
+        program = Program((isa.Act(0, 0, 0, 5), isa.Ref(0, 0),
+                           isa.Pre(0, 0, 0)))
+        assert PROTOCOL_VIOLATION in kinds(verify_program(program))
+
+    def test_pre_on_closed_bank_is_legal_noop(self):
+        program = Program((isa.Pre(0, 0, 0), isa.Pre(0, 0, 0)))
+        assert verify_program(program).ok
+
+    def test_state_carries_into_loop_bodies(self):
+        # ACT outside, RD inside the loop: legal — the row stays open.
+        builder = ProgramBuilder()
+        builder.act(0, 0, 0, 5)
+        with builder.loop(10):
+            builder.rd(0, 0, 0, 0)
+        builder.pre(0, 0, 0)
+        assert verify_program(builder.build()).ok
+
+    def test_zero_iteration_loop_is_skipped(self):
+        # The loop body alone would be illegal, but it never executes.
+        program = Program((isa.Loop(0, (isa.Rd(0, 0, 0, 0),)),))
+        assert verify_program(program).ok
+
+    def test_diagnostics_deduplicated_across_iterations(self):
+        body = (isa.Act(0, 0, 0, 5),)  # opens and never closes
+        program = Program((isa.Loop(50, body),))
+        report = verify_program(program)
+        assert kinds(report) == [PROTOCOL_VIOLATION]
+
+
+class TestScheduledDuration:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(program=random_programs())
+    def test_matches_interpreter_exactly(self, program):
+        """The abstract machine mirrors the runtime scheduler cycle for
+        cycle: its computed duration equals real execution, and no
+        legally-scheduled program produces diagnostics."""
+        device = make_vulnerable_device()
+        result = Interpreter(device).run(program)
+        report = verify_program(program, VerifyContext(
+            timing=device.timing, columns=device.geometry.columns))
+        assert report.ok
+        assert report.duration_cycles == result.duration_cycles
+
+    def test_extrapolated_loop_matches_full_unroll(self):
+        def hammer(count):
+            builder = ProgramBuilder()
+            with builder.loop(count):
+                builder.act(0, 0, 0, 99)
+                builder.pre(0, 0, 0)
+                builder.act(0, 0, 0, 101)
+                builder.pre(0, 0, 0)
+            return builder.build()
+
+        timing = TimingParameters()
+        # 300 iterations unroll fully (1200 <= 2048); 200K iterations go
+        # through steady-state extrapolation.  Once steady, every extra
+        # iteration costs exactly one period (2 x tRC per hammer pair),
+        # so the two durations differ by precisely that many periods.
+        small = verify_program(hammer(300), VerifyContext(timing=timing))
+        large = verify_program(hammer(200_000),
+                               VerifyContext(timing=timing))
+        assert small.ok and large.ok
+        period = 2 * timing.rc_cycles
+        assert (large.duration_cycles - small.duration_cycles
+                == (200_000 - 300) * period)
+
+
+class TestRefreshStarvation:
+    def _program(self, inner_count):
+        builder = ProgramBuilder()
+        with builder.loop(2):
+            with builder.loop(inner_count):
+                builder.act(0, 0, 0, 10)
+                builder.pre(0, 0, 0)
+            builder.ref(0, 0)
+        return builder.build()
+
+    def test_gap_past_trefw_flagged(self):
+        # 700K hammers x tRC(30) = 21M cycles > tREFW (19.2M).
+        report = verify_program(self._program(700_000))
+        assert kinds(report) == [REFRESH_STARVATION]
+
+    def test_gap_within_trefw_clean(self):
+        # 600K hammers x tRC(30) = 18M cycles < tREFW.
+        assert verify_program(self._program(600_000)).ok
+
+    def test_allow_retention_decay_suppresses(self):
+        report = verify_program(
+            self._program(700_000),
+            VerifyContext(allow_retention_decay=True))
+        assert report.ok
+
+    def test_refresh_free_tail_counts(self):
+        # REF early, then hammer past tREFW with no further REF.
+        builder = ProgramBuilder()
+        builder.ref(0, 0)
+        with builder.loop(700_000):
+            builder.act(0, 0, 0, 10)
+            builder.pre(0, 0, 0)
+        report = verify_program(builder.build())
+        assert kinds(report) == [REFRESH_STARVATION]
+
+    def test_unactivated_pc_not_flagged(self):
+        # A pure-WAIT program "starves" nothing the program hammers.
+        program = Program((isa.Wait(30_000_000),))
+        assert verify_program(program).ok
+
+
+class TestHammerCounts:
+    def test_count_activations_is_exact(self):
+        program = build_hammer_program(VICTIM, (99, 101), 12_345)
+        counts = count_activations(program)
+        assert counts == {(0, 0, 0, 99): 12_345, (0, 0, 0, 101): 12_345}
+
+    def test_declared_count_matches(self):
+        program = build_hammer_program(VICTIM, (99, 101), 5000)
+        report = verify_program(program, VerifyContext(
+            expected_hammers={(0, 0, 0, 99): 5000, (0, 0, 0, 101): 5000}))
+        assert report.ok
+
+    def test_declared_count_mismatch(self):
+        program = build_hammer_program(VICTIM, (99, 101), 5000)
+        report = verify_program(program, VerifyContext(
+            expected_hammers={(0, 0, 0, 99): 4999}))
+        assert kinds(report) == [HAMMER_COUNT_MISMATCH]
+
+    def test_missing_aggressor_counts_as_zero(self):
+        program = build_hammer_program(VICTIM, (99,), 5000)
+        report = verify_program(program, VerifyContext(
+            expected_hammers={(0, 0, 0, 101): 5000}))
+        assert kinds(report) == [HAMMER_COUNT_MISMATCH]
+        assert "0 time(s)" in report.diagnostics[0].message
+
+
+class TestTrrWindow:
+    def _refresh_interleaved(self, bursts):
+        builder = ProgramBuilder()
+        with builder.loop(bursts):
+            with builder.loop(10):
+                builder.act(0, 0, 0, 1)
+                builder.pre(0, 0, 0)
+            builder.ref(0, 0)
+        return builder.build()
+
+    def test_enough_refs_warns_when_escape_assumed(self):
+        report = verify_program(self._refresh_interleaved(20),
+                                VerifyContext(assume_trr_escaped=True))
+        assert kinds(report) == [TRR_WINDOW_WARNING]
+        assert report.exit_code == 1  # warning, not violation
+
+    def test_few_refs_clean(self):
+        report = verify_program(self._refresh_interleaved(16),
+                                VerifyContext(assume_trr_escaped=True))
+        assert report.ok
+
+    def test_no_warning_without_escape_assumption(self):
+        assert verify_program(self._refresh_interleaved(20)).ok
+
+
+class TestStrictMode:
+    def test_wait_below_tras_names_the_constraint(self):
+        builder = ProgramBuilder()
+        builder.act(0, 0, 0, 1)
+        builder.wait(10)
+        builder.pre(0, 0, 0)
+        report = verify_program(builder.build(),
+                                VerifyContext(assume_scheduler=False))
+        (diagnostic,) = report.diagnostics
+        assert diagnostic.constraint == "tRAS"
+
+    def test_sufficient_wait_is_clean(self):
+        timing = TimingParameters()
+        builder = ProgramBuilder()
+        builder.act(0, 0, 0, 1)
+        builder.wait(timing.ras_cycles - 1)  # ACT occupies one cycle
+        builder.pre(0, 0, 0)
+        report = verify_program(builder.build(),
+                                VerifyContext(assume_scheduler=False))
+        assert report.ok
+
+    def test_analysis_recovers_after_violation(self):
+        # The violating PRE is re-timed at its legal cycle, so the
+        # following ACT (after tRP) is not a cascading false positive.
+        timing = TimingParameters()
+        builder = ProgramBuilder()
+        builder.act(0, 0, 0, 1)
+        builder.pre(0, 0, 0)  # too early: tRAS violation
+        builder.wait(timing.rp_cycles + timing.ras_cycles)
+        builder.act(0, 0, 0, 2)
+        builder.wait(timing.ras_cycles)
+        builder.pre(0, 0, 0)
+        report = verify_program(builder.build(),
+                                VerifyContext(assume_scheduler=False))
+        assert [d.constraint for d in report.diagnostics] == ["tRAS"]
+
+
+class TestAssertVerified:
+    def test_raises_with_diagnostics(self):
+        program = Program((isa.Rd(0, 0, 0, 0),))
+        with pytest.raises(VerificationError) as excinfo:
+            assert_verified(program, what="bad program")
+        assert "bad program" in str(excinfo.value)
+        assert excinfo.value.diagnostics[0].kind == PROTOCOL_VIOLATION
+
+    def test_warnings_pass(self):
+        builder = ProgramBuilder()
+        with builder.loop(20):
+            builder.ref(0, 0)
+        builder.act(0, 0, 0, 1)
+        builder.pre(0, 0, 0)
+        report = assert_verified(builder.build(),
+                                 VerifyContext(assume_trr_escaped=True))
+        assert report.exit_code == 1
+
+    def test_clean_program_returns_report(self):
+        program = build_hammer_program(VICTIM, (99, 101), 100)
+        assert assert_verified(program).ok
+
+
+class TestProtocolOnlyPass:
+    def test_builder_build_rejects_protocol_violations(self):
+        builder = ProgramBuilder()
+        builder.rd(0, 0, 0, 0)
+        with pytest.raises(VerificationError):
+            builder.build()
+
+    def test_builder_build_verify_false_skips(self):
+        builder = ProgramBuilder()
+        builder.rd(0, 0, 0, 0)
+        program = builder.build(verify=False)
+        assert len(program.instructions) == 1
+
+    def test_protocol_pass_ignores_timing(self):
+        # Timing-illegal but protocol-legal: back-to-back full cycles.
+        builder = ProgramBuilder()
+        builder.act(0, 0, 0, 1)
+        builder.pre(0, 0, 0)
+        builder.act(0, 0, 0, 2)
+        builder.pre(0, 0, 0)
+        assert verify_protocol(builder.build(verify=False)).ok
+
+    def test_protocol_pass_is_fast_for_huge_loops(self):
+        program = build_hammer_program(VICTIM, (99, 101), 256 * 1024)
+        assert verify_protocol(program).ok
+
+
+class TestStepBudget:
+    def test_truncation_is_reported_as_warning(self):
+        # A flat (loop-free) instruction stream cannot be extrapolated,
+        # so a budget smaller than the stream cuts the analysis short.
+        builder = ProgramBuilder()
+        for _ in range(100):
+            builder.act(0, 0, 0, 1)
+            builder.pre(0, 0, 0)
+        report = verify_program(
+            builder.build(),
+            VerifyContext(step_budget=50))
+        assert ANALYSIS_TRUNCATED in kinds(report)
+        assert report.exit_code == 1
+        assert report.duration_cycles is None
