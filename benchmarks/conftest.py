@@ -13,23 +13,19 @@ is rows_per_region=3072, repetitions=5.
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 from typing import Dict, Optional
 
 import pytest
 
 from repro.bender.board import BoardSpec, make_paper_setup
+from repro.envutil import env_int
 from repro.obs import MetricsRegistry, use_metrics
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 #: One chip specimen for the whole benchmark campaign (as in the paper).
-CHIP_SEED = int(os.environ.get("REPRO_CHIP_SEED", "2023"))
-
-
-def env_int(name: str, default: int) -> int:
-    return int(os.environ.get(name, default))
+CHIP_SEED = env_int("REPRO_CHIP_SEED", 2023)
 
 
 @pytest.fixture(scope="session")

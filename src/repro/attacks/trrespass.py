@@ -132,8 +132,7 @@ class TrrBypassAttack:
             # TRR live and either loses to it (naive) or decoys it.
             assert_verified(
                 program,
-                VerifyContext(timing=timing, expected_hammers=expected,
-                              columns=device.geometry.columns),
+                VerifyContext.for_host(host, expected_hammers=expected),
                 what=f"TRR bypass program for {victim}")
         execution = host.run(program)
 

@@ -39,6 +39,19 @@ class HostInterface:
         self.device = device
         self._interpreter = interpreter or Interpreter(device)
         self._transport = transport
+        #: Engine services, installed by :class:`repro.engine.session.
+        #: EngineSession` when it adopts the board.  ``engine_backend``
+        #: is the station's :class:`~repro.engine.backend.LocalBackend`;
+        #: ``program_cache`` the shape cache (None while the cache is
+        #: disabled, in which case every helper below builds and runs
+        #: its program per call exactly as before the engine existed).
+        self.engine_backend = None
+        self.program_cache = None
+
+    @property
+    def interpreter(self) -> Interpreter:
+        """The board-side executor (the engine lowers payloads on it)."""
+        return self._interpreter
 
     # ------------------------------------------------------------------
     # Program execution
@@ -62,6 +75,23 @@ class HostInterface:
         """A fresh program builder (pure convenience)."""
         return ProgramBuilder()
 
+    def cached_run(self, key, rows, build, verify=None) -> ExecutionResult:
+        """Run the program ``build()`` would produce, through the shape
+        cache when one is installed.
+
+        ``key`` identifies the program *shape* (everything but the ACT
+        row operands); ``rows`` is the row binding, in first-ACT order.
+        ``verify`` runs on the built program before it executes: once
+        per shape when the cache is installed (insert time), once per
+        call without it — exactly the pre-engine behavior.
+        """
+        if self.program_cache is None:
+            program = build()
+            if verify is not None:
+                verify(program)
+            return self.run(program)
+        return self.program_cache.execute(key, rows, build, verify=verify)
+
     # ------------------------------------------------------------------
     # Row-granularity convenience wrappers (each is a tiny test program)
     # ------------------------------------------------------------------
@@ -72,23 +102,34 @@ class HostInterface:
             raise ProgramError(
                 f"row data must be {self.device.geometry.row_bytes} bytes, "
                 f"got {len(data)}")
-        builder = ProgramBuilder()
-        builder.act(address.channel, address.pseudo_channel, address.bank,
-                    address.row)
-        builder.wr_row(address.channel, address.pseudo_channel, address.bank,
-                       data)
-        builder.pre(address.channel, address.pseudo_channel, address.bank)
-        self.run(builder.build())
+        def build() -> Program:
+            builder = ProgramBuilder()
+            builder.act(address.channel, address.pseudo_channel,
+                        address.bank, address.row)
+            builder.wr_row(address.channel, address.pseudo_channel,
+                           address.bank, data)
+            builder.pre(address.channel, address.pseudo_channel, address.bank)
+            return builder.build()
+
+        self.cached_run(("write_row", address.channel, address.pseudo_channel,
+                         address.bank, data), (address.row,), build)
 
     def read_row(self, address: DramAddress) -> np.ndarray:
         """ACT + RDROW + PRE; returns the row as an unpacked bit array."""
         address.validate(self.device.geometry)
-        builder = ProgramBuilder()
-        builder.act(address.channel, address.pseudo_channel, address.bank,
-                    address.row)
-        builder.rd_row(address.channel, address.pseudo_channel, address.bank)
-        builder.pre(address.channel, address.pseudo_channel, address.bank)
-        result = self.run(builder.build())
+
+        def build() -> Program:
+            builder = ProgramBuilder()
+            builder.act(address.channel, address.pseudo_channel,
+                        address.bank, address.row)
+            builder.rd_row(address.channel, address.pseudo_channel,
+                           address.bank)
+            builder.pre(address.channel, address.pseudo_channel, address.bank)
+            return builder.build()
+
+        result = self.cached_run(
+            ("read_row", address.channel, address.pseudo_channel,
+             address.bank), (address.row,), build)
         return result.row_reads[0]
 
     def read_row_bytes(self, address: DramAddress) -> bytes:
@@ -99,35 +140,48 @@ class HostInterface:
                            count: int = 1) -> None:
         """``count`` ACT/PRE cycles on one row (e.g. a manual refresh)."""
         address.validate(self.device.geometry)
-        builder = ProgramBuilder()
-        if count > 1:
-            with builder.loop(count):
+
+        def build() -> Program:
+            builder = ProgramBuilder()
+            if count > 1:
+                with builder.loop(count):
+                    builder.act(address.channel, address.pseudo_channel,
+                                address.bank, address.row)
+                    builder.pre(address.channel, address.pseudo_channel,
+                                address.bank)
+            else:
                 builder.act(address.channel, address.pseudo_channel,
                             address.bank, address.row)
                 builder.pre(address.channel, address.pseudo_channel,
                             address.bank)
-        else:
-            builder.act(address.channel, address.pseudo_channel,
-                        address.bank, address.row)
-            builder.pre(address.channel, address.pseudo_channel, address.bank)
-        self.run(builder.build())
+            return builder.build()
+
+        self.cached_run(("act_pre", address.channel, address.pseudo_channel,
+                         address.bank, count), (address.row,), build)
 
     def refresh(self, channel: int, pseudo_channel: int,
                 count: int = 1) -> None:
         """Issue ``count`` periodic REF commands."""
-        builder = ProgramBuilder()
-        if count > 1:
-            with builder.loop(count):
+        def build() -> Program:
+            builder = ProgramBuilder()
+            if count > 1:
+                with builder.loop(count):
+                    builder.ref(channel, pseudo_channel)
+            else:
                 builder.ref(channel, pseudo_channel)
-        else:
-            builder.ref(channel, pseudo_channel)
-        self.run(builder.build())
+            return builder.build()
+
+        self.cached_run(("refresh", channel, pseudo_channel, count), (),
+                        build)
 
     def wait_seconds(self, seconds: float) -> None:
         """Idle the command bus for a wall-clock duration."""
-        builder = ProgramBuilder()
-        builder.wait_time(seconds, self.device.timing.frequency_hz)
-        self.run(builder.build())
+        def build() -> Program:
+            builder = ProgramBuilder()
+            builder.wait_time(seconds, self.device.timing.frequency_hz)
+            return builder.build()
+
+        self.cached_run(("wait", seconds), (), build)
 
     # ------------------------------------------------------------------
     # Device management

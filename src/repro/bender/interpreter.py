@@ -20,13 +20,14 @@ are defined to match the unrolled loop.  A property test in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.bender import isa
 from repro.bender.program import Program
 from repro.dram.device import HBM2Device
+from repro.dram.ecc import encode_words
 from repro.errors import ProgramError
 from repro.obs import get_metrics
 
@@ -77,6 +78,30 @@ class Interpreter:
         self._fast_loop_threshold = max(3, fast_loop_threshold)
         self._enable_fast_loops = enable_fast_loops
         self._trace = trace
+        #: Row-payload lowering cache (None = disabled).  Enabled by the
+        #: execution engine's session: maps WRROW payload bytes to their
+        #: (unpacked bits, ECC parity) — both pure functions of the
+        #: payload — so repeated data fills skip the unpack and encode.
+        self.payload_cache: Optional[
+            Dict[bytes, Tuple[np.ndarray, np.ndarray]]] = None
+
+    def enable_payload_cache(self) -> None:
+        """Memoize WRROW payload lowering (engine sessions call this)."""
+        if self.payload_cache is None:
+            self.payload_cache = {}
+
+    def lower_payload(self, data: bytes) -> Tuple[np.ndarray, np.ndarray]:
+        """The cached (bits, parity) lowering of one WRROW payload."""
+        cache = self.payload_cache
+        if cache is None:
+            bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+            return bits, encode_words(bits)
+        lowered = cache.get(data)
+        if lowered is None:
+            bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+            lowered = (bits, encode_words(bits))
+            cache[data] = lowered
+        return lowered
 
     def run(self, program: Program) -> ExecutionResult:
         """Execute ``program``; returns the readback stream."""
@@ -123,11 +148,17 @@ class Interpreter:
                                      instruction.pseudo_channel,
                                      instruction.bank))
         elif isinstance(instruction, isa.WrRow):
-            bits = np.unpackbits(
-                np.frombuffer(instruction.data, dtype=np.uint8))
-            device.write_open_row(instruction.channel,
-                                  instruction.pseudo_channel,
-                                  instruction.bank, bits)
+            if self.payload_cache is not None:
+                bits, parity = self.lower_payload(instruction.data)
+                device.write_open_row(instruction.channel,
+                                      instruction.pseudo_channel,
+                                      instruction.bank, bits, parity=parity)
+            else:
+                bits = np.unpackbits(
+                    np.frombuffer(instruction.data, dtype=np.uint8))
+                device.write_open_row(instruction.channel,
+                                      instruction.pseudo_channel,
+                                      instruction.bank, bits)
         elif isinstance(instruction, isa.Ref):
             device.refresh(instruction.channel, instruction.pseudo_channel)
         elif isinstance(instruction, isa.Wait):

@@ -34,8 +34,9 @@ from repro.analysis.report import experiment_report
 from repro.analysis.tables import format_headline_table, headline_numbers
 from repro.bender.board import BenderBoard, BoardSpec
 from repro.core.ber import BerExperiment
-from repro.core.experiment import ExperimentConfig, apply_controls
+from repro.core.experiment import ExperimentConfig
 from repro.core.hcfirst import HcFirstSearch
+from repro.engine import EngineSession
 from repro.core.mapping_re import reverse_engineer_mapping
 from repro.core.parallel import ParallelSweepRunner
 from repro.core.patterns import (
@@ -84,8 +85,16 @@ def _make_spec(args: argparse.Namespace) -> BoardSpec:
                      faults=_fault_spec(args))
 
 
+def _session(args: argparse.Namespace,
+             experiment: Optional[ExperimentConfig] = None) -> EngineSession:
+    """The engine session every subcommand builds its station through."""
+    return EngineSession(spec=_make_spec(args), experiment=experiment)
+
+
 def _make_station(args: argparse.Namespace) -> BenderBoard:
-    return _make_spec(args).build()
+    """An engine-managed station with no interference controls applied
+    (the mapping/subarray/U-TRR tooling never applied them)."""
+    return _session(args).board
 
 
 def _address(args: argparse.Namespace) -> DramAddress:
@@ -97,9 +106,8 @@ def _address(args: argparse.Namespace) -> DramAddress:
 # Subcommands
 # ----------------------------------------------------------------------
 def cmd_ber(args: argparse.Namespace) -> int:
-    board = _make_station(args)
     config = ExperimentConfig(ber_hammer_count=args.hammers)
-    apply_controls(board, config)
+    board = _session(args, config).station()
     experiment = BerExperiment(board.host, board.device.mapper, config)
     victim = _address(args)
     patterns = ([pattern_by_name(args.pattern)] if args.pattern
@@ -113,9 +121,8 @@ def cmd_ber(args: argparse.Namespace) -> int:
 
 
 def cmd_hcfirst(args: argparse.Namespace) -> int:
-    board = _make_station(args)
     config = ExperimentConfig(hcfirst_max_hammers=args.max_hammers)
-    apply_controls(board, config)
+    board = _session(args, config).station()
     search = HcFirstSearch(board.host, board.device.mapper, config)
     victim = _address(args)
     patterns = ([pattern_by_name(args.pattern)] if args.pattern

@@ -94,27 +94,35 @@ class BerExperiment:
         full_bursts, remainder = divmod(config.ber_hammer_count,
                                         hammers_per_refi)
 
-        builder = ProgramBuilder()
-        with builder.loop(full_bursts):
-            with builder.loop(hammers_per_refi):
-                for row in aggressors:
-                    builder.act(victim.channel, victim.pseudo_channel,
-                                victim.bank, row)
-                    builder.pre(victim.channel, victim.pseudo_channel,
-                                victim.bank)
-            builder.ref(victim.channel, victim.pseudo_channel)
-        if remainder:
-            with builder.loop(remainder):
-                for row in aggressors:
-                    builder.act(victim.channel, victim.pseudo_channel,
-                                victim.bank, row)
-                    builder.pre(victim.channel, victim.pseudo_channel,
-                                victim.bank)
-        program = builder.build()
+        def build():
+            builder = ProgramBuilder()
+            with builder.loop(full_bursts):
+                with builder.loop(hammers_per_refi):
+                    for row in aggressors:
+                        builder.act(victim.channel, victim.pseudo_channel,
+                                    victim.bank, row)
+                        builder.pre(victim.channel, victim.pseudo_channel,
+                                    victim.bank)
+                builder.ref(victim.channel, victim.pseudo_channel)
+            if remainder:
+                with builder.loop(remainder):
+                    for row in aggressors:
+                        builder.act(victim.channel, victim.pseudo_channel,
+                                    victim.bank, row)
+                        builder.pre(victim.channel, victim.pseudo_channel,
+                                    victim.bank)
+            return builder.build()
+
+        verify = None
         if config.verify_programs:
-            verify_hammer_program(program, host, victim, aggressors,
-                                  config.ber_hammer_count)
-        execution = host.run(program)
+            def verify(program) -> None:
+                verify_hammer_program(program, host, victim, aggressors,
+                                      config.ber_hammer_count)
+        execution = host.cached_run(
+            ("ber_refresh", victim.channel, victim.pseudo_channel,
+             victim.bank, len(aggressors), full_bursts, hammers_per_refi,
+             remainder),
+            tuple(aggressors), build, verify=verify)
         duration_s = timing.seconds(execution.duration_cycles)
 
         read_bits = host.read_row(victim)

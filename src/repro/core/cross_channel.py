@@ -80,33 +80,40 @@ class CrossChannelExperiment:
         fill = bytes([self._fill_byte]) * geometry.row_bytes
         host.write_row(victim, fill)
 
-        builder = ProgramBuilder()
-        if stressed:
-            # Continuously toggle the same row index in the aggressor
-            # channel — the wordline physically adjacent to the victim
-            # through the stack.
-            with builder.loop(activations):
-                builder.act(aggressor_channel, victim.pseudo_channel,
-                            victim.bank, victim.row)
-                builder.pre(aggressor_channel, victim.pseudo_channel,
-                            victim.bank)
-        else:
-            # Idle for exactly the duration the stress arm spends.
-            builder.wait(activations * timing.rc_cycles)
-        program = builder.build()
+        def build():
+            builder = ProgramBuilder()
+            if stressed:
+                # Continuously toggle the same row index in the aggressor
+                # channel — the wordline physically adjacent to the victim
+                # through the stack.
+                with builder.loop(activations):
+                    builder.act(aggressor_channel, victim.pseudo_channel,
+                                victim.bank, victim.row)
+                    builder.pre(aggressor_channel, victim.pseudo_channel,
+                                victim.bank)
+            else:
+                # Idle for exactly the duration the stress arm spends.
+                builder.wait(activations * timing.rc_cycles)
+            return builder.build()
+
+        verify = None
         if self._verify:
-            expected = {(aggressor_channel, victim.pseudo_channel,
-                         victim.bank, victim.row): activations} \
-                if stressed else None
-            # Both arms deliberately leave the victim unrefreshed for the
-            # whole duration — decay is the experiment's common mode.
-            assert_verified(
-                program,
-                VerifyContext(timing=timing, expected_hammers=expected,
-                              columns=geometry.columns,
-                              allow_retention_decay=True),
-                what="cross-channel stress program")
-        host.run(program)
+            def verify(program) -> None:
+                expected = {(aggressor_channel, victim.pseudo_channel,
+                             victim.bank, victim.row): activations} \
+                    if stressed else None
+                # Both arms deliberately leave the victim unrefreshed for
+                # the whole duration — decay is the experiment's common
+                # mode.
+                assert_verified(
+                    program,
+                    VerifyContext.for_host(host, expected_hammers=expected,
+                                           allow_retention_decay=True),
+                    what="cross-channel stress program")
+        host.cached_run(
+            ("cross_channel", aggressor_channel, victim.pseudo_channel,
+             victim.bank, activations, stressed),
+            (victim.row,) if stressed else (), build, verify=verify)
 
         read_bits = host.read_row(victim)
         expected = byte_fill_bits(self._fill_byte, geometry.row_bytes)

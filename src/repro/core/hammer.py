@@ -123,9 +123,7 @@ def verify_hammer_program(program: Program, host: HostInterface,
     expected = {(victim.channel, victim.pseudo_channel, victim.bank, row):
                 hammer_count for row in aggressor_rows}
     assert_verified(program,
-                    VerifyContext(timing=host.device.timing,
-                                  expected_hammers=expected,
-                                  columns=host.device.geometry.columns),
+                    VerifyContext.for_host(host, expected_hammers=expected),
                     what=f"hammer program for {victim}")
 
 
@@ -166,12 +164,22 @@ class DoubleSidedHammer:
             raise ExperimentError(
                 f"victim {victim} has {len(aggressors)} physical "
                 "neighbour(s); double-sided hammering needs two")
-        program = build_hammer_program(victim, aggressors, hammer_count)
+        verify = None
         if self._verify:
-            verify_hammer_program(program, host, victim, aggressors,
-                                  hammer_count)
+            def verify(program: Program) -> None:
+                verify_hammer_program(program, host, victim, aggressors,
+                                      hammer_count)
         with tracer.span("hammer", hammers=hammer_count):
-            execution = host.run(program)
+            # Through the engine: the program *shape* (everything but
+            # the aggressor rows) is assembled and verified once, then
+            # re-instantiated per victim by patching the ACT rows.
+            execution = host.cached_run(
+                ("hammer", victim.channel, victim.pseudo_channel,
+                 victim.bank, len(aggressors), hammer_count),
+                tuple(aggressors) if hammer_count else (),
+                lambda: build_hammer_program(victim, aggressors,
+                                             hammer_count),
+                verify=verify)
         duration_s = host.device.timing.seconds(execution.duration_cycles)
 
         with tracer.span("readback"):
@@ -232,14 +240,20 @@ class SingleSidedHammer:
                 host.write_row(aggressor.with_row(logical),
                                bytes([fill]) * geometry.row_bytes)
 
-        program = build_hammer_program(aggressor, [aggressor.row],
-                                       hammer_count)
+        verify = None
         if self._verify:
-            verify_hammer_program(program, host, aggressor,
-                                  [aggressor.row], hammer_count)
+            def verify(program: Program) -> None:
+                verify_hammer_program(program, host, aggressor,
+                                      [aggressor.row], hammer_count)
         with get_tracer().span("hammer", hammers=hammer_count,
                                single_sided=True):
-            host.run(program)
+            host.cached_run(
+                ("hammer", aggressor.channel, aggressor.pseudo_channel,
+                 aggressor.bank, 1, hammer_count),
+                (aggressor.row,) if hammer_count else (),
+                lambda: build_hammer_program(aggressor, [aggressor.row],
+                                             hammer_count),
+                verify=verify)
 
         expected = byte_fill_bits(pattern.victim_byte, geometry.row_bytes)
         physical_aggressor = mapper.logical_to_physical(aggressor.row)

@@ -59,14 +59,10 @@ with a reverse-engineered mapper.
 
 from __future__ import annotations
 
-import pickle
 import tempfile
 import time
-from concurrent.futures import FIRST_COMPLETED, BrokenExecutor
-from concurrent.futures import Future  # noqa: F401  (typing)
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
-from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -80,19 +76,16 @@ from repro.core.sweeps import (
     sweep_metadata,
 )
 from repro.core.wcdp import append_wcdp_records
+from repro.engine.plan import ExecutionPlan
+from repro.engine.pool import PoolBackend, run_shard
 from repro.errors import ExperimentError, ReproError, ShardFault
-from repro.faults.plan import FaultPlan, resolve_fault_spec
 from repro.faults.thermal import ThermalGuard
 from repro.obs import (
-    NOOP_TRACER,
     MetricsRegistry,
     ObsConfig,
-    Tracer,
     get_metrics,
     get_tracer,
     read_jsonl,
-    use_metrics,
-    use_tracer,
 )
 from repro.rng import uniform_hash01
 
@@ -105,9 +98,6 @@ __all__ = [
     "run_shard",
     "run_sweep",
 ]
-
-#: Cadence of the dispatch/deadline poll when ``shard_timeout_s`` is set.
-_POLL_S = 0.05
 
 
 @dataclass(frozen=True)
@@ -247,25 +237,18 @@ class ShardPlan:
 
     @classmethod
     def from_config(cls, config: SweepConfig) -> "ShardPlan":
-        shards: List[SweepShard] = []
-        for channel in config.channels:
-            for pseudo_channel in config.pseudo_channels:
-                for bank in config.banks:
-                    for region in config.regions:
-                        shard_config = replace(
-                            config,
-                            channels=(channel,),
-                            pseudo_channels=(pseudo_channel,),
-                            banks=(bank,),
-                            regions=(region,),
-                            append_wcdp=False,
-                            jobs=1,
-                        )
-                        shards.append(SweepShard(
-                            index=len(shards), channel=channel,
-                            pseudo_channel=pseudo_channel, bank=bank,
-                            region=region, config=shard_config))
-        return cls(shards=tuple(shards))
+        """One shard per engine plan item: a :class:`ShardPlan` is the
+        engine's :class:`~repro.engine.plan.ExecutionPlan` partitioned
+        into process-crossable work units, so the serial and parallel
+        paths iterate the same items in the same order by construction.
+        """
+        plan = ExecutionPlan.from_config(config)
+        return cls(shards=tuple(
+            SweepShard(index=item.index, channel=item.channel,
+                       pseudo_channel=item.pseudo_channel, bank=item.bank,
+                       region=item.region,
+                       config=ExecutionPlan.narrow_config(config, item))
+            for item in plan))
 
     def with_obs(self, obs: ObsConfig) -> Tuple[SweepShard, ...]:
         """The plan's shards with ``obs`` injected into every config."""
@@ -280,96 +263,12 @@ class ShardPlan:
 
 
 # ----------------------------------------------------------------------
-# Worker side
-# ----------------------------------------------------------------------
-#: Per-process station cache: one board per (spec, experiment config),
-#: reused across the shards a worker executes so the (deterministic but
-#: not free) device construction and PID settle are paid once.
-_WORKER_STATIONS: Dict[bytes, BenderBoard] = {}
-
-
-def _worker_station(spec: BoardSpec, config: SweepConfig) -> BenderBoard:
-    from repro.core.experiment import apply_controls
-
-    key = pickle.dumps((spec, config.experiment))
-    board = _WORKER_STATIONS.get(key)
-    if board is None:
-        board = spec.build()
-        # Apply the interference controls exactly once per station, as
-        # the serial sweep does: re-settling the PID rig between shards
-        # could land on a fractionally different plant temperature and
-        # break bit-for-bit equality with the serial path.
-        apply_controls(board, config.experiment)
-        _WORKER_STATIONS[key] = board
-    return board
-
-
-def run_shard(spec: BoardSpec, shard: SweepShard) -> CharacterizationDataset:
-    """Execute one shard in the current process and return its dataset.
-
-    The default shard runner submitted to worker processes; also usable
-    inline (e.g. by tests) since it has no pool-specific state.
-
-    Every shard runs under its own metrics registry (cheap enough to be
-    always-on) so that a *failing* shard can report its wall time and
-    metric snapshot via :class:`ShardRunError`.  When the shard config
-    carries an :class:`~repro.obs.ObsConfig` the collected trace/metrics
-    are additionally spooled to per-shard files for the parent to merge.
-
-    Fault plumbing: when the shard config (or ``$REPRO_FAULTS``)
-    carries a fault spec, injected execution faults fire at shard entry
-    — keyed on (coordinates, attempt), so retries of an injured shard
-    draw fresh — and the returned dataset is fingerprinted
-    (``metadata["integrity"]``) *before* any injected readback
-    poisoning corrupts it, letting the parent detect the poisoning
-    exactly as it would detect real in-transit corruption.
-    """
-    obs = shard.config.obs
-    want_trace = bool(obs is not None and obs.trace)
-    registry = MetricsRegistry()
-    tracer = Tracer() if want_trace else NOOP_TRACER
-    started = time.perf_counter()
-    try:
-        with use_metrics(registry), use_tracer(tracer):
-            with tracer.span("shard", shard=shard.index,
-                             channel=shard.channel,
-                             pseudo_channel=shard.pseudo_channel,
-                             bank=shard.bank, region=shard.region):
-                fault_spec = resolve_fault_spec(shard.config.faults)
-                if fault_spec is not None and fault_spec.has_shard_faults:
-                    from repro.faults.inject import injure_worker
-                    injure_worker(FaultPlan(fault_spec), shard.channel,
-                                  shard.pseudo_channel, shard.bank,
-                                  shard.region, shard.attempt)
-                board = _worker_station(spec, shard.config)
-                sweep = SpatialSweep(board, shard.config)
-                dataset = sweep.run(apply_interference_controls=False)
-                dataset.metadata["integrity"] = dataset.fingerprint()
-                if fault_spec is not None and fault_spec.shard_poison:
-                    from repro.faults.inject import poison_dataset
-                    poison_dataset(FaultPlan(fault_spec), dataset,
-                                   shard.channel, shard.pseudo_channel,
-                                   shard.bank, shard.region, shard.attempt)
-    except Exception as error:
-        wall_s = time.perf_counter() - started
-        registry.gauge("shard.wall_s").set(wall_s)
-        category = (error.category if isinstance(error, ShardFault)
-                    else "error")
-        raise ShardRunError(type(error).__name__, str(error), wall_s,
-                            registry.snapshot(), category) from error
-    wall_s = time.perf_counter() - started
-    registry.gauge("shard.wall_s").set(wall_s)
-    registry.gauge("shard.records").set(sum(dataset.record_counts()))
-    if obs is not None and obs.active:
-        if want_trace:
-            tracer.write_jsonl(obs.trace_path(shard.index))
-        registry.to_json(obs.metrics_path(shard.index))
-    return dataset
-
-
-# ----------------------------------------------------------------------
 # Parent side
 # ----------------------------------------------------------------------
+# The worker side — the per-process engine session and the default
+# per-shard entry point — lives in :mod:`repro.engine.pool`;
+# :func:`repro.engine.pool.run_shard` is re-exported here (imported
+# above) for callers and tests that run shards inline.
 ShardRunner = Callable[[BoardSpec, SweepShard], CharacterizationDataset]
 
 
@@ -765,87 +664,29 @@ class ParallelSweepRunner:
                   failures: Dict[int, BaseException],
                   aggregator: _ProgressAggregator,
                   attempt: int) -> List[SweepShard]:
-        config = self._config
-        metrics = get_metrics()
-        timeout = config.shard_timeout_s
-        executor = ProcessPoolExecutor(max_workers=workers,
-                                       mp_context=self._mp_context)
+        """Run one round on the engine's pool backend; returns failures.
+
+        The scheduling semantics (dispatch-armed deadlines, starvation
+        fast-fail, crash isolation) live in
+        :class:`~repro.engine.pool.PoolBackend`; this wrapper adapts its
+        callbacks to the runner's retry/checkpoint bookkeeping.
+        """
         failed: List[SweepShard] = []
-        abandoned = False
 
         def record_failure(shard: SweepShard, error: BaseException) -> None:
             failures[shard.index] = error
             failed.append(shard)
             aggregator.failed(shard, error, attempt)
 
-        try:
-            live: Dict[int, Tuple[SweepShard, Future]] = {}
-            for shard in shards:
-                job = replace(shard, attempt=attempt)
-                live[shard.index] = (
-                    shard, executor.submit(self._shard_runner, self._spec,
-                                           job))
-            # Per-shard deadlines armed when the pool *dispatches* the
-            # work item (future.running()), not at submission — so a
-            # shard that sat in the queue behind slow siblings still
-            # gets its full timeout.  (The pool's call queue holds one
-            # item beyond the workers, so one queued shard's clock may
-            # start marginally early; the timeout is a hang guard, not
-            # a precision limit.)
-            deadlines: Dict[int, float] = {}
-            last_event = time.monotonic()
-            while live:
-                done, _ = futures_wait(
-                    [future for _, future in live.values()],
-                    timeout=(_POLL_S if timeout is not None else None),
-                    return_when=FIRST_COMPLETED)
-                now = time.monotonic()
-                if done:
-                    last_event = now
-                for index in [index for index, (_, future) in live.items()
-                              if future in done]:
-                    shard, future = live.pop(index)
-                    try:
-                        dataset = future.result()
-                    except Exception as error:
-                        record_failure(shard, error)
-                    else:
-                        self._accept(shard, dataset, results, failures,
-                                     aggregator, attempt, record_failure)
-                if timeout is None:
-                    continue
-                for index, (_, future) in live.items():
-                    if index not in deadlines and future.running():
-                        deadlines[index] = now + timeout
-                for index in [index for index in list(live)
-                              if deadlines.get(index, now + 1) <= now]:
-                    shard, future = live.pop(index)
-                    future.cancel()
-                    abandoned = True
-                    metrics.counter("sweep.shard_timeouts").inc()
-                    record_failure(shard, FuturesTimeoutError(
-                        f"shard {shard.describe()} exceeded "
-                        f"shard_timeout_s={timeout}"))
-                # Starvation: nothing is running and nothing has
-                # completed for a full timeout — every worker is wedged
-                # on an already-expired shard, so the queued shards will
-                # never start.  Fail them fast (category "starved") so
-                # the isolated retry rounds can run them on fresh pools
-                # instead of waiting out a timeout each.
-                if (live and now - last_event > timeout
-                        and not any(future.running()
-                                    for _, future in live.values())):
-                    abandoned = True
-                    for index in list(live):
-                        shard, future = live.pop(index)
-                        future.cancel()
-                        metrics.counter("sweep.shard_starved").inc()
-                        record_failure(shard, ShardFault(
-                            f"shard {shard.describe()} starved: pool has "
-                            f"no live workers left to run it",
-                            category="starved"))
-        finally:
-            executor.shutdown(wait=not abandoned, cancel_futures=True)
+        def accept(shard: SweepShard,
+                   dataset: CharacterizationDataset) -> None:
+            self._accept(shard, dataset, results, failures, aggregator,
+                         attempt, record_failure)
+
+        backend = PoolBackend(self._spec, runner=self._shard_runner,
+                              timeout_s=self._config.shard_timeout_s,
+                              mp_context=self._mp_context)
+        backend.run(list(shards), workers, attempt, accept, record_failure)
         return failed
 
     def _accept(self, shard: SweepShard, dataset: CharacterizationDataset,

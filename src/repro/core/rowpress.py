@@ -105,22 +105,27 @@ class RowPressExperiment:
         if len(aggressors) < 2:
             raise ExperimentError(
                 f"victim {victim} lacks two physical neighbours")
-        program = build_rowpress_program(victim, aggressors, hammer_count,
-                                         extra_open_cycles)
+        verify = None
         if self._verify:
-            expected = {(victim.channel, victim.pseudo_channel,
-                         victim.bank, row): hammer_count
-                        for row in aggressors}
-            # Long aggressor-on times deliberately run past tREFW (the
-            # module docstring's retention note), so decay is allowed.
-            assert_verified(
-                program,
-                VerifyContext(timing=host.device.timing,
-                              expected_hammers=expected,
-                              columns=geometry.columns,
-                              allow_retention_decay=True),
-                what=f"RowPress program for {victim}")
-        execution = host.run(program)
+            def verify(program: Program) -> None:
+                expected = {(victim.channel, victim.pseudo_channel,
+                             victim.bank, row): hammer_count
+                            for row in aggressors}
+                # Long aggressor-on times deliberately run past tREFW
+                # (the module docstring's retention note), so decay is
+                # allowed.
+                assert_verified(
+                    program,
+                    VerifyContext.for_host(host, expected_hammers=expected,
+                                           allow_retention_decay=True),
+                    what=f"RowPress program for {victim}")
+        execution = host.cached_run(
+            ("rowpress", victim.channel, victim.pseudo_channel, victim.bank,
+             len(aggressors), hammer_count, extra_open_cycles),
+            tuple(aggressors) if hammer_count else (),
+            lambda: build_rowpress_program(victim, aggressors, hammer_count,
+                                           extra_open_cycles),
+            verify=verify)
         read_bits = host.read_row(victim)
         expected = byte_fill_bits(self._pattern.victim_byte,
                                   geometry.row_bytes)

@@ -26,13 +26,12 @@ record order the serial path produces.
 
 from __future__ import annotations
 
-import os
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from repro.bender.board import BenderBoard
 from repro.core.ber import BerExperiment
-from repro.core.experiment import ExperimentConfig, apply_controls
+from repro.core.experiment import ExperimentConfig
 from repro.core.hcfirst import HcFirstSearch
 from repro.core.patterns import DataPattern, STANDARD_PATTERNS
 from repro.core.results import (
@@ -44,28 +43,14 @@ from repro.core.results import (
 )
 from repro.core.wcdp import append_wcdp_records
 from repro.dram.address import DramAddress, RowAddressMapper
+from repro.engine import EngineSession, ExecutionPlan, WorkItem
+from repro.envutil import env_int
 from repro.errors import ExperimentError
-from repro.faults.plan import FaultPlan, FaultSpec, resolve_fault_spec
+from repro.faults.plan import FaultSpec
 from repro.faults.thermal import ThermalGuard
 from repro.obs import ObsConfig, get_metrics, get_tracer
 
 ProgressCallback = Callable[[str], None]
-
-
-def _env_int(name: str, default: int, minimum: int = 0) -> int:
-    raw = os.environ.get(name)
-    if raw is None:
-        return default
-    try:
-        value = int(raw)
-    except ValueError:
-        raise ExperimentError(
-            f"environment variable {name} must be an int, "
-            f"got {raw!r}") from None
-    if value < minimum:
-        raise ExperimentError(
-            f"environment variable {name} must be >= {minimum}, got {value}")
-    return value
 
 
 @dataclass(frozen=True)
@@ -122,17 +107,30 @@ class SweepConfig:
         if unknown:
             raise ExperimentError(f"unknown regions: {sorted(unknown)}")
 
+    #: Environment knobs :meth:`from_env` consults, as
+    #: field -> (variable, default, minimum).
+    ENV_FIELDS = {
+        "rows_per_region": ("REPRO_ROWS_PER_REGION", 16, 0),
+        "hcfirst_rows_per_region": ("REPRO_HCFIRST_ROWS", 6, 0),
+        "repetitions": ("REPRO_REPETITIONS", 1, 0),
+        "region_size": ("REPRO_REGION_SIZE", 3072, 0),
+        "jobs": ("REPRO_JOBS", 1, 1),
+    }
+
     @classmethod
     def from_env(cls, **overrides) -> "SweepConfig":
-        """Default config with sampling density read from the environment."""
-        base = cls(
-            rows_per_region=_env_int("REPRO_ROWS_PER_REGION", 16),
-            hcfirst_rows_per_region=_env_int("REPRO_HCFIRST_ROWS", 6),
-            repetitions=_env_int("REPRO_REPETITIONS", 1),
-            region_size=_env_int("REPRO_REGION_SIZE", 3072),
-            jobs=_env_int("REPRO_JOBS", 1, minimum=1),
-        )
-        return replace(base, **overrides)
+        """Default config with sampling density read from the environment.
+
+        Explicit ``overrides`` always win: the environment variable for
+        an overridden field is not even read, so e.g. an invalid
+        ``$REPRO_JOBS`` cannot poison a call that passes ``jobs=``
+        explicitly.
+        """
+        values = dict(overrides)
+        for name, (variable, default, minimum) in cls.ENV_FIELDS.items():
+            if name not in values:
+                values[name] = env_int(variable, default, minimum=minimum)
+        return cls(**values)
 
 
 def sweep_metadata(config: SweepConfig) -> dict:
@@ -176,6 +174,8 @@ class SpatialSweep:
         """
         self._board = board
         self._config = config or SweepConfig()
+        self._session = EngineSession(board=board,
+                                      experiment=self._config.experiment)
         self._mapper = mapper or board.device.mapper
         self._ber = BerExperiment(board.host, self._mapper,
                                   self._config.experiment)
@@ -266,26 +266,18 @@ class SpatialSweep:
         metrics = get_metrics()
         counts_before = (dict(self._board.device.command_counts)
                          if metrics.enabled else None)
-        if apply_interference_controls:
-            with tracer.span("controls"):
-                apply_controls(self._board, config.experiment)
-        # The thermal guard is built *after* the controls settle the rig
+        self._session.prepare(apply_interference_controls)
+        # The thermal guard is armed *after* the controls settle the rig
         # so it captures the calibrated operating point to snap back to.
-        fault_spec = resolve_fault_spec(config.faults)
-        self._thermal_guard = (
-            ThermalGuard(self._board, FaultPlan(fault_spec))
-            if fault_spec is not None and fault_spec.has_thermal_faults
-            else None)
+        self._thermal_guard = self._session.thermal_guard(config.faults)
         dataset = CharacterizationDataset(metadata=sweep_metadata(config))
+        plan = ExecutionPlan.from_config(config)
         with tracer.span("sweep", channels=list(config.channels),
                          pseudo_channels=list(config.pseudo_channels),
                          banks=list(config.banks),
                          regions=list(config.regions)):
-            for channel in config.channels:
-                for pseudo_channel in config.pseudo_channels:
-                    for bank in config.banks:
-                        self._sweep_bank(dataset, channel, pseudo_channel,
-                                         bank, progress)
+            for item in plan:
+                self._sweep_item(dataset, item, progress)
             measured_ber, measured_hcfirst = dataset.record_counts()
             if self._thermal_guard is not None:
                 thermal = self._thermal_guard.metadata()
@@ -301,44 +293,44 @@ class SpatialSweep:
             metrics.counter("sweep.hcfirst_records").inc(measured_hcfirst)
         return dataset
 
-    def _sweep_bank(self, dataset: CharacterizationDataset, channel: int,
-                    pseudo_channel: int, bank: int,
+    def _sweep_item(self, dataset: CharacterizationDataset, item: WorkItem,
                     progress: Optional[ProgressCallback]) -> None:
+        """Measure one :class:`~repro.engine.plan.WorkItem` (bank region)."""
         config = self._config
         device = self._board.device
         tracer = get_tracer()
-        for region in config.regions:
-            if progress is not None:
-                progress(f"ch{channel} pc{pseudo_channel} ba{bank} "
-                         f"region={region}")
-            with tracer.span("region", channel=channel,
-                             pseudo_channel=pseudo_channel, bank=bank,
-                             region=region):
-                ber_rows = self.region_rows(region, config.rows_per_region)
-                hcfirst_rows = ber_rows[:config.hcfirst_rows_per_region]
-                for row in ber_rows:
-                    victim = DramAddress(channel, pseudo_channel, bank, row)
-                    guard = self._thermal_guard
-                    if guard is not None:
-                        guard.before_cell(channel, pseudo_channel, bank,
-                                          row)
-                    with tracer.span("cell", row=row):
-                        for repetition in range(config.repetitions):
-                            if config.include_ber:
-                                with tracer.span("ber",
-                                                 repetition=repetition):
-                                    dataset.extend(self._ber.run_patterns(
-                                        victim, config.patterns, region,
-                                        repetition))
-                            if (config.include_hcfirst
-                                    and row in hcfirst_rows):
-                                with tracer.span("hcfirst",
-                                                 repetition=repetition):
-                                    dataset.extend(
-                                        self._hcfirst.record_patterns(
-                                            victim, config.patterns,
-                                            region, repetition))
-                    if guard is not None:
-                        guard.after_cell()
-            if config.release_rows_between_regions:
-                device.bank(channel, pseudo_channel, bank).release_all_rows()
+        channel, pseudo_channel = item.channel, item.pseudo_channel
+        bank, region = item.bank, item.region
+        if progress is not None:
+            progress(f"ch{channel} pc{pseudo_channel} ba{bank} "
+                     f"region={region}")
+        with tracer.span("region", channel=channel,
+                         pseudo_channel=pseudo_channel, bank=bank,
+                         region=region):
+            ber_rows = self.region_rows(region, config.rows_per_region)
+            hcfirst_rows = ber_rows[:config.hcfirst_rows_per_region]
+            for row in ber_rows:
+                victim = DramAddress(channel, pseudo_channel, bank, row)
+                guard = self._thermal_guard
+                if guard is not None:
+                    guard.before_cell(channel, pseudo_channel, bank, row)
+                with tracer.span("cell", row=row):
+                    for repetition in range(config.repetitions):
+                        if config.include_ber:
+                            with tracer.span("ber",
+                                             repetition=repetition):
+                                dataset.extend(self._ber.run_patterns(
+                                    victim, config.patterns, region,
+                                    repetition))
+                        if (config.include_hcfirst
+                                and row in hcfirst_rows):
+                            with tracer.span("hcfirst",
+                                             repetition=repetition):
+                                dataset.extend(
+                                    self._hcfirst.record_patterns(
+                                        victim, config.patterns,
+                                        region, repetition))
+                if guard is not None:
+                    guard.after_cell()
+        if config.release_rows_between_regions:
+            device.bank(channel, pseudo_channel, bank).release_all_rows()

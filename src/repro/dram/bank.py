@@ -186,8 +186,14 @@ class Bank:
             return corrected
         return bits.copy()
 
-    def write_open_row_bits(self, bits: np.ndarray, cycle: int) -> None:
-        """Whole-row write (infrastructure batching of 32 column writes)."""
+    def write_open_row_bits(self, bits: np.ndarray, cycle: int,
+                            parity: Optional[np.ndarray] = None) -> None:
+        """Whole-row write (infrastructure batching of 32 column writes).
+
+        ``parity`` must be ``encode_words(bits & 1)`` when given; the
+        payload-lowering cache passes it so the encode is paid once per
+        distinct payload rather than once per row write.
+        """
         if self._open_physical is None:
             raise CommandError(f"bank {self._key}: row write with no open row")
         if bits.shape != (self._geometry.row_bits,):
@@ -196,7 +202,10 @@ class Bank:
                 f"got shape {bits.shape}")
         stored = self._row_bits(self._open_physical)
         stored[:] = bits & 1
-        self._parity[self._open_physical] = encode_words(stored)
+        if parity is None:
+            self._parity[self._open_physical] = encode_words(stored)
+        else:
+            self._parity[self._open_physical] = parity.copy()
 
     # ------------------------------------------------------------------
     # Charge restoration (shared by ACT, periodic refresh, TRR refresh)

@@ -282,13 +282,19 @@ class HBM2Device:
         return bits
 
     def write_open_row(self, channel: int, pseudo_channel: int, bank: int,
-                       bits: np.ndarray) -> None:
-        """Store all row bits of the open row (models 32 pipelined WRs)."""
+                       bits: np.ndarray,
+                       parity: Optional[np.ndarray] = None) -> None:
+        """Store all row bits of the open row (models 32 pipelined WRs).
+
+        ``parity`` lets a caller that already holds the payload's ECC
+        parity words (the interpreter's payload-lowering cache) skip
+        the re-encode; it must equal ``encode_words(bits & 1)``.
+        """
         key: BankKey = (channel, pseudo_channel, bank)
         cycle = self._timing_checker.earliest_rdwr(key, self.now)
         self._timing_checker.record_rdwr(key, cycle, is_write=True)
         self.bank(channel, pseudo_channel, bank).write_open_row_bits(
-            bits, cycle)
+            bits, cycle, parity=parity)
         self.now = cycle + self.geometry.columns * self.timing.ccd_cycles
         self._count("WR", self.geometry.columns)
 

@@ -1,0 +1,145 @@
+"""Execution backends: compile-once / execute-many program handles.
+
+The engine narrows every way of running a Bender program down to one
+two-call protocol::
+
+    handle = backend.compile(program)        # canonicalize + lower
+    result = backend.execute(handle, rows)   # patch rows + run
+
+:class:`LocalBackend` is the reference implementation: it executes on
+the station's own in-process :class:`~repro.bender.interpreter.
+Interpreter`, through whatever transport the host has installed (so
+fault-injecting and resilient links keep working unchanged).  The
+subprocess fan-out lives in :class:`repro.engine.pool.PoolBackend`,
+which schedules whole :class:`~repro.engine.plan.WorkItem`\\ s onto
+worker processes that each run a ``LocalBackend`` of their own.
+
+``compile`` also *lowers* the program's row-write payloads: a WRROW's
+``np.unpackbits`` expansion and its ECC parity words are pure functions
+of the payload bytes, so they are computed once per distinct payload
+and memoized on the interpreter (see
+:meth:`~repro.bender.interpreter.Interpreter.enable_payload_cache`),
+turning the per-row data fill from an encode into an array copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Protocol, Sequence, Tuple
+
+from repro.bender import isa
+from repro.bender.interpreter import ExecutionResult
+from repro.bender.program import Program
+from repro.engine.cache import (
+    RowBinding,
+    SlotBanks,
+    canonicalize,
+    shape_digest,
+    substitute,
+)
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """A backend handle: one verified, lowered program shape.
+
+    ``template`` carries slot ordinals in place of ACT rows;
+    ``source_binding`` is the row binding of the program it was
+    compiled from (the instance that was verified at cache insert).
+    """
+
+    template: Program
+    slot_banks: SlotBanks
+    source_binding: RowBinding
+    digest: str
+
+    @property
+    def slots(self) -> int:
+        return len(self.slot_banks)
+
+
+class ExecutionBackend(Protocol):
+    """What any engine backend must provide.
+
+    The seam for future remote or accelerated executors: anything that
+    can compile a program into a patchable handle and execute bindings
+    against it can serve the cache and the drivers.
+    """
+
+    def compile(self, program: Program) -> CompiledProgram:
+        ...
+
+    def execute(self, handle: CompiledProgram,
+                binding: RowBinding = ()) -> ExecutionResult:
+        ...
+
+    def execute_batch(self, handle: CompiledProgram,
+                      bindings: Sequence[RowBinding]
+                      ) -> List[ExecutionResult]:
+        ...
+
+
+def _wrrow_payloads(program: Program) -> Tuple[bytes, ...]:
+    payloads: List[bytes] = []
+
+    def walk(instructions) -> None:
+        for instruction in instructions:
+            if isinstance(instruction, isa.Loop):
+                walk(instruction.body)
+            elif isinstance(instruction, isa.WrRow):
+                payloads.append(instruction.data)
+
+    walk(program.instructions)
+    return tuple(payloads)
+
+
+class LocalBackend:
+    """Reference in-process backend for one station."""
+
+    #: Bound on memoized instantiations (cleared wholesale when full; a
+    #: sweep's working set is far smaller, the bound is a backstop).
+    MAX_INSTANTIATIONS = 4096
+
+    def __init__(self, host) -> None:
+        self._host = host
+        # Programs are immutable, so an instantiation — a template with
+        # one concrete row binding patched in — can be reused verbatim
+        # whenever the same rows are measured again (every repetition
+        # after the first), skipping the substitution walk.
+        self._instantiations: dict = {}
+
+    @property
+    def timing(self):
+        return self._host.device.timing
+
+    def compile(self, program: Program) -> CompiledProgram:
+        """Canonicalize ``program`` into a patchable, lowered handle."""
+        template, binding, slot_banks = canonicalize(program)
+        handle = CompiledProgram(template=template, slot_banks=slot_banks,
+                                 source_binding=binding,
+                                 digest=shape_digest(template, self.timing))
+        payload_cache = self._host.interpreter.payload_cache
+        if payload_cache is not None:
+            for payload in _wrrow_payloads(template):
+                self._host.interpreter.lower_payload(payload)
+        return handle
+
+    def execute(self, handle: CompiledProgram,
+                binding: RowBinding = ()) -> ExecutionResult:
+        """Patch ``binding`` into the handle and run it on the station."""
+        binding = tuple(binding)
+        key = (handle.digest, binding)
+        program = self._instantiations.get(key)
+        if program is None:
+            program = substitute(handle.template, handle.slot_banks,
+                                 binding)
+            if len(self._instantiations) >= self.MAX_INSTANTIATIONS:
+                self._instantiations.clear()
+            self._instantiations[key] = program
+        return self._host.run(program)
+
+    def execute_batch(self, handle: CompiledProgram,
+                      bindings: Sequence[RowBinding]
+                      ) -> List[ExecutionResult]:
+        """One :meth:`execute` per binding, in order."""
+        return [self.execute(handle, binding) for binding in bindings]

@@ -1,0 +1,83 @@
+"""The planner: one sweep grid, one ordered stream of work items.
+
+A characterization campaign is a nested iteration over (channel, pseudo
+channel, bank, region).  :class:`ExecutionPlan` materializes that
+iteration as an ordered tuple of :class:`WorkItem`\\ s — *the* plan —
+and every scheduler consumes the same plan:
+
+* the serial path (:class:`~repro.core.sweeps.SpatialSweep`) runs the
+  items in order, in-process;
+* the parallel path (:class:`~repro.core.parallel.ParallelSweepRunner`)
+  partitions the plan into shards (``ShardPlan`` is exactly this
+  stream, one shard per item) and merges results back in plan order;
+* checkpoint/resume replays the plan and fills in items already
+  satisfied from disk.
+
+Byte-identical output across the three falls out by construction:
+record order equals plan order equals the serial nesting order.
+
+This module deliberately has no dependency on the sweep layer — the
+config object only needs the grid attributes and ``dataclasses.
+replace`` (it is a frozen dataclass), which keeps the import graph
+acyclic: ``core.sweeps`` imports the engine, not vice versa.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One independent unit of a campaign: a (ch, pc, bank, region) cell."""
+
+    index: int
+    channel: int
+    pseudo_channel: int
+    bank: int
+    region: str
+
+    def describe(self) -> str:
+        return (f"ch{self.channel} pc{self.pseudo_channel} "
+                f"ba{self.bank} region={self.region}")
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """All work items of one sweep, in the serial nesting order."""
+
+    items: Tuple[WorkItem, ...]
+
+    @classmethod
+    def from_config(cls, config) -> "ExecutionPlan":
+        """Plan a sweep config's grid (channel -> pc -> bank -> region)."""
+        items: List[WorkItem] = []
+        for channel in config.channels:
+            for pseudo_channel in config.pseudo_channels:
+                for bank in config.banks:
+                    for region in config.regions:
+                        items.append(WorkItem(
+                            index=len(items), channel=channel,
+                            pseudo_channel=pseudo_channel, bank=bank,
+                            region=region))
+        return cls(items=tuple(items))
+
+    @staticmethod
+    def narrow_config(config, item: WorkItem):
+        """``config`` narrowed to one item's cell.
+
+        WCDP synthesis is disabled (it runs once, on the merged
+        dataset) and ``jobs`` forced to 1 (an item is the unit of
+        parallelism).
+        """
+        return replace(config, channels=(item.channel,),
+                       pseudo_channels=(item.pseudo_channel,),
+                       banks=(item.bank,), regions=(item.region,),
+                       append_wcdp=False, jobs=1)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[WorkItem]:
+        return iter(self.items)

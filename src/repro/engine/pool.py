@@ -1,0 +1,227 @@
+"""The subprocess execution backend: work items on worker processes.
+
+This is the engine's second :class:`~repro.engine.backend` — where
+:class:`~repro.engine.backend.LocalBackend` runs programs in-process,
+:class:`PoolBackend` schedules whole plan items onto a
+:class:`concurrent.futures.ProcessPoolExecutor`.  Each worker process
+keeps one :class:`~repro.engine.session.EngineSession` per (board
+spec, experiment config) — so board construction, the §3.1 controls,
+and the program cache are paid once per station, exactly as a serial
+campaign pays them once — and runs the item through the same serial
+:class:`~repro.core.sweeps.SpatialSweep` reference path, so a shard's
+dataset is byte-identical to the slice a serial sweep would produce.
+
+Scheduling semantics (moved verbatim from ``core/parallel.py``, which
+now orchestrates retries/merging on top of this backend):
+
+* per-item deadlines are armed when the pool *dispatches* the work
+  (``future.running()``), not at submission, so a long queue behind a
+  few slow items is not misread as a hang;
+* when nothing is running and nothing has completed for a full
+  timeout, the queued items are failed fast as ``starved`` instead of
+  waiting out a timeout each;
+* worker-side failures arrive as picklable
+  :class:`~repro.core.parallel.ShardRunError` with the item's wall
+  time and metric snapshot.
+
+Fault injection happens here, at the session boundary: injected
+execution faults fire at item entry — keyed on (coordinates, attempt),
+so retries redraw — and the dataset is fingerprinted before any
+injected readback poisoning, letting the parent detect the poisoning
+exactly as it would detect real in-transit corruption.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED
+from concurrent.futures import Future  # noqa: F401  (typing)
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures import wait as futures_wait
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bender.board import BoardSpec
+from repro.core.results import CharacterizationDataset
+from repro.core.sweeps import SpatialSweep
+from repro.engine.session import EngineSession
+from repro.errors import ShardFault
+from repro.faults.plan import FaultPlan, resolve_fault_spec
+from repro.obs import (
+    NOOP_TRACER,
+    MetricsRegistry,
+    Tracer,
+    get_metrics,
+    use_metrics,
+    use_tracer,
+)
+
+#: Cadence of the dispatch/deadline poll when a timeout is set.
+_POLL_S = 0.05
+
+#: Per-process session cache: one engine session (board + controls +
+#: program cache) per (spec, experiment config), reused across the
+#: items a worker executes.
+_WORKER_SESSIONS: Dict[bytes, EngineSession] = {}
+
+
+def worker_session(spec: BoardSpec, config) -> EngineSession:
+    """The calling process's session for ``spec`` (built on first use)."""
+    key = pickle.dumps((spec, config.experiment))
+    session = _WORKER_SESSIONS.get(key)
+    if session is None:
+        session = EngineSession(spec=spec, experiment=config.experiment)
+        _WORKER_SESSIONS[key] = session
+    return session
+
+
+def run_shard(spec: BoardSpec, shard) -> CharacterizationDataset:
+    """Execute one work item in the current process; returns its dataset.
+
+    The default item runner submitted to worker processes; also usable
+    inline (e.g. by tests) since it has no pool-specific state.  Every
+    item runs under its own metrics registry (cheap enough to be
+    always-on) so that a *failing* item can report its wall time and
+    metric snapshot via :class:`~repro.core.parallel.ShardRunError`.
+    """
+    from repro.core.parallel import ShardRunError
+
+    obs = shard.config.obs
+    want_trace = bool(obs is not None and obs.trace)
+    registry = MetricsRegistry()
+    tracer = Tracer() if want_trace else NOOP_TRACER
+    started = time.perf_counter()
+    try:
+        with use_metrics(registry), use_tracer(tracer):
+            with tracer.span("shard", shard=shard.index,
+                             channel=shard.channel,
+                             pseudo_channel=shard.pseudo_channel,
+                             bank=shard.bank, region=shard.region):
+                fault_spec = resolve_fault_spec(shard.config.faults)
+                if fault_spec is not None and fault_spec.has_shard_faults:
+                    from repro.faults.inject import injure_worker
+                    injure_worker(FaultPlan(fault_spec), shard.channel,
+                                  shard.pseudo_channel, shard.bank,
+                                  shard.region, shard.attempt)
+                session = worker_session(spec, shard.config)
+                board = session.station()
+                sweep = SpatialSweep(board, shard.config)
+                dataset = sweep.run(apply_interference_controls=False)
+                dataset.metadata["integrity"] = dataset.fingerprint()
+                if fault_spec is not None and fault_spec.shard_poison:
+                    from repro.faults.inject import poison_dataset
+                    poison_dataset(FaultPlan(fault_spec), dataset,
+                                   shard.channel, shard.pseudo_channel,
+                                   shard.bank, shard.region, shard.attempt)
+    except Exception as error:
+        wall_s = time.perf_counter() - started
+        registry.gauge("shard.wall_s").set(wall_s)
+        category = (error.category if isinstance(error, ShardFault)
+                    else "error")
+        raise ShardRunError(type(error).__name__, str(error), wall_s,
+                            registry.snapshot(), category) from error
+    wall_s = time.perf_counter() - started
+    registry.gauge("shard.wall_s").set(wall_s)
+    registry.gauge("shard.records").set(sum(dataset.record_counts()))
+    if obs is not None and obs.active:
+        if want_trace:
+            tracer.write_jsonl(obs.trace_path(shard.index))
+        registry.to_json(obs.metrics_path(shard.index))
+    return dataset
+
+
+#: Callback signatures for :meth:`PoolBackend.run`.
+ResultHandler = Callable[[object, CharacterizationDataset], None]
+FailureHandler = Callable[[object, BaseException], None]
+
+
+class PoolBackend:
+    """Schedules work items onto worker-process pools."""
+
+    def __init__(self, spec: BoardSpec, *,
+                 runner: Optional[Callable] = None,
+                 timeout_s: Optional[float] = None,
+                 mp_context=None) -> None:
+        """
+        Args:
+            spec: recipe each worker rebuilds its own station from.
+            runner: per-item entry point (must be picklable; defaults
+                to :func:`run_shard`).
+            timeout_s: per-item wall-clock limit, measured from
+                dispatch (None = unlimited).
+            mp_context: multiprocessing context (None = platform
+                default).
+        """
+        self._spec = spec
+        self._runner = runner or run_shard
+        self._timeout_s = timeout_s
+        self._mp_context = mp_context
+
+    def run(self, shards: List, workers: int, attempt: int,
+            on_result: ResultHandler, on_failure: FailureHandler) -> None:
+        """Run ``shards`` on one fresh pool of ``workers`` processes.
+
+        Every item ends in exactly one callback: ``on_result`` with its
+        dataset, or ``on_failure`` with the error (worker exception,
+        crash, dispatch-measured timeout, or starvation).
+        """
+        timeout = self._timeout_s
+        metrics = get_metrics()
+        executor = ProcessPoolExecutor(max_workers=workers,
+                                       mp_context=self._mp_context)
+        abandoned = False
+        try:
+            live: Dict[int, Tuple[object, Future]] = {}
+            for shard in shards:
+                job = replace(shard, attempt=attempt)
+                live[shard.index] = (
+                    shard, executor.submit(self._runner, self._spec, job))
+            deadlines: Dict[int, float] = {}
+            last_event = time.monotonic()
+            while live:
+                done, _ = futures_wait(
+                    [future for _, future in live.values()],
+                    timeout=(_POLL_S if timeout is not None else None),
+                    return_when=FIRST_COMPLETED)
+                now = time.monotonic()
+                if done:
+                    last_event = now
+                for index in [index for index, (_, future) in live.items()
+                              if future in done]:
+                    shard, future = live.pop(index)
+                    try:
+                        dataset = future.result()
+                    except Exception as error:
+                        on_failure(shard, error)
+                    else:
+                        on_result(shard, dataset)
+                if timeout is None:
+                    continue
+                for index, (_, future) in live.items():
+                    if index not in deadlines and future.running():
+                        deadlines[index] = now + timeout
+                for index in [index for index in list(live)
+                              if deadlines.get(index, now + 1) <= now]:
+                    shard, future = live.pop(index)
+                    future.cancel()
+                    abandoned = True
+                    metrics.counter("sweep.shard_timeouts").inc()
+                    on_failure(shard, FuturesTimeoutError(
+                        f"shard {shard.describe()} exceeded "
+                        f"shard_timeout_s={timeout}"))
+                if (live and now - last_event > timeout
+                        and not any(future.running()
+                                    for _, future in live.values())):
+                    abandoned = True
+                    for index in list(live):
+                        shard, future = live.pop(index)
+                        future.cancel()
+                        metrics.counter("sweep.shard_starved").inc()
+                        on_failure(shard, ShardFault(
+                            f"shard {shard.describe()} starved: pool has "
+                            f"no live workers left to run it",
+                            category="starved"))
+        finally:
+            executor.shutdown(wait=not abandoned, cancel_futures=True)

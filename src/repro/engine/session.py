@@ -1,0 +1,126 @@
+"""The engine session: one configured testing station, set up once.
+
+Before the engine existed, four call sites (``sweeps.py``,
+``parallel.py``, ``campaign.py`` resume, ``cli.py``) each wired up the
+same station plumbing — board construction from a
+:class:`~repro.bender.board.BoardSpec`, the §3.1 interference
+controls, thermal-guard arming from the fault plan, and (now) the
+program cache.  :class:`EngineSession` is that logic in exactly one
+place:
+
+* :meth:`prepare` — the serial sweep's entry: applies the controls
+  under the ``controls`` tracing span (unless the caller already did).
+* :meth:`station` — the worker/CLI entry: builds the board lazily and
+  applies the controls exactly once per session, with no extra span
+  (re-settling the PID rig between shards could land on a fractionally
+  different plant temperature and break bit-for-bit equality with the
+  serial path).
+* :meth:`thermal_guard` — arms the §3 thermal excursion guard *after*
+  the controls settle the rig, so it captures the calibrated operating
+  point to snap back to.
+
+Activating a session installs the engine's execution services on the
+board's host: a :class:`~repro.engine.backend.LocalBackend` and —
+gated by ``$REPRO_PROGRAM_CACHE`` (default on) — a
+:class:`~repro.engine.cache.ProgramCache` plus the interpreter's
+row-payload lowering cache.  Experiment drivers reach these through
+``host.cached_run`` and the host's row helpers; none of them builds a
+board or an interpreter itself.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bender.board import BenderBoard, BoardSpec
+from repro.engine.backend import LocalBackend
+from repro.engine.cache import ProgramCache
+from repro.envutil import program_cache_enabled
+from repro.errors import EngineError
+from repro.faults.plan import FaultPlan, FaultSpec, resolve_fault_spec
+from repro.faults.thermal import ThermalGuard
+from repro.obs import get_tracer
+
+
+class EngineSession:
+    """Owns one station's construction and execution services."""
+
+    def __init__(self, *, spec: Optional[BoardSpec] = None,
+                 board: Optional[BenderBoard] = None,
+                 experiment=None, cache: Optional[bool] = None) -> None:
+        """
+        Args:
+            spec: recipe to build the board from (lazily, on first use).
+            board: an existing station to adopt instead.
+            experiment: interference controls and test parameters.
+            cache: force the program cache on/off; None consults
+                ``$REPRO_PROGRAM_CACHE`` (default on).
+        """
+        # Lazy import: core.sweeps imports this module, and the core
+        # package __init__ eagerly imports sweeps — a module-level
+        # import of core.experiment here would close that cycle.
+        from repro.core.experiment import ExperimentConfig
+        if spec is None and board is None:
+            raise EngineError("EngineSession needs a BoardSpec or a board")
+        self._spec = spec
+        self._board = board
+        self.experiment = experiment or ExperimentConfig()
+        self._cache_enabled = (program_cache_enabled() if cache is None
+                               else bool(cache))
+        self._controls_applied = False
+
+    @property
+    def board(self) -> BenderBoard:
+        """The station (built from the spec on first access)."""
+        if self._board is None:
+            self._board = self._spec.build()
+        board = self._board
+        if board.host.engine_backend is None:
+            self._install_engine(board)
+        return board
+
+    @property
+    def host(self):
+        return self.board.host
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self._cache_enabled
+
+    def _install_engine(self, board: BenderBoard) -> None:
+        backend = LocalBackend(board.host)
+        board.host.engine_backend = backend
+        if self._cache_enabled:
+            board.host.interpreter.enable_payload_cache()
+            board.host.program_cache = ProgramCache(backend)
+
+    # ------------------------------------------------------------------
+    def prepare(self, apply_interference_controls: bool = True
+                ) -> BenderBoard:
+        """Serial-sweep setup: §3.1 controls under a tracing span."""
+        from repro.core.experiment import apply_controls
+        board = self.board
+        if apply_interference_controls:
+            with get_tracer().span("controls"):
+                apply_controls(board, self.experiment)
+            self._controls_applied = True
+        return board
+
+    def station(self) -> BenderBoard:
+        """Worker/CLI setup: controls applied exactly once, no span."""
+        from repro.core.experiment import apply_controls
+        board = self.board
+        if not self._controls_applied:
+            apply_controls(board, self.experiment)
+            self._controls_applied = True
+        return board
+
+    # ------------------------------------------------------------------
+    def thermal_guard(self, faults: Optional[FaultSpec]
+                      ) -> Optional[ThermalGuard]:
+        """The thermal excursion guard for ``faults`` (None = consult
+        ``$REPRO_FAULTS``); arm only after the controls have settled."""
+        fault_spec = resolve_fault_spec(faults)
+        if fault_spec is not None and fault_spec.has_thermal_faults:
+            return ThermalGuard(self.board, FaultPlan(fault_spec))
+        return None

@@ -40,6 +40,12 @@ class AssemblyError(ProgramError):
     """Test-program assembly text could not be parsed."""
 
 
+class EngineError(ProgramError):
+    """The execution engine was used inconsistently (e.g. a cached
+    program shape instantiated with a row binding that does not fit
+    its slots)."""
+
+
 class VerificationError(ProgramError):
     """A test program failed static verification.
 

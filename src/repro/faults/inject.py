@@ -28,7 +28,6 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import replace
-from typing import Optional
 
 from repro.bender.interpreter import ExecutionResult
 from repro.bender.transport import PcieTransport

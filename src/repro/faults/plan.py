@@ -37,6 +37,7 @@ from dataclasses import dataclass, fields, replace
 from pathlib import Path
 from typing import Optional, Tuple
 
+from repro.envutil import env_str
 from repro.errors import ConfigurationError
 from repro.rng import uniform_hash01
 
@@ -197,8 +198,8 @@ class FaultSpec:
         every sweep in the process inject (and survive) faults without
         touching any call site.
         """
-        raw = os.environ.get(ENV_VAR)
-        if not raw:
+        raw = env_str(ENV_VAR)
+        if raw is None:
             return None
         return cls.parse(raw)
 

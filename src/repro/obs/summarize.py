@@ -4,7 +4,8 @@ Backs ``python -m repro obs summarize t.jsonl [--metrics m.json]``: a
 per-phase time profile (where did the campaign's wall time go), the
 slowest shards (where to look when ``--jobs N`` does not scale), and —
 when a metrics snapshot is given — the command-stream accounting
-(commands issued by type, commands/s, rows/s, shard retries/timeouts).
+(commands issued by type, commands/s, rows/s, shard retries/timeouts,
+and the execution engine's program-cache hit rate).
 
 Works on any trace this package wrote: a serial sweep, a merged
 parallel campaign, or a single CLI command.
@@ -152,6 +153,12 @@ def _render_metrics(metrics: Mapping[str, Mapping[str, object]],
                         ("sweep.shard_failures", "shard failures")):
         if name in counters:
             lines.append(f"{label}: {int(counters[name]):,}")
+    hits = int(counters.get("engine.cache.hits", 0))
+    misses = int(counters.get("engine.cache.misses", 0))
+    if hits or misses:
+        rate = hits / (hits + misses)
+        lines.append(f"program cache: {hits:,} hits, {misses:,} misses "
+                     f"({rate:.1%} hit rate)")
     if not lines:
         lines.append("(metrics snapshot holds no campaign counters)")
     return "command-stream metrics\n" + "\n".join(

@@ -97,6 +97,22 @@ class VerifyContext:
     columns: int = 32
     step_budget: int = DEFAULT_STEP_BUDGET
 
+    @classmethod
+    def for_host(cls, host, **overrides) -> "VerifyContext":
+        """Context for programs that will execute on ``host``: its timing
+        table and geometry, plus experiment-specific overrides.
+
+        This is the construction every driver uses when handing a
+        verifier to the engine's program cache.  The cache verifies once
+        per program *shape* at insert time; the verdict transfers to
+        every row substitution because nothing in a context built here
+        depends on a row value — the verifier tracks rows only for
+        open/closed identity and the ``expected_hammers`` row keys,
+        both of which the cache's canonical row renaming preserves.
+        """
+        return cls(timing=host.device.timing,
+                   columns=host.device.geometry.columns, **overrides)
+
 
 class _BankState:
     __slots__ = ("is_open", "open_row", "next_act", "next_pre", "next_rdwr",

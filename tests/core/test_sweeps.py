@@ -40,6 +40,29 @@ class TestConfig:
         assert config.channels == (1, 2)
         assert config.rows_per_region == 5
 
+    def test_explicit_override_beats_env_for_every_field(self, monkeypatch):
+        """Regression: an explicit kwarg must win even when the same
+        field's environment variable is also set."""
+        for variable in ("REPRO_ROWS_PER_REGION", "REPRO_HCFIRST_ROWS",
+                         "REPRO_REPETITIONS", "REPRO_JOBS"):
+            monkeypatch.setenv(variable, "7")
+        monkeypatch.setenv("REPRO_REGION_SIZE", "4096")
+        config = SweepConfig.from_env(rows_per_region=2,
+                                      hcfirst_rows_per_region=1,
+                                      repetitions=3, region_size=512,
+                                      jobs=2)
+        assert config.rows_per_region == 2
+        assert config.hcfirst_rows_per_region == 1
+        assert config.repetitions == 3
+        assert config.region_size == 512
+        assert config.jobs == 2
+
+    def test_overridden_field_never_reads_its_env_var(self, monkeypatch):
+        """An invalid env value must not even be parsed for a field the
+        caller overrides explicitly."""
+        monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+        assert SweepConfig.from_env(jobs=4).jobs == 4
+
     def test_bad_env_value_raises(self, monkeypatch):
         monkeypatch.setenv("REPRO_ROWS_PER_REGION", "many")
         with pytest.raises(ExperimentError):

@@ -6,14 +6,13 @@ Figs. 3-6, the §5 U-TRR discovery, the headline numbers, and the
 ablations.  Density scales with the usual environment variables; the
 defaults complete in a few minutes.  Set ``REPRO_JOBS=N`` to fan the
 sweep campaigns out over N worker processes (results are identical to
-a serial run; see README "Parallel sweeps").
+a serial run; see README "Execution engine").
 
 Usage:  python tools/generate_experiments.py [output-path]
 """
 
 from __future__ import annotations
 
-import os
 import sys
 import time
 from pathlib import Path
@@ -45,11 +44,8 @@ from repro.core.utrr import UTrrExperiment
 from repro.dram.address import DramAddress
 from repro.defenses.evaluation import compare_defenses
 from repro.attacks.templating import MemoryTemplater
+from repro.envutil import env_int
 from repro.obs import MetricsRegistry, use_metrics
-
-
-def env_int(name: str, default: int) -> int:
-    return int(os.environ.get(name, default))
 
 
 def log(message: str) -> None:
@@ -259,7 +255,7 @@ def main() -> None:
         f"Sweep campaigns ran with `jobs={config.jobs}`"
         + (" (serial)" if config.jobs == 1
            else " worker processes (`REPRO_JOBS`)")
-        + "; by the sharding contract (README \"Parallel sweeps\",",
+        + "; by the sharding contract (README \"Execution engine\",",
         "`repro.core.parallel`) every number below is identical at any",
         "job count — shards split by (channel, pseudo channel, bank,",
         "region), workers rebuild the same deterministic chip from its",
