@@ -9,8 +9,12 @@ across future changes.
 
 Speedup is hardware-dependent: on a single-core container the parallel
 levels only measure sharding overhead, so no speedup is asserted here —
-the JSON records what this machine delivered (``cpu_count`` is archived
-alongside for interpretation).
+the JSON records what this machine delivered, against the parallelism
+it actually *had*: ``effective_cpus`` is the CPU count this process may
+schedule on (affinity-aware, which ``os.cpu_count()`` is not), and any
+jobs level exceeding it gets an explicit ``warnings`` entry so an
+oversubscribed ~1.0x speedup is never mistaken for a scaling
+regression.
 """
 
 import os
@@ -23,6 +27,7 @@ from repro.core.sweeps import SweepConfig
 from repro.obs import MetricsRegistry, use_metrics
 
 from benchmarks.conftest import (
+    effective_parallelism,
     emit,
     env_int,
     metrics_summary,
@@ -89,6 +94,11 @@ def test_parallel_scaling(benchmark, board_spec, results_dir):
         assert datasets[jobs].metadata == reference.metadata
 
     baseline = levels["1"]["rows_per_s"]
+    effective = effective_parallelism()
+    warnings = [
+        f"jobs={jobs} oversubscribed: only {effective} effective CPU(s) "
+        f"available — this level measures sharding overhead, not speedup"
+        for jobs in JOBS_LEVELS if jobs > effective]
     payload = {
         "campaign": {
             "channels": 8, "regions": 3,
@@ -97,6 +107,8 @@ def test_parallel_scaling(benchmark, board_spec, results_dir):
             "ber_hammer_count": scaling_config(1).experiment.ber_hammer_count,
         },
         "cpu_count": os.cpu_count(),
+        "effective_cpus": effective,
+        "warnings": warnings,
         "jobs": levels,
         "speedup": {str(jobs): round(levels[str(jobs)]["rows_per_s"]
                                      / baseline, 3)
@@ -104,13 +116,16 @@ def test_parallel_scaling(benchmark, board_spec, results_dir):
     }
     write_bench_json(results_dir, "parallel_scaling", payload)
 
-    lines = [f"cpu_count: {os.cpu_count()}"]
+    lines = [f"cpu_count: {os.cpu_count()} "
+             f"(effective: {effective})"]
     for jobs in JOBS_LEVELS:
         level = levels[str(jobs)]
         lines.append(
             f"jobs={jobs}: {level['measurements']} measurements in "
             f"{level['elapsed_s']:.2f}s = {level['rows_per_s']:.1f} rows/s "
             f"({payload['speedup'][str(jobs)]:.2f}x)")
+    for warning in warnings:
+        lines.append(f"WARNING: {warning}")
     emit(results_dir, "parallel_scaling", "\n".join(lines))
 
     for jobs in JOBS_LEVELS:

@@ -13,6 +13,7 @@ is rows_per_region=3072, repetitions=5.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Dict, Optional
 
@@ -45,6 +46,21 @@ def board_spec() -> BoardSpec:
     """Picklable recipe for the same station, for parallel sweep workers
     (``REPRO_JOBS`` > 1 runs the sweep benchmarks across processes)."""
     return BoardSpec(seed=CHIP_SEED)
+
+
+def effective_parallelism() -> int:
+    """CPUs actually available to this process, not just installed.
+
+    ``os.cpu_count()`` reports the machine; a container or a
+    ``taskset``-restricted process may be pinned to far fewer cores.
+    Scaling benchmarks must interpret speedups against *this* number —
+    a jobs=4 run on one available core measures sharding overhead, not
+    parallelism.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux fallback
+        return os.cpu_count() or 1
 
 
 def emit(results_dir: Path, name: str, text: str) -> None:

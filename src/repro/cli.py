@@ -6,6 +6,7 @@ installed).  Each subcommand wraps one methodology entry point::
     python -m repro ber --channel 7 --row 5000
     python -m repro hcfirst --channel 0 --row 5000 --pattern Rowstripe0
     python -m repro sweep --channels 0 7 --rows-per-region 8 -o out.json
+    python -m repro fleet run --devices 100 --jobs 4 -o population.json
     python -m repro utrr --row 6000 --iterations 100
     python -m repro mapping
     python -m repro subarrays --start 800 --end 870
@@ -191,6 +192,67 @@ def cmd_sweep(args: argparse.Namespace) -> int:
               f"{', '.join(str(path) for path in written)}",
               file=sys.stderr)
     return 0
+
+
+def cmd_fleet_run(args: argparse.Namespace) -> int:
+    from repro.core.fleet import (
+        FleetConfig,
+        FleetRunner,
+        default_fleet_sweep,
+    )
+    from repro.core.experiment import ExperimentConfig as _ExperimentConfig
+
+    sweep = default_fleet_sweep(
+        rows_per_region=args.rows_per_region,
+        hcfirst_rows_per_region=args.hcfirst_rows,
+        faults=_fault_spec(args),
+        experiment=_ExperimentConfig(
+            ber_hammer_count=args.hammers,
+            hcfirst_max_hammers=args.max_hammers))
+    config = FleetConfig(devices=args.devices, base_seed=args.seed,
+                         jobs=args.jobs, max_retries=args.max_retries,
+                         spec=_make_spec(args), sweep=sweep,
+                         device_timeout_s=args.device_timeout)
+    runner = FleetRunner(config, campaign_dir=args.resume)
+    progress = ((lambda message: print(f"  {message}", file=sys.stderr))
+                if args.verbose else None)
+    result = runner.run(progress=progress)
+    for error in runner.errors:
+        print(f"warning: device {error.index} (seed {error.seed}) "
+              f"failed after {error.attempts} attempt(s): "
+              f"{error.error_type}: {error.message}", file=sys.stderr)
+    population = result.population
+    print(f"fleet: {population['devices']}/{config.devices} device(s) "
+          f"completed (seeds {config.base_seed}.."
+          f"{config.base_seed + config.devices - 1}, jobs={config.jobs})")
+
+    def show(title, summary, value_format):
+        print(title)
+        if summary is None:
+            print("  (no uncensored measurements)")
+            return
+        cells = "  ".join(
+            f"{label}={value_format.format(summary[label])}"
+            for label in ("min", "p10", "p25", "p50", "p75", "p90",
+                          "max", "mean"))
+        print(f"  {cells}")
+
+    show("population HC_first (per-device minimum):",
+         population["hc_first_min"], "{:.0f}")
+    show("population BER (per-device mean):",
+         population["ber_mean"], "{:.6f}")
+    print(f"bitflips total: {population['bitflips_total']}; "
+          f"fully censored devices: "
+          f"{population['fully_censored_devices']}")
+    if args.output:
+        result.to_json(args.output)
+        print(f"population summary written to {args.output}",
+              file=sys.stderr)
+    if args.dataset:
+        result.dataset.to_json(args.dataset)
+        print(f"merged dataset written to {args.dataset}",
+              file=sys.stderr)
+    return 1 if runner.errors else 0
 
 
 def cmd_utrr(args: argparse.Namespace) -> int:
@@ -435,6 +497,48 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--export-dir",
                        help="also write figure CSVs into this directory")
     sweep.set_defaults(handler=cmd_sweep)
+
+    fleet = subparsers.add_parser(
+        "fleet", help="population runs over many simulated specimens")
+    fleet_subparsers = fleet.add_subparsers(dest="fleet_command",
+                                            required=True)
+    fleet_run = fleet_subparsers.add_parser(
+        "run", help="characterize N re-seeded devices on the warm "
+                    "worker pool and report population HC_first/BER "
+                    "distributions")
+    _add_station_options(fleet_run)
+    fleet_run.add_argument("--devices", type=int, default=100,
+                           help="simulated specimens; device i uses seed "
+                                "--seed + i (default: 100)")
+    fleet_run.add_argument("--jobs", type=int, default=1,
+                           help="worker processes (default: 1 = inline); "
+                                "results are identical at any jobs level")
+    fleet_run.add_argument("--rows-per-region", type=int, default=2,
+                           help="BER victims per device (default: 2)")
+    fleet_run.add_argument("--hcfirst-rows", type=int, default=2,
+                           help="HC_first victims per device (default: 2)")
+    fleet_run.add_argument("--hammers", type=int, default=48 * 1024,
+                           help="hammers per BER test (default: 48K)")
+    fleet_run.add_argument("--max-hammers", type=int, default=96 * 1024,
+                           help="HC_first search bound (default: 96K)")
+    fleet_run.add_argument("--max-retries", type=int, default=1,
+                           help="extra attempts per failed device "
+                                "(default: 1)")
+    fleet_run.add_argument("--device-timeout", type=float, default=None,
+                           metavar="S",
+                           help="per-device wall-clock limit for pooled "
+                                "runs (default: unlimited)")
+    fleet_run.add_argument("--resume", metavar="DIR", default=None,
+                           help="fleet campaign directory: checkpoint "
+                                "completed devices there and resume a "
+                                "killed fleet from it")
+    fleet_run.add_argument("-o", "--output",
+                           help="write the population summary as JSON")
+    fleet_run.add_argument("--dataset",
+                           help="also archive the merged dataset as JSON")
+    fleet_run.add_argument("--verbose", action="store_true",
+                           help="print per-device progress to stderr")
+    fleet_run.set_defaults(handler=cmd_fleet_run)
 
     utrr = subparsers.add_parser(
         "utrr", help="uncover the hidden TRR (paper Sec 5)")

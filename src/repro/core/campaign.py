@@ -29,7 +29,8 @@ from typing import Dict, Iterable, Union
 from repro.core.results import CharacterizationDataset
 from repro.errors import CampaignStateError
 
-__all__ = ["CampaignCheckpoint", "campaign_fingerprint"]
+__all__ = ["CampaignCheckpoint", "campaign_fingerprint",
+           "fleet_fingerprint"]
 
 _MANIFEST_NAME = "campaign.json"
 _MANIFEST_VERSION = 1
@@ -53,6 +54,27 @@ def campaign_fingerprint(spec, config, shards_total: int) -> str:
     hasher.update(repr(spec).encode())
     hasher.update(repr(normalized).encode())
     hasher.update(str(shards_total).encode())
+    return hasher.hexdigest()
+
+
+def fleet_fingerprint(spec, config, devices: int, base_seed: int) -> str:
+    """Digest of everything that determines a fleet run's measured data.
+
+    The fleet analogue of :func:`campaign_fingerprint`: the spec here
+    is the *template* (each device re-seeds it), so the device count
+    and base seed join the digest — resuming a 100-device fleet
+    against a 200-device checkpoint directory, or against a different
+    seed range, must fail loudly.  Execution details (jobs, timeouts)
+    are normalized away exactly as for campaigns.
+    """
+    from dataclasses import replace
+
+    normalized = replace(config, jobs=1, obs=None, shard_timeout_s=None)
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(b"fleet|")
+    hasher.update(repr(spec).encode())
+    hasher.update(repr(normalized).encode())
+    hasher.update(f"{devices}|{base_seed}".encode())
     return hasher.hexdigest()
 
 

@@ -1,0 +1,436 @@
+"""Fleet-population mode: one campaign, N simulated chip specimens.
+
+The paper characterizes six physical HBM2 chips and reports *population*
+statistics — how HC_first and BER vary from chip to chip, not just from
+row to row (§4, Figs. 3-4 show per-chip distributions).  This module
+scales that axis in simulation: a fleet run builds ``N`` devices from
+one :class:`~repro.bender.board.BoardSpec` template, each re-seeded
+(``base_seed + index``) so every device is a *distinct specimen* with
+its own cell ground truth, runs the same small sweep on each, and
+reduces the per-device datasets to population distributions of the
+per-device minimum HC_first and mean BER.
+
+Execution rides the warm worker pool
+(:class:`~repro.engine.pool.PoolBackend`): a device is one work item,
+devices dispatch in batches, and each worker's LRU-bounded session
+cache rotates through device specs without accumulating board state.
+The merge is deterministic — datasets concatenate in device-index
+order — so a fleet run is byte-identical at any ``jobs`` level, and
+``--resume`` replays completed devices from a
+:class:`~repro.core.campaign.CampaignCheckpoint` directory exactly as
+campaign resume replays shards.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.bender.board import BoardSpec
+from repro.core.campaign import CampaignCheckpoint, fleet_fingerprint
+from repro.core.experiment import ExperimentConfig
+from repro.core.patterns import ROWSTRIPE0
+from repro.core.results import REGION_FIRST, CharacterizationDataset
+from repro.core.sweeps import SweepConfig
+from repro.errors import ExperimentError
+from repro.obs import get_metrics
+
+ProgressCallback = Callable[[str], None]
+
+__all__ = [
+    "FleetConfig",
+    "FleetDevice",
+    "FleetError",
+    "FleetResult",
+    "FleetRunner",
+    "default_fleet_sweep",
+    "device_summary",
+    "population_summary",
+    "run_fleet_device",
+]
+
+
+def default_fleet_sweep(**overrides) -> SweepConfig:
+    """The per-device sweep a fleet runs by default.
+
+    Deliberately small — the fleet's sampling axis is *devices*, not
+    rows: one channel/bank/region, two BER victims and two HC_first
+    victims under Rowstripe0, with hammer counts reduced from the
+    paper's 256K so that a 100-device population finishes in seconds.
+    Any field can be overridden (e.g. more rows per device).
+    """
+    values = dict(
+        channels=(0,), pseudo_channels=(0,), banks=(0,),
+        regions=(REGION_FIRST,), rows_per_region=2,
+        hcfirst_rows_per_region=2, patterns=(ROWSTRIPE0,),
+        append_wcdp=False, jobs=1,
+        experiment=ExperimentConfig(ber_hammer_count=48 * 1024,
+                                    hcfirst_max_hammers=96 * 1024),
+    )
+    values.update(overrides)
+    return SweepConfig(**values)
+
+
+@dataclass(frozen=True)
+class FleetDevice:
+    """One simulated specimen: a re-seeded spec plus its sweep config.
+
+    Shaped like a work item so :func:`~repro.engine.pool.run_shard` can
+    execute it directly: ``index``/``attempt`` drive scheduling, and the
+    coordinate properties key tracing spans and fault injection — the
+    device index stands in for the channel coordinate, so injected
+    faults draw independently per device instead of identically (every
+    device sweeps the same physical coordinates).
+    """
+
+    index: int
+    seed: int
+    spec: BoardSpec
+    config: SweepConfig
+    attempt: int = 0
+
+    @property
+    def channel(self) -> int:
+        return self.index
+
+    @property
+    def pseudo_channel(self) -> int:
+        return 0
+
+    @property
+    def bank(self) -> int:
+        return 0
+
+    @property
+    def region(self) -> str:
+        return self.config.regions[0]
+
+    def describe(self) -> str:
+        return f"device {self.index} (seed {self.seed})"
+
+
+def run_fleet_device(spec: BoardSpec, device: FleetDevice
+                     ) -> CharacterizationDataset:
+    """Execute one device's sweep in the current process.
+
+    The fleet's item runner for :class:`~repro.engine.pool.PoolBackend`
+    (module-level, hence picklable).  ``spec`` is the fleet *template*
+    shipped by the pool initializer and deliberately ignored — the
+    device carries its own re-seeded spec, and the worker's LRU session
+    cache keys on it, so a worker rotating through many devices keeps
+    only the most recent boards alive.
+    """
+    from repro.engine.pool import run_shard
+    return run_shard(device.spec, device)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Shape of one fleet-population run."""
+
+    #: Simulated specimens; device ``i`` is built with ``base_seed + i``.
+    devices: int = 100
+    base_seed: int = 0
+    #: Worker processes (1 = run devices inline, serially).
+    jobs: int = 1
+    #: Extra sequential attempts for devices that fail.
+    max_retries: int = 1
+    #: Template spec; each device gets ``replace(spec, seed=...)``.
+    spec: BoardSpec = field(default_factory=BoardSpec)
+    #: Per-device sweep (identical across the fleet).
+    sweep: SweepConfig = field(default_factory=default_fleet_sweep)
+    #: Per-device wall-clock limit for pooled runs (None = unlimited).
+    device_timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.devices <= 0:
+            raise ExperimentError("devices must be positive")
+        if self.jobs <= 0:
+            raise ExperimentError("jobs must be positive")
+        if self.max_retries < 0:
+            raise ExperimentError("max_retries must be >= 0")
+
+    def fingerprint(self) -> str:
+        return fleet_fingerprint(self.spec, self.sweep, self.devices,
+                                 self.base_seed)
+
+    def plan(self) -> Tuple[FleetDevice, ...]:
+        """The fleet's devices, in index (= merge) order."""
+        config = replace(self.sweep, jobs=1, obs=None, append_wcdp=False)
+        return tuple(
+            FleetDevice(index=index, seed=self.base_seed + index,
+                        spec=replace(self.spec, seed=self.base_seed + index),
+                        config=config)
+            for index in range(self.devices))
+
+
+@dataclass(frozen=True)
+class FleetError:
+    """One device that stayed failed after all retry attempts."""
+
+    index: int
+    seed: int
+    error_type: str
+    message: str
+    attempts: int
+
+
+def _percentile(ordered: List[float], fraction: float) -> float:
+    """Linear-interpolated percentile of an already-sorted list."""
+    position = (len(ordered) - 1) * fraction
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return ordered[low]
+    return ordered[low] + (ordered[high] - ordered[low]) * (position - low)
+
+
+def _distribution(values: List[float]) -> Optional[Dict[str, float]]:
+    """min/p10/p25/p50/p75/p90/max/mean summary of a population."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    summary = {"min": ordered[0]}
+    for label, fraction in (("p10", 0.10), ("p25", 0.25), ("p50", 0.50),
+                            ("p75", 0.75), ("p90", 0.90)):
+        summary[label] = round(_percentile(ordered, fraction), 9)
+    summary["max"] = ordered[-1]
+    summary["mean"] = round(sum(ordered) / len(ordered), 9)
+    return summary
+
+
+def device_summary(device: FleetDevice,
+                   dataset: CharacterizationDataset) -> Dict[str, object]:
+    """One device's population-relevant reductions."""
+    flips = sum(record.flips for record in dataset.ber_records)
+    bits = sum(record.row_bits for record in dataset.ber_records)
+    hc_values = [record.hc_first for record in dataset.hcfirst_records
+                 if record.hc_first is not None]
+    censored = sum(1 for record in dataset.hcfirst_records
+                   if record.censored)
+    return {
+        "device": device.index,
+        "seed": device.seed,
+        "ber_mean": round(flips / bits, 9) if bits else None,
+        "bitflips": flips,
+        "hc_first_min": min(hc_values) if hc_values else None,
+        "hcfirst_censored": censored,
+    }
+
+
+def population_summary(summaries: List[Dict[str, object]]
+                       ) -> Dict[str, object]:
+    """Population distributions over per-device summaries.
+
+    ``hc_first_min`` is the distribution of each device's most
+    vulnerable row (the per-device minimum HC_first, the paper's
+    chip-level vulnerability number); ``ber_mean`` the distribution of
+    each device's mean BER.  Devices whose every HC_first search was
+    right-censored contribute to ``fully_censored_devices`` instead of
+    the HC_first distribution.
+    """
+    hc_values = [summary["hc_first_min"] for summary in summaries
+                 if summary["hc_first_min"] is not None]
+    ber_values = [summary["ber_mean"] for summary in summaries
+                  if summary["ber_mean"] is not None]
+    return {
+        "devices": len(summaries),
+        "hc_first_min": _distribution([float(v) for v in hc_values]),
+        "ber_mean": _distribution([float(v) for v in ber_values]),
+        "bitflips_total": sum(summary["bitflips"] for summary in summaries),
+        "fully_censored_devices": sum(
+            1 for summary in summaries
+            if summary["hc_first_min"] is None),
+    }
+
+
+@dataclass
+class FleetResult:
+    """Everything one fleet run produced."""
+
+    #: All devices' records concatenated in device-index order.
+    dataset: CharacterizationDataset
+    #: Per-device reductions, in device-index order (completed only).
+    devices: List[Dict[str, object]]
+    #: Population distributions (see :func:`population_summary`).
+    population: Dict[str, object]
+    errors: Tuple[FleetError, ...]
+    fingerprint: str
+
+    def to_json(self, path: Union[str, Path]) -> None:
+        payload = {
+            "fingerprint": self.fingerprint,
+            "population": self.population,
+            "devices": self.devices,
+            "errors": [{"index": error.index, "seed": error.seed,
+                        "error_type": error.error_type,
+                        "message": error.message,
+                        "attempts": error.attempts}
+                       for error in self.errors],
+        }
+        Path(path).write_text(json.dumps(payload, indent=1))
+
+
+class FleetRunner:
+    """Runs a fleet and reduces it to population statistics.
+
+    Mirrors :class:`~repro.core.parallel.ParallelSweepRunner` at device
+    granularity: first round dispatches every pending device on the
+    warm pool (or inline when ``jobs=1``), retry rounds re-run failures
+    sequentially on the same pool so a crashing device cannot sink the
+    others, and the integrity fingerprint each device's dataset carries
+    is verified before the dataset is accepted.
+    """
+
+    def __init__(self, config: FleetConfig, *,
+                 campaign_dir: Optional[Union[str, Path]] = None,
+                 mp_context=None) -> None:
+        self._config = config
+        self._campaign_dir = campaign_dir
+        self._mp_context = mp_context
+        self._errors: Tuple[FleetError, ...] = ()
+
+    @property
+    def errors(self) -> Tuple[FleetError, ...]:
+        """Devices that stayed failed after all retries (last run)."""
+        return self._errors
+
+    # ------------------------------------------------------------------
+    def run(self, progress: Optional[ProgressCallback] = None
+            ) -> FleetResult:
+        from repro.engine.pool import PoolBackend
+
+        config = self._config
+        devices = config.plan()
+        fingerprint = config.fingerprint()
+        results: Dict[int, CharacterizationDataset] = {}
+        attempts_used: Dict[int, int] = {}
+        last_error: Dict[int, BaseException] = {}
+        checkpoint = self._prepare_checkpoint(fingerprint, devices,
+                                              results, progress)
+        backend: Optional[PoolBackend] = None
+        if config.jobs > 1:
+            backend = PoolBackend(config.spec, runner=run_fleet_device,
+                                  timeout_s=config.device_timeout_s,
+                                  mp_context=self._mp_context)
+        try:
+            pending = [device for device in devices
+                       if device.index not in results]
+            for attempt in range(1 + config.max_retries):
+                if not pending:
+                    break
+                if attempt and progress:
+                    progress(f"retry round {attempt}: "
+                             f"{len(pending)} device(s)")
+                pending = self._run_round(
+                    pending, attempt, backend, results, attempts_used,
+                    last_error, checkpoint, progress,
+                    sequential=bool(attempt))
+        finally:
+            if backend is not None:
+                backend.close()
+        self._errors = tuple(
+            FleetError(index=device.index, seed=device.seed,
+                       error_type=type(last_error[device.index]).__name__,
+                       message=str(last_error[device.index]),
+                       attempts=attempts_used.get(device.index, 0))
+            for device in devices
+            if device.index not in results)
+        get_metrics().counter("fleet.devices_completed").inc(len(results))
+        get_metrics().counter("fleet.devices_failed").inc(len(self._errors))
+        return self._reduce(devices, results, fingerprint)
+
+    # ------------------------------------------------------------------
+    def _prepare_checkpoint(self, fingerprint, devices, results, progress
+                            ) -> Optional[CampaignCheckpoint]:
+        if self._campaign_dir is None:
+            return None
+        checkpoint = CampaignCheckpoint(self._campaign_dir)
+        if checkpoint.prepare(fingerprint, len(devices)):
+            loaded = checkpoint.load(device.index for device in devices)
+            results.update(loaded)
+            if loaded:
+                get_metrics().counter("fleet.devices_resumed").inc(
+                    len(loaded))
+                if progress:
+                    progress(f"[resume] {len(loaded)}/{len(devices)} "
+                             f"device(s) restored from "
+                             f"{checkpoint.directory}")
+        return checkpoint
+
+    def _run_round(self, pending, attempt, backend, results,
+                   attempts_used, last_error, checkpoint, progress, *,
+                   sequential) -> List[FleetDevice]:
+        """One dispatch round; returns the devices that failed in it."""
+        config = self._config
+        failed: List[FleetDevice] = []
+
+        def on_result(device, dataset) -> None:
+            attempts_used[device.index] = attempt + 1
+            if not self._accept(device, dataset, results, checkpoint):
+                last_error[device.index] = ExperimentError(
+                    f"{device.describe()}: integrity fingerprint "
+                    f"mismatch (dataset corrupted in flight)")
+                failed.append(device)
+            elif progress:
+                progress(f"{device.describe()} done "
+                         f"({len(results)}/{config.devices})")
+
+        def on_failure(device, error) -> None:
+            attempts_used[device.index] = attempt + 1
+            last_error[device.index] = error
+            failed.append(device)
+            if progress:
+                progress(f"{device.describe()} FAILED "
+                         f"[{type(error).__name__}]: {error}")
+
+        if backend is None:
+            for device in pending:
+                job = replace(device, attempt=attempt)
+                try:
+                    dataset = run_fleet_device(config.spec, job)
+                except Exception as error:
+                    on_failure(device, error)
+                else:
+                    on_result(device, dataset)
+        else:
+            workers = min(config.jobs, len(pending))
+            backend.run(list(pending), workers, attempt, on_result,
+                        on_failure, sequential=sequential)
+        return failed
+
+    def _accept(self, device, dataset, results, checkpoint) -> bool:
+        """Verify and record one device's dataset; False = poisoned."""
+        integrity = dataset.metadata.pop("integrity", None)
+        if integrity != dataset.fingerprint():
+            get_metrics().counter("fleet.devices_poisoned").inc()
+            return False
+        dataset.metadata["device"] = {"index": device.index,
+                                      "seed": device.seed}
+        results[device.index] = dataset
+        if checkpoint is not None:
+            checkpoint.write(device.index, dataset)
+        return True
+
+    def _reduce(self, devices, results, fingerprint) -> FleetResult:
+        config = self._config
+        completed = [device for device in devices
+                     if device.index in results]
+        summaries = [device_summary(device, results[device.index])
+                     for device in completed]
+        merged = CharacterizationDataset.merged(
+            (results[device.index] for device in completed),
+            metadata={
+                "fleet": {
+                    "devices": config.devices,
+                    "completed": len(completed),
+                    "base_seed": config.base_seed,
+                    "fingerprint": fingerprint,
+                },
+            })
+        return FleetResult(dataset=merged, devices=summaries,
+                           population=population_summary(summaries),
+                           errors=self._errors, fingerprint=fingerprint)

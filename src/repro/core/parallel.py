@@ -32,8 +32,10 @@ observability disabled (the default) none of this machinery runs.
 Resilience: a shard whose worker raises, crashes, hangs past
 ``shard_timeout_s``, or returns a dataset failing its integrity
 fingerprint is retried (with exponential backoff and deterministic
-jitter between rounds) on a fresh pool; a shard that exhausts its
-retries is quarantined as a structured :class:`ShardError` — carrying
+jitter between rounds) on the *same* warm pool — workers and their
+engine sessions persist across attempts, and only a crash or a zombie
+worker forces the backend to recycle the pool; a shard that exhausts
+its retries is quarantined as a structured :class:`ShardError` — carrying
 its attempt count, total backoff, and fault category — instead of
 killing the campaign, and the dataset gains an exact
 ``metadata["coverage"]`` account of what was measured versus lost.
@@ -371,6 +373,7 @@ class ParallelSweepRunner:
         self._errors: Tuple[ShardError, ...] = ()
         self._coverage: Optional[Dict[str, object]] = None
         self._checkpoint: Optional[CampaignCheckpoint] = None
+        self._backend: Optional[PoolBackend] = None
         self._backoff_totals: Dict[int, float] = {}
         faults = self._config.faults
         self._backoff_seed = (faults.seed if faults is not None
@@ -412,6 +415,13 @@ class ParallelSweepRunner:
         spool = (tempfile.TemporaryDirectory(prefix="repro-obs-")
                  if obs_active else None)
         started = time.perf_counter()
+        # One warm pool for the whole campaign: workers (and their
+        # engine sessions — board, controls, program cache) persist
+        # across retry rounds instead of being rebuilt per attempt.
+        self._backend = PoolBackend(self._spec, runner=self._shard_runner,
+                                    timeout_s=config.shard_timeout_s,
+                                    mp_context=self._mp_context,
+                                    experiment=config.experiment)
         try:
             with tracer.span("campaign", jobs=config.jobs,
                              shards=len(plan)) as campaign:
@@ -437,10 +447,12 @@ class ParallelSweepRunner:
                         metrics.counter("sweep.shard_retries").inc(
                             len(pending))
                         self._backoff(pending, attempt, metrics)
-                        # Retry rounds isolate each shard in its own
-                        # single-worker pool: one crashing worker breaks
-                        # the whole shared pool and would otherwise burn
-                        # innocent shards' retries with it.
+                        # Retry rounds dispatch sequentially on the
+                        # *same* warm pool (sessions built in round 0
+                        # are reused, not rebuilt per attempt); a hard
+                        # crash is still contained to the crashing
+                        # shard because the backend recycles the pool
+                        # and continues the round on a fresh one.
                         with tracer.span("retry-round", attempt=attempt,
                                          shards=len(pending)):
                             pending = self._run_round(
@@ -486,6 +498,9 @@ class ParallelSweepRunner:
                 return dataset
         finally:
             self._checkpoint = None
+            if self._backend is not None:
+                self._backend.close()
+                self._backend = None
             if spool is not None:
                 spool.cleanup()
 
@@ -643,33 +658,16 @@ class ParallelSweepRunner:
                    failures: Dict[int, BaseException],
                    aggregator: _ProgressAggregator, attempt: int,
                    isolate: bool = False) -> List[SweepShard]:
-        """Run ``shards`` on fresh pool(s); returns the ones that failed.
+        """Run one round on the warm pool backend; returns the failures.
 
-        ``isolate=True`` gives every shard its own single-worker pool so
-        a crashing worker cannot fail neighbouring shards by breaking a
-        shared pool (retry rounds use this).
-        """
-        if isolate:
-            failed: List[SweepShard] = []
-            for shard in shards:
-                failed.extend(self._run_pool([shard], 1, results, failures,
-                                             aggregator, attempt))
-            return failed
-        workers = min(self._config.jobs, len(shards))
-        return self._run_pool(shards, workers, results, failures,
-                              aggregator, attempt)
-
-    def _run_pool(self, shards: List[SweepShard], workers: int,
-                  results: Dict[int, CharacterizationDataset],
-                  failures: Dict[int, BaseException],
-                  aggregator: _ProgressAggregator,
-                  attempt: int) -> List[SweepShard]:
-        """Run one round on the engine's pool backend; returns failures.
-
-        The scheduling semantics (dispatch-armed deadlines, starvation
-        fast-fail, crash isolation) live in
-        :class:`~repro.engine.pool.PoolBackend`; this wrapper adapts its
-        callbacks to the runner's retry/checkpoint bookkeeping.
+        The scheduling semantics (dispatch-armed deadlines, batched
+        submission, zombie accounting, starvation fast-fail, crash
+        containment) live in :class:`~repro.engine.pool.PoolBackend`;
+        this wrapper adapts its callbacks to the runner's
+        retry/checkpoint bookkeeping.  ``isolate=True`` (retry rounds)
+        dispatches sequentially so a crashing shard cannot fail its
+        neighbours — while keeping the pool, and the sessions its
+        workers already built, warm.
         """
         failed: List[SweepShard] = []
 
@@ -683,10 +681,9 @@ class ParallelSweepRunner:
             self._accept(shard, dataset, results, failures, aggregator,
                          attempt, record_failure)
 
-        backend = PoolBackend(self._spec, runner=self._shard_runner,
-                              timeout_s=self._config.shard_timeout_s,
-                              mp_context=self._mp_context)
-        backend.run(list(shards), workers, attempt, accept, record_failure)
+        workers = 1 if isolate else min(self._config.jobs, len(shards))
+        self._backend.run(list(shards), workers, attempt, accept,
+                          record_failure, sequential=isolate)
         return failed
 
     def _accept(self, shard: SweepShard, dataset: CharacterizationDataset,

@@ -30,7 +30,7 @@ package), and the parallel executor imports it directly.
 
 from repro.engine.backend import CompiledProgram, ExecutionBackend, LocalBackend
 from repro.engine.cache import ProgramCache, canonicalize, shape_digest, substitute
-from repro.engine.plan import ExecutionPlan, WorkItem
+from repro.engine.plan import ExecutionPlan, WorkItem, chunk_items
 from repro.engine.session import EngineSession
 
 __all__ = [
@@ -42,6 +42,7 @@ __all__ = [
     "ProgramCache",
     "WorkItem",
     "canonicalize",
+    "chunk_items",
     "shape_digest",
     "substitute",
 ]

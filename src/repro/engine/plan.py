@@ -25,7 +25,21 @@ acyclic: ``core.sweeps`` imports the engine, not vice versa.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Sequence, Tuple
+
+
+def chunk_items(items: Sequence, batch_size: int) -> List[List]:
+    """Partition ``items`` into contiguous batches, preserving order.
+
+    The dispatch unit of the warm pool backend: submitting plan slices
+    instead of single items amortizes per-future overhead, and because
+    the slices are contiguous in plan order, concatenating batch
+    results in submission order is still plan order.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    return [list(items[start:start + batch_size])
+            for start in range(0, len(items), batch_size)]
 
 
 @dataclass(frozen=True)

@@ -115,6 +115,22 @@ class EngineSession:
             self._controls_applied = True
         return board
 
+    def release(self) -> None:
+        """Drop the station so its simulator state can be reclaimed.
+
+        Called when a worker's session LRU evicts this session: the
+        board (cell ground truth, stored row data, program cache) is
+        the bulk of a session's footprint, and a re-used session would
+        rebuild it from the spec anyway.  Releasing a board-adopting
+        session (no spec) is refused — it could never rebuild.
+        """
+        if self._spec is None:
+            raise EngineError(
+                "cannot release a session that adopted an existing "
+                "board (no spec to rebuild from)")
+        self._board = None
+        self._controls_applied = False
+
     # ------------------------------------------------------------------
     def thermal_guard(self, faults: Optional[FaultSpec]
                       ) -> Optional[ThermalGuard]:

@@ -425,6 +425,9 @@ class TestInjectedFaultRecovery:
         # queued behind it must not be misread as hangs.
         assert counters["sweep.shard_timeouts"] == 1
         assert counters["sweep.shard_retries"] == 1
+        # The hung worker could not be cancelled: it occupies its slot
+        # past the deadline and must be counted (and its pool recycled).
+        assert counters["sweep.shard_zombies"] == 1
         clean = ParallelSweepRunner(
             spec, lean_config(jobs=2, faults=FaultSpec())).run()
         assert _archive_bytes(dataset, tmp_path / "faulty.json") == \

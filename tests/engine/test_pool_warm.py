@@ -1,0 +1,154 @@
+"""Tests for the warm worker pool — persistence, session reuse, LRU.
+
+The probe runners live at module level so the process pool can pickle
+them by reference.
+"""
+
+import os
+
+import pytest
+
+from repro.bender.board import BoardSpec
+from repro.core.parallel import ParallelSweepRunner, ShardPlan, run_sweep
+from repro.engine import pool
+from repro.errors import EngineError
+from repro.obs import MetricsRegistry, use_metrics
+from tests.conftest import SMALL_GEOMETRY, vulnerable_profile
+from tests.core.test_parallel import (
+    _archive_bytes,
+    _transient_fail_ch1_middle,
+    lean_config,
+    small_spec,
+)
+
+
+def _probe_session(spec, shard):
+    """Report which process served the item and which session object."""
+    session = pool.worker_session(spec, shard.config)
+    return (os.getpid(), id(session))
+
+
+@pytest.fixture()
+def clean_session_cache():
+    """Isolate the module-level session LRU from other tests."""
+    saved = pool._WORKER_SESSIONS.copy()
+    pool._WORKER_SESSIONS.clear()
+    yield
+    pool._WORKER_SESSIONS.clear()
+    pool._WORKER_SESSIONS.update(saved)
+
+
+class TestWarmPool:
+    def test_worker_sessions_survive_across_dispatch_rounds(self):
+        """A worker process builds its session once, ever: both rounds
+        (attempt 0 and a simulated retry round) must observe the same
+        session object per pid, on the same warm executor."""
+        spec = small_spec()
+        plan = ShardPlan.from_config(lean_config())
+        backend = pool.PoolBackend(spec, runner=_probe_session)
+        sightings = []
+        failures = []
+        with backend:
+            for attempt in (0, 1):
+                backend.run(list(plan.shards), 2, attempt,
+                            lambda shard, probe: sightings.append(probe),
+                            lambda shard, error: failures.append(error))
+        assert failures == []
+        assert len(sightings) == 2 * len(plan.shards)
+        by_pid = {}
+        for pid, session_id in sightings:
+            by_pid.setdefault(pid, set()).add(session_id)
+        assert by_pid  # at least one worker served items
+        for session_ids in by_pid.values():
+            assert len(session_ids) == 1  # never rebuilt for the same key
+        assert backend.pool_builds == 1
+        assert backend.pool_reuses == 1
+
+    def test_executor_built_once_across_retry_rounds(self, tmp_path,
+                                                     monkeypatch):
+        """A campaign with a transient failure must retry on the *same*
+        executor: one pool build, at least one reuse (the retry round),
+        and a dataset byte-identical to an undisturbed run."""
+        monkeypatch.setenv("REPRO_TEST_FLAG_DIR", str(tmp_path))
+        spec = small_spec()
+        runner = ParallelSweepRunner(
+            spec, lean_config(jobs=2),
+            shard_runner=_transient_fail_ch1_middle)
+        metrics = MetricsRegistry()
+        with use_metrics(metrics):
+            dataset = runner.run()
+        assert runner.errors == ()
+        counters = metrics.snapshot()["counters"]
+        assert counters["engine.pool.builds"] == 1
+        assert counters["engine.pool.reuses"] >= 1
+        clean = run_sweep(lean_config(jobs=1), spec=spec)
+        assert _archive_bytes(dataset, tmp_path / "retried.json") == \
+            _archive_bytes(clean, tmp_path / "clean.json")
+
+    def test_resumed_campaign_on_warm_pool_matches_serial(self, tmp_path,
+                                                          monkeypatch):
+        """Checkpoint + warm-pool retries + resume, all byte-identical
+        to the serial reference."""
+        monkeypatch.setenv("REPRO_TEST_FLAG_DIR", str(tmp_path))
+        spec = small_spec()
+        campaign = tmp_path / "campaign"
+        first = ParallelSweepRunner(
+            spec, lean_config(jobs=2), campaign_dir=campaign,
+            shard_runner=_transient_fail_ch1_middle).run()
+        resumed = ParallelSweepRunner(
+            spec, lean_config(jobs=2), campaign_dir=campaign,
+            shard_runner=_transient_fail_ch1_middle).run()
+        serial = run_sweep(lean_config(jobs=1), spec=spec)
+        reference = _archive_bytes(serial, tmp_path / "serial.json")
+        assert _archive_bytes(first, tmp_path / "first.json") == reference
+        assert _archive_bytes(resumed, tmp_path / "resumed.json") == \
+            reference
+
+
+class TestSessionLru:
+    def test_cache_is_bounded_and_evicts_least_recent(
+            self, clean_session_cache, monkeypatch):
+        monkeypatch.setenv(pool.SESSION_CACHE_VAR, "2")
+        config = lean_config()
+        specs = [BoardSpec(seed=seed, settle_thermals=False,
+                           geometry=SMALL_GEOMETRY,
+                           profile=vulnerable_profile())
+                 for seed in (1, 2, 3)]
+        metrics = MetricsRegistry()
+        with use_metrics(metrics):
+            sessions = [pool.worker_session(spec, config)
+                        for spec in specs]
+            assert len(pool._WORKER_SESSIONS) == 2  # seed 1 evicted
+            # A hit refreshes the entry instead of rebuilding.
+            assert pool.worker_session(specs[2], config) is sessions[2]
+            # The evicted spec rebuilds from scratch (new object) and
+            # pushes out the now-least-recent seed 2.
+            rebuilt = pool.worker_session(specs[0], config)
+            assert rebuilt is not sessions[0]
+            assert len(pool._WORKER_SESSIONS) == 2
+            assert pool.worker_session(specs[1], config) is not sessions[1]
+        counters = metrics.snapshot()["counters"]
+        assert counters["engine.pool.sessions_built"] == 5
+        assert counters["engine.pool.sessions_evicted"] == 3
+
+    def test_eviction_releases_board_state(self, clean_session_cache,
+                                           monkeypatch):
+        monkeypatch.setenv(pool.SESSION_CACHE_VAR, "1")
+        config = lean_config()
+        first = pool.worker_session(
+            BoardSpec(seed=1, settle_thermals=False,
+                      geometry=SMALL_GEOMETRY,
+                      profile=vulnerable_profile()), config)
+        first.station()  # materialize the board
+        assert first._board is not None
+        pool.worker_session(
+            BoardSpec(seed=2, settle_thermals=False,
+                      geometry=SMALL_GEOMETRY,
+                      profile=vulnerable_profile()), config)
+        assert first._board is None  # evicted sessions drop their board
+
+    def test_board_adopting_session_refuses_release(self):
+        spec = small_spec()
+        session = pool.EngineSession(board=spec.build())
+        with pytest.raises(EngineError):
+            session.release()

@@ -144,6 +144,13 @@ def main() -> None:
     fig6_wall = time.perf_counter() - fig6_started
     fig6_dataset.metadata.pop("telemetry", None)
 
+    log("running the fleet-population campaign ...")
+    from repro.core.fleet import FleetConfig, FleetRunner
+    fleet_config = FleetConfig(
+        devices=env_int("REPRO_FLEET_DEVICES", 40), base_seed=seed,
+        jobs=config.jobs, spec=BoardSpec(seed=seed))
+    fleet = FleetRunner(fleet_config).run()
+
     log("discovering subarray structure (footnote 3) ...")
     boundaries = discover_subarray_sizes(board, dataset)
     sizes = [second - first
@@ -350,6 +357,28 @@ def main() -> None:
         "```",
         render_scatter_table(fig6_bank_scatter(fig6_dataset)),
         "```",
+        "",
+        "## P1 — population: chip-to-chip variation (fleet mode)",
+        "",
+        "Paper: six physical chips (Sec 4) bound the chip-to-chip "
+        "axis; fleet mode re-seeds distinct simulated specimens from "
+        "one spec template and reports the population spread "
+        "(`repro fleet run`, byte-identical at any `--jobs` level).",
+        "",
+        f"- devices: {fleet.population['devices']} (seeds "
+        f"{fleet_config.base_seed}.."
+        f"{fleet_config.base_seed + fleet_config.devices - 1})",
+        f"- HC_first, per-device minimum: "
+        f"min={fleet.population['hc_first_min']['min']:.0f} "
+        f"p50={fleet.population['hc_first_min']['p50']:.0f} "
+        f"max={fleet.population['hc_first_min']['max']:.0f}",
+        f"- BER, per-device mean: "
+        f"min={fleet.population['ber_mean']['min']:.6f} "
+        f"p50={fleet.population['ber_mean']['p50']:.6f} "
+        f"max={fleet.population['ber_mean']['max']:.6f}",
+        f"- bitflips total: {fleet.population['bitflips_total']}; "
+        f"fully censored devices: "
+        f"{fleet.population['fully_censored_devices']}",
         "",
         "## S5 — Sec 5: uncovering the in-DRAM TRR",
         "",

@@ -1,0 +1,101 @@
+"""CI scaling smoke: jobs=1 vs jobs=2 on the warm pool, same bytes.
+
+Runs one small campaign twice — serial and through the pooled
+executor — and enforces the two contracts a scaling change can break:
+
+* **Determinism**: the merged datasets must be byte-identical (the
+  archive JSON compares equal bit for bit).
+* **Throughput**: jobs=2 must deliver at least ``--min-speedup``
+  (default 0.9) of the jobs=1 throughput.  A warm pool that regressed
+  into rebuilding workers or sessions per round shows up here long
+  before it shows up as a user-visible slowdown.  The threshold is
+  only enforced when the process actually has two CPUs to schedule on;
+  on a single effective CPU the comparison measures sharding overhead,
+  so it is reported but not enforced.
+
+Exit codes: 0 OK, 1 contract violated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+
+def effective_parallelism() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--channels", type=int, default=4,
+                        help="channels in the smoke campaign (default: 4)")
+    parser.add_argument("--rows-per-region", type=int, default=2)
+    parser.add_argument("--hammers", type=int, default=48 * 1024)
+    parser.add_argument("--min-speedup", type=float, default=0.9,
+                        help="required jobs=2 / jobs=1 throughput ratio "
+                             "(default: 0.9; enforced only with >= 2 "
+                             "effective CPUs)")
+    args = parser.parse_args(argv)
+
+    from repro.bender.board import BoardSpec
+    from repro.core.experiment import ExperimentConfig
+    from repro.core.parallel import run_sweep
+    from repro.core.patterns import ROWSTRIPE0
+    from repro.core.sweeps import SweepConfig
+
+    spec = BoardSpec(seed=2023)
+    elapsed = {}
+    fingerprints = {}
+    for jobs in (1, 2):
+        config = SweepConfig(
+            channels=tuple(range(args.channels)),
+            rows_per_region=args.rows_per_region,
+            hcfirst_rows_per_region=0, include_hcfirst=False,
+            patterns=(ROWSTRIPE0,), jobs=jobs,
+            experiment=ExperimentConfig(ber_hammer_count=args.hammers))
+        started = time.perf_counter()
+        dataset = run_sweep(config, spec=spec)
+        elapsed[jobs] = time.perf_counter() - started
+        dataset.metadata.pop("telemetry", None)
+        fingerprints[jobs] = dataset.fingerprint()
+        print(f"jobs={jobs}: {elapsed[jobs]:.2f}s, "
+              f"fingerprint {fingerprints[jobs]}")
+
+    effective = effective_parallelism()
+    speedup = elapsed[1] / elapsed[2] if elapsed[2] else float("inf")
+    report = {
+        "effective_cpus": effective,
+        "elapsed_s": {str(jobs): round(value, 3)
+                      for jobs, value in elapsed.items()},
+        "speedup": round(speedup, 3),
+        "fingerprints_match": fingerprints[1] == fingerprints[2],
+    }
+    print(json.dumps(report, indent=1))
+
+    if fingerprints[1] != fingerprints[2]:
+        print("FAIL: jobs=1 and jobs=2 datasets differ — the sharding "
+              "determinism contract is broken", file=sys.stderr)
+        return 1
+    if effective < 2:
+        print(f"NOTE: only {effective} effective CPU(s); speedup "
+              f"{speedup:.2f}x reported but the {args.min_speedup}x "
+              f"threshold is not enforced", file=sys.stderr)
+        return 0
+    if speedup < args.min_speedup:
+        print(f"FAIL: jobs=2 delivered {speedup:.2f}x of jobs=1 "
+              f"throughput (required: >= {args.min_speedup}x) — the "
+              f"pool is paying per-round setup again", file=sys.stderr)
+        return 1
+    print(f"OK: byte-identical, {speedup:.2f}x", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
