@@ -12,12 +12,19 @@ installed).  Each subcommand wraps one methodology entry point::
     python -m repro subarrays --start 800 --end 870
     python -m repro report out.json
     python -m repro obs summarize trace.jsonl --metrics metrics.json
+    python -m repro obs tail events.jsonl --follow
+    python -m repro obs export --format prometheus --metrics metrics.json
 
 All subcommands share the station options ``--seed`` (chip specimen),
 ``--temperature`` (degC) and ``--voltage`` (wordline rail), plus the
-observability options ``--trace PATH`` (span trace as JSON Lines) and
-``--metrics PATH`` (metric snapshot as JSON); ``repro obs summarize``
-renders either into a profile table.
+observability options ``--trace PATH`` (span trace as JSON Lines),
+``--metrics PATH`` (metric snapshot as JSON) and ``--events PATH``
+(live campaign event log as JSONL); ``repro obs summarize`` renders
+trace/metrics into a profile table, ``repro obs tail`` replays or
+follows an event log, and ``repro obs export`` converts artifacts to
+Prometheus / flamegraph formats.  The campaign commands (``sweep``,
+``fleet run``) additionally take ``--progress`` for a live status line
+driven by the event stream.
 """
 
 from __future__ import annotations
@@ -73,6 +80,10 @@ def _add_station_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--metrics", metavar="PATH", default=None,
                         help="write a metric snapshot (commands by type, "
                              "hammers, bitflips, ...) to PATH as JSON")
+    parser.add_argument("--events", metavar="PATH", default=None,
+                        help="record the live campaign event log to PATH "
+                             "(JSONL); watch it from another terminal "
+                             "with 'repro obs tail PATH --follow'")
 
 
 def _fault_spec(args: argparse.Namespace) -> Optional[FaultSpec]:
@@ -310,6 +321,46 @@ def cmd_obs_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs_tail(args: argparse.Namespace) -> int:
+    from repro.obs.progress import tail_events
+
+    tail_events(args.path, follow=args.follow,
+                stale_after=args.stale_after)
+    return 0
+
+
+def cmd_obs_export(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.errors import ConfigurationError
+    from repro.obs.export import collapsed_stacks, prometheus_text
+    from repro.obs.trace import read_jsonl
+
+    if args.format == "prometheus":
+        if not args.metrics:
+            raise ConfigurationError(
+                "--format prometheus exports a metrics snapshot; "
+                "pass one with --metrics PATH")
+        snapshot = json.loads(Path(args.metrics).read_text())
+        text = prometheus_text(snapshot)
+    else:
+        if not args.trace:
+            raise ConfigurationError(
+                "--format flamegraph exports a span trace; "
+                "pass one with --trace PATH")
+        text = collapsed_stacks(read_jsonl(args.trace))
+        if text:
+            text += "\n"
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"{args.format} export written to {args.output}",
+              file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def _print_report(report, output_format: str) -> int:
     """Render a verification report; returns the 0/1/2 exit code."""
     if output_format == "json":
@@ -493,6 +544,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="base backoff before retry rounds, seconds "
                             "(doubles per round, deterministic jitter; "
                             "default: 0)")
+    sweep.add_argument("--progress", action="store_true",
+                       help="render a live status line (items done, "
+                            "rows/s, ETA, worker liveness) to stderr, "
+                            "driven by the campaign event stream")
     sweep.add_argument("-o", "--output", help="archive dataset as JSON")
     sweep.add_argument("--export-dir",
                        help="also write figure CSVs into this directory")
@@ -536,6 +591,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write the population summary as JSON")
     fleet_run.add_argument("--dataset",
                            help="also archive the merged dataset as JSON")
+    fleet_run.add_argument("--progress", action="store_true",
+                           help="render a live status line (devices "
+                                "done, rows/s, ETA, worker liveness) to "
+                                "stderr from the campaign event stream")
     fleet_run.add_argument("--verbose", action="store_true",
                            help="print per-device progress to stderr")
     fleet_run.set_defaults(handler=cmd_fleet_run)
@@ -635,6 +694,33 @@ def build_parser() -> argparse.ArgumentParser:
     summarize.add_argument("--top", type=int, default=5,
                            help="slowest shards to list (default: 5)")
     summarize.set_defaults(handler=cmd_obs_summarize)
+    tail = obs_subparsers.add_parser(
+        "tail", help="replay or follow a campaign event log "
+                     "(written by --events PATH)")
+    tail.add_argument("path", help="event log written by --events PATH")
+    tail.add_argument("--follow", action="store_true",
+                      help="poll the log, printing status lines, until "
+                           "campaign_finished arrives")
+    tail.add_argument("--stale-after", type=float, default=5.0,
+                      metavar="S",
+                      help="flag a worker stale after S seconds without "
+                           "a heartbeat or completion (default: 5)")
+    tail.set_defaults(handler=cmd_obs_tail)
+    export = obs_subparsers.add_parser(
+        "export", help="convert recorded artifacts to external tool "
+                       "formats")
+    export.add_argument("--format", required=True,
+                        choices=("prometheus", "flamegraph"),
+                        help="prometheus: text exposition format from a "
+                             "--metrics snapshot; flamegraph: collapsed "
+                             "stacks from a --trace file")
+    export.add_argument("--metrics", default=None, metavar="PATH",
+                        help="metrics snapshot (prometheus input)")
+    export.add_argument("--trace", default=None, metavar="PATH",
+                        help="span trace (flamegraph input)")
+    export.add_argument("-o", "--output", default=None,
+                        help="write the export here instead of stdout")
+    export.set_defaults(handler=cmd_obs_export)
 
     return parser
 
@@ -645,25 +731,58 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
-    if args.handler is cmd_obs_summarize:
+    events_path = getattr(args, "events", None)
+    progress = getattr(args, "progress", False)
+    if args.handler in (cmd_obs_summarize, cmd_obs_export):
         trace_path = metrics_path = None  # inputs, not collection targets
     try:
-        if trace_path or metrics_path:
-            with ObsSession(trace_path=trace_path,
-                            metrics_path=metrics_path):
-                code = args.handler(args)
-            if trace_path:
-                print(f"trace written to {trace_path} "
-                      f"(see: repro obs summarize {trace_path})",
-                      file=sys.stderr)
-            if metrics_path:
-                print(f"metrics written to {metrics_path}",
-                      file=sys.stderr)
-            return code
+        if trace_path or metrics_path or events_path or progress:
+            return _run_observed(args, trace_path, metrics_path,
+                                 events_path, progress)
         return args.handler(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+
+
+def _run_observed(args: argparse.Namespace, trace_path, metrics_path,
+                  events_path, progress: bool) -> int:
+    """Run a subcommand inside an ObsSession collecting the asked-for
+    artifacts; ``--progress`` without ``--events`` records the event
+    stream to a throwaway file just to drive the live renderer."""
+    import os
+    import tempfile
+
+    scratch = None
+    if progress and not events_path:
+        handle = tempfile.NamedTemporaryFile(
+            prefix="repro-events-", suffix=".jsonl", delete=False)
+        handle.close()
+        scratch = events_path = handle.name
+    session = ObsSession(trace_path=trace_path, metrics_path=metrics_path,
+                         events_path=events_path)
+    if progress and session.bus is not None:
+        from repro.obs.progress import CampaignView, ProgressRenderer
+
+        view = CampaignView()
+        session.bus.subscribe(view.on_event)
+        session.bus.subscribe(
+            ProgressRenderer(view, epoch=session.bus.epoch).on_event)
+    try:
+        with session:
+            code = args.handler(args)
+    finally:
+        if scratch is not None:
+            os.unlink(scratch)
+    if trace_path:
+        print(f"trace written to {trace_path} "
+              f"(see: repro obs summarize {trace_path})", file=sys.stderr)
+    if metrics_path:
+        print(f"metrics written to {metrics_path}", file=sys.stderr)
+    if events_path and scratch is None:
+        print(f"events written to {events_path} "
+              f"(see: repro obs tail {events_path})", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":

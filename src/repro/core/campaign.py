@@ -30,7 +30,7 @@ from repro.core.results import CharacterizationDataset
 from repro.errors import CampaignStateError
 
 __all__ = ["CampaignCheckpoint", "campaign_fingerprint",
-           "fleet_fingerprint"]
+           "checkpoint_events", "fleet_fingerprint"]
 
 _MANIFEST_NAME = "campaign.json"
 _MANIFEST_VERSION = 1
@@ -76,6 +76,39 @@ def fleet_fingerprint(spec, config, devices: int, base_seed: int) -> str:
     hasher.update(repr(normalized).encode())
     hasher.update(f"{devices}|{base_seed}".encode())
     return hasher.hexdigest()
+
+
+def checkpoint_events(bus, items, loaded) -> None:
+    """Synthesize the event stream of checkpoint-loaded items.
+
+    A resumed item did no work this run, so its worker can't emit the
+    dispatched/heartbeat/completed sequence — the parent synthesizes it
+    from the stored archive instead, keeping a resumed campaign's event
+    log identical (modulo ``timing``) to an uninterrupted one.  The
+    wall-clock-free ``timing.source = "checkpoint"`` marks the synthetic
+    events for consumers that care.  ``item_completed``'s metrics delta
+    is dataset-derivable by design (see
+    :func:`repro.obs.events.dataset_delta`), which is exactly what makes
+    this synthesis possible.  Limitation: the archive doesn't record
+    which attempt succeeded, so synthetic events always say attempt 0.
+    """
+    from repro.engine.plan import item_coords
+    from repro.obs.events import dataset_delta
+
+    if not bus.enabled:
+        return
+    source = {"source": "checkpoint"}
+    for item in items:
+        dataset = loaded.get(item.index)
+        if dataset is None:
+            continue
+        coords = item_coords(item)
+        bus.emit("shard_dispatched", item=item.index, attempt=0,
+                 timing=source, **coords)
+        bus.emit("worker_heartbeat", item=item.index, attempt=0,
+                 timing=source, **coords)
+        bus.emit("item_completed", item=item.index, attempt=0,
+                 timing=source, **coords, **dataset_delta(dataset))
 
 
 class CampaignCheckpoint:

@@ -25,18 +25,33 @@ from __future__ import annotations
 
 import json
 import math
+import tempfile
+import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.bender.board import BoardSpec
-from repro.core.campaign import CampaignCheckpoint, fleet_fingerprint
+from repro.core.campaign import (
+    CampaignCheckpoint,
+    checkpoint_events,
+    fleet_fingerprint,
+)
 from repro.core.experiment import ExperimentConfig
 from repro.core.patterns import ROWSTRIPE0
 from repro.core.results import REGION_FIRST, CharacterizationDataset
 from repro.core.sweeps import SweepConfig
+from repro.engine.plan import item_coords
 from repro.errors import ExperimentError
-from repro.obs import get_metrics
+from repro.obs import (
+    MetricsRegistry,
+    ObsConfig,
+    get_events,
+    get_metrics,
+    get_tracer,
+    read_jsonl,
+)
+from repro.obs.events import dataset_delta
 
 ProgressCallback = Callable[[str], None]
 
@@ -91,6 +106,10 @@ class FleetDevice:
     spec: BoardSpec
     config: SweepConfig
     attempt: int = 0
+
+    #: Devices trace as ``device`` spans and report (device, seed) event
+    #: coordinates (see :func:`repro.engine.plan.item_coords`).
+    span_kind = "device"
 
     @property
     def channel(self) -> int:
@@ -304,44 +323,90 @@ class FleetRunner:
         from repro.engine.pool import PoolBackend
 
         config = self._config
+        tracer = get_tracer()
+        metrics = get_metrics()
+        events = get_events()
         devices = config.plan()
+        events.emit("campaign_started", devices=len(devices), kind="fleet",
+                    timing={"jobs": config.jobs})
+        obs_active = tracer.enabled or metrics.enabled
+        spool = (tempfile.TemporaryDirectory(prefix="repro-fleet-obs-")
+                 if obs_active else None)
+        if spool is not None or events.enabled:
+            obs = ObsConfig(trace=tracer.enabled, metrics=metrics.enabled,
+                            spool_dir=(spool.name if spool is not None
+                                       else None),
+                            events_path=(str(events.path)
+                                         if events.enabled else None),
+                            epoch=events.epoch)
+            devices = tuple(
+                replace(device, config=replace(device.config, obs=obs))
+                for device in devices)
+        started = time.perf_counter()
         fingerprint = config.fingerprint()
         results: Dict[int, CharacterizationDataset] = {}
         attempts_used: Dict[int, int] = {}
         last_error: Dict[int, BaseException] = {}
-        checkpoint = self._prepare_checkpoint(fingerprint, devices,
-                                              results, progress)
         backend: Optional[PoolBackend] = None
         if config.jobs > 1:
             backend = PoolBackend(config.spec, runner=run_fleet_device,
                                   timeout_s=config.device_timeout_s,
                                   mp_context=self._mp_context)
         try:
-            pending = [device for device in devices
-                       if device.index not in results]
-            for attempt in range(1 + config.max_retries):
-                if not pending:
-                    break
-                if attempt and progress:
-                    progress(f"retry round {attempt}: "
-                             f"{len(pending)} device(s)")
-                pending = self._run_round(
-                    pending, attempt, backend, results, attempts_used,
-                    last_error, checkpoint, progress,
-                    sequential=bool(attempt))
+            with tracer.span("campaign", kind="fleet",
+                             devices=len(devices),
+                             jobs=config.jobs) as campaign:
+                checkpoint = self._prepare_checkpoint(
+                    fingerprint, devices, results, progress)
+                pending = [device for device in devices
+                           if device.index not in results]
+                for attempt in range(1 + config.max_retries):
+                    if not pending:
+                        break
+                    if attempt and progress:
+                        progress(f"retry round {attempt}: "
+                                 f"{len(pending)} device(s)")
+                    pending = self._run_round(
+                        pending, attempt, backend, results, attempts_used,
+                        last_error, checkpoint, progress,
+                        sequential=bool(attempt))
+                self._errors = tuple(
+                    FleetError(
+                        index=device.index, seed=device.seed,
+                        error_type=type(
+                            last_error[device.index]).__name__,
+                        message=str(last_error[device.index]),
+                        attempts=attempts_used.get(device.index, 0))
+                    for device in devices
+                    if device.index not in results)
+                for error in self._errors:
+                    events.emit("quarantine", item=error.index,
+                                attempt=1 + config.max_retries,
+                                error_type=error.error_type,
+                                device=error.index, seed=error.seed)
+                metrics.counter("fleet.devices_completed").inc(
+                    len(results))
+                metrics.counter("fleet.devices_failed").inc(
+                    len(self._errors))
+                result = self._reduce(devices, results, fingerprint)
+                if spool is not None:
+                    self._merge_spool(
+                        devices, spool.name, tracer, metrics, campaign,
+                        result.dataset, time.perf_counter() - started)
+                events.emit(
+                    "campaign_finished", devices=len(devices),
+                    completed=len(results),
+                    quarantined=len(self._errors),
+                    records=sum(result.dataset.record_counts()),
+                    timing={"wall_s": round(
+                        time.perf_counter() - started, 6)})
+                events.finalize()
+                return result
         finally:
             if backend is not None:
                 backend.close()
-        self._errors = tuple(
-            FleetError(index=device.index, seed=device.seed,
-                       error_type=type(last_error[device.index]).__name__,
-                       message=str(last_error[device.index]),
-                       attempts=attempts_used.get(device.index, 0))
-            for device in devices
-            if device.index not in results)
-        get_metrics().counter("fleet.devices_completed").inc(len(results))
-        get_metrics().counter("fleet.devices_failed").inc(len(self._errors))
-        return self._reduce(devices, results, fingerprint)
+            if spool is not None:
+                spool.cleanup()
 
     # ------------------------------------------------------------------
     def _prepare_checkpoint(self, fingerprint, devices, results, progress
@@ -353,6 +418,17 @@ class FleetRunner:
             loaded = checkpoint.load(device.index for device in devices)
             results.update(loaded)
             if loaded:
+                events = get_events()
+                checkpoint_events(events, devices, loaded)
+                if events.enabled:
+                    for device in devices:
+                        dataset = loaded.get(device.index)
+                        if dataset is not None:
+                            events.emit(
+                                "device_done", item=device.index,
+                                attempt=0,
+                                timing={"source": "checkpoint"},
+                                **device_summary(device, dataset))
                 get_metrics().counter("fleet.devices_resumed").inc(
                     len(loaded))
                 if progress:
@@ -366,11 +442,19 @@ class FleetRunner:
                    sequential) -> List[FleetDevice]:
         """One dispatch round; returns the devices that failed in it."""
         config = self._config
+        events = get_events()
         failed: List[FleetDevice] = []
+        if attempt:
+            for device in pending:
+                events.emit("retry", item=device.index, attempt=attempt,
+                            error_type=type(
+                                last_error[device.index]).__name__,
+                            **item_coords(device))
 
         def on_result(device, dataset) -> None:
             attempts_used[device.index] = attempt + 1
-            if not self._accept(device, dataset, results, checkpoint):
+            if not self._accept(device, dataset, results, checkpoint,
+                                attempt):
                 last_error[device.index] = ExperimentError(
                     f"{device.describe()}: integrity fingerprint "
                     f"mismatch (dataset corrupted in flight)")
@@ -390,19 +474,23 @@ class FleetRunner:
         if backend is None:
             for device in pending:
                 job = replace(device, attempt=attempt)
+                events.emit("shard_dispatched", item=device.index,
+                            attempt=attempt, **item_coords(device))
                 try:
                     dataset = run_fleet_device(config.spec, job)
                 except Exception as error:
                     on_failure(device, error)
                 else:
                     on_result(device, dataset)
+                events.tick()
         else:
             workers = min(config.jobs, len(pending))
             backend.run(list(pending), workers, attempt, on_result,
                         on_failure, sequential=sequential)
         return failed
 
-    def _accept(self, device, dataset, results, checkpoint) -> bool:
+    def _accept(self, device, dataset, results, checkpoint,
+                attempt: int = 0) -> bool:
         """Verify and record one device's dataset; False = poisoned."""
         integrity = dataset.metadata.pop("integrity", None)
         if integrity != dataset.fingerprint():
@@ -410,10 +498,76 @@ class FleetRunner:
             return False
         dataset.metadata["device"] = {"index": device.index,
                                       "seed": device.seed}
+        first = device.index not in results
         results[device.index] = dataset
         if checkpoint is not None:
             checkpoint.write(device.index, dataset)
+        if first:
+            events = get_events()
+            events.emit("item_completed", item=device.index,
+                        attempt=attempt, **item_coords(device),
+                        **dataset_delta(dataset))
+            events.emit("device_done", item=device.index, attempt=attempt,
+                        **device_summary(device, dataset))
         return True
+
+    def _merge_spool(self, devices, spool_dir, tracer, metrics, campaign,
+                     dataset, wall_s) -> None:
+        """Fold device spool files back into the parent collectors.
+
+        The fleet analogue of
+        :meth:`~repro.core.parallel.ParallelSweepRunner._merge_spool`:
+        device subtrees graft under the fleet ``campaign`` span in
+        device-index order, worker metric snapshots merge (with the
+        per-item ``shard.*`` gauges folded into a
+        ``fleet.device_wall_s`` histogram), and per-device wall/records
+        telemetry lands in ``dataset.metadata["telemetry"]``.  Devices
+        satisfied from a checkpoint spooled nothing — they did no work
+        this run.
+        """
+        obs = ObsConfig(trace=tracer.enabled, metrics=metrics.enabled,
+                        spool_dir=spool_dir)
+        device_rows: List[Dict[str, object]] = []
+        total_records = 0
+        for device in devices:
+            if tracer.enabled:
+                trace_path = obs.trace_path(device.index)
+                if trace_path.exists():
+                    tracer.graft(read_jsonl(trace_path),
+                                 parent_id=campaign.span_id)
+            metrics_path = obs.metrics_path(device.index)
+            if not metrics_path.exists():
+                continue
+            snapshot = MetricsRegistry.read_snapshot(metrics_path)
+            gauges = snapshot.get("gauges", {})
+            device_wall = gauges.pop("shard.wall_s", None)
+            device_records = gauges.pop("shard.records", None)
+            if metrics.enabled:
+                metrics.merge_snapshot(snapshot)
+                if device_wall:
+                    metrics.histogram("fleet.device_wall_s").observe(
+                        device_wall)
+            row: Dict[str, object] = {
+                "device": device.index,
+                "seed": device.seed,
+                "wall_s": device_wall,
+            }
+            if device_records is not None:
+                total_records += int(device_records)
+                row["records"] = int(device_records)
+                if device_wall:
+                    row["rows_per_s"] = round(
+                        device_records / device_wall, 3)
+            device_rows.append(row)
+        dataset.metadata["telemetry"] = {
+            "kind": "fleet",
+            "jobs": self._config.jobs,
+            "wall_s": round(wall_s, 6),
+            "records": total_records,
+            "rows_per_s": (round(total_records / wall_s, 3)
+                           if wall_s > 0 else None),
+            "devices": device_rows,
+        }
 
     def _reduce(self, devices, results, fingerprint) -> FleetResult:
         config = self._config

@@ -69,7 +69,11 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bender.board import BenderBoard, BoardSpec
-from repro.core.campaign import CampaignCheckpoint, campaign_fingerprint
+from repro.core.campaign import (
+    CampaignCheckpoint,
+    campaign_fingerprint,
+    checkpoint_events,
+)
 from repro.core.results import CharacterizationDataset
 from repro.core.sweeps import (
     ProgressCallback,
@@ -78,17 +82,19 @@ from repro.core.sweeps import (
     sweep_metadata,
 )
 from repro.core.wcdp import append_wcdp_records
-from repro.engine.plan import ExecutionPlan
+from repro.engine.plan import ExecutionPlan, item_coords
 from repro.engine.pool import PoolBackend, run_shard
 from repro.errors import ExperimentError, ReproError, ShardFault
 from repro.faults.thermal import ThermalGuard
 from repro.obs import (
     MetricsRegistry,
     ObsConfig,
+    get_events,
     get_metrics,
     get_tracer,
     read_jsonl,
 )
+from repro.obs.events import dataset_delta
 from repro.rng import uniform_hash01
 
 __all__ = [
@@ -403,7 +409,13 @@ class ParallelSweepRunner:
         self._backoff_totals = {}
         tracer = get_tracer()
         metrics = get_metrics()
-        if config.jobs == 1 and self._campaign_dir is None:
+        events = get_events()
+        # With an event bus installed even jobs=1 takes the sharded
+        # path (as campaign_dir already does): shards are what the
+        # event schema describes, and routing every jobs level through
+        # the same emitters is what makes the logs byte-identical.
+        if (config.jobs == 1 and self._campaign_dir is None
+                and not events.enabled):
             with tracer.span("campaign", jobs=1):
                 sweep = SpatialSweep(self._spec.build(), config)
                 dataset = sweep.run(progress)
@@ -411,6 +423,8 @@ class ParallelSweepRunner:
             return dataset
 
         plan = ShardPlan.from_config(config)
+        events.emit("campaign_started", shards=len(plan), kind="sweep",
+                    timing={"jobs": config.jobs})
         obs_active = tracer.enabled or metrics.enabled
         spool = (tempfile.TemporaryDirectory(prefix="repro-obs-")
                  if obs_active else None)
@@ -425,10 +439,14 @@ class ParallelSweepRunner:
         try:
             with tracer.span("campaign", jobs=config.jobs,
                              shards=len(plan)) as campaign:
-                if spool is not None:
+                if spool is not None or events.enabled:
                     shards: Sequence[SweepShard] = plan.with_obs(ObsConfig(
                         trace=tracer.enabled, metrics=metrics.enabled,
-                        spool_dir=spool.name))
+                        spool_dir=(spool.name if spool is not None
+                                   else None),
+                        events_path=(str(events.path) if events.enabled
+                                     else None),
+                        epoch=events.epoch))
                 else:
                     shards = plan.shards
 
@@ -446,6 +464,12 @@ class ParallelSweepRunner:
                     if attempt:
                         metrics.counter("sweep.shard_retries").inc(
                             len(pending))
+                        for shard in pending:
+                            events.emit(
+                                "retry", item=shard.index, attempt=attempt,
+                                category=_fault_category(
+                                    failures[shard.index]),
+                                **item_coords(shard))
                         self._backoff(pending, attempt, metrics)
                         # Retry rounds dispatch sequentially on the
                         # *same* warm pool (sessions built in round 0
@@ -473,6 +497,14 @@ class ParallelSweepRunner:
                             self._backoff_totals.get(shard.index, 0.0), 9))
                     for shard in sorted(pending,
                                         key=lambda shard: shard.index))
+                for error in self._errors:
+                    events.emit("quarantine", item=error.index,
+                                attempt=attempts,
+                                category=error.fault_category,
+                                error_type=error.error_type,
+                                channel=error.channel,
+                                pseudo_channel=error.pseudo_channel,
+                                bank=error.bank, region=error.region)
 
                 dataset = CharacterizationDataset.merged(
                     (results[shard.index] for shard in plan.shards
@@ -495,6 +527,13 @@ class ParallelSweepRunner:
                     wall_s = time.perf_counter() - started
                     self._merge_spool(plan, results, spool.name, tracer,
                                       metrics, campaign, dataset, wall_s)
+                events.emit(
+                    "campaign_finished", shards=len(plan),
+                    completed=len(results), quarantined=len(self._errors),
+                    records=sum(dataset.record_counts()),
+                    timing={"wall_s": round(
+                        time.perf_counter() - started, 6)})
+                events.finalize()
                 return dataset
         finally:
             self._checkpoint = None
@@ -522,6 +561,7 @@ class ParallelSweepRunner:
             if loaded:
                 results.update(loaded)
                 aggregator.preload(loaded)
+                checkpoint_events(get_events(), plan.shards, loaded)
                 metrics.counter("campaign.checkpoint_loads").inc(
                     len(loaded))
                 if progress is not None:
@@ -706,6 +746,9 @@ class ParallelSweepRunner:
             if self._checkpoint is not None:
                 self._checkpoint.write(shard.index, dataset)
                 get_metrics().counter("campaign.checkpoint_writes").inc()
+            get_events().emit("item_completed", item=shard.index,
+                              attempt=attempt, **item_coords(shard),
+                              **dataset_delta(dataset))
         failures.pop(shard.index, None)
         aggregator.completed(shard, dataset, attempt)
 
@@ -738,7 +781,12 @@ def run_sweep(config: SweepConfig, *, spec: Optional[BoardSpec] = None,
     if verify is not None and verify != config.experiment.verify_programs:
         config = replace(config, experiment=replace(
             config.experiment, verify_programs=verify))
-    if config.jobs > 1 or campaign_dir is not None:
+    # An installed event bus routes jobs=1 runs through the sharded
+    # executor too (shards are the event granularity) — but only when a
+    # spec is available for workers to rebuild from; a board-only serial
+    # sweep stays serial and unobserved by the bus.
+    if (config.jobs > 1 or campaign_dir is not None
+            or (get_events().enabled and spec is not None)):
         if spec is None:
             raise ExperimentError(
                 "a parallel or checkpointed sweep needs a BoardSpec so "

@@ -56,6 +56,25 @@ class WorkItem:
         return (f"ch{self.channel} pc{self.pseudo_channel} "
                 f"ba{self.bank} region={self.region}")
 
+    def coords(self) -> dict:
+        return {"channel": self.channel,
+                "pseudo_channel": self.pseudo_channel,
+                "bank": self.bank, "region": self.region}
+
+
+def item_coords(item) -> dict:
+    """Deterministic event/telemetry coordinates of a plan item.
+
+    Duck-typed over everything the schedulers dispatch — a
+    :class:`WorkItem`, a ``SweepShard`` wrapping one, or a fleet device
+    (``span_kind == "device"``), which reports (device, seed) instead of
+    a grid cell.
+    """
+    if getattr(item, "span_kind", "shard") == "device":
+        return {"device": item.index, "seed": item.seed}
+    return {"channel": item.channel, "pseudo_channel": item.pseudo_channel,
+            "bank": item.bank, "region": item.region}
+
 
 @dataclass(frozen=True)
 class ExecutionPlan:

@@ -78,15 +78,17 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.bender.board import BoardSpec
 from repro.core.results import CharacterizationDataset
 from repro.core.sweeps import SpatialSweep
-from repro.engine.plan import chunk_items
+from repro.engine.plan import chunk_items, item_coords
 from repro.engine.session import EngineSession
 from repro.envutil import env_int
 from repro.errors import ShardFault
 from repro.faults.plan import FaultPlan, resolve_fault_spec
 from repro.obs import (
     NOOP_TRACER,
+    EventBus,
     MetricsRegistry,
     Tracer,
+    get_events,
     get_metrics,
     use_metrics,
     use_tracer,
@@ -183,13 +185,20 @@ def run_shard(spec: BoardSpec, shard,
     want_trace = bool(obs is not None and obs.trace)
     registry = MetricsRegistry()
     tracer = Tracer() if want_trace else NOOP_TRACER
+    kind = getattr(shard, "span_kind", "shard")
+    attrs = {kind: shard.index}
+    attrs.update(item_coords(shard))
+    if obs is not None and obs.events_path:
+        # The item-loop heartbeat: one O_APPEND line into the shared
+        # live event log at item pickup, so a stalled worker is visible
+        # as a heartbeat with no matching completion.
+        EventBus(obs.events_path, epoch=obs.epoch, truncate=False).emit(
+            "worker_heartbeat", item=shard.index, attempt=shard.attempt,
+            **item_coords(shard))
     started = time.perf_counter()
     try:
         with use_metrics(registry), use_tracer(tracer):
-            with tracer.span("shard", shard=shard.index,
-                             channel=shard.channel,
-                             pseudo_channel=shard.pseudo_channel,
-                             bank=shard.bank, region=shard.region):
+            with tracer.span(kind, **attrs) as span:
                 fault_spec = resolve_fault_spec(shard.config.faults)
                 if fault_spec is not None and fault_spec.has_shard_faults:
                     from repro.faults.inject import injure_worker
@@ -200,6 +209,7 @@ def run_shard(spec: BoardSpec, shard,
                 board = session.station()
                 sweep = SpatialSweep(board, shard.config)
                 dataset = sweep.run(apply_interference_controls=False)
+                span.set(records=sum(dataset.record_counts()))
                 dataset.metadata["integrity"] = dataset.fingerprint()
                 if fault_spec is not None and fault_spec.shard_poison:
                     from repro.faults.inject import poison_dataset
@@ -380,6 +390,7 @@ class PoolBackend:
             return
         timeout = self._timeout_s
         metrics = get_metrics()
+        events = get_events()
         executor = self._ensure_executor(workers)
         size = self._batch_size or max(
             1, len(shards) // (workers * _BATCHES_PER_WORKER))
@@ -397,13 +408,21 @@ class PoolBackend:
                 break
             live[future] = list(batch)
             metrics.counter("engine.pool.batches").inc()
+            for shard in batch:
+                events.emit("shard_dispatched", item=shard.index,
+                            attempt=attempt, **item_coords(shard))
         deadlines: Dict[Future, float] = {}
         last_event = time.monotonic()
+        # With an active bus the wait polls so subscribers (the live
+        # progress renderer) see worker heartbeats as they land, not
+        # only at batch completion.
+        poll = (timeout is not None) or events.enabled
         while live:
             done, _ = futures_wait(
                 list(live),
-                timeout=(_POLL_S if timeout is not None else None),
+                timeout=(_POLL_S if poll else None),
                 return_when=FIRST_COMPLETED)
+            events.tick()
             now = time.monotonic()
             if done:
                 last_event = now
@@ -463,9 +482,12 @@ class PoolBackend:
         """One item at a time on the warm pool, crash-contained."""
         timeout = self._timeout_s
         metrics = get_metrics()
+        events = get_events()
         for shard in shards:
             executor = self._ensure_executor(1)
             job = replace(shard, attempt=attempt)
+            events.emit("shard_dispatched", item=shard.index,
+                        attempt=attempt, **item_coords(shard))
             future = executor.submit(_run_batch, [job])
             try:
                 # The pool is idle in sequential mode, so submission is
@@ -488,6 +510,7 @@ class PoolBackend:
                 on_failure(shard, error)
             else:
                 self._deliver([shard], outcomes, on_result, on_failure)
+            events.tick()
 
     @staticmethod
     def _deliver(batch: List, outcomes: List[BatchOutcome],

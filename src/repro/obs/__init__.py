@@ -32,6 +32,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Optional, Union
 
+from repro.obs.events import (
+    NULL_EVENTS,
+    Event,
+    EventBus,
+    NullEventBus,
+    read_events,
+)
 from repro.obs.metrics import (
     NULL_METRICS,
     Counter,
@@ -54,13 +61,16 @@ __all__ = [
     "NULL_METRICS",
     "Tracer", "NoopTracer", "Span", "SpanRecord", "NOOP_TRACER",
     "read_jsonl",
+    "Event", "EventBus", "NullEventBus", "NULL_EVENTS", "read_events",
     "get_tracer", "set_tracer", "use_tracer", "tracing_active",
     "get_metrics", "set_metrics", "use_metrics", "metrics_active",
+    "get_events", "set_events", "use_events", "events_active",
     "ObsConfig", "ObsSession",
 ]
 
 _tracer = NOOP_TRACER
 _metrics = NULL_METRICS
+_events = NULL_EVENTS
 
 
 # ----------------------------------------------------------------------
@@ -120,6 +130,33 @@ def use_metrics(registry) -> Iterator[None]:
         _metrics = previous
 
 
+def get_events():
+    """The process's current event bus (default: the null bus)."""
+    return _events
+
+
+def set_events(bus) -> None:
+    """Install ``bus`` as the current event bus (None restores null)."""
+    global _events
+    _events = bus if bus is not None else NULL_EVENTS
+
+
+def events_active() -> bool:
+    return _events.enabled
+
+
+@contextmanager
+def use_events(bus) -> Iterator[None]:
+    """Scoped :func:`set_events`; restores the previous bus on exit."""
+    global _events
+    previous = _events
+    _events = bus if bus is not None else NULL_EVENTS
+    try:
+        yield
+    finally:
+        _events = previous
+
+
 # ----------------------------------------------------------------------
 # Cross-process configuration
 # ----------------------------------------------------------------------
@@ -137,6 +174,12 @@ class ObsConfig:
     trace: bool = False
     metrics: bool = False
     spool_dir: Optional[str] = None
+    #: Shared live event log (see :mod:`repro.obs.events`).  Workers
+    #: append heartbeats here; ``epoch`` is the parent's campaign-start
+    #: monotonic clock, so every event's ``timing.t_s`` is
+    #: campaign-relative regardless of which process stamped it.
+    events_path: Optional[str] = None
+    epoch: float = 0.0
 
     @property
     def active(self) -> bool:
@@ -164,28 +207,38 @@ class ObsSession:
 
     def __init__(self, trace_path: Union[str, Path, None] = None,
                  metrics_path: Union[str, Path, None] = None,
+                 events_path: Union[str, Path, None] = None,
                  tracer: Optional[Tracer] = None,
-                 registry: Optional[MetricsRegistry] = None) -> None:
+                 registry: Optional[MetricsRegistry] = None,
+                 bus: Optional[EventBus] = None) -> None:
         self.trace_path = Path(trace_path) if trace_path else None
         self.metrics_path = Path(metrics_path) if metrics_path else None
+        self.events_path = Path(events_path) if events_path else None
         self.tracer = tracer or (Tracer() if self.trace_path else None)
         self.registry = registry or (MetricsRegistry() if self.metrics_path
                                      else None)
+        self.bus = bus or (EventBus(self.events_path) if self.events_path
+                           else None)
         self._previous = None
 
     def __enter__(self) -> "ObsSession":
-        self._previous = (_tracer, _metrics)
+        self._previous = (_tracer, _metrics, _events)
         if self.tracer is not None:
             set_tracer(self.tracer)
         if self.registry is not None:
             set_metrics(self.registry)
+        if self.bus is not None:
+            set_events(self.bus)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        previous_tracer, previous_metrics = self._previous
+        previous_tracer, previous_metrics, previous_events = self._previous
         set_tracer(previous_tracer)
         set_metrics(previous_metrics)
+        set_events(previous_events)
         if self.trace_path is not None and self.tracer is not None:
             self.tracer.write_jsonl(self.trace_path)
         if self.metrics_path is not None and self.registry is not None:
             self.registry.to_json(self.metrics_path)
+        if self.bus is not None:
+            self.bus.finalize()

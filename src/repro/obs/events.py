@@ -1,0 +1,291 @@
+"""Process-safe campaign event bus: append-only JSONL with a typed schema.
+
+The tracer and metrics registry (PR 2) are strictly post-hoc — nothing is
+visible until the campaign merges its spools.  The event bus is the *live*
+channel: the parent runner and every pool worker append small JSON lines
+to one shared file, so a ``repro obs tail`` in another terminal (or a
+``--progress`` renderer in the same one) can watch rows/s, ETA, and
+per-worker liveness while the campaign runs.
+
+**Schema.**  Eight event types (:data:`EVENT_TYPES`)::
+
+    campaign_started   shards/devices planned, execution kind
+    shard_dispatched   item handed to a backend (parent side)
+    worker_heartbeat   item picked up inside a worker's item loop
+    item_completed     item accepted by the parent (metrics delta payload)
+    device_done        fleet-only: per-device summary
+    retry              item re-queued after a recoverable failure
+    quarantine         item abandoned after the retry budget
+    campaign_finished  terminal totals
+
+Every event carries deterministic payload fields (coords, counts,
+attempt) plus a ``timing`` sub-object (``t_s`` campaign-relative
+monotonic seconds, ``mono_s``, ``pid``) that is *excluded* from all
+byte-stability comparisons: :func:`strip_timing` is the canonical
+determinism view, and the equivalence tests assert that view is
+identical across jobs=1 / jobs=N / resume.
+
+**Concurrency model.**  Every write is a single ``O_APPEND`` line write
+(POSIX guarantees small appends don't interleave), so parent and workers
+share the file without locks.  Live order is completion order —
+nondeterministic under a pool — which is why :meth:`EventBus.finalize`
+rewrites the log in :func:`canonical_order` once the campaign ends.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.errors import AnalysisError
+
+__all__ = [
+    "EVENT_TYPES", "Event", "EventBus", "NullEventBus", "NULL_EVENTS",
+    "canonical_order", "read_events", "strip_timing", "dataset_delta",
+]
+
+#: Every event type the bus understands, in rough lifecycle order.
+EVENT_TYPES = (
+    "campaign_started",
+    "shard_dispatched",
+    "worker_heartbeat",
+    "item_completed",
+    "device_done",
+    "retry",
+    "quarantine",
+    "campaign_finished",
+)
+
+#: Canonical intra-item ordering.  ``retry`` announces attempt N before
+#: that attempt's dispatch, so it ranks first at its attempt number.
+_KIND_RANK = {
+    "retry": 0,
+    "shard_dispatched": 1,
+    "worker_heartbeat": 2,
+    "item_completed": 3,
+    "device_done": 4,
+    "quarantine": 5,
+}
+
+
+@dataclass(frozen=True)
+class Event:
+    """One event: type + deterministic payload + wall-clock ``timing``."""
+
+    type: str
+    item: Optional[int] = None
+    attempt: int = 0
+    data: Mapping[str, object] = field(default_factory=dict)
+    timing: Mapping[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {"type": self.type}
+        if self.item is not None:
+            record["item"] = self.item
+            record["attempt"] = self.attempt
+        record.update(self.data)
+        record["timing"] = dict(self.timing)
+        return record
+
+    def payload(self) -> Dict[str, object]:
+        """The deterministic view: everything except ``timing``."""
+        record = self.as_dict()
+        del record["timing"]
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, object]) -> "Event":
+        known = {"type", "item", "attempt", "timing"}
+        data = {key: value for key, value in record.items()
+                if key not in known}
+        return cls(type=record["type"],
+                   item=record.get("item"),
+                   attempt=record.get("attempt", 0),
+                   data=data,
+                   timing=record.get("timing", {}))
+
+    def to_line(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+
+def canonical_order(events: Sequence[Event]) -> List[Event]:
+    """Sort ``events`` into the deterministic post-campaign order.
+
+    ``campaign_started`` first, ``campaign_finished`` last, everything
+    else by (item, attempt, kind rank); the original position is only a
+    tiebreak for events that compare equal (which the emitters avoid by
+    construction: one heartbeat per (item, attempt), etc.).
+    """
+    def key(indexed):
+        position, event = indexed
+        if event.type == "campaign_started":
+            return (0, 0, 0, 0, position)
+        if event.type == "campaign_finished":
+            return (2, 0, 0, 0, position)
+        item = event.item if event.item is not None else -1
+        rank = _KIND_RANK.get(event.type, len(_KIND_RANK))
+        return (1, item, event.attempt, rank, position)
+
+    return [event for _, event in sorted(enumerate(events), key=key)]
+
+
+def strip_timing(events: Sequence[Event]) -> List[Dict[str, object]]:
+    """The byte-stability view: payload dicts with ``timing`` removed."""
+    return [event.payload() for event in events]
+
+
+def read_events(path: Union[str, Path]) -> List[Event]:
+    """Parse an events JSONL file (live or finalized)."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(Event.from_dict(json.loads(line)))
+    return events
+
+
+def dataset_delta(dataset) -> Dict[str, int]:
+    """The metrics delta an ``item_completed`` event carries.
+
+    Restricted to values derivable from the shard's *dataset* (not its
+    worker-side metric registry) so checkpoint resume can synthesize an
+    identical event from the stored shard archive.
+    """
+    ber = len(dataset.ber_records)
+    hcfirst = len(dataset.hcfirst_records)
+    flips = sum(record.flips for record in dataset.ber_records)
+    return {"records": ber + hcfirst, "ber_records": ber,
+            "hcfirst_records": hcfirst, "flips": flips}
+
+
+def _append_line(path: Union[str, Path], line: str) -> None:
+    # Mode "a" opens with O_APPEND: each small write lands atomically at
+    # EOF even with parent + N workers sharing the file.
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+
+
+class EventBus:
+    """Shared live event log plus offset-based subscriber dispatch.
+
+    One instance lives in the campaign parent (``truncate=True``);
+    workers construct throwaway ``truncate=False`` instances around the
+    same path to append their heartbeats.  All *reading* — including of
+    the parent's own events — happens through :meth:`tick`, which parses
+    lines appended since the last call and hands each event to every
+    subscriber exactly once, so a progress renderer sees one interleaved
+    stream regardless of who wrote what.
+    """
+
+    enabled = True
+
+    def __init__(self, path: Union[str, Path],
+                 epoch: Optional[float] = None,
+                 truncate: bool = True) -> None:
+        self.path = Path(path)
+        self.epoch = float(epoch) if epoch is not None else time.monotonic()
+        if truncate:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text("")
+        self._read_pos = 0
+        self._final_count = 0
+        self._subscribers: List[Callable[[Event], None]] = []
+
+    # -- publishing -----------------------------------------------------
+    def emit(self, type: str, item: Optional[int] = None, attempt: int = 0,
+             timing: Optional[Mapping[str, object]] = None,
+             **data: object) -> Event:
+        if type not in EVENT_TYPES:
+            raise AnalysisError(f"unknown event type: {type!r}")
+        now = time.monotonic()
+        stamp: Dict[str, object] = {
+            "t_s": round(now - self.epoch, 6),
+            "mono_s": round(now, 6),
+            "pid": os.getpid(),
+        }
+        if timing:
+            stamp.update(timing)
+        event = Event(type=type, item=item, attempt=attempt, data=data,
+                      timing=stamp)
+        _append_line(self.path, event.to_line())
+        return event
+
+    # -- subscribing ----------------------------------------------------
+    def subscribe(self, callback: Callable[[Event], None]) -> None:
+        self._subscribers.append(callback)
+
+    def tick(self) -> List[Event]:
+        """Dispatch events appended since the last tick; return them."""
+        if not self._subscribers:
+            return []
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(self._read_pos)
+                chunk = handle.read()
+        except FileNotFoundError:
+            return []
+        end = chunk.rfind(b"\n")
+        if end < 0:
+            return []
+        complete, self._read_pos = chunk[:end + 1], self._read_pos + end + 1
+        events = []
+        for line in complete.decode("utf-8").splitlines():
+            if line.strip():
+                events.append(Event.from_dict(json.loads(line)))
+        for event in events:
+            for callback in self._subscribers:
+                callback(event)
+        return events
+
+    # -- finalizing -----------------------------------------------------
+    def finalize(self) -> List[Event]:
+        """Rewrite the log in canonical order; return the full event list.
+
+        Live order is completion order (nondeterministic under a pool);
+        after this the file is byte-stable modulo ``timing``.  Segment
+        aware: a second campaign appended to the same file is sorted
+        independently of the already-finalized prefix.
+        """
+        self.tick()
+        events = read_events(self.path)
+        ordered = (events[:self._final_count]
+                   + canonical_order(events[self._final_count:]))
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for event in ordered:
+                handle.write(event.to_line() + "\n")
+        os.replace(tmp, self.path)
+        self._final_count = len(ordered)
+        self._read_pos = self.path.stat().st_size
+        return ordered
+
+
+class NullEventBus:
+    """Do-nothing stand-in so instrumentation points stay unconditional."""
+
+    enabled = False
+    path = None
+    epoch = 0.0
+
+    def emit(self, type: str, item: Optional[int] = None, attempt: int = 0,
+             timing: Optional[Mapping[str, object]] = None,
+             **data: object) -> None:
+        return None
+
+    def subscribe(self, callback: Callable[[Event], None]) -> None:
+        return None
+
+    def tick(self) -> List[Event]:
+        return []
+
+    def finalize(self) -> List[Event]:
+        return []
+
+
+NULL_EVENTS = NullEventBus()

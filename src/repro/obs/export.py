@@ -1,0 +1,193 @@
+"""Export observability artifacts to external tool formats.
+
+Two consumers matter enough to speak their dialects natively:
+
+* **Prometheus text exposition format** (:func:`prometheus_text`) —
+  a metrics snapshot (``MetricsRegistry.snapshot()`` or the JSON file
+  ``--metrics`` writes) becomes scrape-ready ``# TYPE``-annotated
+  samples.  Counters and gauges map directly; histograms map onto the
+  native Prometheus histogram convention (cumulative ``_bucket{le=...}``
+  series plus ``_sum``/``_count``), with each fixed log-scale bin's
+  upper edge as the ``le`` bound.  :func:`parse_prometheus_text` is the
+  inverse, used by the round-trip tests and by anyone who wants the
+  snapshot back out of a scrape.
+* **Flamegraph collapsed-stack format** (:func:`collapsed_stacks`) — a
+  span trace becomes ``root;child;leaf <microseconds>`` lines consumable
+  by ``flamegraph.pl`` / speedscope / inferno.  Sample weights are
+  *exclusive* time (a span's duration minus its children's), so the
+  flame widths sum to campaign wall time instead of double-counting
+  nested phases.
+
+Both formats are plain text built with deterministic (sorted) ordering,
+so exports of equal inputs are byte-identical.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import AnalysisError
+from repro.obs.metrics import Histogram
+from repro.obs.trace import SpanRecord
+
+__all__ = [
+    "prometheus_text",
+    "parse_prometheus_text",
+    "collapsed_stacks",
+]
+
+_PREFIX = "repro"
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    """``dram.commands.ACT`` -> ``repro_dram_commands_ACT``."""
+    return f"{_PREFIX}_{_NAME_OK.sub('_', name)}"
+
+
+def _fmt(value: object) -> str:
+    """Render a sample value the way Prometheus expects.
+
+    Integral floats print without the trailing ``.0`` so counter values
+    survive a text round trip bit-exactly.
+    """
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _histogram_buckets(summary: Mapping[str, object]
+                       ) -> List[Tuple[float, int]]:
+    """(upper_edge, cumulative_count) pairs from a histogram summary."""
+    buckets: List[Tuple[float, int]] = []
+    cumulative = int(summary.get("nonpos", 0))
+    bins = summary.get("bins", {})
+    for key in sorted(bins, key=int):
+        _, hi = Histogram._bin_edges(int(key))
+        cumulative += bins[key]
+        buckets.append((hi, cumulative))
+    return buckets
+
+
+def prometheus_text(snapshot: Mapping[str, Mapping[str, object]]) -> str:
+    """Render a metrics snapshot in Prometheus text exposition format."""
+    lines: List[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_fmt(snapshot['counters'][name])}")
+    for name in sorted(snapshot.get("gauges", {})):
+        value = snapshot["gauges"][name]
+        if value is None:
+            continue
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_fmt(value)}")
+    for name in sorted(snapshot.get("histograms", {})):
+        summary = snapshot["histograms"][name]
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        for edge, cumulative in _histogram_buckets(summary):
+            lines.append(f'{prom}_bucket{{le="{_fmt(edge)}"}} {cumulative}')
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {summary["count"]}')
+        lines.append(f"{prom}_sum {_fmt(summary['sum'])}")
+        lines.append(f"{prom}_count {summary['count']}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+_SAMPLE = re.compile(
+    r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)'
+    r'(?:\{le="(?P<le>[^"]+)"\})? (?P<value>\S+)$')
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse :func:`prometheus_text` output back into a snapshot shape.
+
+    Counters and gauges round-trip exactly.  Histograms come back as
+    ``{"count", "sum", "buckets": {le_text: cumulative}}`` — the text
+    format carries cumulative buckets, not the raw bin map, so the
+    derived fields (min/max/mean/quantiles) are not reconstructed.
+    """
+    kinds: Dict[str, str] = {}
+    result: Dict[str, Dict[str, object]] = {
+        "counters": {}, "gauges": {}, "histograms": {}}
+    for line_no, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) == 4 and parts[1] == "TYPE":
+                kinds[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise AnalysisError(
+                f"unparseable Prometheus sample on line {line_no}: "
+                f"{line!r}")
+        name, le, raw = match.group("name", "le", "value")
+        try:
+            value: object = int(raw)
+        except ValueError:
+            value = float(raw)  # handles exponents, +Inf, nan
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and \
+                    kinds.get(name[:-len(suffix)]) == "histogram":
+                base = name[:-len(suffix)]
+                break
+        kind = kinds.get(base)
+        if kind == "counter":
+            result["counters"][name] = value
+        elif kind == "gauge":
+            result["gauges"][name] = value
+        elif kind == "histogram":
+            entry = result["histograms"].setdefault(
+                base, {"count": 0, "sum": 0, "buckets": {}})
+            if name.endswith("_bucket"):
+                entry["buckets"][le] = value
+            elif name.endswith("_sum"):
+                entry["sum"] = value
+            else:
+                entry["count"] = value
+        else:
+            raise AnalysisError(
+                f"sample {name!r} on line {line_no} has no preceding "
+                "# TYPE annotation")
+    return result
+
+
+def collapsed_stacks(records: Sequence[SpanRecord]) -> str:
+    """Render a span trace as flamegraph collapsed-stack lines.
+
+    Each span contributes its *exclusive* time (own duration minus
+    children's durations, floored at zero for clock-skewed grafts) to
+    the semicolon-joined stack of span names from its root.  Weights
+    are integer microseconds; zero-weight stacks are dropped.  Lines
+    are sorted so equal traces export byte-identically.
+    """
+    by_id = {record.span_id: record for record in records}
+    child_total: Dict[int, float] = {}
+    for record in records:
+        if record.parent_id is not None and record.parent_id in by_id:
+            child_total[record.parent_id] = (
+                child_total.get(record.parent_id, 0.0) + record.duration_s)
+
+    stacks: Dict[str, int] = {}
+    for record in records:
+        exclusive = record.duration_s - child_total.get(record.span_id, 0.0)
+        weight = int(round(max(exclusive, 0.0) * 1e6))
+        if weight <= 0:
+            continue
+        names = [record.name]
+        seen = {record.span_id}
+        parent = record.parent_id
+        while parent is not None and parent in by_id and parent not in seen:
+            seen.add(parent)
+            names.append(by_id[parent].name)
+            parent = by_id[parent].parent_id
+        stack = ";".join(reversed(names))
+        stacks[stack] = stacks.get(stack, 0) + weight
+    return "\n".join(f"{stack} {weight}"
+                     for stack, weight in sorted(stacks.items()))

@@ -6,14 +6,17 @@ hammer pairs, bitflips observed, TRR preventive refreshes, PID settle
 iterations, shard retries — as three metric kinds:
 
 * :class:`Counter` — monotonically increasing total (``inc``),
-* :class:`Gauge` — last-written value (``set``),
-* :class:`Histogram` — streaming count/sum/min/max summary (``observe``).
+* :class:`Gauge` — last-written value (``set``) with a declared
+  cross-shard merge policy (``last`` / ``max`` / ``sum``),
+* :class:`Histogram` — streaming summary (``observe``) with
+  deterministic fixed-bin quantile estimates (p50/p95/p99).
 
 Everything is process-local and single-threaded (matching the rest of
 the simulator); cross-process aggregation happens by snapshotting a
 worker's registry to JSON and :meth:`MetricsRegistry.merge_snapshot`-ing
-it in the parent — counters add, gauges take the later write, histograms
-combine their summaries.
+it in the parent — counters add, gauges merge per their policy,
+histograms combine their summaries (including bins, so merged quantiles
+equal the quantiles of the pooled observations).
 
 The module-level default registry is :data:`NULL_METRICS`, whose metric
 handles are shared do-nothing objects, so instrumented code pays only a
@@ -25,6 +28,7 @@ dot-separated lowercase paths, e.g. ``dram.commands.ACT``,
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Union
 
@@ -33,6 +37,7 @@ from repro.errors import ConfigurationError
 __all__ = [
     "Counter",
     "Gauge",
+    "GAUGE_POLICIES",
     "Histogram",
     "MetricsRegistry",
     "NullMetrics",
@@ -55,49 +60,135 @@ class Counter:
         self.value += amount
 
 
+#: Valid gauge merge policies (cross-shard semantics of a gauge name).
+GAUGE_POLICIES = ("last", "max", "sum")
+
+
 class Gauge:
-    """A point-in-time value (last write wins)."""
+    """A point-in-time value (``set`` = last write wins, in-process).
 
-    __slots__ = ("value",)
+    ``policy`` declares what the value *means* across shards, which is
+    what :meth:`MetricsRegistry.merge_snapshot` applies: ``max`` (the
+    default — peak-style gauges like temperatures or wall times survive
+    merge order), ``sum`` (capacity-style gauges add up), ``last``
+    (the historical clobbering behaviour, for gauges that genuinely
+    describe the merging process itself).
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("value", "policy")
+
+    def __init__(self, policy: str = "max") -> None:
+        if policy not in GAUGE_POLICIES:
+            raise ConfigurationError(
+                f"unknown gauge policy {policy!r}; pick one of "
+                f"{GAUGE_POLICIES}")
         self.value: Optional[float] = None
+        self.policy = policy
 
     def set(self, value: float) -> None:
         self.value = value
+
+    def merge(self, value: Optional[float]) -> None:
+        """Fold a remote shard's value in, per the declared policy."""
+        if value is None:
+            return
+        if self.value is None or self.policy == "last":
+            self.value = value
+        elif self.policy == "max":
+            self.value = max(self.value, value)
+        else:  # sum
+            self.value = self.value + value
+
+
+#: Log-scale bin resolution: 16 bins per octave bounds the relative
+#: error of any bin edge (and hence any quantile estimate) to < 1/16.
+_BINS_PER_OCTAVE = 16
 
 
 class Histogram:
     """Streaming summary of an observed distribution.
 
-    Tracks count/sum/min/max (means derive); deliberately bucket-free —
-    the quantities observed here (settle steps, shard wall times) are
-    analysed per-campaign, not percentile-alerted.
+    Tracks count/sum/min/max plus sparse fixed log-scale bins
+    (:data:`_BINS_PER_OCTAVE` per power of two), from which
+    :meth:`quantile` interpolates deterministic p50/p95/p99 estimates.
+    Fixed bins — unlike P² — are order-independent and merge exactly:
+    combining two shards' bins gives the bins of the pooled stream, so
+    quantiles are byte-stable across jobs levels.
     """
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "_bins", "_nonpos")
 
     def __init__(self) -> None:
         self.count = 0
         self.total: float = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._bins: Dict[int, int] = {}
+        self._nonpos = 0  # observations <= 0 sort below every bin
+
+    @staticmethod
+    def _bin_key(value: float) -> int:
+        mantissa, exponent = math.frexp(value)  # value = m * 2**e, m in [.5,1)
+        sub = int((mantissa - 0.5) * 2 * _BINS_PER_OCTAVE)
+        return exponent * _BINS_PER_OCTAVE + min(sub, _BINS_PER_OCTAVE - 1)
+
+    @staticmethod
+    def _bin_edges(key: int) -> "tuple":
+        exponent, sub = divmod(key, _BINS_PER_OCTAVE)
+        base = math.ldexp(1.0, exponent - 1)
+        return (base * (1 + sub / _BINS_PER_OCTAVE),
+                base * (1 + (sub + 1) / _BINS_PER_OCTAVE))
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        if value > 0 and math.isfinite(value):
+            key = self._bin_key(value)
+            self._bins[key] = self._bins.get(key, 0) + 1
+        else:
+            self._nonpos += 1
 
     @property
     def mean(self) -> Optional[float]:
         return self.total / self.count if self.count else None
 
-    def summary(self) -> Dict[str, float]:
-        return {"count": self.count, "sum": self.total,
-                "min": self.min, "max": self.max, "mean": self.mean}
+    def quantile(self, q: float) -> Optional[float]:
+        """Deterministic quantile estimate interpolated within its bin.
 
-    def combine(self, other: Mapping[str, float]) -> None:
+        Accurate to the bin's relative width (< 1/16); exact for the
+        extremes because estimates are clamped into [min, max].
+        """
+        if not self.count:
+            return None
+        target = q * self.count
+        cumulative = self._nonpos
+        if target <= cumulative:
+            return self.min
+        for key in sorted(self._bins):
+            width = self._bins[key]
+            if cumulative + width >= target:
+                low, high = self._bin_edges(key)
+                estimate = low + (high - low) * (target - cumulative) / width
+                return min(max(estimate, self.min), self.max)
+            cumulative += width
+        return self.max
+
+    def summary(self) -> Dict[str, object]:
+        summary: Dict[str, object] = {
+            "count": self.count, "sum": self.total,
+            "min": self.min, "max": self.max, "mean": self.mean,
+            "p50": self.quantile(0.50), "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "bins": {str(key): width
+                     for key, width in sorted(self._bins.items())},
+        }
+        if self._nonpos:
+            summary["nonpos"] = self._nonpos
+        return summary
+
+    def combine(self, other: Mapping[str, object]) -> None:
         """Fold another histogram's summary into this one."""
         count = int(other.get("count", 0))
         if count == 0:
@@ -111,6 +202,10 @@ class Histogram:
             own = getattr(self, bound)
             setattr(self, bound,
                     value if own is None else pick(own, value))
+        for key, width in other.get("bins", {}).items():
+            key = int(key)
+            self._bins[key] = self._bins.get(key, 0) + int(width)
+        self._nonpos += int(other.get("nonpos", 0))
 
 
 class _NullMetric:
@@ -140,7 +235,7 @@ class NullMetrics:
     def counter(self, name: str) -> _NullMetric:
         return _NULL_METRIC
 
-    def gauge(self, name: str) -> _NullMetric:
+    def gauge(self, name: str, policy: Optional[str] = None) -> _NullMetric:
         return _NULL_METRIC
 
     def histogram(self, name: str) -> _NullMetric:
@@ -171,11 +266,15 @@ class MetricsRegistry:
             metric = self._counters[name] = Counter()
         return metric
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str, policy: Optional[str] = None) -> Gauge:
         metric = self._gauges.get(name)
         if metric is None:
             self._check_free(name, self._gauges)
-            metric = self._gauges[name] = Gauge()
+            metric = self._gauges[name] = Gauge(policy or "max")
+        elif policy is not None and metric.policy != policy:
+            raise ConfigurationError(
+                f"gauge {name!r} already registered with policy "
+                f"{metric.policy!r}, not {policy!r}")
         return metric
 
     def histogram(self, name: str) -> Histogram:
@@ -227,8 +326,7 @@ class MetricsRegistry:
         for name, value in snapshot.get("counters", {}).items():
             self.counter(name).inc(value)
         for name, value in snapshot.get("gauges", {}).items():
-            if value is not None:
-                self.gauge(name).set(value)
+            self.gauge(name).merge(value)
         for name, summary in snapshot.get("histograms", {}).items():
             self.histogram(name).combine(summary)
 

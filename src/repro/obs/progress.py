@@ -1,0 +1,276 @@
+"""Live campaign progress from the event stream.
+
+The event bus (:mod:`repro.obs.events`) is the transport; this module
+is the consumer.  :class:`CampaignView` is a pure fold over the event
+stream — subscribe it to a live bus or replay a finished log through
+it — maintaining completion counts, measured-record totals, retry and
+quarantine tallies, and per-worker liveness.  On top of the view:
+
+* :func:`render_progress` — the one-line status used by the sweep/fleet
+  ``--progress`` flag (items done, rows/s, ETA, live worker count);
+* :func:`render_status` — the multi-section rendering behind
+  ``repro obs tail`` (adds per-worker liveness rows and stale-worker
+  flags);
+* :func:`tail_events` — the CLI implementation: replay a log once, or
+  ``--follow`` it while a campaign runs in another process.
+
+Worker liveness is inferred, not reported: each worker emits a
+``worker_heartbeat`` when it picks up an item, so a worker whose latest
+heartbeat names an (item, attempt) that never completes — and whose
+last sign of life is older than ``stale_after`` — is flagged stale.
+That is exactly the signature of a hung shard before the dispatch
+timeout reaps it.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, TextIO, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.obs.events import Event, EventBus, read_events
+
+__all__ = [
+    "CampaignView",
+    "ProgressRenderer",
+    "render_progress",
+    "render_status",
+    "tail_events",
+]
+
+
+class CampaignView:
+    """Campaign state folded from an event stream.
+
+    Subscribe via :meth:`on_event` (``bus.subscribe(view.on_event)``)
+    or replay a finished log (``view.replay(events)``).  All times are
+    campaign-relative seconds (the bus's ``timing.t_s`` domain).
+    """
+
+    def __init__(self) -> None:
+        self.kind: Optional[str] = None
+        self.total: Optional[int] = None
+        self.completed: Dict[int, int] = {}  # item -> attempt
+        self.dispatched: Dict[int, int] = {}
+        self.records = 0
+        self.flips = 0
+        self.retries = 0
+        self.quarantined = 0
+        self.heartbeats = 0
+        self.finished = False
+        self.last_t_s = 0.0
+        # pid -> (last_seen_t_s, current (item, attempt) or None)
+        self._workers: Dict[int, Tuple[float, Optional[Tuple[int, int]]]] = {}
+
+    # ------------------------------------------------------------------
+    def on_event(self, event: Event) -> None:
+        t_s = float(event.timing.get("t_s", 0.0))
+        self.last_t_s = max(self.last_t_s, t_s)
+        pid = event.timing.get("pid")
+        if event.type == "campaign_started":
+            self.kind = str(event.data.get("kind", "sweep"))
+            self.total = event.data.get("shards", event.data.get("devices"))
+        elif event.type == "shard_dispatched":
+            self.dispatched[event.item] = event.attempt
+        elif event.type == "worker_heartbeat":
+            self.heartbeats += 1
+            if pid is not None:
+                self._workers[pid] = (t_s, (event.item, event.attempt))
+        elif event.type == "item_completed":
+            self.completed[event.item] = event.attempt
+            self.records += int(event.data.get("records", 0))
+            self.flips += int(event.data.get("flips", 0))
+            if pid is not None:
+                last, _ = self._workers.get(pid, (t_s, None))
+                self._workers[pid] = (max(last, t_s), None)
+            # Any worker still holding this exact (item, attempt) is done
+            # with it even if the completion was recorded elsewhere.
+            done = (event.item, event.attempt)
+            for worker, (seen, current) in list(self._workers.items()):
+                if current == done:
+                    self._workers[worker] = (seen, None)
+        elif event.type == "retry":
+            self.retries += 1
+        elif event.type == "quarantine":
+            self.quarantined += 1
+        elif event.type == "campaign_finished":
+            self.finished = True
+
+    def replay(self, events) -> "CampaignView":
+        for event in events:
+            self.on_event(event)
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def completed_count(self) -> int:
+        return len(self.completed)
+
+    def rows_per_s(self, now_s: Optional[float] = None) -> float:
+        now = self.last_t_s if now_s is None else now_s
+        return self.records / now if now > 0 else 0.0
+
+    def eta_s(self, now_s: Optional[float] = None) -> Optional[float]:
+        """Remaining-work estimate from the mean completion rate."""
+        now = self.last_t_s if now_s is None else now_s
+        done = self.completed_count
+        if self.total is None or done == 0 or now <= 0:
+            return None
+        remaining = max(self.total - done, 0)
+        return remaining * now / done
+
+    def stale_workers(self, now_s: Optional[float] = None,
+                      stale_after: float = 5.0) -> List[Dict[str, object]]:
+        """Workers holding an uncompleted item with no recent sign of life.
+
+        ``now_s`` defaults to the newest event time — right for
+        post-mortem replays; pass the live campaign-relative clock when
+        following a running campaign.
+        """
+        now = self.last_t_s if now_s is None else now_s
+        stale = []
+        for pid, (seen, current) in sorted(self._workers.items()):
+            if current is None:
+                continue
+            item, attempt = current
+            if self.completed.get(item) == attempt:
+                # This exact attempt finished; the holder is just idle.
+                # A *different* attempt completing leaves the holder
+                # flagged: it hung and the work was redone elsewhere.
+                continue
+            idle = now - seen
+            if idle > stale_after:
+                stale.append({"pid": pid, "item": item, "attempt": attempt,
+                              "idle_s": round(idle, 3)})
+        return stale
+
+    def live_workers(self, now_s: Optional[float] = None,
+                     stale_after: float = 5.0) -> int:
+        now = self.last_t_s if now_s is None else now_s
+        return sum(1 for seen, current in self._workers.values()
+                   if current is not None and now - seen <= stale_after)
+
+
+def _fmt_eta(eta: Optional[float]) -> str:
+    if eta is None:
+        return "eta --"
+    if eta >= 3600:
+        return f"eta {eta / 3600:.1f}h"
+    if eta >= 60:
+        return f"eta {eta / 60:.1f}m"
+    return f"eta {eta:.0f}s"
+
+
+def render_progress(view: CampaignView,
+                    now_s: Optional[float] = None,
+                    stale_after: float = 5.0) -> str:
+    """One status line: ``[sweep] 3/6 items  1,234 rows (56.7 rows/s) …``."""
+    now = view.last_t_s if now_s is None else now_s
+    total = "?" if view.total is None else view.total
+    parts = [f"[{view.kind or 'campaign'}]",
+             f"{view.completed_count}/{total} items",
+             f"{view.records:,} rows ({view.rows_per_s(now):.1f} rows/s)",
+             _fmt_eta(view.eta_s(now))]
+    live = view.live_workers(now, stale_after)
+    if live:
+        parts.append(f"{live} live")
+    stale = view.stale_workers(now, stale_after)
+    if stale:
+        parts.append(f"{len(stale)} stale")
+    if view.retries:
+        parts.append(f"{view.retries} retries")
+    if view.quarantined:
+        parts.append(f"{view.quarantined} quarantined")
+    if view.finished:
+        parts.append("done")
+    return "  ".join(parts)
+
+
+def render_status(view: CampaignView,
+                  now_s: Optional[float] = None,
+                  stale_after: float = 5.0) -> str:
+    """Multi-line rendering for ``repro obs tail``."""
+    now = view.last_t_s if now_s is None else now_s
+    lines = [render_progress(view, now, stale_after)]
+    if view._workers:
+        lines.append("workers:")
+        for pid, (seen, current) in sorted(view._workers.items()):
+            if current is None:
+                state = "idle"
+            else:
+                state = f"item {current[0]} attempt {current[1]}"
+            idle = now - seen
+            flag = "  STALE" if any(row["pid"] == pid for row in
+                                    view.stale_workers(now, stale_after)) \
+                else ""
+            lines.append(f"  pid {pid}: {state} "
+                         f"(last seen {idle:.1f}s ago){flag}")
+    return "\n".join(lines)
+
+
+class ProgressRenderer:
+    """Throttled live printer; subscribe after the view it renders.
+
+    Prints at most once per ``interval_s`` (and once on
+    ``campaign_finished``) so a fast campaign doesn't flood the stream.
+    """
+
+    def __init__(self, view: CampaignView, epoch: float,
+                 stream: Optional[TextIO] = None,
+                 interval_s: float = 0.5,
+                 stale_after: float = 5.0) -> None:
+        self._view = view
+        self._epoch = epoch
+        self._stream = stream if stream is not None else sys.stderr
+        self._interval_s = interval_s
+        self._stale_after = stale_after
+        self._last_print = -1e9
+
+    def on_event(self, event: Event) -> None:
+        now = time.monotonic()
+        if event.type != "campaign_finished" and \
+                now - self._last_print < self._interval_s:
+            return
+        self._last_print = now
+        print(render_progress(self._view, now - self._epoch,
+                              self._stale_after),
+              file=self._stream, flush=True)
+
+
+def tail_events(path: Union[str, Path], follow: bool = False,
+                stale_after: float = 5.0,
+                stream: Optional[TextIO] = None,
+                poll_s: float = 0.5) -> CampaignView:
+    """Replay (or follow) an event log, printing live status.
+
+    Without ``follow``: read the log once, print the final status, and
+    return the view.  With ``follow``: poll the file, printing a status
+    line as new events land, until ``campaign_finished`` arrives.
+    """
+    path = Path(path)
+    out = stream if stream is not None else sys.stdout
+    if not follow and not path.exists():
+        raise ConfigurationError(
+            f"no event log at {path} (record one with --events PATH)")
+    view = CampaignView()
+    if not follow:
+        view.replay(read_events(path))
+        print(render_status(view, stale_after=stale_after), file=out)
+        return view
+
+    bus = EventBus(path, truncate=False)
+    bus.subscribe(view.on_event)
+    while True:
+        fresh = bus.tick() if path.exists() else []
+        if fresh:
+            # The newest event time is the clock: staleness and rates are
+            # judged in the producing campaign's time domain, not ours.
+            print(render_progress(view, None, stale_after),
+                  file=out, flush=True)
+        if view.finished:
+            break
+        time.sleep(poll_s)
+    print(render_status(view, stale_after=stale_after), file=out)
+    return view

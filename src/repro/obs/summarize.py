@@ -5,10 +5,14 @@ per-phase time profile (where did the campaign's wall time go), the
 slowest shards (where to look when ``--jobs N`` does not scale), and —
 when a metrics snapshot is given — the command-stream accounting
 (commands issued by type, commands/s, rows/s, shard retries/timeouts,
-and the execution engine's program-cache hit rate).
+the execution engine's program-cache hit rate, and streaming-quantile
+latency summaries for every recorded histogram).
 
 Works on any trace this package wrote: a serial sweep, a merged
-parallel campaign, or a single CLI command.
+parallel campaign, a fleet run, or a single CLI command.  Fleet traces
+(``device`` spans under the campaign root) additionally get a
+per-device table with population spread — the fleet analogue of the
+slowest-shards view.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ from repro.errors import ConfigurationError
 from repro.obs.trace import SpanRecord, read_jsonl
 
 __all__ = [
+    "device_profile",
     "phase_profile",
     "slowest_spans",
     "render_profile",
@@ -77,6 +82,36 @@ def slowest_spans(records: Sequence[SpanRecord], name: str = "shard",
     return matching[:top]
 
 
+def device_profile(records: Sequence[SpanRecord]
+                   ) -> List[Dict[str, object]]:
+    """Per-device rows from a fleet trace's ``device`` spans.
+
+    Empty for non-fleet traces (no spans named ``device``), which is
+    how the renderer decides whether to show the fleet section.
+    """
+    devices: List[Dict[str, object]] = []
+    for record in records:
+        if record.name != "device":
+            continue
+        wall = record.duration_s
+        rows = record.attrs.get("records")
+        devices.append({
+            "device": record.attrs.get("device"),
+            "seed": record.attrs.get("seed"),
+            "wall_s": wall,
+            "records": rows,
+            "rows_per_s": (rows / wall if rows and wall > 0 else 0.0),
+        })
+    devices.sort(key=lambda row: (row["device"] is None, row["device"]))
+    return devices
+
+
+def _spread(values: Sequence[float]) -> Dict[str, float]:
+    ordered = sorted(values)
+    return {"min": ordered[0], "p50": ordered[len(ordered) // 2],
+            "max": ordered[-1]}
+
+
 def _format_rows(rows: List[Sequence[str]], header: Sequence[str]) -> str:
     widths = [max(len(str(row[i])) for row in [header] + rows)
               for i in range(len(header))]
@@ -118,10 +153,32 @@ def render_profile(records: Sequence[SpanRecord],
         sections.append(f"slowest shards (top {len(shards)})\n" +
                         _format_rows(shard_rows, ["shard", "wall_s"]))
 
+    devices = device_profile(records)
+    if devices:
+        sections.append(_render_devices(devices))
+
     if metrics is not None:
         sections.append(_render_metrics(metrics, wall))
 
     return "\n\n".join(sections)
+
+
+def _render_devices(devices: List[Dict[str, object]]) -> str:
+    rows = [[f"{row['device']}", f"{row['seed']}",
+             f"{row['wall_s']:.3f}",
+             "-" if row["records"] is None else f"{row['records']}",
+             f"{row['rows_per_s']:.1f}"]
+            for row in devices]
+    table = _format_rows(
+        rows, ["device", "seed", "wall_s", "records", "rows/s"])
+    walls = _spread([row["wall_s"] for row in devices])
+    rates = _spread([row["rows_per_s"] for row in devices])
+    spread = (f"population spread: wall_s "
+              f"min={walls['min']:.3f} p50={walls['p50']:.3f} "
+              f"max={walls['max']:.3f}; rows/s "
+              f"min={rates['min']:.1f} p50={rates['p50']:.1f} "
+              f"max={rates['max']:.1f}")
+    return (f"fleet devices ({len(devices)})\n{table}\n{spread}")
 
 
 def _render_metrics(metrics: Mapping[str, Mapping[str, object]],
@@ -159,6 +216,14 @@ def _render_metrics(metrics: Mapping[str, Mapping[str, object]],
         rate = hits / (hits + misses)
         lines.append(f"program cache: {hits:,} hits, {misses:,} misses "
                      f"({rate:.1%} hit rate)")
+    for name in sorted(metrics.get("histograms", {})):
+        summary = metrics["histograms"][name]
+        if not summary.get("count") or "p50" not in summary:
+            continue
+        lines.append(
+            f"{name}: n={summary['count']} p50={summary['p50']:.4g} "
+            f"p95={summary['p95']:.4g} p99={summary['p99']:.4g} "
+            f"(min={summary['min']:.4g} max={summary['max']:.4g})")
     if not lines:
         lines.append("(metrics snapshot holds no campaign counters)")
     return "command-stream metrics\n" + "\n".join(

@@ -411,13 +411,30 @@ class TestInjectedFaultRecovery:
             _archive_bytes(clean, tmp_path / "clean.json")
 
     def test_hang_detected_by_dispatch_timeout_and_retried(self, tmp_path):
+        from repro.obs import use_events
+        from repro.obs.events import EventBus, read_events
+        from repro.obs.progress import CampaignView
+
         spec = small_spec()
         faults = FaultSpec(seed=5, shard_hang=0.12, hang_s=6.0)  # 1 hangs
         config = lean_config(jobs=2, shard_timeout_s=2.0, faults=faults)
         runner = ParallelSweepRunner(spec, config)
         metrics = MetricsRegistry()
-        with use_metrics(metrics):
+        bus = EventBus(tmp_path / "events.jsonl")
+        with use_metrics(metrics), use_events(bus):
             dataset = runner.run()
+
+        # The event log betrays the hung worker: its heartbeat named an
+        # (item, attempt) that never completed — the completion came
+        # from the retry attempt — so a post-mortem replay flags it
+        # stale while every healthy worker shows clear.
+        view = CampaignView().replay(read_events(bus.path))
+        stale = view.stale_workers(now_s=view.last_t_s + 60.0,
+                                   stale_after=30.0)
+        assert len(stale) == 1
+        assert view.retries == 1
+        retried_item = stale[0]["item"]
+        assert view.completed[retried_item] == 1  # succeeded on retry
 
         assert runner.errors == ()
         counters = metrics.snapshot()["counters"]

@@ -1,0 +1,107 @@
+"""Tests for repro.obs.export — Prometheus and flamegraph exporters."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.export import (
+    collapsed_stacks,
+    parse_prometheus_text,
+    prometheus_text,
+)
+
+
+def _snapshot():
+    registry = MetricsRegistry()
+    registry.counter("dram.commands.ACT").inc(1_000_000)
+    registry.counter("bitflips.observed").inc(42)
+    registry.gauge("shard.wall_s").set(1.5)
+    for value in (0.5, 1.0, 2.0, 4.0):
+        registry.histogram("sweep.shard_wall_s").observe(value)
+    return registry.snapshot()
+
+
+class TestPrometheus:
+    def test_counters_and_gauges_round_trip_exactly(self):
+        text = prometheus_text(_snapshot())
+        parsed = parse_prometheus_text(text)
+        assert parsed["counters"] == {
+            "repro_dram_commands_ACT": 1_000_000,
+            "repro_bitflips_observed": 42,
+        }
+        assert parsed["gauges"] == {"repro_shard_wall_s": 1.5}
+
+    def test_histogram_buckets_are_cumulative_and_complete(self):
+        snapshot = _snapshot()
+        text = prometheus_text(snapshot)
+        parsed = parse_prometheus_text(text)
+        histogram = parsed["histograms"]["repro_sweep_shard_wall_s"]
+        summary = snapshot["histograms"]["sweep.shard_wall_s"]
+        assert histogram["count"] == summary["count"] == 4
+        assert histogram["sum"] == summary["sum"] == 7.5
+        buckets = histogram["buckets"]
+        assert buckets["+Inf"] == 4
+        counts = [count for _, count in
+                  sorted(((le, count) for le, count in buckets.items()
+                          if le != "+Inf"), key=lambda pair: float(pair[0]))]
+        assert counts == sorted(counts)  # cumulative
+        assert counts[-1] == 4
+
+    def test_every_sample_line_is_well_formed(self):
+        for line in prometheus_text(_snapshot()).strip().splitlines():
+            if line.startswith("# TYPE "):
+                assert len(line.split()) == 4
+            else:
+                name, value = line.rsplit(" ", 1)
+                assert name
+                float(value)  # must parse
+
+    def test_export_is_deterministic(self):
+        assert prometheus_text(_snapshot()) == prometheus_text(_snapshot())
+
+    def test_none_gauges_are_skipped(self):
+        registry = MetricsRegistry()
+        registry.gauge("unset")
+        assert prometheus_text(registry.snapshot()) == ""
+
+    def test_parser_rejects_untyped_and_garbage_lines(self):
+        with pytest.raises(AnalysisError):
+            parse_prometheus_text("repro_orphan 3")
+        with pytest.raises(AnalysisError):
+            parse_prometheus_text("!! not a sample !!")
+
+
+class TestCollapsedStacks:
+    def _trace(self):
+        timeline = iter(range(100))
+        tracer = Tracer(clock=lambda: float(next(timeline)))
+        with tracer.span("campaign"):          # 0 .. 7
+            with tracer.span("shard"):         # 1 .. 4
+                with tracer.span("sweep"):     # 2 .. 3
+                    pass
+            with tracer.span("shard"):         # 5 .. 6
+                pass
+        return tracer.records
+
+    def test_exclusive_time_in_integer_microseconds(self):
+        lines = collapsed_stacks(self._trace()).splitlines()
+        stacks = dict(line.rsplit(" ", 1) for line in lines)
+        # campaign: 7s total, children cover (4-1)+(6-5)=4s -> 3s own.
+        assert stacks == {
+            "campaign": str(3_000_000),
+            "campaign;shard": str(3_000_000),  # (3-1)+(1-0) exclusive
+            "campaign;shard;sweep": str(1_000_000),
+        }
+
+    def test_weights_sum_to_root_wall_time(self):
+        records = self._trace()
+        total = sum(int(line.rsplit(" ", 1)[1])
+                    for line in collapsed_stacks(records).splitlines())
+        root = next(r for r in records if r.parent_id is None)
+        assert total == int(root.duration_s * 1e6)
+
+    def test_empty_and_open_spans_are_dropped(self):
+        tracer = Tracer(clock=lambda: 1.0)  # zero-duration spans
+        with tracer.span("campaign"):
+            pass
+        assert collapsed_stacks(tracer.records) == ""

@@ -35,8 +35,55 @@ class TestMetricKinds:
         histogram = MetricsRegistry().histogram("thermal.settle_steps")
         for value in (4, 10, 7):
             histogram.observe(value)
-        assert histogram.summary() == {
-            "count": 3, "sum": 21, "min": 4, "max": 10, "mean": 7.0}
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["sum"] == 21
+        assert summary["min"] == 4
+        assert summary["max"] == 10
+        assert summary["mean"] == 7.0
+        # Quantiles are bin-interpolated estimates clamped to [min, max].
+        assert summary["min"] <= summary["p50"] <= summary["p95"] \
+            <= summary["p99"] <= summary["max"]
+        assert len(summary["bins"]) == 3  # 4, 7, 10 land in distinct bins
+
+    def test_histogram_quantiles_are_accurate_and_order_free(self):
+        values = [(seed * 7919 % 997) / 10.0 + 0.1 for seed in range(500)]
+        forward, backward = (MetricsRegistry().histogram("h")
+                             for _ in range(2))
+        for value in values:
+            forward.observe(value)
+        for value in reversed(values):
+            backward.observe(value)
+        # Fixed bins are order-independent: identical summaries.
+        assert forward.summary() == backward.summary()
+        ordered = sorted(values)
+        for q in (0.50, 0.95, 0.99):
+            exact = ordered[int(q * len(ordered)) - 1]
+            estimate = forward.quantile(q)
+            # Bin width bounds the relative error at 1/16.
+            assert abs(estimate - exact) / exact < 1 / 16
+
+    def test_histogram_single_value_quantiles_exact(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(3.5)
+        summary = histogram.summary()
+        assert summary["p50"] == summary["p95"] == summary["p99"] == 3.5
+
+    def test_histogram_nonpositive_values_fall_back_to_min(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in (-1.0, 0.0, 2.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.50) == -1.0  # below every bin
+        assert histogram.summary()["nonpos"] == 2
+
+    def test_gauge_policy_validation(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.gauge("g", policy="median")
+        registry.gauge("g", policy="sum")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("g", policy="max")  # conflicting redeclare
+        assert registry.gauge("g").policy == "sum"  # None = no redeclare
 
     def test_cross_kind_name_conflict_rejected(self):
         registry = MetricsRegistry()
@@ -79,6 +126,56 @@ class TestSnapshotMerge:
         assert combined["count"] == 3
         assert combined["min"] == 2.0
         assert combined["max"] == 10.0
+
+    def test_gauge_merge_policies_across_shards(self):
+        shards = []
+        for value in (3.0, 9.0, 5.0):
+            shard = MetricsRegistry()
+            shard.gauge("board.temperature_c").set(value)  # default: max
+            shard.gauge("cache.entries", policy="sum").set(value)
+            shard.gauge("merge.last_value", policy="last").set(value)
+            shards.append(shard.snapshot())
+
+        parent = MetricsRegistry()
+        parent.gauge("cache.entries", policy="sum")
+        parent.gauge("merge.last_value", policy="last")
+        for snapshot in shards:
+            parent.merge_snapshot(snapshot)
+
+        gauges = parent.snapshot()["gauges"]
+        assert gauges["board.temperature_c"] == 9.0  # max survives order
+        assert gauges["cache.entries"] == 17.0  # sums across shards
+        assert gauges["merge.last_value"] == 5.0  # last write wins
+
+    def test_gauge_default_policy_is_order_independent(self):
+        snapshots = []
+        for value in (1.0, 4.0, 2.0):
+            shard = MetricsRegistry()
+            shard.gauge("g").set(value)
+            snapshots.append(shard.snapshot())
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for snapshot in snapshots:
+            forward.merge_snapshot(snapshot)
+        for snapshot in reversed(snapshots):
+            backward.merge_snapshot(snapshot)
+        assert (forward.snapshot()["gauges"]
+                == backward.snapshot()["gauges"] == {"g": 4.0})
+
+    def test_merged_histogram_quantiles_match_pooled_stream(self):
+        values = [0.25 * step + 0.1 for step in range(40)]
+        pooled = MetricsRegistry().histogram("h")
+        for value in values:
+            pooled.observe(value)
+        parent = MetricsRegistry()
+        for start in (0, 20):
+            shard = MetricsRegistry()
+            for value in values[start:start + 20]:
+                shard.histogram("h").observe(value)
+            parent.merge_snapshot(shard.snapshot())
+        merged = parent.snapshot()["histograms"]["h"]
+        expected = pooled.summary()
+        for key in ("count", "min", "max", "p50", "p95", "p99", "bins"):
+            assert merged[key] == expected[key]
 
     def test_json_round_trip(self, tmp_path):
         registry = MetricsRegistry()

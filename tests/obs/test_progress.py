@@ -1,0 +1,120 @@
+"""Tests for repro.obs.progress — view folding, staleness, rendering."""
+
+import io
+
+from repro.obs.events import Event, EventBus, read_events
+from repro.obs.progress import (
+    CampaignView,
+    render_progress,
+    render_status,
+    tail_events,
+)
+
+
+def _event(type, item=None, attempt=0, t_s=0.0, pid=1, **data):
+    return Event(type=type, item=item, attempt=attempt, data=data,
+                 timing={"t_s": t_s, "mono_s": t_s, "pid": pid})
+
+
+class TestCampaignView:
+    def test_folds_lifecycle_counts(self):
+        view = CampaignView().replay([
+            _event("campaign_started", shards=3, kind="sweep", t_s=0.0),
+            _event("shard_dispatched", item=0, t_s=0.1),
+            _event("worker_heartbeat", item=0, t_s=0.2, pid=2),
+            _event("item_completed", item=0, t_s=1.0, pid=2,
+                   records=8, flips=100),
+            _event("retry", item=1, attempt=1, t_s=1.5),
+            _event("quarantine", item=1, attempt=2, t_s=2.0),
+        ])
+        assert view.kind == "sweep"
+        assert view.total == 3
+        assert view.completed_count == 1
+        assert view.records == 8
+        assert view.flips == 100
+        assert view.retries == 1
+        assert view.quarantined == 1
+        assert not view.finished
+        assert view.rows_per_s(2.0) == 4.0
+
+    def test_eta_scales_with_remaining_items(self):
+        view = CampaignView().replay([
+            _event("campaign_started", shards=4, kind="sweep"),
+            _event("item_completed", item=0, t_s=2.0, records=1),
+        ])
+        # 1 of 4 done in 2 s -> 3 remaining at 2 s each.
+        assert view.eta_s(2.0) == 6.0
+        assert view.eta_s(0.0) is None or view.eta_s(2.0) > 0
+
+    def test_stale_worker_is_one_holding_an_uncompleted_item(self):
+        view = CampaignView().replay([
+            _event("worker_heartbeat", item=0, t_s=1.0, pid=11),
+            _event("worker_heartbeat", item=1, t_s=1.0, pid=12),
+            _event("item_completed", item=0, t_s=2.0, pid=11, records=1),
+        ])
+        stale = view.stale_workers(now_s=10.0, stale_after=5.0)
+        assert [row["pid"] for row in stale] == [12]
+        assert stale[0]["item"] == 1
+        assert stale[0]["idle_s"] == 9.0
+        # Within the staleness window nothing is flagged.
+        assert view.stale_workers(now_s=3.0, stale_after=5.0) == []
+
+    def test_completion_by_another_worker_clears_the_holder(self):
+        # A hung attempt 0 stays stale even after a *different* attempt
+        # completes the item: the worker itself never came back.
+        view = CampaignView().replay([
+            _event("worker_heartbeat", item=0, attempt=0, t_s=1.0, pid=11),
+            _event("retry", item=0, attempt=1, t_s=3.0),
+            _event("worker_heartbeat", item=0, attempt=1, t_s=3.5, pid=12),
+            _event("item_completed", item=0, attempt=1, t_s=4.0, pid=12,
+                   records=1),
+        ])
+        stale = view.stale_workers(now_s=20.0, stale_after=5.0)
+        assert [row["pid"] for row in stale] == [11]
+
+
+class TestRendering:
+    def test_progress_line_mentions_the_essentials(self):
+        view = CampaignView().replay([
+            _event("campaign_started", shards=2, kind="sweep"),
+            _event("item_completed", item=0, t_s=1.0, records=8),
+            _event("campaign_finished", t_s=2.0, shards=2),
+        ])
+        line = render_progress(view, now_s=2.0)
+        assert "[sweep]" in line
+        assert "1/2 items" in line
+        assert "8 rows" in line
+        assert "done" in line
+
+    def test_status_lists_workers_and_flags_stale(self):
+        view = CampaignView().replay([
+            _event("campaign_started", shards=2, kind="fleet"),
+            _event("worker_heartbeat", item=0, t_s=0.5, pid=7),
+        ])
+        status = render_status(view, now_s=30.0, stale_after=5.0)
+        assert "pid 7" in status
+        assert "STALE" in status
+
+
+class TestTail:
+    def test_tail_replays_a_finished_log(self, tmp_path):
+        bus = EventBus(tmp_path / "events.jsonl")
+        bus.emit("campaign_started", shards=1, kind="sweep")
+        bus.emit("item_completed", item=0, records=4, flips=2)
+        bus.emit("campaign_finished", shards=1)
+        bus.finalize()
+        out = io.StringIO()
+        view = tail_events(bus.path, stream=out)
+        assert view.finished
+        assert view.records == 4
+        assert "1/1 items" in out.getvalue()
+
+    def test_follow_terminates_on_campaign_finished(self, tmp_path):
+        bus = EventBus(tmp_path / "events.jsonl")
+        bus.emit("campaign_started", shards=1, kind="sweep")
+        bus.emit("item_completed", item=0, records=4)
+        bus.emit("campaign_finished", shards=1)
+        out = io.StringIO()
+        view = tail_events(bus.path, follow=True, stream=out, poll_s=0.01)
+        assert view.finished
+        assert read_events(bus.path)  # log untouched by the tail

@@ -1,0 +1,126 @@
+"""Tests for tools/bench_compare.py — benchmark regression gating."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+import bench_compare  # noqa: E402
+
+
+RECORD = {
+    "campaign": {"channels": 8, "rows_per_region": 10, "jobs": 1},
+    "elapsed_s": 6.25,
+    "metrics": {
+        "dram_commands": {"ACT": 1000, "PRE": 1000},
+        "dram_commands_total": 2000,
+        "bitflips_observed": 54690,
+        "rows_measured": 960,
+        "rows_per_s": 153.5,
+    },
+}
+
+
+def _write(path, record):
+    path.write_text(json.dumps(record) + "\n")
+    return path
+
+
+def _run(tmp_path, baseline, current, *extra):
+    base = _write(tmp_path / "base.json", baseline)
+    cur = _write(tmp_path / "cur.json", current)
+    return bench_compare.main([str(base), str(cur), *extra])
+
+
+class TestVerdicts:
+    def test_identical_records_pass(self, tmp_path, capsys):
+        assert _run(tmp_path, RECORD, RECORD) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_twenty_percent_throughput_regression_warns(self, tmp_path,
+                                                        capsys):
+        slower = json.loads(json.dumps(RECORD))
+        slower["metrics"]["rows_per_s"] *= 0.8
+        assert _run(tmp_path, RECORD, slower) == 1
+        out = capsys.readouterr().out
+        assert "WARN" in out
+        assert "rows_per_s" in out
+
+    def test_timing_drift_within_tolerance_is_clean(self, tmp_path):
+        slower = json.loads(json.dumps(RECORD))
+        slower["elapsed_s"] *= 1.05
+        assert _run(tmp_path, RECORD, slower) == 0
+
+    def test_count_drift_hard_fails(self, tmp_path, capsys):
+        drifted = json.loads(json.dumps(RECORD))
+        drifted["metrics"]["bitflips_observed"] += 1
+        assert _run(tmp_path, RECORD, drifted) == 2
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_count_drift_beats_timing_warning(self, tmp_path):
+        worse = json.loads(json.dumps(RECORD))
+        worse["metrics"]["rows_per_s"] *= 0.5
+        worse["metrics"]["dram_commands"]["ACT"] += 5
+        assert _run(tmp_path, RECORD, worse) == 2
+
+    def test_missing_baseline_key_hard_fails(self, tmp_path):
+        pruned = json.loads(json.dumps(RECORD))
+        del pruned["metrics"]["rows_measured"]
+        assert _run(tmp_path, RECORD, pruned) == 2
+
+    def test_extra_current_keys_are_ignored(self, tmp_path):
+        extended = json.loads(json.dumps(RECORD))
+        extended["metrics"]["new_field"] = 123
+        assert _run(tmp_path, RECORD, extended) == 0
+
+    def test_count_tolerance_loosens_the_gate(self, tmp_path):
+        drifted = json.loads(json.dumps(RECORD))
+        drifted["metrics"]["bitflips_observed"] = \
+            int(RECORD["metrics"]["bitflips_observed"] * 1.005)
+        assert _run(tmp_path, RECORD, drifted) == 2
+        assert _run(tmp_path, RECORD, drifted,
+                    "--count-tolerance", "0.01") == 0
+
+
+class TestDirectoryMode:
+    def test_compares_every_baseline_record(self, tmp_path, capsys):
+        base_dir, cur_dir = tmp_path / "base", tmp_path / "cur"
+        base_dir.mkdir(), cur_dir.mkdir()
+        _write(base_dir / "BENCH_a.json", RECORD)
+        _write(base_dir / "BENCH_b.json", RECORD)
+        _write(cur_dir / "BENCH_a.json", RECORD)
+        drifted = json.loads(json.dumps(RECORD))
+        drifted["campaign"]["channels"] = 4
+        _write(cur_dir / "BENCH_b.json", drifted)
+        assert bench_compare.main([str(base_dir), str(cur_dir)]) == 2
+        out = capsys.readouterr().out
+        assert "BENCH_b.json" in out
+
+    def test_missing_current_record_hard_fails(self, tmp_path):
+        base_dir, cur_dir = tmp_path / "base", tmp_path / "cur"
+        base_dir.mkdir(), cur_dir.mkdir()
+        _write(base_dir / "BENCH_a.json", RECORD)
+        assert bench_compare.main([str(base_dir), str(cur_dir)]) == 2
+
+    def test_empty_baseline_directory_is_an_error(self, tmp_path):
+        base_dir, cur_dir = tmp_path / "base", tmp_path / "cur"
+        base_dir.mkdir(), cur_dir.mkdir()
+        with pytest.raises(SystemExit):
+            bench_compare.main([str(base_dir), str(cur_dir)])
+
+
+class TestKeyClassification:
+    def test_timing_keys_by_suffix(self):
+        assert bench_compare.is_timing_key("elapsed_s")
+        assert bench_compare.is_timing_key("metrics.rows_per_s")
+        assert bench_compare.is_timing_key("metrics.commands_per_s")
+        assert not bench_compare.is_timing_key("metrics.rows_measured")
+        assert not bench_compare.is_timing_key(
+            "metrics.dram_commands.ACT")
+
+    def test_flatten_produces_dotted_paths(self):
+        flat = dict(bench_compare.flatten(RECORD))
+        assert flat["metrics.dram_commands.ACT"] == 1000
+        assert flat["campaign.jobs"] == 1

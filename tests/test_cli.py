@@ -153,6 +153,53 @@ class TestObservabilityOptions:
         assert code == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_events_flag_records_tailable_log(self, capsys, tmp_path):
+        events_path = tmp_path / "events.jsonl"
+        code = main(["sweep", "--seed", "1", "--channels", "0",
+                     "--rows-per-region", "1", "--hcfirst-rows", "0",
+                     "--events", str(events_path)])
+        assert code == 0
+        assert str(events_path) in capsys.readouterr().err
+
+        from repro.obs.events import read_events
+        kinds = [event.type for event in read_events(events_path)]
+        assert kinds[0] == "campaign_started"
+        assert kinds[-1] == "campaign_finished"
+        assert "worker_heartbeat" in kinds
+
+        code = main(["obs", "tail", str(events_path)])
+        assert code == 0
+        tail = capsys.readouterr().out
+        assert "[sweep]" in tail
+        assert "done" in tail
+
+    def test_obs_export_prometheus_and_flamegraph(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        metrics_path = tmp_path / "metrics.json"
+        main(["ber", "--seed", "1", "--row", "5000",
+              "--pattern", "Rowstripe0", "--hammers", "65536",
+              "--trace", str(trace_path), "--metrics", str(metrics_path)])
+        capsys.readouterr()
+
+        code = main(["obs", "export", "--format", "prometheus",
+                     "--metrics", str(metrics_path)])
+        assert code == 0
+        prom = capsys.readouterr().out
+        assert "# TYPE repro_hammer_pairs counter" in prom
+        assert "repro_hammer_pairs 65536" in prom
+
+        out_path = tmp_path / "stacks.txt"
+        code = main(["obs", "export", "--format", "flamegraph",
+                     "--trace", str(trace_path), "-o", str(out_path)])
+        assert code == 0
+        assert any("hammer" in line
+                   for line in out_path.read_text().splitlines())
+
+    def test_obs_export_requires_matching_input(self, capsys):
+        code = main(["obs", "export", "--format", "prometheus"])
+        assert code == 2
+        assert "--metrics" in capsys.readouterr().err
+
 
 class TestReportCommand:
     def test_renders_markdown(self, capsys, tmp_path):

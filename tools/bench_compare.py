@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Compare benchmark BENCH_*.json records against committed baselines.
+
+The CI bench-regression job (and anyone touching the execution engine)
+needs one answer: did this change alter *what the campaign measured*
+(a correctness regression — hard failure), or only *how fast it ran*
+(environment-dependent — warn and move on)?  The key's shape decides
+which bucket it lands in:
+
+* **timing keys** (leaf name ending in ``_s``: ``elapsed_s``,
+  ``rows_per_s``, ``commands_per_s``, ...) are compared against
+  ``--tolerance`` (relative, default 0.10) and only ever *warn* —
+  CI machines differ, simulated work does not;
+* **everything else** (command counts, bitflip totals, rows measured,
+  campaign shape) must match within ``--count-tolerance`` (default 0:
+  exact) or the comparison *hard-fails* — the simulator is
+  deterministic, so any drift is a behavior change.
+
+Only baseline keys are checked: a new field added to the benchmark
+record does not fail old baselines.  A baseline key missing from the
+current record hard-fails (a silently dropped metric is drift too).
+
+Usage::
+
+    python tools/bench_compare.py BASELINE CURRENT [--tolerance 0.1]
+
+``BASELINE``/``CURRENT`` are BENCH_*.json files, or directories — then
+every ``BENCH_*.json`` in ``BASELINE`` is compared against its namesake
+in ``CURRENT``.
+
+Exit codes: 0 clean, 1 timing warnings only, 2 hard failures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+TIMING_SUFFIX = "_s"
+
+
+def flatten(record: object, prefix: str = "") -> Iterator[Tuple[str, object]]:
+    """Depth-first (key-sorted) dotted-path leaves of a JSON record."""
+    if isinstance(record, dict):
+        for key in sorted(record):
+            yield from flatten(record[key],
+                               f"{prefix}.{key}" if prefix else str(key))
+    elif isinstance(record, list):
+        for index, value in enumerate(record):
+            yield from flatten(value, f"{prefix}[{index}]")
+    else:
+        yield prefix, record
+
+
+def is_timing_key(key: str) -> bool:
+    leaf = key.rsplit(".", 1)[-1]
+    return leaf.endswith(TIMING_SUFFIX)
+
+
+class Comparison:
+    """Accumulated findings of one or more file comparisons."""
+
+    def __init__(self) -> None:
+        self.failures: List[str] = []
+        self.warnings: List[str] = []
+        self.checked = 0
+
+    @property
+    def exit_code(self) -> int:
+        if self.failures:
+            return 2
+        return 1 if self.warnings else 0
+
+    # ------------------------------------------------------------------
+    def compare_records(self, name: str, baseline: Dict, current: Dict,
+                        tolerance: float, count_tolerance: float) -> None:
+        current_values = dict(flatten(current))
+        for key, base_value in flatten(baseline):
+            self.checked += 1
+            label = f"{name}: {key}"
+            if key not in current_values:
+                self.failures.append(f"{label}: missing from current "
+                                     f"record (baseline: {base_value!r})")
+                continue
+            value = current_values[key]
+            if isinstance(base_value, bool) or not \
+                    isinstance(base_value, (int, float)):
+                if value != base_value:
+                    self.failures.append(
+                        f"{label}: {base_value!r} -> {value!r}")
+                continue
+            if not isinstance(value, (int, float)) or \
+                    isinstance(value, bool):
+                self.failures.append(
+                    f"{label}: expected a number, got {value!r}")
+                continue
+            drift = (abs(value - base_value) / abs(base_value)
+                     if base_value else abs(value - base_value))
+            if is_timing_key(key):
+                if drift > tolerance:
+                    direction = "slower" if (
+                        key.endswith("_per_s")) == (value < base_value) \
+                        else "changed"
+                    self.warnings.append(
+                        f"{label}: {base_value} -> {value} "
+                        f"({drift:+.1%} drift, {direction}; "
+                        f"timing keys warn only)")
+            elif drift > count_tolerance:
+                self.failures.append(
+                    f"{label}: {base_value} -> {value} "
+                    f"({drift:+.1%} drift in a deterministic quantity)")
+
+    def render(self) -> str:
+        lines = []
+        for finding in self.failures:
+            lines.append(f"FAIL  {finding}")
+        for finding in self.warnings:
+            lines.append(f"WARN  {finding}")
+        verdict = ("hard failure" if self.failures
+                   else "warnings only" if self.warnings else "clean")
+        lines.append(f"{self.checked} baseline value(s) checked: "
+                     f"{len(self.failures)} failure(s), "
+                     f"{len(self.warnings)} warning(s) [{verdict}]")
+        return "\n".join(lines)
+
+
+def _load(path: Path) -> Dict:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"error: unreadable benchmark record "
+                         f"{path}: {error}")
+
+
+def _pairs(baseline: Path, current: Path) -> List[Tuple[str, Path, Path]]:
+    if baseline.is_dir() != current.is_dir():
+        raise SystemExit("error: BASELINE and CURRENT must both be files "
+                         "or both be directories")
+    if not baseline.is_dir():
+        return [(baseline.name, baseline, current)]
+    names = sorted(path.name for path in baseline.glob("BENCH_*.json"))
+    if not names:
+        raise SystemExit(f"error: no BENCH_*.json under {baseline}")
+    return [(name, baseline / name, current / name) for name in names]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff BENCH_*.json records against baselines "
+                    "(timing warns, determinism drift fails).")
+    parser.add_argument("baseline", type=Path,
+                        help="baseline BENCH_*.json file or directory")
+    parser.add_argument("current", type=Path,
+                        help="current BENCH_*.json file or directory")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        metavar="REL",
+                        help="relative drift allowed on timing keys "
+                             "before warning (default: 0.10)")
+    parser.add_argument("--count-tolerance", type=float, default=0.0,
+                        metavar="REL",
+                        help="relative drift allowed on deterministic "
+                             "keys before hard-failing (default: 0 = "
+                             "exact)")
+    args = parser.parse_args(argv)
+
+    comparison = Comparison()
+    for name, base_path, current_path in _pairs(args.baseline,
+                                                args.current):
+        if not current_path.exists():
+            comparison.failures.append(
+                f"{name}: current record {current_path} does not exist")
+            continue
+        comparison.compare_records(name, _load(base_path),
+                                   _load(current_path),
+                                   args.tolerance, args.count_tolerance)
+    print(comparison.render())
+    return comparison.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())
