@@ -163,7 +163,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     runner = ParallelSweepRunner(_make_spec(args), config,
                                  max_retries=args.max_retries,
                                  retry_backoff_s=args.retry_backoff,
-                                 campaign_dir=args.resume)
+                                 campaign_dir=args.resume,
+                                 degrade=args.degrade)
     dataset = runner.run(progress=lambda message: print(f"  {message}",
                                                         file=sys.stderr))
     for error in runner.errors:
@@ -224,7 +225,8 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
                          jobs=args.jobs, max_retries=args.max_retries,
                          spec=_make_spec(args), sweep=sweep,
                          device_timeout_s=args.device_timeout)
-    runner = FleetRunner(config, campaign_dir=args.resume)
+    runner = FleetRunner(config, campaign_dir=args.resume,
+                         degrade=args.degrade)
     progress = ((lambda message: print(f"  {message}", file=sys.stderr))
                 if args.verbose else None)
     result = runner.run(progress=progress)
@@ -544,6 +546,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="base backoff before retry rounds, seconds "
                             "(doubles per round, deterministic jitter; "
                             "default: 0)")
+    sweep.add_argument("--degrade", choices=("auto", "never"),
+                       default="auto",
+                       help="when the worker pool crash-loops past its "
+                            "budget: 'auto' (default) finishes the "
+                            "campaign serially in-process with identical "
+                            "output; 'never' fails loudly instead")
     sweep.add_argument("--progress", action="store_true",
                        help="render a live status line (items done, "
                             "rows/s, ETA, worker liveness) to stderr, "
@@ -587,6 +595,12 @@ def build_parser() -> argparse.ArgumentParser:
                            help="fleet campaign directory: checkpoint "
                                 "completed devices there and resume a "
                                 "killed fleet from it")
+    fleet_run.add_argument("--degrade", choices=("auto", "never"),
+                           default="auto",
+                           help="when the worker pool crash-loops past "
+                                "its budget: 'auto' (default) finishes "
+                                "serially in-process; 'never' fails "
+                                "loudly instead")
     fleet_run.add_argument("-o", "--output",
                            help="write the population summary as JSON")
     fleet_run.add_argument("--dataset",

@@ -8,32 +8,50 @@ parent process killed at 95% must not cost 95% of the campaign.  A
   that determines the measured data (board spec + sweep axes/density),
   so a resume against a different configuration fails loudly instead
   of merging datasets from two different experiments;
-* ``shard_NNNNN.json`` — each shard's dataset, written atomically
-  (temp file + rename) the moment the shard first completes.
+* ``shard_NNNNN.json`` — each shard's dataset, written the moment the
+  shard first completes.
+
+Both go through the durable artifact store (:mod:`repro.durable`):
+atomic temp-file + rename writes, and a checksummed envelope that also
+stamps the campaign fingerprint into every shard archive.  Resume is
+therefore **self-healing**: a shard archive that is torn, bit-rotted,
+or belongs to a different campaign is detected by its envelope,
+quarantined to ``*.corrupt`` (counted in ``campaign.recovered_shards``),
+and simply *recomputed* — never trusted, never fatal.  A corrupt
+*manifest* is likewise quarantined and rewritten, because the per-shard
+fingerprint stamps carry enough provenance to keep cross-experiment
+merges impossible; only a *valid* manifest with a mismatched
+fingerprint refuses the resume (that is a real configuration conflict,
+not corruption).
 
 Because shard datasets round-trip exactly through the JSON archive
 format and the merge runs in plan order from whatever source (live
 worker or checkpoint), a campaign killed mid-run and resumed produces
 a byte-identical merged dataset to an uninterrupted run — at any jobs
-level, before or after the kill.
+level, before or after the kill, and regardless of which archives had
+to be recomputed.
 """
 
 from __future__ import annotations
 
 import hashlib
-import json
-import os
 from pathlib import Path
-from typing import Dict, Iterable, Union
+from typing import Dict, Iterable, Optional, Union
 
 from repro.core.results import CharacterizationDataset
+from repro.durable import (
+    ArtifactCorruptError,
+    quarantine,
+    read_artifact,
+    write_artifact,
+)
 from repro.errors import CampaignStateError
 
 __all__ = ["CampaignCheckpoint", "campaign_fingerprint",
            "checkpoint_events", "fleet_fingerprint"]
 
 _MANIFEST_NAME = "campaign.json"
-_MANIFEST_VERSION = 1
+_MANIFEST_VERSION = 2
 
 
 def campaign_fingerprint(spec, config, shards_total: int) -> str:
@@ -112,10 +130,21 @@ def checkpoint_events(bus, items, loaded) -> None:
 
 
 class CampaignCheckpoint:
-    """Shard-granular persistence for one campaign directory."""
+    """Shard-granular persistence for one campaign directory.
 
-    def __init__(self, directory: Union[str, Path]) -> None:
+    ``fault_plan`` (optional) threads the campaign's seeded IO-fault
+    schedule into every artifact write, so chaos runs exercise torn
+    writes, bit-flips, and simulated ENOSPC on the real checkpoint
+    path.  ``recovered`` counts the corrupt shard archives this
+    instance quarantined during :meth:`load`.
+    """
+
+    def __init__(self, directory: Union[str, Path],
+                 fault_plan=None) -> None:
         self.directory = Path(directory)
+        self.fault_plan = fault_plan
+        self.recovered = 0
+        self._fingerprint: Optional[str] = None
 
     @property
     def manifest_path(self) -> Path:
@@ -131,51 +160,96 @@ class CampaignCheckpoint:
         A fresh directory gets a manifest; an existing one must carry a
         matching fingerprint or the resume is refused
         (:class:`~repro.errors.CampaignStateError`) — checkpoints from
-        a different spec/config describe a different experiment.
+        a different spec/config describe a different experiment.  A
+        manifest that is *corrupt* (torn write, bit rot) is quarantined
+        and rewritten instead: every shard archive stamps the campaign
+        fingerprint into its own envelope, so provenance survives the
+        manifest and :meth:`load` still refuses foreign shards.
         """
+        self._fingerprint = fingerprint
         self.directory.mkdir(parents=True, exist_ok=True)
         if self.manifest_path.exists():
             try:
-                manifest = json.loads(self.manifest_path.read_text())
-            except (OSError, json.JSONDecodeError) as error:
-                raise CampaignStateError(
-                    f"unreadable campaign manifest "
-                    f"{self.manifest_path}: {error}") from error
-            if manifest.get("fingerprint") != fingerprint:
+                artifact = read_artifact(self.manifest_path,
+                                         kind="campaign-manifest")
+                manifest = artifact.payload
+            except ArtifactCorruptError:
+                quarantine(self.manifest_path)
+                from repro.obs import get_metrics
+                get_metrics().counter(
+                    "campaign.recovered_manifests").inc()
+                self._write_manifest(fingerprint, shards_total)
+                # Still a resume: shard archives carry their own
+                # fingerprint stamps and validate individually.
+                return True
+            if not isinstance(manifest, dict) or \
+                    manifest.get("fingerprint") != fingerprint:
+                stored = (manifest.get("fingerprint")
+                          if isinstance(manifest, dict) else None)
                 raise CampaignStateError(
                     f"campaign directory {self.directory} was created "
                     f"for a different spec/config (fingerprint "
-                    f"{manifest.get('fingerprint')!r} != "
-                    f"{fingerprint!r}); refusing to merge datasets "
-                    f"from two different experiments")
+                    f"{stored!r} != {fingerprint!r}); refusing to "
+                    f"merge datasets from two different experiments")
             return True
-        self.manifest_path.write_text(json.dumps({
+        self._write_manifest(fingerprint, shards_total)
+        return False
+
+    def _write_manifest(self, fingerprint: str, shards_total: int) -> None:
+        write_artifact(self.manifest_path, {
             "version": _MANIFEST_VERSION,
             "fingerprint": fingerprint,
             "shards_total": shards_total,
-        }, indent=1) + "\n")
-        return False
+        }, kind="campaign-manifest", fault_plan=self.fault_plan)
 
     # ------------------------------------------------------------------
     def load(self, indices: Iterable[int]
              ) -> Dict[int, CharacterizationDataset]:
-        """Checkpointed datasets for ``indices``, keyed by shard index."""
+        """Checkpointed datasets for ``indices``, keyed by shard index.
+
+        Self-healing: an archive whose envelope fails verification —
+        torn, bit-rotted, or stamped with a different campaign
+        fingerprint — is quarantined to ``*.corrupt`` and omitted from
+        the result, so the runner transparently recomputes that shard.
+        ``campaign.recovered_shards`` counts the quarantines.  Legacy
+        (pre-envelope) archives load when they parse; anything about
+        them that fails also quarantines rather than raising.
+        """
         loaded: Dict[int, CharacterizationDataset] = {}
         for index in indices:
             path = self.shard_path(index)
             if not path.exists():
                 continue
             try:
-                loaded[index] = CharacterizationDataset.from_json(path)
-            except Exception as error:
-                raise CampaignStateError(
-                    f"unreadable shard checkpoint {path}: "
-                    f"{error}") from error
+                artifact = read_artifact(path, kind="shard")
+                stamp = artifact.meta.get("campaign")
+                if (stamp is not None and self._fingerprint is not None
+                        and stamp != self._fingerprint):
+                    raise ArtifactCorruptError(
+                        f"shard archive {path} belongs to campaign "
+                        f"{stamp!r}, not {self._fingerprint!r}")
+                loaded[index] = CharacterizationDataset.from_payload(
+                    artifact.payload)
+            except Exception:
+                self._quarantine_shard(path)
         return loaded
 
+    def _quarantine_shard(self, path: Path) -> None:
+        quarantine(path)
+        self.recovered += 1
+        from repro.obs import get_metrics
+        get_metrics().counter("campaign.recovered_shards").inc()
+
     def write(self, index: int, dataset: CharacterizationDataset) -> None:
-        """Atomically persist one completed shard's dataset."""
-        path = self.shard_path(index)
-        temporary = path.with_suffix(".json.tmp")
-        dataset.to_json(temporary)
-        os.replace(temporary, path)
+        """Atomically persist one completed shard's dataset.
+
+        The envelope stamps the campaign fingerprint, so a later resume
+        can refuse a shard that wandered in from another experiment
+        even if the manifest was lost.  May raise
+        :class:`~repro.errors.DiskSpaceError` (real or injected); the
+        runner degrades to in-memory-only on that — see
+        :meth:`repro.core.parallel.ParallelSweepRunner._accept`.
+        """
+        write_artifact(self.shard_path(index), dataset.to_payload(),
+                       kind="shard", fault_plan=self.fault_plan,
+                       campaign=self._fingerprint)

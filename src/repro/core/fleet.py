@@ -42,7 +42,8 @@ from repro.core.patterns import ROWSTRIPE0
 from repro.core.results import REGION_FIRST, CharacterizationDataset
 from repro.core.sweeps import SweepConfig
 from repro.engine.plan import item_coords
-from repro.errors import ExperimentError
+from repro.errors import DiskSpaceError, ExperimentError, PoolDegradedError
+from repro.faults.plan import FaultPlan, resolve_fault_spec
 from repro.obs import (
     MetricsRegistry,
     ObsConfig,
@@ -290,7 +291,9 @@ class FleetResult:
                         "attempts": error.attempts}
                        for error in self.errors],
         }
-        Path(path).write_text(json.dumps(payload, indent=1))
+        from repro.durable import atomic_write_bytes
+        atomic_write_bytes(path, json.dumps(payload, indent=1).encode(),
+                           kind="fleet-result")
 
 
 class FleetRunner:
@@ -306,10 +309,14 @@ class FleetRunner:
 
     def __init__(self, config: FleetConfig, *,
                  campaign_dir: Optional[Union[str, Path]] = None,
-                 mp_context=None) -> None:
+                 mp_context=None, degrade: str = "auto") -> None:
+        if degrade not in ("auto", "never"):
+            raise ExperimentError(
+                f"degrade must be 'auto' or 'never', got {degrade!r}")
         self._config = config
         self._campaign_dir = campaign_dir
         self._mp_context = mp_context
+        self._degrade = degrade
         self._errors: Tuple[FleetError, ...] = ()
 
     @property
@@ -413,8 +420,21 @@ class FleetRunner:
                             ) -> Optional[CampaignCheckpoint]:
         if self._campaign_dir is None:
             return None
-        checkpoint = CampaignCheckpoint(self._campaign_dir)
-        if checkpoint.prepare(fingerprint, len(devices)):
+        fault_spec = resolve_fault_spec(self._config.sweep.faults)
+        fault_plan = (FaultPlan(fault_spec)
+                      if fault_spec is not None and fault_spec.has_io_faults
+                      else None)
+        checkpoint = CampaignCheckpoint(self._campaign_dir,
+                                        fault_plan=fault_plan)
+        try:
+            resuming = checkpoint.prepare(fingerprint, len(devices))
+        except DiskSpaceError:
+            # A full volume at fleet start: run without checkpoints
+            # (results stay in memory) rather than refuse the campaign.
+            get_metrics().counter(
+                "campaign.checkpoint_write_errors").inc()
+            return checkpoint
+        if resuming:
             loaded = checkpoint.load(device.index for device in devices)
             results.update(loaded)
             if loaded:
@@ -432,9 +452,12 @@ class FleetRunner:
                 get_metrics().counter("fleet.devices_resumed").inc(
                     len(loaded))
                 if progress:
+                    recovered = (f" ({checkpoint.recovered} corrupt "
+                                 f"quarantined)" if checkpoint.recovered
+                                 else "")
                     progress(f"[resume] {len(loaded)}/{len(devices)} "
                              f"device(s) restored from "
-                             f"{checkpoint.directory}")
+                             f"{checkpoint.directory}{recovered}")
         return checkpoint
 
     def _run_round(self, pending, attempt, backend, results,
@@ -451,7 +474,10 @@ class FleetRunner:
                                 last_error[device.index]).__name__,
                             **item_coords(device))
 
+        settled: set = set()
+
         def on_result(device, dataset) -> None:
+            settled.add(device.index)
             attempts_used[device.index] = attempt + 1
             if not self._accept(device, dataset, results, checkpoint,
                                 attempt):
@@ -464,6 +490,7 @@ class FleetRunner:
                          f"({len(results)}/{config.devices})")
 
         def on_failure(device, error) -> None:
+            settled.add(device.index)
             attempts_used[device.index] = attempt + 1
             last_error[device.index] = error
             failed.append(device)
@@ -471,8 +498,8 @@ class FleetRunner:
                 progress(f"{device.describe()} FAILED "
                          f"[{type(error).__name__}]: {error}")
 
-        if backend is None:
-            for device in pending:
+        def run_inline(devices) -> None:
+            for device in devices:
                 job = replace(device, attempt=attempt)
                 events.emit("shard_dispatched", item=device.index,
                             attempt=attempt, **item_coords(device))
@@ -483,10 +510,28 @@ class FleetRunner:
                 else:
                     on_result(device, dataset)
                 events.tick()
+
+        if backend is None:
+            run_inline(pending)
         else:
             workers = min(config.jobs, len(pending))
-            backend.run(list(pending), workers, attempt, on_result,
-                        on_failure, sequential=sequential)
+            try:
+                backend.run(list(pending), workers, attempt, on_result,
+                            on_failure, sequential=sequential)
+            except PoolDegradedError as error:
+                # The pool's crash-loop breaker opened: finish the
+                # round inline (same runner the workers use, so the
+                # merged result is byte-identical), unless the caller
+                # asked for a loud failure instead.
+                if self._degrade == "never":
+                    raise
+                get_metrics().counter("fleet.degraded_serial").inc(
+                    len(pending) - len(settled))
+                if progress:
+                    progress(f"[degraded] worker pool gave up "
+                             f"({error}); finishing serially")
+                run_inline([device for device in pending
+                            if device.index not in settled])
         return failed
 
     def _accept(self, device, dataset, results, checkpoint,
@@ -501,7 +546,12 @@ class FleetRunner:
         first = device.index not in results
         results[device.index] = dataset
         if checkpoint is not None:
-            checkpoint.write(device.index, dataset)
+            try:
+                checkpoint.write(device.index, dataset)
+            except DiskSpaceError:
+                # Kept in memory; the run continues uncheckpointed.
+                get_metrics().counter(
+                    "campaign.checkpoint_write_errors").inc()
         if first:
             events = get_events()
             events.emit("item_completed", item=device.index,

@@ -84,7 +84,14 @@ from repro.core.sweeps import (
 from repro.core.wcdp import append_wcdp_records
 from repro.engine.plan import ExecutionPlan, item_coords
 from repro.engine.pool import PoolBackend, run_shard
-from repro.errors import ExperimentError, ReproError, ShardFault
+from repro.errors import (
+    DiskSpaceError,
+    ExperimentError,
+    PoolDegradedError,
+    ReproError,
+    ShardFault,
+)
+from repro.faults.plan import FaultPlan, resolve_fault_spec
 from repro.faults.thermal import ThermalGuard
 from repro.obs import (
     MetricsRegistry,
@@ -346,7 +353,8 @@ class ParallelSweepRunner:
     def __init__(self, spec: BoardSpec, config: Optional[SweepConfig] = None,
                  *, shard_runner: Optional[ShardRunner] = None,
                  max_retries: int = 1, retry_backoff_s: float = 0.0,
-                 campaign_dir=None, mp_context=None) -> None:
+                 campaign_dir=None, mp_context=None,
+                 degrade: str = "auto") -> None:
         """
         Args:
             spec: recipe each worker rebuilds its own board from.
@@ -363,11 +371,18 @@ class ParallelSweepRunner:
                 and resume from (see :mod:`repro.core.campaign`).
             mp_context: multiprocessing context for the pool (default:
                 the platform default).
+            degrade: ``"auto"`` (default) finishes the campaign serially
+                in-process when the pool's crash-loop circuit breaker
+                opens (:class:`~repro.errors.PoolDegradedError`);
+                ``"never"`` propagates the error instead.
         """
         if max_retries < 0:
             raise ExperimentError("max_retries must be >= 0")
         if retry_backoff_s < 0:
             raise ExperimentError("retry_backoff_s must be >= 0")
+        if degrade not in ("auto", "never"):
+            raise ExperimentError(
+                f"degrade must be 'auto' or 'never', got {degrade!r}")
         self._spec = spec
         self._config = config or SweepConfig()
         self._shard_runner: ShardRunner = shard_runner or run_shard
@@ -375,6 +390,7 @@ class ParallelSweepRunner:
         self._retry_backoff_s = retry_backoff_s
         self._campaign_dir = campaign_dir
         self._mp_context = mp_context
+        self._degrade = degrade
         self._sleep = time.sleep
         self._errors: Tuple[ShardError, ...] = ()
         self._coverage: Optional[Dict[str, object]] = None
@@ -552,10 +568,21 @@ class ParallelSweepRunner:
         """Prepare the campaign directory and preload checkpointed shards."""
         if self._campaign_dir is None:
             return None
-        checkpoint = CampaignCheckpoint(self._campaign_dir)
+        fault_spec = resolve_fault_spec(self._config.faults)
+        fault_plan = (FaultPlan(fault_spec)
+                      if fault_spec is not None and fault_spec.has_io_faults
+                      else None)
+        checkpoint = CampaignCheckpoint(self._campaign_dir,
+                                        fault_plan=fault_plan)
         fingerprint = campaign_fingerprint(self._spec, self._config,
                                            len(plan))
-        resuming = checkpoint.prepare(fingerprint, len(plan))
+        try:
+            resuming = checkpoint.prepare(fingerprint, len(plan))
+        except DiskSpaceError:
+            # A full volume at campaign start: run without checkpoints
+            # (results stay in memory) rather than refuse the campaign.
+            metrics.counter("campaign.checkpoint_write_errors").inc()
+            return checkpoint
         if resuming:
             loaded = checkpoint.load(shard.index for shard in plan.shards)
             if loaded:
@@ -565,8 +592,16 @@ class ParallelSweepRunner:
                 metrics.counter("campaign.checkpoint_loads").inc(
                     len(loaded))
                 if progress is not None:
+                    recovered = (f" ({checkpoint.recovered} corrupt "
+                                 f"quarantined)" if checkpoint.recovered
+                                 else "")
                     progress(f"[resume] {len(loaded)}/{len(plan)} shards "
-                             f"loaded from {checkpoint.directory}")
+                             f"loaded from {checkpoint.directory}"
+                             f"{recovered}")
+            elif progress is not None and checkpoint.recovered:
+                progress(f"[resume] 0/{len(plan)} shards loaded from "
+                         f"{checkpoint.directory} ({checkpoint.recovered} "
+                         f"corrupt quarantined)")
         return checkpoint
 
     def _backoff(self, pending: List[SweepShard], attempt: int,
@@ -708,23 +743,68 @@ class ParallelSweepRunner:
         dispatches sequentially so a crashing shard cannot fail its
         neighbours — while keeping the pool, and the sessions its
         workers already built, warm.
+
+        When the backend's crash-loop circuit breaker opens
+        (:class:`~repro.errors.PoolDegradedError`) and ``degrade`` is
+        ``"auto"``, the shards the pool never settled are finished
+        serially in this process — the inline runner is the same code
+        the workers run, so the merged dataset stays byte-identical.
         """
         failed: List[SweepShard] = []
+        settled: set = set()
 
         def record_failure(shard: SweepShard, error: BaseException) -> None:
+            settled.add(shard.index)
             failures[shard.index] = error
             failed.append(shard)
             aggregator.failed(shard, error, attempt)
 
         def accept(shard: SweepShard,
                    dataset: CharacterizationDataset) -> None:
+            settled.add(shard.index)
             self._accept(shard, dataset, results, failures, aggregator,
                          attempt, record_failure)
 
         workers = 1 if isolate else min(self._config.jobs, len(shards))
-        self._backend.run(list(shards), workers, attempt, accept,
-                          record_failure, sequential=isolate)
+        try:
+            self._backend.run(list(shards), workers, attempt, accept,
+                              record_failure, sequential=isolate)
+        except PoolDegradedError as error:
+            if self._degrade == "never":
+                raise
+            remaining = [shard for shard in shards
+                         if shard.index not in settled]
+            self._run_degraded(remaining, attempt, accept,
+                               record_failure, error)
         return failed
+
+    def _run_degraded(self, shards: List[SweepShard], attempt: int,
+                      accept, record_failure,
+                      cause: PoolDegradedError) -> None:
+        """Finish a round serially in-process after the pool gave up.
+
+        The supervised-degradation endgame: the pool's circuit breaker
+        opened (crash loop past budget, or the OS refused to fork), so
+        the remaining shards run inline via the same per-item runner
+        the workers use — slower, but the campaign completes with the
+        same dataset bytes.  Worker-process fault injection (SIGKILL)
+        stays dormant inline by design (see
+        :func:`repro.faults.inject.injure_worker`).
+        """
+        metrics = get_metrics()
+        events = get_events()
+        metrics.counter("sweep.degraded_serial").inc(len(shards))
+        for shard in shards:
+            job = replace(shard, attempt=attempt)
+            events.emit("shard_dispatched", item=shard.index,
+                        attempt=attempt, **item_coords(shard))
+            try:
+                dataset = self._shard_runner(self._spec, job)
+            except Exception as error:
+                record_failure(shard, error)
+            else:
+                accept(shard, dataset)
+            events.tick()
 
     def _accept(self, shard: SweepShard, dataset: CharacterizationDataset,
                 results: Dict[int, CharacterizationDataset],
@@ -744,8 +824,16 @@ class ParallelSweepRunner:
         if shard.index not in results:
             results[shard.index] = dataset
             if self._checkpoint is not None:
-                self._checkpoint.write(shard.index, dataset)
-                get_metrics().counter("campaign.checkpoint_writes").inc()
+                try:
+                    self._checkpoint.write(shard.index, dataset)
+                    get_metrics().counter(
+                        "campaign.checkpoint_writes").inc()
+                except DiskSpaceError:
+                    # The dataset is safe in memory; the campaign keeps
+                    # going, it just can't checkpoint this shard.  A
+                    # later kill loses only the unspooled shards.
+                    get_metrics().counter(
+                        "campaign.checkpoint_write_errors").inc()
             get_events().emit("item_completed", item=shard.index,
                               attempt=attempt, **item_coords(shard),
                               **dataset_delta(dataset))
@@ -758,7 +846,8 @@ def run_sweep(config: SweepConfig, *, spec: Optional[BoardSpec] = None,
               progress: Optional[ProgressCallback] = None,
               campaign_dir=None, max_retries: int = 1,
               retry_backoff_s: float = 0.0,
-              verify: Optional[bool] = None) -> CharacterizationDataset:
+              verify: Optional[bool] = None,
+              degrade: str = "auto") -> CharacterizationDataset:
     """Run a sweep serially or in parallel, per ``config.jobs``.
 
     Args:
@@ -777,6 +866,8 @@ def run_sweep(config: SweepConfig, *, spec: Optional[BoardSpec] = None,
         retry_backoff_s: base backoff before retry rounds (parallel).
         verify: override ``config.experiment.verify_programs`` (static
             verification of every generated hammer program; default on).
+        degrade: ``"auto"`` finishes serially in-process when the pool's
+            crash-loop breaker opens; ``"never"`` propagates the error.
     """
     if verify is not None and verify != config.experiment.verify_programs:
         config = replace(config, experiment=replace(
@@ -794,7 +885,8 @@ def run_sweep(config: SweepConfig, *, spec: Optional[BoardSpec] = None,
                 f"{config.jobs}, spec=None)")
         runner = ParallelSweepRunner(spec, config, max_retries=max_retries,
                                      retry_backoff_s=retry_backoff_s,
-                                     campaign_dir=campaign_dir)
+                                     campaign_dir=campaign_dir,
+                                     degrade=degrade)
         return runner.run(progress)
     if board is None:
         if spec is None:

@@ -181,27 +181,47 @@ class CharacterizationDataset:
     RUNTIME_METADATA_KEYS = ("telemetry",)
 
     # -- serialization ----------------------------------------------------
-    def to_json(self, path: Union[str, Path]) -> None:
-        """Archive the dataset as JSON (runtime telemetry excluded)."""
-        payload = {
+    def to_payload(self) -> Dict[str, object]:
+        """The archival JSON payload (runtime telemetry excluded).
+
+        The exact round-trip unit: :meth:`from_payload` rebuilds an
+        equal dataset, and the durable checkpoint store checksums this
+        payload's canonical encoding.
+        """
+        return {
             "metadata": {key: value for key, value in self.metadata.items()
                          if key not in self.RUNTIME_METADATA_KEYS},
             "ber_records": [asdict(record) for record in self.ber_records],
             "hcfirst_records": [asdict(record)
                                 for record in self.hcfirst_records],
         }
-        Path(path).write_text(json.dumps(payload, indent=1))
 
     @classmethod
-    def from_json(cls, path: Union[str, Path]) -> "CharacterizationDataset":
-        """Load a dataset archived with :meth:`to_json`."""
-        payload = json.loads(Path(path).read_text())
+    def from_payload(cls, payload: Dict[str, object]
+                     ) -> "CharacterizationDataset":
+        """Rebuild a dataset from a :meth:`to_payload` mapping."""
+        if not isinstance(payload, dict):
+            raise AnalysisError(
+                f"dataset payload must be a mapping, "
+                f"got {type(payload).__name__}")
         dataset = cls(metadata=payload.get("metadata", {}))
         for raw in payload.get("ber_records", []):
             dataset.add(BerRecord(**raw))
         for raw in payload.get("hcfirst_records", []):
             dataset.add(HcFirstRecord(**raw))
         return dataset
+
+    def to_json(self, path: Union[str, Path]) -> None:
+        """Archive the dataset as JSON (atomic: no torn archives)."""
+        from repro.durable import atomic_write_bytes
+        atomic_write_bytes(
+            path, json.dumps(self.to_payload(), indent=1).encode(),
+            kind="dataset")
+
+    @classmethod
+    def from_json(cls, path: Union[str, Path]) -> "CharacterizationDataset":
+        """Load a dataset archived with :meth:`to_json`."""
+        return cls.from_payload(json.loads(Path(path).read_text()))
 
     def ber_to_csv(self, path: Union[str, Path]) -> None:
         """Write BER records as CSV (one row per measurement)."""

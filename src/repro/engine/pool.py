@@ -81,8 +81,9 @@ from repro.core.sweeps import SpatialSweep
 from repro.engine.plan import chunk_items, item_coords
 from repro.engine.session import EngineSession
 from repro.envutil import env_int
-from repro.errors import ShardFault
+from repro.errors import PoolDegradedError, ShardFault
 from repro.faults.plan import FaultPlan, resolve_fault_spec
+from repro.rng import uniform_hash01
 from repro.obs import (
     NOOP_TRACER,
     EventBus,
@@ -96,6 +97,18 @@ from repro.obs import (
 
 #: Cadence of the dispatch/deadline poll when a timeout is set.
 _POLL_S = 0.05
+
+#: Crash-loop budget (``$REPRO_POOL_CRASH_BUDGET``): consecutive pool
+#: recycles caused by worker crashes before the circuit breaker opens
+#: and the backend refuses to rebuild (:class:`~repro.errors.
+#: PoolDegradedError`), letting the runner fall back to serial
+#: execution instead of burning CPU on a deterministic crasher.
+CRASH_BUDGET_VAR = "REPRO_POOL_CRASH_BUDGET"
+_DEFAULT_CRASH_BUDGET = 3
+
+#: Base backoff before rebuilding a crashed pool (doubles per
+#: consecutive crash, with seeded jitter).
+_RECYCLE_BACKOFF_S = 0.05
 
 #: Worker-process session LRU bound (``$REPRO_WORKER_SESSIONS``): how
 #: many engine sessions a long-lived worker keeps warm before evicting
@@ -200,7 +213,9 @@ def run_shard(spec: BoardSpec, shard,
         with use_metrics(registry), use_tracer(tracer):
             with tracer.span(kind, **attrs) as span:
                 fault_spec = resolve_fault_spec(shard.config.faults)
-                if fault_spec is not None and fault_spec.has_shard_faults:
+                if fault_spec is not None and (
+                        fault_spec.has_shard_faults
+                        or fault_spec.has_process_faults):
                     from repro.faults.inject import injure_worker
                     injure_worker(FaultPlan(fault_spec), shard.channel,
                                   shard.pseudo_channel, shard.bank,
@@ -314,6 +329,10 @@ class PoolBackend:
         self._recycle = False
         self._builds = 0
         self._reuses = 0
+        #: Consecutive crash-caused recycles (reset by a healthy batch).
+        self._crash_streak = 0
+        #: Injectable for tests; seeded backoff between crash rebuilds.
+        self._sleep = time.sleep
 
     # ------------------------------------------------------------------
     @property
@@ -326,21 +345,59 @@ class PoolBackend:
         """Dispatch rounds that reused the warm executor."""
         return self._reuses
 
+    def _note_crash(self) -> None:
+        """Record one crash-caused recycle (at most one per round)."""
+        if not self._recycle:
+            self._crash_streak += 1
+            get_metrics().counter("engine.pool.worker_crashes").inc()
+        self._recycle = True
+
     def _ensure_executor(self, workers: int) -> ProcessPoolExecutor:
         """The warm executor, (re)built only when needed.
 
         Rebuilds when none exists, when the previous round marked it
         for recycling (broken pool, zombie worker, starvation), or when
         a round needs more workers than the pool has.
+
+        The rebuild path is supervised.  A crash streak (consecutive
+        crash-caused recycles with no healthy batch between them) backs
+        off with seeded jitter and shrinks the pool — a crashing
+        machine gets a smaller, slower-restarting pool, not a hot loop
+        of fork storms.  At ``$REPRO_POOL_CRASH_BUDGET`` consecutive
+        crashes (default 3), or when the OS refuses to fork at all, the
+        circuit breaker opens: :class:`~repro.errors.PoolDegradedError`
+        tells the runner to stop using the pool and finish the campaign
+        serially in-process.
         """
         if self._executor is not None and (self._recycle
                                            or workers > self._workers):
             self._retire()
         if self._executor is None:
-            self._executor = ProcessPoolExecutor(
-                max_workers=workers, mp_context=self._mp_context,
-                initializer=_pool_initializer,
-                initargs=(self._spec, self._runner, self._session_key))
+            if self._crash_streak:
+                budget = env_int(CRASH_BUDGET_VAR, _DEFAULT_CRASH_BUDGET,
+                                 minimum=1)
+                if self._crash_streak >= budget:
+                    get_metrics().counter("engine.pool.breaker_open").inc()
+                    raise PoolDegradedError(
+                        f"worker pool crashed {self._crash_streak} "
+                        f"consecutive round(s), reaching the crash-loop "
+                        f"budget ({budget}); refusing to rebuild",
+                        crashes=self._crash_streak)
+                jitter = 0.5 + uniform_hash01(
+                    self._spec.seed, ("pool-recycle", self._crash_streak))
+                self._sleep(_RECYCLE_BACKOFF_S
+                            * 2 ** (self._crash_streak - 1) * jitter)
+                workers = max(1, workers >> self._crash_streak)
+            try:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=workers, mp_context=self._mp_context,
+                    initializer=_pool_initializer,
+                    initargs=(self._spec, self._runner, self._session_key))
+            except OSError as error:
+                get_metrics().counter("engine.pool.breaker_open").inc()
+                raise PoolDegradedError(
+                    f"cannot (re)build worker pool: {error}",
+                    crashes=self._crash_streak) from error
             self._workers = workers
             self._builds += 1
             get_metrics().counter("engine.pool.builds").inc()
@@ -401,7 +458,7 @@ class PoolBackend:
             try:
                 future = executor.submit(_run_batch, jobs)
             except BrokenExecutor as error:
-                self._recycle = True
+                self._note_crash()
                 for unsent in batches[position:]:
                     for shard in unsent:
                         on_failure(shard, error)
@@ -433,10 +490,13 @@ class PoolBackend:
                     outcomes = future.result()
                 except Exception as error:
                     if isinstance(error, BrokenExecutor):
-                        self._recycle = True
+                        self._note_crash()
                     for shard in batch:
                         on_failure(shard, error)
                 else:
+                    # A batch came back intact: the pool process layer
+                    # is healthy, so the crash streak resets.
+                    self._crash_streak = 0
                     self._deliver(batch, outcomes, on_result, on_failure)
             if timeout is None:
                 continue
@@ -503,12 +563,13 @@ class PoolBackend:
                     f"shard {shard.describe()} exceeded "
                     f"shard_timeout_s={timeout}"))
             except BrokenExecutor as error:
-                self._recycle = True
+                self._note_crash()
                 self._retire()
                 on_failure(shard, error)
             except Exception as error:
                 on_failure(shard, error)
             else:
+                self._crash_streak = 0
                 self._deliver([shard], outcomes, on_result, on_failure)
             events.tick()
 

@@ -85,6 +85,52 @@ class ShardFault(ReproError):
         return self.message
 
 
+class DurabilityError(ReproError):
+    """A durable artifact could not be written or read back intact.
+
+    Base class for the durable-state layer (:mod:`repro.durable`):
+    checksum mismatches, torn files, and exhausted disk all derive from
+    it, so campaign code can treat "the artifact store is unhealthy" as
+    one failure class while still distinguishing the causes.
+    """
+
+
+class ArtifactCorruptError(DurabilityError):
+    """A durable artifact failed its checksum or could not be parsed.
+
+    Raised by :func:`repro.durable.read_artifact` for torn tails,
+    bit-flipped payloads, and envelope/kind mismatches.  Recovery code
+    quarantines the file (``*.corrupt``) and recomputes the artifact
+    instead of trusting it.
+    """
+
+
+class DiskSpaceError(DurabilityError):
+    """An artifact write was refused because the volume is (nearly) full.
+
+    Raised *before* any bytes land, so a full disk produces a clean
+    typed error instead of a half-written checkpoint that a later
+    resume would have to quarantine.
+    """
+
+
+class PoolDegradedError(ReproError):
+    """The worker pool crash-looped past its budget or cannot be rebuilt.
+
+    Raised by :class:`repro.engine.pool.PoolBackend` when its circuit
+    breaker opens: repeated executor crashes exhausted the crash-loop
+    budget (``$REPRO_POOL_CRASH_BUDGET``), or a replacement pool could
+    not be constructed at all.  Supervisors catch it and fall back to
+    in-process serial execution (``--degrade auto``), which produces
+    byte-identical datasets because the inline runner is the same code
+    the workers execute.
+    """
+
+    def __init__(self, message: str, crashes: int = 0) -> None:
+        super().__init__(message)
+        self.crashes = crashes
+
+
 class ExperimentError(ReproError):
     """An experiment could not be run as configured."""
 

@@ -30,7 +30,9 @@ from repro.faults.inject import (
     poison_dataset,
 )
 from repro.faults.plan import (
+    IO_CATEGORIES,
     LINK_CATEGORIES,
+    PROCESS_CATEGORIES,
     SHARD_CATEGORIES,
     FaultPlan,
     FaultSpec,
@@ -43,7 +45,9 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "FaultyTransport",
+    "IO_CATEGORIES",
     "LINK_CATEGORIES",
+    "PROCESS_CATEGORIES",
     "SHARD_CATEGORIES",
     "ThermalGuard",
     "build_link",

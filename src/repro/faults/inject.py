@@ -26,6 +26,7 @@ datasets to fault-free runs once the resilience layer has done its job.
 from __future__ import annotations
 
 import os
+import signal
 import time
 from dataclasses import replace
 
@@ -117,14 +118,32 @@ def _corrupt_readback(result: ExecutionResult) -> ExecutionResult:
 # ----------------------------------------------------------------------
 # Shard workers
 # ----------------------------------------------------------------------
+def _in_pool_worker() -> bool:
+    """Whether this process is a pool worker (vs. a campaign parent).
+
+    Process faults (SIGKILL) must never fire in inline execution — the
+    fleet's ``jobs=1`` path and the degraded-serial fallback run shards
+    in the *parent*, and killing it would turn a survivable worker
+    fault into a campaign loss (or kill pytest).  The pool initializer
+    installs per-worker state only in real workers, so its presence is
+    the gate.
+    """
+    from repro.engine.pool import _WORKER_STATE
+    return bool(_WORKER_STATE)
+
+
 def injure_worker(plan: FaultPlan, channel: int, pseudo_channel: int,
                   bank: int, region: str, attempt: int,
-                  _exit=os._exit, _sleep=time.sleep) -> None:
+                  _exit=os._exit, _sleep=time.sleep,
+                  _kill=os.kill) -> None:
     """Apply the plan's injury (if any) for one shard attempt.
 
     Called at worker entry, before any device state exists, so an
     injured attempt cannot leave a half-measured station behind:
 
+    * ``sigkill`` (process category) — the pool worker dies by raw
+      SIGKILL: no exception, no exit handler, exactly the death the
+      durable-state layer must survive (only fires in pool workers),
     * ``crash`` — the worker process dies immediately (the parent sees
       a broken pool / lost future),
     * ``hang`` — the worker stalls ``hang_s`` seconds before running
@@ -132,6 +151,10 @@ def injure_worker(plan: FaultPlan, channel: int, pseudo_channel: int,
     * ``error`` — a :class:`~repro.errors.ShardFault` propagates
       through the worker's failure reporting.
     """
+    if (plan.worker_kill(channel, pseudo_channel, bank, region, attempt)
+            and _in_pool_worker()):
+        get_metrics().counter("faults.process.sigkill").inc()
+        _kill(os.getpid(), signal.SIGKILL)
     category = plan.shard_fault(channel, pseudo_channel, bank, region,
                                 attempt)
     if category is None:

@@ -27,6 +27,17 @@ Fault categories:
 * **thermal** (per measured cell, keyed by physical coordinates so the
   schedule is identical under any sharding): a setpoint excursion of
   ``drift_c`` degC beyond the PID envelope.
+* **process** (per worker attempt, same key as shard faults):
+  ``worker_sigkill`` delivers a raw SIGKILL inside a pool worker — the
+  ungraceful death the crash-recovery layer must survive.  Only fires
+  inside pool worker processes, never inline.
+* **io** (per durable-artifact write, keyed on (artifact kind, file
+  name, per-name write index)): ``torn_write`` truncates the artifact
+  at a seeded offset, ``bitflip`` flips one seeded bit, ``enospc``
+  simulates a full volume (the write raises
+  :class:`~repro.errors.DiskSpaceError` before any bytes land).
+  Applied by :mod:`repro.durable`; detected by its checksummed
+  envelopes on read-back.
 """
 
 from __future__ import annotations
@@ -41,7 +52,8 @@ from repro.envutil import env_str
 from repro.errors import ConfigurationError
 from repro.rng import uniform_hash01
 
-__all__ = ["FaultSpec", "FaultPlan", "LINK_CATEGORIES", "SHARD_CATEGORIES"]
+__all__ = ["FaultSpec", "FaultPlan", "IO_CATEGORIES", "LINK_CATEGORIES",
+           "PROCESS_CATEGORIES", "SHARD_CATEGORIES"]
 
 #: Link fault categories, in the (fixed) order they are drawn.
 LINK_CATEGORIES = ("drop", "corrupt", "duplicate", "stall")
@@ -49,6 +61,14 @@ LINK_CATEGORIES = ("drop", "corrupt", "duplicate", "stall")
 #: Shard fault categories, in the (fixed) order they are drawn.
 #: ``poison`` is drawn separately (it applies after the measurement).
 SHARD_CATEGORIES = ("crash", "hang", "error")
+
+#: Process fault categories (ungraceful worker death).
+PROCESS_CATEGORIES = ("sigkill",)
+
+#: IO fault categories, in the (fixed) order they are drawn per write.
+#: ``enospc`` ranks first: a full disk pre-empts the write entirely,
+#: so torn/bit-flipped outcomes only occur on writes that proceed.
+IO_CATEGORIES = ("enospc", "torn_write", "bitflip")
 
 #: Domain tag separating fault draws from every device-property stream.
 _DOMAIN = "faults.v1"
@@ -91,6 +111,18 @@ class FaultSpec:
     #: Shard readback poison: one record is corrupted after measurement
     #: (caught by the parent's integrity fingerprint check).
     shard_poison: float = 0.0
+    #: Worker SIGKILL: the shard's pool worker dies by raw signal
+    #: (never fires inline — see :func:`repro.faults.inject.injure_worker`).
+    worker_sigkill: float = 0.0
+    #: Torn artifact write: a durable artifact is truncated at a seeded
+    #: offset, as if the writer died mid-write on a non-atomic store.
+    io_torn_write: float = 0.0
+    #: Artifact bit-flip: one seeded bit of a written artifact flips,
+    #: as if the medium rotted under it.
+    io_bitflip: float = 0.0
+    #: Simulated ENOSPC: an artifact write fails cleanly with
+    #: :class:`~repro.errors.DiskSpaceError` before any bytes land.
+    io_enospc: float = 0.0
     #: Thermal excursion: the plant drifts ``drift_c`` degC mid-campaign.
     thermal_drift: float = 0.0
     drift_c: float = 2.0
@@ -102,7 +134,8 @@ class FaultSpec:
     _RATE_FIELDS = ("link_corrupt", "link_drop", "link_duplicate",
                     "link_stall", "link_poison", "shard_crash",
                     "shard_hang", "shard_error", "shard_poison",
-                    "thermal_drift")
+                    "worker_sigkill", "io_torn_write", "io_bitflip",
+                    "io_enospc", "thermal_drift")
 
     def __post_init__(self) -> None:
         for name in self._RATE_FIELDS:
@@ -137,9 +170,19 @@ class FaultSpec:
         return self.thermal_drift > 0
 
     @property
+    def has_process_faults(self) -> bool:
+        return self.worker_sigkill > 0
+
+    @property
+    def has_io_faults(self) -> bool:
+        return any(getattr(self, f"io_{name}") > 0
+                   for name in ("torn_write", "bitflip", "enospc"))
+
+    @property
     def any_faults(self) -> bool:
         return (self.has_link_faults or self.has_shard_faults
-                or self.has_thermal_faults)
+                or self.has_thermal_faults or self.has_process_faults
+                or self.has_io_faults)
 
     # -- construction ---------------------------------------------------
     @classmethod
@@ -285,6 +328,48 @@ class FaultPlan:
         return bool(rate and self._draw("shard", "poison", channel,
                                         pseudo_channel, bank, region,
                                         attempt) < rate)
+
+    # ------------------------------------------------------------------
+    def worker_kill(self, channel: int, pseudo_channel: int, bank: int,
+                    region: str, attempt: int) -> bool:
+        """Whether one pool-worker attempt dies by SIGKILL at entry."""
+        rate = self.spec.worker_sigkill
+        return bool(rate and self._draw("process", "sigkill", channel,
+                                        pseudo_channel, bank, region,
+                                        attempt) < rate)
+
+    # ------------------------------------------------------------------
+    def io_fault(self, kind: str, name: str,
+                 write_index: int) -> Optional[str]:
+        """The IO fault (if any) for one durable-artifact write.
+
+        Keyed on (artifact kind, file name, per-name write index) so the
+        schedule is a pure function of *which write this is* — identical
+        across process counts, resume points, and directory layouts.
+        """
+        for category in IO_CATEGORIES:
+            rate = getattr(self.spec, f"io_{category}")
+            if rate and self._draw("io", category, kind, name,
+                                   write_index) < rate:
+                return category
+        return None
+
+    def torn_offset(self, size: int, kind: str, name: str,
+                    write_index: int) -> int:
+        """The seeded truncation point for one torn write, in [1, size)."""
+        if size <= 1:
+            return 0
+        fraction = self._draw("io", "torn_offset", kind, name, write_index)
+        return max(1, min(size - 1, int(size * fraction)))
+
+    def bitflip_site(self, size: int, kind: str, name: str,
+                     write_index: int) -> Tuple[int, int]:
+        """The seeded (byte offset, bit index) for one artifact bit-flip."""
+        byte = int(self._draw("io", "flip_byte", kind, name,
+                              write_index) * size)
+        bit = int(self._draw("io", "flip_bit", kind, name,
+                             write_index) * 8)
+        return min(byte, size - 1), min(bit, 7)
 
     # ------------------------------------------------------------------
     def thermal_excursion(self, channel: int, pseudo_channel: int,

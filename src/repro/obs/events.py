@@ -139,14 +139,36 @@ def strip_timing(events: Sequence[Event]) -> List[Dict[str, object]]:
     return [event.payload() for event in events]
 
 
-def read_events(path: Union[str, Path]) -> List[Event]:
-    """Parse an events JSONL file (live or finalized)."""
+def _note_dropped(count: int) -> None:
+    """Count torn/garbled event lines (lazy import: obs imports us)."""
+    if count:
+        from repro.obs import get_metrics
+        get_metrics().counter("events.dropped_lines").inc(count)
+
+
+def read_events(path: Union[str, Path],
+                tolerant: bool = False) -> List[Event]:
+    """Parse an events JSONL file (live or finalized).
+
+    With ``tolerant=True``, a torn final line (writer killed mid-append)
+    or mid-file garbage is dropped — and counted in
+    ``events.dropped_lines`` — instead of raising from ``json.loads``;
+    this is the mode every recovery path uses.
+    """
     events = []
+    dropped = 0
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 events.append(Event.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, TypeError):
+                if not tolerant:
+                    raise
+                dropped += 1
+    _note_dropped(dropped)
     return events
 
 
@@ -221,10 +243,24 @@ class EventBus:
         self._subscribers.append(callback)
 
     def tick(self) -> List[Event]:
-        """Dispatch events appended since the last tick; return them."""
+        """Dispatch events appended since the last tick; return them.
+
+        Robust against the log misbehaving underneath us: a file
+        truncated or rotated since the last tick (size < read offset)
+        restarts the scan from the top; a line that won't parse — a
+        tail torn by a killed writer, or garbage from a non-POSIX
+        interleave — is dropped and counted in ``events.dropped_lines``
+        rather than raised, because a corrupt log line must never take
+        down the campaign parent or a ``tail --follow``.
+        """
         if not self._subscribers:
             return []
         try:
+            size = self.path.stat().st_size
+            if size < self._read_pos:
+                # Truncated or rotated underneath us: start over.
+                self._read_pos = 0
+                self._final_count = 0
             with open(self.path, "rb") as handle:
                 handle.seek(self._read_pos)
                 chunk = handle.read()
@@ -235,9 +271,15 @@ class EventBus:
             return []
         complete, self._read_pos = chunk[:end + 1], self._read_pos + end + 1
         events = []
-        for line in complete.decode("utf-8").splitlines():
-            if line.strip():
+        dropped = 0
+        for line in complete.decode("utf-8", errors="replace").splitlines():
+            if not line.strip():
+                continue
+            try:
                 events.append(Event.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, TypeError):
+                dropped += 1
+        _note_dropped(dropped)
         for event in events:
             for callback in self._subscribers:
                 callback(event)
@@ -250,17 +292,19 @@ class EventBus:
         Live order is completion order (nondeterministic under a pool);
         after this the file is byte-stable modulo ``timing``.  Segment
         aware: a second campaign appended to the same file is sorted
-        independently of the already-finalized prefix.
+        independently of the already-finalized prefix.  Tolerant of a
+        torn final line (a worker killed mid-append): the fragment is
+        dropped, not raised, and the rewrite leaves a clean log.
         """
         self.tick()
-        events = read_events(self.path)
+        events = read_events(self.path, tolerant=True)
         ordered = (events[:self._final_count]
                    + canonical_order(events[self._final_count:]))
-        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            for event in ordered:
-                handle.write(event.to_line() + "\n")
-        os.replace(tmp, self.path)
+        from repro.durable import atomic_write_bytes
+        atomic_write_bytes(
+            self.path,
+            "".join(event.to_line() + "\n" for event in ordered).encode(),
+            kind="events")
         self._final_count = len(ordered)
         self._read_pos = self.path.stat().st_size
         return ordered

@@ -332,7 +332,10 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------------
     def to_json(self, path: Union[str, Path]) -> None:
-        Path(path).write_text(json.dumps(self.snapshot(), indent=1) + "\n")
+        from repro.durable import atomic_write_bytes
+        atomic_write_bytes(
+            path, (json.dumps(self.snapshot(), indent=1) + "\n").encode(),
+            kind="metrics")
 
     @staticmethod
     def read_snapshot(path: Union[str, Path]

@@ -256,10 +256,17 @@ def tail_events(path: Union[str, Path], follow: bool = False,
             f"no event log at {path} (record one with --events PATH)")
     view = CampaignView()
     if not follow:
-        view.replay(read_events(path))
+        # Tolerant: a log with a torn final line (kill -9 mid-append)
+        # still replays; the fragment is dropped and counted.
+        view.replay(read_events(path, tolerant=True))
         print(render_status(view, stale_after=stale_after), file=out)
         return view
 
+    # Follow mode survives whatever happens to the file underneath it:
+    # a torn final line is skipped (EventBus.tick is tolerant), and a
+    # truncation/rotation — e.g. a new campaign reusing the path —
+    # restarts the scan from the top instead of wedging at a stale
+    # offset or raising from json.loads.
     bus = EventBus(path, truncate=False)
     bus.subscribe(view.on_event)
     while True:

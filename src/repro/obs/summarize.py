@@ -207,7 +207,23 @@ def _render_metrics(metrics: Mapping[str, Mapping[str, object]],
                          "TRR preventive refreshes"),
                         ("sweep.shard_retries", "shard retries"),
                         ("sweep.shard_timeouts", "shard timeouts"),
-                        ("sweep.shard_failures", "shard failures")):
+                        ("sweep.shard_failures", "shard failures"),
+                        ("campaign.recovered_shards",
+                         "corrupt shard archives recovered"),
+                        ("campaign.recovered_manifests",
+                         "corrupt manifests recovered"),
+                        ("campaign.checkpoint_write_errors",
+                         "checkpoint writes refused (disk)"),
+                        ("engine.pool.worker_crashes",
+                         "worker pool crashes"),
+                        ("engine.pool.breaker_open",
+                         "pool circuit-breaker trips"),
+                        ("sweep.degraded_serial",
+                         "shards finished degraded-serial"),
+                        ("fleet.degraded_serial",
+                         "devices finished degraded-serial"),
+                        ("events.dropped_lines",
+                         "torn event-log lines dropped")):
         if name in counters:
             lines.append(f"{label}: {int(counters[name]):,}")
     hits = int(counters.get("engine.cache.hits", 0))

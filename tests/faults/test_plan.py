@@ -188,3 +188,62 @@ class TestFaultPlanDeterminism:
                          for index in range(32)]
         assert all(0.0 <= draw < 1.0 for draw in draws)
         assert len(set(draws)) > 1
+
+
+class TestProcessAndIoFaults:
+    def test_category_summaries_cover_new_families(self):
+        assert FaultSpec(worker_sigkill=0.1).has_process_faults
+        assert FaultSpec(io_torn_write=0.1).has_io_faults
+        assert FaultSpec(io_bitflip=0.1).has_io_faults
+        assert FaultSpec(io_enospc=0.1).has_io_faults
+        assert FaultSpec(worker_sigkill=0.1).any_faults
+        assert not FaultSpec(worker_sigkill=0.1).has_shard_faults
+
+    def test_new_rates_parse_and_round_trip(self):
+        spec = FaultSpec.parse(
+            "seed=11,worker_sigkill=0.02,io_torn_write=0.05,"
+            "io_bitflip=0.03,io_enospc=0.01")
+        assert spec.worker_sigkill == 0.02
+        assert spec.io_torn_write == 0.05
+        assert FaultSpec.parse(spec.describe()) == spec
+
+    def test_worker_kill_schedule_is_deterministic(self):
+        plan = FaultPlan(FaultSpec(seed=3, worker_sigkill=0.3))
+        draws = [plan.worker_kill(ch, 0, 0, "R0", attempt)
+                 for ch in range(4) for attempt in range(4)]
+        again = [FaultPlan(FaultSpec(seed=3, worker_sigkill=0.3))
+                 .worker_kill(ch, 0, 0, "R0", attempt)
+                 for ch in range(4) for attempt in range(4)]
+        assert draws == again
+        assert any(draws) and not all(draws)
+
+    def test_worker_kill_is_transient_across_attempts(self):
+        """A kill on attempt 0 must be able to draw clean on retry —
+        otherwise no retry budget ever recovers the shard."""
+        plan = FaultPlan(FaultSpec(seed=3, worker_sigkill=0.5))
+        doomed = [(ch, bank) for ch in range(8) for bank in range(4)
+                  if plan.worker_kill(ch, 0, bank, "R0", 0)]
+        assert doomed, "seed drew no kills at rate 0.5"
+        assert any(not plan.worker_kill(ch, 0, bank, "R0", 1)
+                   for ch, bank in doomed)
+
+    def test_io_fault_category_priority_is_stable(self):
+        spec = FaultSpec(seed=9, io_torn_write=0.2, io_bitflip=0.2,
+                         io_enospc=0.2)
+        plan = FaultPlan(spec)
+        draws = [plan.io_fault("shard", f"shard_{i:05d}.json", 0)
+                 for i in range(64)]
+        assert draws == [FaultPlan(spec).io_fault(
+            "shard", f"shard_{i:05d}.json", 0) for i in range(64)]
+        fired = {category for category in draws if category}
+        assert fired == {"torn_write", "bitflip", "enospc"}
+
+    def test_torn_offset_and_bitflip_site_stay_in_bounds(self):
+        plan = FaultPlan(FaultSpec(seed=2, io_torn_write=1.0,
+                                   io_bitflip=1.0))
+        for size in (1, 2, 3, 64, 4096):
+            offset = plan.torn_offset(size, "shard", "a.json", 0)
+            assert 0 <= offset < max(size, 1)
+            byte, bit = plan.bitflip_site(size, "shard", "a.json", 0)
+            assert 0 <= byte < size
+            assert 0 <= bit < 8

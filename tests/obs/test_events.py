@@ -183,3 +183,79 @@ class TestDatasetDelta:
         delta = dataset_delta(dataset)
         assert delta["records"] == (len(dataset.ber_records)
                                     + len(dataset.hcfirst_records))
+
+
+class TestTornLogRobustness:
+    """A killed writer leaves a torn final line; readers must survive it."""
+
+    def _torn_log(self, tmp_path):
+        bus = EventBus(tmp_path / "events.jsonl")
+        bus.emit("campaign_started", shards=2, kind="sweep")
+        bus.emit("item_completed", item=0, records=4, flips=1)
+        with open(bus.path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "item_completed", "it')  # kill -9 here
+        return bus
+
+    def test_strict_read_raises_on_torn_tail(self, tmp_path):
+        bus = self._torn_log(tmp_path)
+        with pytest.raises(Exception):
+            read_events(bus.path)
+
+    def test_tolerant_read_drops_and_counts_the_fragment(self, tmp_path):
+        from repro.obs import MetricsRegistry, use_metrics
+        bus = self._torn_log(tmp_path)
+        metrics = MetricsRegistry()
+        with use_metrics(metrics):
+            events = read_events(bus.path, tolerant=True)
+        assert [event.type for event in events] == \
+            ["campaign_started", "item_completed"]
+        assert metrics.snapshot()["counters"]["events.dropped_lines"] == 1
+
+    def test_finalize_tolerates_a_torn_tail(self, tmp_path):
+        bus = self._torn_log(tmp_path)
+        ordered = bus.finalize()
+        assert [event.type for event in ordered] == \
+            ["campaign_started", "item_completed"]
+        # The rewrite left a clean log: strict parsing succeeds now.
+        assert len(read_events(bus.path)) == 2
+
+    def test_tick_drops_garbage_lines(self, tmp_path):
+        from repro.obs import MetricsRegistry, use_metrics
+        bus = EventBus(tmp_path / "events.jsonl")
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit("campaign_started", shards=1, kind="sweep")
+        with open(bus.path, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+        bus.emit("item_completed", item=0, records=4)
+        metrics = MetricsRegistry()
+        with use_metrics(metrics):
+            fresh = bus.tick()
+        assert [event.type for event in fresh] == \
+            ["campaign_started", "item_completed"]
+        assert len(seen) == 2
+        assert metrics.snapshot()["counters"]["events.dropped_lines"] == 1
+
+    def test_tick_restarts_after_truncation(self, tmp_path):
+        """Rotation (a new campaign reusing the path) must not wedge a
+        follower at a stale offset."""
+        path = tmp_path / "events.jsonl"
+        bus = EventBus(path)
+        follower = EventBus(path, truncate=False)
+        seen = []
+        follower.subscribe(seen.append)
+        bus.emit("campaign_started", shards=3, kind="sweep")
+        bus.emit("item_completed", item=0, records=4)
+        assert len(follower.tick()) == 2
+
+        fresh_bus = EventBus(path)  # truncates: a new campaign began
+        fresh_bus.emit("campaign_started", shards=1, kind="sweep")
+        fresh = follower.tick()
+        assert [event.type for event in fresh] == ["campaign_started"]
+        assert len(seen) == 3
+
+    def test_tick_survives_a_vanished_log(self, tmp_path):
+        bus = EventBus(tmp_path / "events.jsonl")
+        bus.subscribe(lambda event: None)
+        bus.path.unlink()
+        assert bus.tick() == []

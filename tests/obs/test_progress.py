@@ -118,3 +118,49 @@ class TestTail:
         view = tail_events(bus.path, follow=True, stream=out, poll_s=0.01)
         assert view.finished
         assert read_events(bus.path)  # log untouched by the tail
+
+
+class TestFollowRobustness:
+    def test_follow_survives_rotation_and_torn_lines(self, tmp_path):
+        """``tail --follow`` keeps working when the log is truncated by
+        a new campaign and when a killed writer leaves a garbage line —
+        it must never raise from ``json.loads`` or wedge at a stale
+        offset."""
+        import threading
+        import time
+
+        path = tmp_path / "events.jsonl"
+        bus = EventBus(path)
+        bus.emit("campaign_started", shards=2, kind="sweep")
+        # Enough pre-rotation bulk that the truncated file is strictly
+        # smaller than the follower's offset at the next poll (size
+        # shrinking is how rotation is detected).
+        for item in range(4):
+            bus.emit("worker_heartbeat", item=item)
+        out = io.StringIO()
+        result = {}
+
+        def follow():
+            result["view"] = tail_events(path, follow=True, stream=out,
+                                         poll_s=0.01)
+
+        tail = threading.Thread(target=follow, daemon=True)
+        tail.start()
+        time.sleep(0.05)
+
+        # Rotation: a new campaign truncates and reuses the path.
+        fresh = EventBus(path)
+        fresh.emit("campaign_started", shards=1, kind="sweep")
+        time.sleep(0.05)
+        # A writer killed mid-append leaves an unparseable line.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "item_comp\n')
+        fresh.emit("item_completed", item=0, records=4, flips=1)
+        fresh.emit("campaign_finished", shards=1)
+
+        tail.join(timeout=5)
+        assert not tail.is_alive(), "tail --follow wedged"
+        view = result["view"]
+        assert view.finished
+        assert view.total == 1  # restarted cleanly on the new campaign
+        assert view.completed_count == 1

@@ -4,8 +4,6 @@ import json
 import sys
 from pathlib import Path
 
-import pytest
-
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
 import bench_compare  # noqa: E402
 
@@ -104,11 +102,46 @@ class TestDirectoryMode:
         _write(base_dir / "BENCH_a.json", RECORD)
         assert bench_compare.main([str(base_dir), str(cur_dir)]) == 2
 
-    def test_empty_baseline_directory_is_an_error(self, tmp_path):
+    def test_empty_baseline_directory_is_an_error(self, tmp_path, capsys):
         base_dir, cur_dir = tmp_path / "base", tmp_path / "cur"
         base_dir.mkdir(), cur_dir.mkdir()
-        with pytest.raises(SystemExit):
-            bench_compare.main([str(base_dir), str(cur_dir)])
+        assert bench_compare.main([str(base_dir), str(cur_dir)]) == 2
+        assert "error: no BENCH_*.json" in capsys.readouterr().err
+
+
+class TestUnusableInputs:
+    """Broken inputs exit 2 with a one-line diagnostic, not a traceback."""
+
+    def test_truncated_baseline_json_exits_2(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(RECORD)[:40])  # torn mid-write
+        cur = _write(tmp_path / "cur.json", RECORD)
+        assert bench_compare.main([str(base), str(cur)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: unreadable benchmark record")
+        assert err.count("\n") == 1
+
+    def test_missing_baseline_file_exits_2(self, tmp_path, capsys):
+        cur = _write(tmp_path / "cur.json", RECORD)
+        code = bench_compare.main(
+            [str(tmp_path / "nope.json"), str(cur)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_non_object_baseline_exits_2(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        base.write_text("[1, 2, 3]\n")
+        cur = _write(tmp_path / "cur.json", RECORD)
+        assert bench_compare.main([str(base), str(cur)]) == 2
+        assert "not a JSON object" in capsys.readouterr().err
+
+    def test_file_directory_mismatch_exits_2(self, tmp_path, capsys):
+        base = _write(tmp_path / "base.json", RECORD)
+        cur_dir = tmp_path / "cur"
+        cur_dir.mkdir()
+        assert bench_compare.main([str(base), str(cur_dir)]) == 2
+        assert "both be files or both be directories" in \
+            capsys.readouterr().err
 
 
 class TestKeyClassification:

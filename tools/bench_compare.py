@@ -28,7 +28,10 @@ Usage::
 every ``BENCH_*.json`` in ``BASELINE`` is compared against its namesake
 in ``CURRENT``.
 
-Exit codes: 0 clean, 1 timing warnings only, 2 hard failures.
+Exit codes: 0 clean, 1 timing warnings only, 2 hard failures — which
+include unusable inputs (unreadable or truncated JSON, mismatched
+file/directory pairing, an empty baseline directory): those print a
+one-line ``error:`` diagnostic on stderr, never a traceback.
 """
 
 from __future__ import annotations
@@ -127,23 +130,37 @@ class Comparison:
         return "\n".join(lines)
 
 
+class _CompareError(Exception):
+    """An unusable input (unreadable/truncated record, bad pairing).
+
+    Surfaces as a one-line ``error:`` diagnostic and the documented
+    hard-failure exit code 2 — not a traceback, and not the old
+    string-``SystemExit`` (which exits 1 and is indistinguishable from
+    a timing warning in CI).
+    """
+
+
 def _load(path: Path) -> Dict:
     try:
-        return json.loads(path.read_text())
+        record = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as error:
-        raise SystemExit(f"error: unreadable benchmark record "
-                         f"{path}: {error}")
+        raise _CompareError(f"unreadable benchmark record "
+                            f"{path}: {error}") from error
+    if not isinstance(record, dict):
+        raise _CompareError(f"benchmark record {path} is not a JSON "
+                            f"object (got {type(record).__name__})")
+    return record
 
 
 def _pairs(baseline: Path, current: Path) -> List[Tuple[str, Path, Path]]:
     if baseline.is_dir() != current.is_dir():
-        raise SystemExit("error: BASELINE and CURRENT must both be files "
-                         "or both be directories")
+        raise _CompareError("BASELINE and CURRENT must both be files "
+                            "or both be directories")
     if not baseline.is_dir():
         return [(baseline.name, baseline, current)]
     names = sorted(path.name for path in baseline.glob("BENCH_*.json"))
     if not names:
-        raise SystemExit(f"error: no BENCH_*.json under {baseline}")
+        raise _CompareError(f"no BENCH_*.json under {baseline}")
     return [(name, baseline / name, current / name) for name in names]
 
 
@@ -167,15 +184,21 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     comparison = Comparison()
-    for name, base_path, current_path in _pairs(args.baseline,
-                                                args.current):
-        if not current_path.exists():
-            comparison.failures.append(
-                f"{name}: current record {current_path} does not exist")
-            continue
-        comparison.compare_records(name, _load(base_path),
-                                   _load(current_path),
-                                   args.tolerance, args.count_tolerance)
+    try:
+        for name, base_path, current_path in _pairs(args.baseline,
+                                                    args.current):
+            if not current_path.exists():
+                comparison.failures.append(
+                    f"{name}: current record {current_path} does not "
+                    f"exist")
+                continue
+            comparison.compare_records(name, _load(base_path),
+                                       _load(current_path),
+                                       args.tolerance,
+                                       args.count_tolerance)
+    except _CompareError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     print(comparison.render())
     return comparison.exit_code
 
