@@ -99,6 +99,11 @@ def metrics_summary(registry: MetricsRegistry,
         "bitflips_observed": int(counters.get("bitflips.observed", 0)),
         "rows_measured": rows,
     }
+    fastpath = {name.rsplit(".", 1)[-1]: int(value)
+                for name, value in counters.items()
+                if name.startswith("engine.fastpath.")}
+    if fastpath:
+        summary["fastpath"] = fastpath
     if wall_s:
         summary["rows_per_s"] = round(rows / wall_s, 3)
         summary["commands_per_s"] = round(

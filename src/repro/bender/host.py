@@ -10,7 +10,7 @@ device for real hardware would only replace this module's backend.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -113,6 +113,50 @@ class HostInterface:
 
         self.cached_run(("write_row", address.channel, address.pseudo_channel,
                          address.bank, data), (address.row,), build)
+
+    def write_rows(self, channel: int, pseudo_channel: int, bank: int,
+                   items: Sequence[Tuple[int, bytes]]) -> None:
+        """Fill several rows of one bank in a single test program.
+
+        ``items`` is a sequence of (logical row, row payload) pairs;
+        the program is the same ACT + WRROW + PRE triad per row that
+        :meth:`write_row` issues, in order, so the command stream is
+        identical to one ``write_row`` call per item — but the shape
+        caches once and executes as one program (and the engine's
+        analytic fast path can batch the whole run).  Rows must be
+        distinct; duplicate rows fall back to per-row ``write_row``
+        calls (the shape cache requires distinct rows per bank).
+        """
+        geometry = self.device.geometry
+        row_list = tuple(row for row, _ in items)
+        if len(set(row_list)) != len(row_list):
+            for row, data in items:
+                self.write_row(DramAddress(channel, pseudo_channel,
+                                           bank, row), data)
+            return
+        geometry.check_channel(channel)
+        geometry.check_pseudo_channel(pseudo_channel)
+        geometry.check_bank(bank)
+        row_bytes = geometry.row_bytes
+        payloads = []
+        for row, data in items:
+            geometry.check_row(row)
+            if len(data) != row_bytes:
+                raise ProgramError(
+                    f"row data must be {row_bytes} bytes, "
+                    f"got {len(data)}")
+            payloads.append(data)
+
+        def build() -> Program:
+            builder = ProgramBuilder()
+            for row, data in items:
+                builder.act(channel, pseudo_channel, bank, row)
+                builder.wr_row(channel, pseudo_channel, bank, data)
+                builder.pre(channel, pseudo_channel, bank)
+            return builder.build()
+
+        self.cached_run(("write_rows", channel, pseudo_channel, bank,
+                         tuple(payloads)), row_list, build)
 
     def read_row(self, address: DramAddress) -> np.ndarray:
         """ACT + RDROW + PRE; returns the row as an unpacked bit array."""

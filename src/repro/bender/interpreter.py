@@ -85,6 +85,24 @@ class Interpreter:
         self.payload_cache: Optional[
             Dict[bytes, Tuple[np.ndarray, np.ndarray]]] = None
 
+    @property
+    def fast_loop_threshold(self) -> int:
+        """Minimum iteration count for the bulk loop fast path.
+
+        Exposed so the engine's analytic fast path can mirror this
+        interpreter's loop policy exactly (same slow/bulk split, same
+        warm-up iterations) and stay cycle-identical to it.
+        """
+        return self._fast_loop_threshold
+
+    @property
+    def fast_loops_enabled(self) -> bool:
+        return self._enable_fast_loops
+
+    @property
+    def trace_enabled(self) -> bool:
+        return self._trace
+
     def enable_payload_cache(self) -> None:
         """Memoize WRROW payload lowering (engine sessions call this)."""
         if self.payload_cache is None:

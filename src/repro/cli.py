@@ -386,8 +386,13 @@ def cmd_lint_program(args: argparse.Namespace) -> int:
     if args.program == "-":
         text = sys.stdin.read()
     else:
-        with open(args.program, "r", encoding="utf-8") as handle:
-            text = handle.read()
+        try:
+            with open(args.program, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            print(f"error: cannot read program {args.program}: "
+                  f"{error.strerror or error}", file=sys.stderr)
+            return 2
     program = assemble(text)
     expected = None
     if args.expect_hammers is not None:
@@ -405,7 +410,32 @@ def cmd_lint_program(args: argparse.Namespace) -> int:
         allow_retention_decay=args.allow_retention_decay,
         assume_trr_escaped=args.assume_trr_escaped,
     )
-    return _print_report(verify_program(program, context), args.format)
+    report = verify_program(program, context)
+    if not args.summary:
+        return _print_report(report, args.format)
+
+    from repro.verify import EffectSummary, summarize_program
+
+    outcome = summarize_program(program, context, report=report)
+    summarized = isinstance(outcome, EffectSummary)
+    if args.format == "json":
+        import json
+
+        print(json.dumps({"report": report.to_dict(),
+                          "summary": outcome.to_dict() if summarized
+                          else None,
+                          "unsummarizable": None if summarized
+                          else outcome.to_dict()},
+                         indent=2))
+    else:
+        print(report.render())
+        print(outcome.render())
+    # An unsummarizable program is lint-degraded even when the
+    # verifier itself is clean: the fast path will fall back on it.
+    code = report.exit_code
+    if not summarized and code < 1:
+        code = 1
+    return code
 
 
 def cmd_lint_source(args: argparse.Namespace) -> int:
@@ -682,6 +712,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--assume-trr-escaped", action="store_true",
         help="warn when the REF cadence would let the 17-REF TRR "
              "sampler fire in a program assuming TRR escape")
+    lint_program.add_argument(
+        "--summary", action="store_true",
+        help="also infer the program's effect summary (the analytic "
+             "fast path's contract); an unsummarizable program exits "
+             "1 even when the verifier is clean")
     lint_program.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="diagnostic output format (default: text)")

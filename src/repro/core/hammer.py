@@ -34,6 +34,19 @@ from repro.verify.program import VerifyContext, assert_verified
 #: V±[2:8] around the aggressors at V±1).
 NEIGHBORHOOD_RADIUS = 8
 
+#: Interned full-row fill payloads, keyed by (fill byte, row bytes).
+#: Reusing the identical bytes object keeps program-cache keys cheap
+#: (CPython caches a bytes object's hash after the first computation).
+_FILL_ROWS: Dict[tuple, bytes] = {}
+
+
+def _fill_row(fill: int, row_bytes: int) -> bytes:
+    key = (fill, row_bytes)
+    cached = _FILL_ROWS.get(key)
+    if cached is None:
+        cached = _FILL_ROWS[key] = bytes([fill]) * row_bytes
+    return cached
+
 
 @dataclass(frozen=True)
 class HammerOutcome:
@@ -83,10 +96,14 @@ def prepare_neighborhood(host: HostInterface, mapper: RowAddressMapper,
     geometry = host.device.geometry
     neighborhood = physical_neighborhood(
         mapper, victim.row, geometry.rows, radius)
-    for offset, logical_row in sorted(neighborhood.items()):
-        fill = pattern.byte_for_offset(offset)
-        host.write_row(victim.with_row(logical_row),
-                       bytes([fill]) * geometry.row_bytes)
+    # One program for the whole neighbourhood: same ACT/WRROW/PRE
+    # stream as per-row write_row calls, but the shape caches once per
+    # (pattern, truncation) and the fast path batches the triads.
+    items = [(logical_row,
+              _fill_row(pattern.byte_for_offset(offset), geometry.row_bytes))
+             for offset, logical_row in sorted(neighborhood.items())]
+    host.write_rows(victim.channel, victim.pseudo_channel, victim.bank,
+                    items)
     return neighborhood
 
 

@@ -42,6 +42,24 @@ class DeviceEnvironment:
                  wordline_voltage_v: float = 2.5) -> None:
         self.temperature_c = temperature_c
         self.wordline_voltage_v = wordline_voltage_v
+        # Payload-pattern caches for the analytic write path, shared
+        # device-wide (the arrays depend only on payload bytes and
+        # geometry, never on row or bank).  A row is *tagged* with its
+        # payload while its stored data is provably the pristine
+        # lowered payload — tagged only by ``store_full_row`` (which
+        # only the engine fast path calls) and untagged on any partial
+        # write or materialized flip — so interpreted execution never
+        # reads or populates these caches.  Cached arrays are the
+        # results of the exact expressions `_materialize` would
+        # recompute, so cache hits are value-identical; they are
+        # treated as immutable (copy-on-write before any flip
+        # writeback).
+        #: payload tag -> concat(stored bits, parity) cell array.
+        self.pattern_cells: Dict[bytes, np.ndarray] = {}
+        #: (victim tag, neighbour tag) -> aggressor-data coupling.
+        self.pattern_coupling: Dict[Tuple[bytes, bytes], np.ndarray] = {}
+        #: payload tag -> intra-row (bitline neighbour) penalty.
+        self.pattern_horizontal: Dict[bytes, np.ndarray] = {}
 
 
 class Bank:
@@ -69,6 +87,14 @@ class Bank:
         #: Most recent RowPress amplification per physical row; the
         #: bulk-loop fast path replays these for skipped iterations.
         self._last_open_factor: Dict[int, float] = {}
+        #: Physical row -> payload tag, maintained while the row's
+        #: stored data is exactly the pristine lowered payload (see
+        #: :class:`DeviceEnvironment` pattern caches).
+        self._payload_tags: Dict[int, bytes] = {}
+        #: Rows whose bits/parity arrays are adopted payload-cache
+        #: arrays, shared read-only; every mutation path must call
+        #: :meth:`_own_row` first (copy-on-write).
+        self._shared_rows: set = set()
 
         # Cheap guards that skip materialization when no flip is possible.
         # The smallest threshold any cell of this bank can have is bounded
@@ -168,6 +194,8 @@ class Bank:
             raise CommandError(
                 f"WR data must be {self._geometry.column_bytes} bytes, "
                 f"got {len(data)}")
+        self._payload_tags.pop(self._open_physical, None)
+        self._own_row(self._open_physical)
         bits = self._row_bits(self._open_physical)
         bit_start = column * self._geometry.column_bytes * 8
         bit_end = bit_start + self._geometry.column_bytes * 8
@@ -200,12 +228,96 @@ class Bank:
             raise CommandError(
                 f"row write needs {self._geometry.row_bits} bits, "
                 f"got shape {bits.shape}")
+        self._payload_tags.pop(self._open_physical, None)
+        self._own_row(self._open_physical)
         stored = self._row_bits(self._open_physical)
         stored[:] = bits & 1
         if parity is None:
             self._parity[self._open_physical] = encode_words(stored)
         else:
             self._parity[self._open_physical] = parity.copy()
+
+    def store_full_row(self, physical_row: int, bits: np.ndarray,
+                       parity: np.ndarray, cycle: int,
+                       tag: Optional[bytes] = None) -> None:
+        """Analytic ACT + full-row WRROW: overwrite a closed row's data.
+
+        State-identical to ``activate()`` followed by
+        ``write_open_row_bits()`` for a *full-row* overwrite, skipping
+        the sense step: opening the row would only materialize pending
+        flips into data (and parity) that this write replaces wholesale,
+        and sample power-up values for never-written rows that are
+        likewise replaced.  The restore bookkeeping an ACT performs —
+        retention clock and accumulated-disturbance reset — is applied
+        directly.  The caller owns timing, TRR observation, and the
+        close-of-row accounting (:meth:`note_closed_activation`).
+        """
+        if self._open_physical is not None:
+            raise CommandError(
+                f"bank {self._key}: analytic row store while row "
+                f"{self._open_physical} is open")
+        self._geometry.check_row(physical_row)
+        if bits.shape != (self._geometry.row_bits,):
+            raise CommandError(
+                f"row store needs {self._geometry.row_bits} bits, "
+                f"got shape {bits.shape}")
+        if tag is not None:
+            # Tagged store: ``bits``/``parity`` are the pristine lowered
+            # payload (0/1 values), so the arrays are adopted wholesale
+            # as shared read-only storage instead of being copied in —
+            # content-identical to a copy, and every mutation path runs
+            # :meth:`_own_row` (copy-on-write) first.
+            self._bits[physical_row] = bits
+            self._parity[physical_row] = parity
+            self._shared_rows.add(physical_row)
+            self._payload_tags[physical_row] = tag
+        else:
+            self._payload_tags.pop(physical_row, None)
+            stored = self._bits.get(physical_row)
+            if stored is None or physical_row in self._shared_rows:
+                # First touch (the write defines the row; a fresh array
+                # — never the caller's — replaces the power-up sample an
+                # ACT would take) or a previously shared array that must
+                # not be written through.
+                self._shared_rows.discard(physical_row)
+                self._bits[physical_row] = (bits & 1).astype(np.uint8)
+            else:
+                stored[:] = bits & 1
+            self._parity[physical_row] = parity.copy()
+        self._last_restore[physical_row] = cycle
+        self.disturbance.reset(physical_row)
+
+    def note_closed_activation(self, physical_row: int,
+                               factor: float) -> None:
+        """The close-of-row accounting of :meth:`precharge`, for an
+        analytically applied activation whose open-time amplification
+        ``factor`` the caller computed from its own cycle stamps."""
+        self._last_open_factor[physical_row] = factor
+        self.disturbance.record_activation(physical_row, factor)
+
+    def replay_activate(self, physical_row: int, cycle: int) -> None:
+        """:meth:`activate` minus validation, for memoized replays.
+
+        The caller replays a command sequence whose probe already
+        passed the open-row and row-range checks; the same sequence
+        re-issued leaves the same open/close pattern, so the checks
+        cannot fire and are skipped.
+        """
+        self.restore_row(physical_row, cycle)
+        self._open_physical = physical_row
+        self._open_since = cycle
+
+    def replay_precharge(self, physical_row: int, factor: float) -> None:
+        """:meth:`precharge` with a memoized RowPress ``factor``.
+
+        Under a schedule replay the ACT and PRE cycles are identical
+        to the probe's, so the open time — and with it the
+        amplification factor — is too; the caller passes the recorded
+        value and the open-cycle arithmetic is skipped.
+        """
+        self._last_open_factor[physical_row] = factor
+        self.disturbance.record_activation(physical_row, factor)
+        self._open_physical = None
 
     # ------------------------------------------------------------------
     # Charge restoration (shared by ACT, periodic refresh, TRR refresh)
@@ -244,6 +356,8 @@ class Bank:
         """
         self._bits.clear()
         self._parity.clear()
+        self._payload_tags.clear()
+        self._shared_rows.clear()
         self.disturbance.reset_range(0, self._geometry.rows)
 
     def trr_refresh(self, physical_row: int, cycle: int) -> None:
@@ -255,6 +369,14 @@ class Bank:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _own_row(self, physical_row: int) -> None:
+        """Copy-on-write: give a row private bits/parity arrays when its
+        storage is an adopted (shared, read-only) payload-cache array."""
+        if physical_row in self._shared_rows:
+            self._bits[physical_row] = self._bits[physical_row].copy()
+            self._parity[physical_row] = self._parity[physical_row].copy()
+            self._shared_rows.discard(physical_row)
+
     def _row_bits(self, physical_row: int) -> np.ndarray:
         bits = self._bits.get(physical_row)
         if bits is None:
@@ -330,7 +452,19 @@ class Bank:
         truth = self._truth.row(*self._key, physical_row)
         data_bits = self._geometry.row_bits
         parity = self._parity[physical_row]
-        cells = np.concatenate([stored, parity])
+        environment = self._environment
+        # A tagged row's stored data is exactly the pristine lowered
+        # payload, so the payload-keyed arrays below are value-identical
+        # to recomputation; untagged rows (all interpreted execution)
+        # take the compute branches unconditionally.
+        tag = self._payload_tags.get(physical_row)
+        cells = None
+        if tag is not None:
+            cells = environment.pattern_cells.get(tag)
+        if cells is None:
+            cells = np.concatenate([stored, parity])
+            if tag is not None:
+                environment.pattern_cells[tag] = cells
 
         charged = truth.charged_values
         vulnerable = cells == charged
@@ -338,7 +472,7 @@ class Bank:
         flips = np.zeros(cells.shape[0], dtype=bool)
         if hammer_possible:
             effective = self._effective_disturbance(
-                physical_row, cells, data_bits, below, above)
+                physical_row, cells, data_bits, below, above, tag)
             if direct > 0.0:
                 # Cross-channel leakage couples through the stack, not
                 # through in-die wordline fields: no neighbour-data
@@ -348,7 +482,13 @@ class Bank:
                 self._environment.temperature_c)
             voltage_scale = profile.voltage_threshold_scale(
                 self._environment.wordline_voltage_v)
-            horizontal = self._horizontal_penalty(cells, data_bits)
+            horizontal = None
+            if tag is not None:
+                horizontal = environment.pattern_horizontal.get(tag)
+            if horizontal is None:
+                horizontal = self._horizontal_penalty(cells, data_bits)
+                if tag is not None:
+                    environment.pattern_horizontal[tag] = horizontal
             thresholds = (truth.thresholds * horizontal *
                           temp_scale * voltage_scale)
             flips |= vulnerable & (effective >= thresholds)
@@ -357,26 +497,57 @@ class Bank:
                 elapsed_s >= truth.retention_s * retention_scale)
 
         if flips.any():
+            if tag is not None:
+                # The cached array is shared; flips belong to this row
+                # only, and the row's data is no longer the payload.
+                cells = cells.copy()
+                self._payload_tags.pop(physical_row, None)
+            self._own_row(physical_row)
+            stored = self._bits[physical_row]
+            parity = self._parity[physical_row]
             cells[flips] ^= 1
             stored[:] = cells[:data_bits]
             parity[:] = cells[data_bits:]
 
     def _effective_disturbance(self, physical_row: int, cells: np.ndarray,
                                data_bits: int, below: float,
-                               above: float) -> np.ndarray:
+                               above: float,
+                               victim_tag: Optional[bytes] = None
+                               ) -> np.ndarray:
         """Per-cell disturbance, weighted by aggressor-data coupling."""
         profile = self._profile
         effective = np.zeros(cells.shape[0], dtype=np.float64)
         for amount, direction in ((below, -1), (above, +1)):
             if amount <= 0.0:
                 continue
-            neighbor = self._neighbor_bits(physical_row, direction)
-            if neighbor is None:
-                continue
-            neighbor_parity = self._neighbor_parity(physical_row, direction)
-            neighbor_cells = np.concatenate([neighbor, neighbor_parity])
-            coupling = np.where(neighbor_cells != cells, 1.0,
+            coupling = None
+            if victim_tag is not None:
+                neighbor_row = physical_row + direction
+                if (0 <= neighbor_row < self._geometry.rows and
+                        self._layout.same_subarray(physical_row,
+                                                   neighbor_row)):
+                    neighbor_tag = self._payload_tags.get(neighbor_row)
+                    if neighbor_tag is not None:
+                        cache_key = (victim_tag, neighbor_tag)
+                        cache = self._environment.pattern_coupling
+                        coupling = cache.get(cache_key)
+                        if coupling is None:
+                            neighbor_cells = np.concatenate(
+                                [self._bits[neighbor_row],
+                                 self._parity[neighbor_row]])
+                            coupling = np.where(
+                                neighbor_cells != cells, 1.0,
                                 profile.same_bit_coupling)
+                            cache[cache_key] = coupling
+            if coupling is None:
+                neighbor = self._neighbor_bits(physical_row, direction)
+                if neighbor is None:
+                    continue
+                neighbor_parity = self._neighbor_parity(physical_row,
+                                                        direction)
+                neighbor_cells = np.concatenate([neighbor, neighbor_parity])
+                coupling = np.where(neighbor_cells != cells, 1.0,
+                                    profile.same_bit_coupling)
             effective += amount * coupling
         return effective
 

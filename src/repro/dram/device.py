@@ -81,6 +81,14 @@ class HBM2Device:
         self._timing_checker = TimingChecker(self.timing)
         self.now = 0
         self.command_counts: Dict[str, int] = {}
+        #: Memoized batch-write schedules, keyed by (bank key, batch
+        #: length) and guarded by the checker's entry replay signature;
+        #: see :meth:`apply_row_writes`.
+        self._write_replay: Dict[Tuple[BankKey, int], tuple] = {}
+        #: Memoized hammer-iteration schedules, keyed by the resolved
+        #: step tuple and guarded the same way; see
+        #: :meth:`apply_hammer_steps`.
+        self._hammer_replay: Dict[tuple, tuple] = {}
 
     # ------------------------------------------------------------------
     # Environment / introspection
@@ -297,6 +305,321 @@ class HBM2Device:
             bits, cycle, parity=parity)
         self.now = cycle + self.geometry.columns * self.timing.ccd_cycles
         self._count("WR", self.geometry.columns)
+
+    def apply_row_write(self, channel: int, pseudo_channel: int, bank: int,
+                        row: int, bits: np.ndarray, parity: np.ndarray,
+                        tag: Optional[bytes] = None) -> None:
+        """Analytic ACT / WRROW / PRE: fill one row with a known payload.
+
+        The execution engine's fast path uses this for summarized
+        full-row writes.  Cycle- and state-identical to issuing the
+        three commands through :meth:`activate` /
+        :meth:`write_open_row` / :meth:`precharge`: the same timing
+        checker records, clock advances, TRR observation, command
+        counts, RowPress open-time factor and cross-channel routing —
+        only the row sense is skipped, which
+        :meth:`~repro.dram.bank.Bank.store_full_row` proves is
+        unobservable under a full-row overwrite.
+        """
+        key: BankKey = (channel, pseudo_channel, bank)
+        target = self.bank(channel, pseudo_channel, bank)
+        physical = self.mapper.logical_to_physical(row)
+
+        act_cycle = self._timing_checker.earliest_activate(key, self.now)
+        self._timing_checker.record_activate(key, act_cycle)
+        pc_state = self.channel(channel).pseudo_channels[pseudo_channel]
+        pc_state.trr.observe_activation(key, physical)
+        self.now = act_cycle + 1
+        self._count("ACT")
+
+        wr_cycle = self._timing_checker.earliest_rdwr(key, self.now)
+        self._timing_checker.record_rdwr(key, wr_cycle, is_write=True)
+        target.store_full_row(physical, bits, parity, act_cycle, tag=tag)
+        self.now = wr_cycle + self.geometry.columns * self.timing.ccd_cycles
+        self._count("WR", self.geometry.columns)
+
+        pre_cycle = self._timing_checker.earliest_precharge(key, self.now)
+        self._timing_checker.record_precharge(key, pre_cycle)
+        factor = self.profile.rowpress_amplification(
+            pre_cycle - act_cycle, self.timing.ras_cycles)
+        target.note_closed_activation(physical, factor)
+        self._route_cross_channel(channel, pseudo_channel, bank,
+                                  physical, factor)
+        self.now = pre_cycle + 1
+        self._count("PRE")
+
+    #: Minimum same-bank run length worth the bulk write path below:
+    #: the steady-state probe spends a few fully-scheduled triads
+    #: before it can start skipping the timing checker.
+    BULK_WRITE_THRESHOLD = 8
+
+    def apply_row_writes(self, channel: int, pseudo_channel: int,
+                         bank: int,
+                         writes: Sequence[Tuple[int, np.ndarray,
+                                                np.ndarray,
+                                                Optional[bytes]]]
+                         ) -> None:
+        """Analytic batch of full-row writes to one bank.
+
+        ``writes`` is a sequence of ``(logical row, bits, parity,
+        payload tag)``;
+        cycle- and state-identical to one :meth:`apply_row_write` per
+        entry, in order.  Uniform triads settle into a steady schedule
+        exactly like the interpreter's hammer loops, so after a probe
+        of fully-scheduled triads shows two consecutive triads with
+        identical period *and* intra-triad offsets — proof that no
+        absolute horizon (a stale REF window, a cold bank) still
+        binds, leaving only relative constraints, which repeat — the
+        middle triads skip the timing checker: their cycles are
+        arithmetic, the checker state is translated with
+        :meth:`~repro.dram.timing.TimingChecker.shift_state`, and the
+        last triad runs fully scheduled to re-anchor the trailing
+        state.  Row effects (payload store, restore stamp, RowPress
+        open-time factor, neighbour disturbance, cross-channel
+        routing) are applied per write, in write order, with the same
+        float operations as the unrolled sequence.  TRR samplers are
+        last-ACT-wins with no REF in between, so the trailing triad's
+        observation leaves the sampler exactly where the unrolled
+        sequence would.
+
+        The first batch of each (bank, length) also *records* its
+        schedule — per-write ACT offsets and RowPress factors, the
+        checker's exit offsets, and the clock advance — under the
+        checker's entry :meth:`~repro.dram.timing.TimingChecker.
+        replay_signature`.  A later batch whose entry signature
+        matches replays the recording without consulting the checker
+        at all: scheduling is a pure function of the clamped-relative
+        entry state (see ``replay_signature``), so the cycle offsets
+        are provably identical, and only the per-row effects — which
+        depend on row and payload, never on absolute time — are
+        re-executed.
+        """
+        if len(writes) < self.BULK_WRITE_THRESHOLD:
+            for row, bits, parity, tag in writes:
+                self.apply_row_write(channel, pseudo_channel, bank,
+                                     row, bits, parity, tag=tag)
+            return
+        key: BankKey = (channel, pseudo_channel, bank)
+        checker = self._timing_checker
+        count = len(writes)
+        entry_now = self.now
+        signature = checker.replay_signature(key, entry_now)
+        memo_key = (key, count)
+        memo = self._write_replay.get(memo_key)
+        if memo is not None and memo[0] == signature:
+            self._replay_row_writes(channel, pseudo_channel, bank,
+                                    writes, memo)
+            return
+        target = self.bank(channel, pseudo_channel, bank)
+        pc_state = self.channel(channel).pseudo_channels[pseudo_channel]
+        mapper = self.mapper
+        wr_advance = self.geometry.columns * self.timing.ccd_cycles
+        acts: List[int] = []
+        factors: List[float] = []
+
+        def one_triad(row: int, bits: np.ndarray, parity: np.ndarray,
+                      tag: Optional[bytes]
+                      ) -> Tuple[int, int, int, float]:
+            physical = mapper.logical_to_physical(row)
+            act_cycle = checker.earliest_activate(key, self.now)
+            checker.record_activate(key, act_cycle)
+            pc_state.trr.observe_activation(key, physical)
+            self.now = act_cycle + 1
+            self._count("ACT")
+            wr_cycle = checker.earliest_rdwr(key, self.now)
+            checker.record_rdwr(key, wr_cycle, is_write=True)
+            target.store_full_row(physical, bits, parity, act_cycle,
+                                  tag=tag)
+            self.now = wr_cycle + wr_advance
+            self._count("WR", self.geometry.columns)
+            pre_cycle = checker.earliest_precharge(key, self.now)
+            checker.record_precharge(key, pre_cycle)
+            factor = self.profile.rowpress_amplification(
+                pre_cycle - act_cycle, self.timing.ras_cycles)
+            target.note_closed_activation(physical, factor)
+            self._route_cross_channel(channel, pseudo_channel, bank,
+                                      physical, factor)
+            self.now = pre_cycle + 1
+            self._count("PRE")
+            acts.append(act_cycle)
+            factors.append(factor)
+            return act_cycle, wr_cycle, pre_cycle, factor
+
+        # Probe: schedule triads for real until two consecutive ones
+        # have the same shape (ACT period, WR and PRE offsets).
+        index = 0
+        shapes = []   # (period, wr - act, pre - act)
+        last_act = None
+        steady = None
+        while index < count - 1:
+            act_cycle, wr_cycle, pre_cycle, factor = one_triad(
+                *writes[index])
+            index += 1
+            if last_act is not None:
+                shapes.append((act_cycle - last_act, wr_cycle - act_cycle,
+                               pre_cycle - act_cycle))
+            last_act = act_cycle
+            if len(shapes) >= 2 and shapes[-1] == shapes[-2]:
+                steady = (shapes[-1][0], factor)
+                break
+
+        if steady is not None and index < count - 1:
+            period, factor = steady
+            bulk = count - 1 - index
+            for offset in range(bulk):
+                row, bits, parity, tag = writes[index + offset]
+                physical = mapper.logical_to_physical(row)
+                act_cycle = last_act + period * (offset + 1)
+                target.store_full_row(physical, bits, parity, act_cycle,
+                                      tag=tag)
+                target.note_closed_activation(physical, factor)
+                self._route_cross_channel(channel, pseudo_channel, bank,
+                                          physical, factor)
+                acts.append(act_cycle)
+                factors.append(factor)
+            checker.shift_state((key,), bulk * period)
+            self.now += bulk * period
+            self._count("ACT", bulk)
+            self._count("WR", bulk * self.geometry.columns)
+            self._count("PRE", bulk)
+            index += bulk
+
+        while index < count:
+            one_triad(*writes[index])
+            index += 1
+
+        self._write_replay[memo_key] = (
+            signature,
+            tuple(act - entry_now for act in acts),
+            tuple(factors),
+            checker.capture_offsets(key, entry_now),
+            self.now - entry_now,
+        )
+
+    def _replay_row_writes(self, channel: int, pseudo_channel: int,
+                           bank: int,
+                           writes: Sequence[Tuple[int, np.ndarray,
+                                                  np.ndarray,
+                                                  Optional[bytes]]],
+                           memo: tuple) -> None:
+        """Replay a memoized batch-write schedule (see above).
+
+        Applies the per-row effects in write order with the recorded
+        ACT cycles and RowPress factors, installs the recorded checker
+        exit state, advances the clock, and observes the final ACT on
+        the TRR sampler (last-ACT-wins, and no REF can interleave
+        inside a batch).
+        """
+        _, act_offsets, factors, exit_offsets, advance = memo
+        key: BankKey = (channel, pseudo_channel, bank)
+        target = self.bank(channel, pseudo_channel, bank)
+        mapper = self.mapper
+        entry_now = self.now
+        physical = -1
+        for (row, bits, parity, tag), act_offset, factor in zip(
+                writes, act_offsets, factors):
+            physical = mapper.logical_to_physical(row)
+            target.store_full_row(physical, bits, parity,
+                                  entry_now + act_offset, tag=tag)
+            target.note_closed_activation(physical, factor)
+            self._route_cross_channel(channel, pseudo_channel, bank,
+                                      physical, factor)
+        pc_state = self.channel(channel).pseudo_channels[pseudo_channel]
+        pc_state.trr.observe_activation(key, physical)
+        self._timing_checker.restore_offsets(key, entry_now, exit_offsets)
+        self.now = entry_now + advance
+        count = len(writes)
+        self._count("ACT", count)
+        self._count("WR", count * self.geometry.columns)
+        self._count("PRE", count)
+
+    def apply_hammer_steps(self, steps: tuple) -> None:
+        """Analytic single hammer iteration: resolved ACT/PRE/Wait steps.
+
+        ``steps`` is a tuple of ``("act", ch, pc, bank, logical_row)``,
+        ``("pre", ch, pc, bank)`` and ``("wait", cycles)`` tuples —
+        one unrolled loop iteration with row slots already bound.
+        Cycle- and state-identical to issuing each step through
+        :meth:`activate` / :meth:`precharge` / :meth:`wait`, and the
+        first execution does exactly that, while recording each step's
+        cycle offset and RowPress factor under the involved banks'
+        entry :meth:`~repro.dram.timing.TimingChecker.
+        replay_signature` tuple.  A later iteration entering with the
+        same signatures replays the recording: scheduling is a pure
+        function of the clamped-relative entry state (per key, and
+        the interleaving across keys is fixed by step order), so the
+        cycles and open times are provably identical, and only the
+        bank physics — row restore, TRR observation, neighbour
+        disturbance, cross-channel routing — re-executes, in step
+        order, with the same float operations.
+        """
+        checker = self._timing_checker
+        entry_now = self.now
+        keys: List[BankKey] = []
+        for step in steps:
+            if step[0] != "wait":
+                key = (step[1], step[2], step[3])
+                if key not in keys:
+                    keys.append(key)
+        signature = tuple(checker.replay_signature(key, entry_now)
+                          for key in keys)
+        memo = self._hammer_replay.get(steps)
+        if memo is not None and memo[0] == signature:
+            _, events, exit_offsets, advance, n_act, n_pre = memo
+            banks = {key: self.bank(*key) for key in keys}
+            trrs = {key: self.channel(key[0]).pseudo_channels[key[1]].trr
+                    for key in keys}
+            for event in events:
+                if event[0] == "act":
+                    _, key, physical, offset = event
+                    banks[key].replay_activate(physical,
+                                               entry_now + offset)
+                    trrs[key].observe_activation(key, physical)
+                else:
+                    _, key, physical, factor = event
+                    banks[key].replay_precharge(physical, factor)
+                    self._route_cross_channel(key[0], key[1], key[2],
+                                              physical, factor)
+            for key, offsets in zip(keys, exit_offsets):
+                checker.restore_offsets(key, entry_now, offsets)
+            self.now = entry_now + advance
+            if n_act:
+                self._count("ACT", n_act)
+            if n_pre:
+                self._count("PRE", n_pre)
+            return
+
+        events_out: List[tuple] = []
+        n_act = n_pre = 0
+        for step in steps:
+            tag = step[0]
+            if tag == "act":
+                key = (step[1], step[2], step[3])
+                physical = self.mapper.logical_to_physical(step[4])
+                cycle = self.activate(step[1], step[2], step[3], step[4])
+                events_out.append(("act", key, physical,
+                                   cycle - entry_now))
+                n_act += 1
+            elif tag == "pre":
+                key = (step[1], step[2], step[3])
+                target = self.bank(*key)
+                physical = target.open_physical_row
+                self.precharge(step[1], step[2], step[3])
+                if physical is not None:
+                    events_out.append(("pre", key, physical,
+                                       target.last_open_factor(physical)))
+                n_pre += 1
+            else:
+                self.wait(step[1])
+        self._hammer_replay[steps] = (
+            signature,
+            tuple(events_out),
+            tuple(checker.capture_offsets(key, entry_now)
+                  for key in keys),
+            self.now - entry_now,
+            n_act,
+            n_pre,
+        )
 
     # ------------------------------------------------------------------
     # Generic dispatch for Command objects

@@ -20,13 +20,17 @@ into the same side bucket and evaluated against the distance-1
 neighbour's data; at ``blast_weight_2`` ≈ 4% of the adjacent weight, the
 approximation is far below measurement noise.
 
-The tracker stores a dense (rows, 2) float array per bank: 256 KiB for a
-16,384-row bank, allocated lazily only for banks an experiment touches.
+The ledger is a sparse dict of ``[below, above, direct]`` float triples,
+keyed by physical row: experiments touch a tiny fraction of a bank's
+rows, and the accounting is all scalar reads and adds on the hot path
+(one per victim per activation), where plain Python floats beat numpy
+indexing by an order of magnitude.  Accumulation uses IEEE-754 double
+adds in command order either way, so the switch is value-exact.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
 
@@ -50,20 +54,23 @@ class DisturbanceTracker:
                  profile: DeviceProfile) -> None:
         self._layout = layout
         self._profile = profile
-        self._counts = np.zeros((rows, 3), dtype=np.float64)
+        self._rows = rows
+        self._counts: Dict[int, List[float]] = {}
+        # Per-aggressor (victim, side, weight) triples are a pure
+        # function of the static geometry (weights + subarray layout),
+        # so they are computed once per row and scaled per call.
+        self._blast: Dict[int, Tuple[Tuple[int, int, float], ...]] = {}
 
     # ------------------------------------------------------------------
-    def contributions(self, physical_row: int,
-                      count: float = 1.0) -> List[Tuple[int, int, float]]:
-        """(victim row, side, disturbance) triples for ``count`` ACTs.
-
-        Distance-1 neighbours receive ``blast_weight_1`` per activation,
-        distance-2 neighbours ``blast_weight_2``; rows across a subarray
-        boundary (or outside the bank) receive nothing.
-        """
+    def _blast_triples(self, physical_row: int
+                       ) -> Tuple[Tuple[int, int, float], ...]:
+        """Memoized single-activation (victim, side, weight) triples."""
+        cached = self._blast.get(physical_row)
+        if cached is not None:
+            return cached
         profile = self._profile
         layout = self._layout
-        rows = self._counts.shape[0]
+        rows = self._rows
         triples: List[Tuple[int, int, float]] = []
         for distance, weight in ((1, profile.blast_weight_1),
                                  (2, profile.blast_weight_2)):
@@ -75,8 +82,27 @@ class DisturbanceTracker:
                     continue
                 if not layout.same_subarray(physical_row, victim):
                     continue
-                triples.append((victim, side, weight * count))
-        return triples
+                triples.append((victim, side, weight))
+        result = tuple(triples)
+        self._blast[physical_row] = result
+        return result
+
+    def _entry(self, physical_row: int) -> List[float]:
+        entry = self._counts.get(physical_row)
+        if entry is None:
+            entry = self._counts[physical_row] = [0.0, 0.0, 0.0]
+        return entry
+
+    def contributions(self, physical_row: int,
+                      count: float = 1.0) -> List[Tuple[int, int, float]]:
+        """(victim row, side, disturbance) triples for ``count`` ACTs.
+
+        Distance-1 neighbours receive ``blast_weight_1`` per activation,
+        distance-2 neighbours ``blast_weight_2``; rows across a subarray
+        boundary (or outside the bank) receive nothing.
+        """
+        return [(victim, side, weight * count)
+                for victim, side, weight in self._blast_triples(physical_row)]
 
     def record_activation(self, physical_row: int, count: float = 1.0) -> None:
         """Disturb the neighbours of ``physical_row`` by ``count`` ACTs.
@@ -84,46 +110,61 @@ class DisturbanceTracker:
         Does *not* reset the aggressor's own counters — charge restoration
         is the bank's job (it must also reset the refresh timestamp).
         """
-        for victim, side, amount in self.contributions(physical_row, count):
-            self._counts[victim, side] += amount
+        counts = self._counts
+        for victim, side, weight in self._blast_triples(physical_row):
+            entry = counts.get(victim)
+            if entry is None:
+                entry = counts[victim] = [0.0, 0.0, 0.0]
+            entry[side] += weight * count
 
     def add(self, physical_row: int, side: int, amount: float) -> None:
         """Directly add disturbance to one row side (bulk fast path)."""
-        self._counts[physical_row, side] += amount
+        self._entry(physical_row)[side] += amount
 
     def get_sides(self, physical_row: int) -> Tuple[float, float]:
         """(from below, from above) accumulated disturbance of one row."""
-        below, above = self._counts[physical_row, :2]
-        return float(below), float(above)
+        entry = self._counts.get(physical_row)
+        if entry is None:
+            return 0.0, 0.0
+        return entry[SIDE_BELOW], entry[SIDE_ABOVE]
 
     def get_direct(self, physical_row: int) -> float:
         """Accumulated data-independent (inter-die) disturbance."""
-        return float(self._counts[physical_row, SIDE_DIRECT])
+        entry = self._counts.get(physical_row)
+        return entry[SIDE_DIRECT] if entry is not None else 0.0
 
     def add_direct(self, physical_row: int, amount: float) -> None:
         """Add cross-channel disturbance to one row."""
-        self._counts[physical_row, SIDE_DIRECT] += amount
+        self._entry(physical_row)[SIDE_DIRECT] += amount
 
     def get_total(self, physical_row: int) -> float:
         """Total accumulated disturbance of one row (guard checks)."""
-        return float(self._counts[physical_row].sum())
+        entry = self._counts.get(physical_row)
+        if entry is None:
+            return 0.0
+        return (entry[0] + entry[1]) + entry[2]
 
     def reset(self, physical_row: int) -> None:
         """Charge restored: the row's accumulated disturbance vanishes."""
-        self._counts[physical_row, :] = 0.0
+        self._counts.pop(physical_row, None)
 
     def reset_range(self, start: int, end: int) -> None:
         """Reset a contiguous physical-row range (periodic refresh)."""
-        self._counts[start:end, :] = 0.0
+        stale = [row for row in self._counts if start <= row < end]
+        for row in stale:
+            del self._counts[row]
 
     def reset_many(self, physical_rows: Iterable[int]) -> None:
         for row in physical_rows:
-            self._counts[row, :] = 0.0
+            self._counts.pop(row, None)
 
     def disturbed_rows(self, minimum: float = 0.0) -> np.ndarray:
         """Physical rows with total accumulated disturbance > ``minimum``."""
-        return np.nonzero(self._counts.sum(axis=1) > minimum)[0]
+        rows = [row for row in sorted(self._counts)
+                if self.get_total(row) > minimum]
+        return np.asarray(rows, dtype=np.intp)
 
     def total(self) -> float:
         """Sum of all accumulated disturbance (diagnostics)."""
-        return float(self._counts.sum())
+        return float(sum(self.get_total(row)
+                         for row in sorted(self._counts)))

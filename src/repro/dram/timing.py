@@ -337,6 +337,74 @@ class TimingChecker:
     def bank_is_open(self, key: Tuple[int, int, int]) -> bool:
         return self._bank(key).is_open
 
+    # -- schedule replay ----------------------------------------------
+    # A command stream to one bank is scheduled purely from the *clamped
+    # relative* state below: every earliest_* rule is a max() of ``now``
+    # and absolute horizons, and ``now`` only moves forward, so a horizon
+    # at or behind ``now`` can never bind again — its exact value is
+    # irrelevant.  Two moments with equal signatures therefore schedule
+    # any identical future same-bank stream identically, cycle offset for
+    # cycle offset.  The device's analytic batch paths memoize a recorded
+    # schedule under its entry signature and replay it without consulting
+    # the checker (see :meth:`HBM2Device.apply_row_writes`).
+
+    def replay_signature(self, key: Tuple[int, int, int],
+                         now: int) -> Tuple:
+        """Clamped-relative scheduling state of ``key``'s bank at ``now``."""
+        bank = self._bank(key)
+        pc = key[:2]
+        history = self._pc_act_history.get(pc) or ()
+        window = self._constraints.four_act_window
+        return (
+            max(bank.next_act - now, 0),
+            max(bank.next_pre - now, 0),
+            max(bank.next_rdwr - now, 0),
+            bank.is_open,
+            max(self._pc_next_act.get(pc, 0) - now, 0),
+            max(self._pc_next_any.get(pc, 0) - now, 0),
+            tuple(max(stamp + window - now, 0) for stamp in history),
+        )
+
+    def capture_offsets(self, key: Tuple[int, int, int],
+                        origin: int) -> Tuple:
+        """Exit state of ``key``'s bank, relative to ``origin``.
+
+        Everything a same-bank stream writes: the bank horizons, the
+        pseudo channel's ACT horizon and ACT history.  ``_pc_next_any``
+        is excluded — only REF writes it, and the replayed streams issue
+        none.
+        """
+        bank = self._bank(key)
+        pc = key[:2]
+        history = self._pc_act_history.get(pc) or ()
+        return (
+            bank.next_act - origin,
+            bank.next_pre - origin,
+            bank.next_rdwr - origin,
+            bank.act_cycle - origin if bank.act_cycle >= 0 else None,
+            bank.is_open,
+            self._pc_next_act.get(pc, 0) - origin,
+            tuple(stamp - origin for stamp in history),
+        )
+
+    def restore_offsets(self, key: Tuple[int, int, int], origin: int,
+                        offsets: Tuple) -> None:
+        """Install exit state captured by :meth:`capture_offsets`,
+        re-anchored at ``origin``."""
+        next_act, next_pre, next_rdwr, act_cycle, is_open, pc_act, \
+            history = offsets
+        bank = self._bank(key)
+        bank.next_act = origin + next_act
+        bank.next_pre = origin + next_pre
+        bank.next_rdwr = origin + next_rdwr
+        if act_cycle is not None:
+            bank.act_cycle = origin + act_cycle
+        bank.is_open = is_open
+        pc = key[:2]
+        self._pc_next_act[pc] = origin + pc_act
+        self._pc_act_history[pc] = deque(
+            (origin + stamp for stamp in history), maxlen=3)
+
     def shift_state(self, keys, delta: int) -> None:
         """Translate the timing state of ``keys`` banks ``delta`` cycles
         into the future.

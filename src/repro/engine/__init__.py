@@ -14,9 +14,12 @@ Four sub-layers, each in its own module:
   :mod:`repro.engine.pool`) — the ``compile(program) -> handle`` /
   ``execute(handle, rows) -> readbacks`` protocol;
   :class:`~repro.engine.backend.LocalBackend` is the in-process
-  reference, :class:`~repro.engine.pool.PoolBackend` the subprocess
-  fan-out, and the seam is where a remote or accelerated backend
-  would plug in.
+  reference, :class:`~repro.engine.backend.FastPathBackend` the
+  analytic accelerator (cached effect summaries applied directly to
+  the cell model instead of interpreting, gated by
+  ``$REPRO_FASTPATH``), :class:`~repro.engine.pool.PoolBackend` the
+  subprocess fan-out, and the seam is where a remote backend would
+  plug in.
 * **ProgramCache** (:mod:`repro.engine.cache`) — content-addressed
   (blake2b over assembled template + timing table) store of
   built-and-verified programs with row-address patching, so assembly
@@ -28,7 +31,12 @@ depends on :mod:`repro.core.sweeps` (which itself imports this
 package), and the parallel executor imports it directly.
 """
 
-from repro.engine.backend import CompiledProgram, ExecutionBackend, LocalBackend
+from repro.engine.backend import (
+    CompiledProgram,
+    ExecutionBackend,
+    FastPathBackend,
+    LocalBackend,
+)
 from repro.engine.cache import ProgramCache, canonicalize, shape_digest, substitute
 from repro.engine.plan import ExecutionPlan, WorkItem, chunk_items
 from repro.engine.session import EngineSession
@@ -38,6 +46,7 @@ __all__ = [
     "EngineSession",
     "ExecutionBackend",
     "ExecutionPlan",
+    "FastPathBackend",
     "LocalBackend",
     "ProgramCache",
     "WorkItem",

@@ -20,12 +20,17 @@ place:
   point to snap back to.
 
 Activating a session installs the engine's execution services on the
-board's host: a :class:`~repro.engine.backend.LocalBackend` and —
-gated by ``$REPRO_PROGRAM_CACHE`` (default on) — a
+board's host: an execution backend and — gated by
+``$REPRO_PROGRAM_CACHE`` (default on) — a
 :class:`~repro.engine.cache.ProgramCache` plus the interpreter's
-row-payload lowering cache.  Experiment drivers reach these through
-``host.cached_run`` and the host's row helpers; none of them builds a
-board or an interpreter itself.
+row-payload lowering cache.  The backend is the analytic
+:class:`~repro.engine.backend.FastPathBackend` when both the program
+cache and ``$REPRO_FASTPATH`` (default on) are enabled; with the cache
+off there is no summary source, so the session quietly installs the
+plain :class:`~repro.engine.backend.LocalBackend` instead — disabling
+the cache disables the fast path, it never errors.  Experiment drivers
+reach these through ``host.cached_run`` and the host's row helpers;
+none of them builds a board or an interpreter itself.
 """
 
 from __future__ import annotations
@@ -33,9 +38,9 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.bender.board import BenderBoard, BoardSpec
-from repro.engine.backend import LocalBackend
+from repro.engine.backend import FastPathBackend, LocalBackend
 from repro.engine.cache import ProgramCache
-from repro.envutil import program_cache_enabled
+from repro.envutil import fastpath_enabled, program_cache_enabled
 from repro.errors import EngineError
 from repro.faults.plan import FaultPlan, FaultSpec, resolve_fault_spec
 from repro.faults.thermal import ThermalGuard
@@ -47,7 +52,8 @@ class EngineSession:
 
     def __init__(self, *, spec: Optional[BoardSpec] = None,
                  board: Optional[BenderBoard] = None,
-                 experiment=None, cache: Optional[bool] = None) -> None:
+                 experiment=None, cache: Optional[bool] = None,
+                 fastpath: Optional[bool] = None) -> None:
         """
         Args:
             spec: recipe to build the board from (lazily, on first use).
@@ -55,6 +61,10 @@ class EngineSession:
             experiment: interference controls and test parameters.
             cache: force the program cache on/off; None consults
                 ``$REPRO_PROGRAM_CACHE`` (default on).
+            fastpath: force the analytic fast path on/off; None
+                consults ``$REPRO_FASTPATH`` (default on).  Effective
+                only with the cache enabled — summaries live on cached
+                program shapes.
         """
         # Lazy import: core.sweeps imports this module, and the core
         # package __init__ eagerly imports sweeps — a module-level
@@ -67,6 +77,8 @@ class EngineSession:
         self.experiment = experiment or ExperimentConfig()
         self._cache_enabled = (program_cache_enabled() if cache is None
                                else bool(cache))
+        self._fastpath_enabled = (fastpath_enabled() if fastpath is None
+                                  else bool(fastpath))
         self._controls_applied = False
 
     @property
@@ -87,8 +99,16 @@ class EngineSession:
     def cache_enabled(self) -> bool:
         return self._cache_enabled
 
+    @property
+    def fastpath_enabled(self) -> bool:
+        """Whether the analytic fast path is active (needs the cache)."""
+        return self._fastpath_enabled and self._cache_enabled
+
     def _install_engine(self, board: BenderBoard) -> None:
-        backend = LocalBackend(board.host)
+        if self.fastpath_enabled:
+            backend = FastPathBackend(board.host)
+        else:
+            backend = LocalBackend(board.host)
         board.host.engine_backend = backend
         if self._cache_enabled:
             board.host.interpreter.enable_payload_cache()

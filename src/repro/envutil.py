@@ -19,6 +19,12 @@ from repro.errors import ExperimentError
 #: Gate for the engine's verified-program cache (default: enabled).
 PROGRAM_CACHE_VAR = "REPRO_PROGRAM_CACHE"
 
+#: Gate for the engine's analytic (effect-summary) fast path
+#: (default: enabled).  The fast path consumes summaries stored with
+#: cached program shapes, so disabling the program cache disables it
+#: too — there is no summary source without the cache.
+FASTPATH_VAR = "REPRO_FASTPATH"
+
 _TRUTHY = frozenset(("1", "true", "yes", "on"))
 _FALSY = frozenset(("0", "false", "no", "off"))
 
@@ -74,3 +80,11 @@ def program_cache_enabled() -> bool:
     cache (unset = enabled; the CI cache-correctness job sets 0/1 and
     diffs dataset fingerprints)."""
     return env_flag(PROGRAM_CACHE_VAR, True)
+
+
+def fastpath_enabled() -> bool:
+    """Whether ``$REPRO_FASTPATH`` enables the engine's analytic fast
+    path (unset = enabled; the CI fastpath-equivalence job sets 0/1 and
+    diffs dataset fingerprints).  Only effective when the program cache
+    is also enabled."""
+    return env_flag(FASTPATH_VAR, True)

@@ -232,6 +232,15 @@ def _render_metrics(metrics: Mapping[str, Mapping[str, object]],
         rate = hits / (hits + misses)
         lines.append(f"program cache: {hits:,} hits, {misses:,} misses "
                      f"({rate:.1%} hit rate)")
+    fast_hits = int(counters.get("engine.fastpath.hits", 0))
+    fast_falls = int(counters.get("engine.fastpath.fallbacks", 0))
+    fast_bypasses = int(counters.get("engine.fastpath.bypasses", 0))
+    if fast_hits or fast_falls or fast_bypasses:
+        total = fast_hits + fast_falls + fast_bypasses
+        lines.append(f"analytic fast path: {fast_hits:,} hits, "
+                     f"{fast_falls:,} fallbacks, "
+                     f"{fast_bypasses:,} bypasses "
+                     f"({fast_hits / total:.1%} of programs)")
     for name in sorted(metrics.get("histograms", {})):
         summary = metrics["histograms"][name]
         if not summary.get("count") or "p50" not in summary:

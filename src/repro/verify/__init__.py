@@ -10,6 +10,13 @@ violations):
 * :func:`lint_source` — AST lint over the package source for
   reproducibility hazards (unseeded RNG, wall-clock reads, set-order
   dependence in fingerprinted paths).
+
+A third analysis builds on the first: :func:`summarize_program`
+(:mod:`repro.verify.effects`) extends the abstract interpretation into
+a typed :class:`EffectSummary` of what a verified program *does* —
+the contract behind the execution engine's analytic fast path — with
+an explicit :class:`Unsummarizable` result for programs whose effects
+cannot be proven.
 """
 
 from repro.verify.diagnostics import (
@@ -29,6 +36,11 @@ from repro.verify.determinism import (
     lint_file,
     lint_source,
     lint_text,
+)
+from repro.verify.effects import (
+    EffectSummary,
+    Unsummarizable,
+    summarize_program,
 )
 from repro.verify.program import (
     VerifyContext,
@@ -53,6 +65,9 @@ __all__ = [
     "lint_file",
     "lint_source",
     "lint_text",
+    "EffectSummary",
+    "Unsummarizable",
+    "summarize_program",
     "VerifyContext",
     "assert_verified",
     "count_activations",

@@ -1,0 +1,193 @@
+"""Tests for the analytic effect-summary fast path (FastPathBackend).
+
+The contract under test: for every summarized program, applying the
+effect summary is *state-identical* to interpreted execution — same
+flips, same clock, same command counts — and every program the shipped
+drivers emit is summarized (fallbacks are the exception path, counted
+and tested, never the campaign path).
+"""
+
+import numpy as np
+
+from repro.bender.board import BenderBoard
+from repro.bender.program import Program, ProgramBuilder
+from repro.bender.transport import PcieTransport
+from repro.core.hammer import DoubleSidedHammer
+from repro.core.patterns import CHECKERED0, ROWSTRIPE0
+from repro.dram.address import DramAddress
+from repro.engine.backend import FastPathBackend, LocalBackend
+from repro.engine.session import EngineSession
+from repro.envutil import FASTPATH_VAR, PROGRAM_CACHE_VAR
+from repro.obs import MetricsRegistry, use_metrics
+from tests.conftest import make_vulnerable_device
+
+VICTIMS = (20, 40, 60)
+PATTERNS = (ROWSTRIPE0, CHECKERED0)
+HAMMERS = 100_000
+
+
+def make_station(fastpath: bool, seed: int = 5) -> BenderBoard:
+    board = BenderBoard(make_vulnerable_device(seed=seed))
+    board.device.set_temperature(85.0)
+    board.host.set_ecc_enabled(False)
+    session = EngineSession(board=board, cache=True, fastpath=fastpath)
+    return session.board
+
+
+def mini_campaign(board: BenderBoard):
+    """A miniature Fig. 3 slice: fill, hammer, read, per victim/pattern.
+
+    Deliberately covers every fast-path machinery layer: the ≥8-row
+    neighbourhood fill exercises the batched write path and its replay
+    memo, repeated hammers exercise the warm/bulk/trail split and the
+    hammer-iteration replay memo, pattern fills exercise the payload-tag
+    caches, and flipped victims exercise the shared-row copy-on-write.
+    """
+    hammer = DoubleSidedHammer(board.host, board.device.mapper)
+    flips = []
+    for row in VICTIMS:
+        for pattern in PATTERNS:
+            outcome = hammer.run(DramAddress(0, 0, 0, row), pattern,
+                                 HAMMERS)
+            flips.append(outcome.flips)
+    return flips
+
+
+class TestInterpreterEquivalence:
+    def test_campaign_state_identical(self):
+        fast_board = make_station(fastpath=True)
+        slow_board = make_station(fastpath=False)
+        fast_metrics = MetricsRegistry()
+        slow_metrics = MetricsRegistry()
+        with use_metrics(fast_metrics):
+            fast_flips = mini_campaign(fast_board)
+        with use_metrics(slow_metrics):
+            slow_flips = mini_campaign(slow_board)
+
+        assert fast_flips == slow_flips
+        assert any(count > 0 for count in fast_flips)
+        assert fast_board.device.now == slow_board.device.now
+        assert (fast_board.device.command_counts ==
+                slow_board.device.command_counts)
+
+        fast_counters = fast_metrics.snapshot()["counters"]
+        slow_counters = slow_metrics.snapshot()["counters"]
+        assert fast_counters["engine.fastpath.hits"] > 0
+        assert fast_counters.get("engine.fastpath.fallbacks", 0) == 0
+        assert "engine.fastpath.hits" not in slow_counters
+        # The fast path reports each application as one program run.
+        assert (fast_counters["bender.programs"] ==
+                slow_counters["bender.programs"])
+
+    def test_row_contents_identical_after_campaign(self):
+        fast_board = make_station(fastpath=True)
+        slow_board = make_station(fastpath=False)
+        mini_campaign(fast_board)
+        mini_campaign(slow_board)
+        for row in VICTIMS:
+            address = DramAddress(0, 0, 0, row)
+            np.testing.assert_array_equal(
+                fast_board.host.read_row(address),
+                slow_board.host.read_row(address))
+
+
+class TestDispatchTriage:
+    def _summarizable(self, board) -> Program:
+        builder = ProgramBuilder()
+        with builder.loop(500):
+            builder.act(0, 0, 0, 30)
+            builder.pre(0, 0, 0)
+        return builder.build()
+
+    def _unsummarizable(self, board) -> Program:
+        # A single-column write: data effects the analysis cannot prove.
+        builder = ProgramBuilder()
+        builder.act(0, 0, 0, 30)
+        builder.wr(0, 0, 0, 0,
+                   b"\x00" * board.device.geometry.column_bytes)
+        builder.pre(0, 0, 0)
+        return builder.build()
+
+    def test_unsummarizable_falls_back_and_counts(self):
+        board = make_station(fastpath=True)
+        backend = board.host.engine_backend
+        assert isinstance(backend, FastPathBackend)
+        handle = backend.compile(self._unsummarizable(board))
+        assert handle.summary is None
+        assert handle.unsummarizable is not None
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            backend.execute(handle, (30,))
+        counters = registry.snapshot()["counters"]
+        assert counters["engine.fastpath.fallbacks"] == 1
+        assert counters.get("engine.fastpath.hits", 0) == 0
+
+    def test_transport_bypasses_fast_path(self):
+        # Fault injection must see every program: with a transport
+        # installed the fast path steps aside, interpreted execution
+        # remains the observed behaviour.
+        board = make_station(fastpath=True)
+        backend = board.host.engine_backend
+        board.host.set_transport(PcieTransport(board.device))
+        handle = backend.compile(self._summarizable(board))
+        assert handle.summary is not None
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            backend.execute(handle, (30,))
+        counters = registry.snapshot()["counters"]
+        assert counters["engine.fastpath.bypasses"] == 1
+        assert counters.get("engine.fastpath.hits", 0) == 0
+
+    def test_hits_counted_on_summarized_execution(self):
+        board = make_station(fastpath=True)
+        backend = board.host.engine_backend
+        handle = backend.compile(self._summarizable(board))
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            backend.execute(handle, (30,))
+            backend.execute(handle, (50,))
+        counters = registry.snapshot()["counters"]
+        assert counters["engine.fastpath.hits"] == 2
+
+
+class TestEnvironmentGating:
+    def test_cache_disabled_quietly_disables_fastpath(self, monkeypatch):
+        # Regression: REPRO_PROGRAM_CACHE=0 must also disable the fast
+        # path (summaries live on cached shapes) — quietly, not as an
+        # error, and without even a bypass counter: the session never
+        # builds a FastPathBackend at all.
+        monkeypatch.setenv(PROGRAM_CACHE_VAR, "0")
+        monkeypatch.setenv(FASTPATH_VAR, "1")
+        board = BenderBoard(make_vulnerable_device(seed=5))
+        session = EngineSession(board=board)
+        assert not session.fastpath_enabled
+        backend = session.board.host.engine_backend
+        assert isinstance(backend, LocalBackend)
+        assert not isinstance(backend, FastPathBackend)
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            hammer = DoubleSidedHammer(board.host, board.device.mapper)
+            outcome = hammer.run(DramAddress(0, 0, 0, 20), ROWSTRIPE0,
+                                 1000)
+        assert outcome.hammer_count == 1000
+        counters = registry.snapshot()["counters"]
+        assert all(not name.startswith("engine.fastpath.")
+                   for name in counters)
+
+    def test_fastpath_env_off_uses_local_backend(self, monkeypatch):
+        monkeypatch.setenv(PROGRAM_CACHE_VAR, "1")
+        monkeypatch.setenv(FASTPATH_VAR, "0")
+        session = EngineSession(
+            board=BenderBoard(make_vulnerable_device(seed=5)))
+        assert not session.fastpath_enabled
+        assert not isinstance(session.board.host.engine_backend,
+                              FastPathBackend)
+
+    def test_default_is_fastpath(self, monkeypatch):
+        monkeypatch.delenv(PROGRAM_CACHE_VAR, raising=False)
+        monkeypatch.delenv(FASTPATH_VAR, raising=False)
+        session = EngineSession(
+            board=BenderBoard(make_vulnerable_device(seed=5)))
+        assert session.fastpath_enabled
+        assert isinstance(session.board.host.engine_backend,
+                          FastPathBackend)

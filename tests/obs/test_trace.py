@@ -224,3 +224,20 @@ class TestSummarize:
         text = render_profile(tracer.records)
         assert "campaign" in text
         assert "shard" in text
+
+    def test_render_metrics_reports_fastpath_triage(self):
+        from repro.obs.summarize import _render_metrics
+
+        text = _render_metrics(
+            {"counters": {"engine.fastpath.hits": 360,
+                          "engine.fastpath.fallbacks": 0,
+                          "engine.fastpath.bypasses": 40}}, wall=1.0)
+        assert ("analytic fast path: 360 hits, 0 fallbacks, "
+                "40 bypasses (90.0% of programs)") in text
+
+    def test_render_metrics_silent_without_fastpath(self):
+        from repro.obs.summarize import _render_metrics
+
+        text = _render_metrics(
+            {"counters": {"engine.cache.hits": 5}}, wall=1.0)
+        assert "fast path" not in text

@@ -149,9 +149,22 @@ class TestKeyClassification:
         assert bench_compare.is_timing_key("elapsed_s")
         assert bench_compare.is_timing_key("metrics.rows_per_s")
         assert bench_compare.is_timing_key("metrics.commands_per_s")
+        assert bench_compare.is_timing_key("speedup_x")
+        assert bench_compare.is_timing_key("speedup_vs_recorded_x")
         assert not bench_compare.is_timing_key("metrics.rows_measured")
         assert not bench_compare.is_timing_key(
             "metrics.dram_commands.ACT")
+
+    def test_speedup_ratio_drift_warns_not_fails(self, tmp_path, capsys):
+        # Speedup ratios are wall-clock quotients: machine-relative,
+        # so a drop warns (like elapsed_s) instead of hard-failing.
+        baseline = dict(RECORD, speedup_x=10.5)
+        dropped = dict(RECORD, speedup_x=6.0)
+        assert _run(tmp_path, baseline, dropped) == 1
+        out = capsys.readouterr().out
+        assert "speedup_x" in out
+        assert "slower" in out
+        assert "FAIL" not in out
 
     def test_flatten_produces_dotted_paths(self):
         flat = dict(bench_compare.flatten(RECORD))

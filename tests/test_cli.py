@@ -306,6 +306,50 @@ class TestLintProgramCommand:
         assert code == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_unreadable_program_is_an_error(self, capsys, tmp_path):
+        code = main(["lint", "program", str(tmp_path / "missing.bender")])
+        assert code == 2
+        assert "error: cannot read program" in capsys.readouterr().err
+
+    def test_summary_renders_effects(self, capsys, tmp_path):
+        code = main(["lint", "program", self._write(tmp_path, self.CLEAN),
+                     "--summary"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "effect summary" in out
+        assert "10 ACT(s)" in out
+        assert "row99" in out and "row101" in out
+
+    def test_summary_unsummarizable_exits_one(self, capsys, tmp_path):
+        # Clean under the verifier, but a single-column read has data
+        # effects the analysis cannot prove — lint-degraded to exit 1.
+        text = "ACT 0 0 0 99\nWAIT 100\nRD 0 0 0 0\nPRE 0 0 0\n"
+        code = main(["lint", "program", self._write(tmp_path, text),
+                     "--summary"])
+        assert code == 1
+        assert "unsummarizable (column-access)" in capsys.readouterr().out
+
+    def test_summary_violations_still_exit_two(self, capsys, tmp_path):
+        code = main(["lint", "program",
+                     self._write(tmp_path, self.DOUBLE_ACT),
+                     "--summary"])
+        assert code == 2
+        assert "unsummarizable (violations)" in capsys.readouterr().out
+
+    def test_summary_json_payload(self, capsys, tmp_path):
+        import json
+
+        code = main(["lint", "program", self._write(tmp_path, self.CLEAN),
+                     "--summary", "--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["report"]["exit_code"] == 0
+        assert payload["unsummarizable"] is None
+        acts = sum(count for _, count in payload["summary"]["act_counts"])
+        assert acts == 10
+        ops = payload["summary"]["ops"]
+        assert ops and ops[0]["op"] == "hammer"
+
 
 class TestLintSourceCommand:
     def test_package_default_is_clean(self, capsys):

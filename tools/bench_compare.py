@@ -8,9 +8,10 @@ needs one answer: did this change alter *what the campaign measured*
 which bucket it lands in:
 
 * **timing keys** (leaf name ending in ``_s``: ``elapsed_s``,
-  ``rows_per_s``, ``commands_per_s``, ...) are compared against
-  ``--tolerance`` (relative, default 0.10) and only ever *warn* —
-  CI machines differ, simulated work does not;
+  ``rows_per_s``, ``commands_per_s``, ... — or in ``_x``, the
+  machine-relative ratios derived from them: ``speedup_x``, ...) are
+  compared against ``--tolerance`` (relative, default 0.10) and only
+  ever *warn* — CI machines differ, simulated work does not;
 * **everything else** (command counts, bitflip totals, rows measured,
   campaign shape) must match within ``--count-tolerance`` (default 0:
   exact) or the comparison *hard-fails* — the simulator is
@@ -42,7 +43,9 @@ import sys
 from pathlib import Path
 from typing import Dict, Iterator, List, Tuple
 
-TIMING_SUFFIX = "_s"
+#: Leaf-name suffixes of environment-dependent quantities: wall clocks
+#: and rates (``_s``) and the ratios computed from them (``_x``).
+TIMING_SUFFIXES = ("_s", "_x")
 
 
 def flatten(record: object, prefix: str = "") -> Iterator[Tuple[str, object]]:
@@ -60,7 +63,7 @@ def flatten(record: object, prefix: str = "") -> Iterator[Tuple[str, object]]:
 
 def is_timing_key(key: str) -> bool:
     leaf = key.rsplit(".", 1)[-1]
-    return leaf.endswith(TIMING_SUFFIX)
+    return leaf.endswith(TIMING_SUFFIXES)
 
 
 class Comparison:
@@ -105,8 +108,8 @@ class Comparison:
             if is_timing_key(key):
                 if drift > tolerance:
                     direction = "slower" if (
-                        key.endswith("_per_s")) == (value < base_value) \
-                        else "changed"
+                        key.endswith(("_per_s", "_x"))) == \
+                        (value < base_value) else "changed"
                     self.warnings.append(
                         f"{label}: {base_value} -> {value} "
                         f"({drift:+.1%} drift, {direction}; "
