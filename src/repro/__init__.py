@@ -53,14 +53,19 @@ from repro.core import (
     select_wcdp,
 )
 from repro.dram import (
+    CalibrationProfile,
+    Device,
     DeviceProfile,
     DramAddress,
+    Geometry,
     HBM2Device,
     HBM2Geometry,
     RowAddressMapper,
     TimingParameters,
     TrrConfig,
     default_profile,
+    get_profile,
+    list_profiles,
 )
 from repro.errors import ReproError
 
@@ -70,12 +75,15 @@ __all__ = [
     "BenderBoard",
     "BerExperiment",
     "BerRecord",
+    "CalibrationProfile",
     "CharacterizationDataset",
     "DataPattern",
+    "Device",
     "DeviceProfile",
     "DoubleSidedHammer",
     "DramAddress",
     "ExperimentConfig",
+    "Geometry",
     "HBM2Device",
     "HBM2Geometry",
     "HcFirstRecord",
@@ -100,7 +108,9 @@ __all__ = [
     "fig4_hcfirst_distributions",
     "fig5_row_series",
     "fig6_bank_scatter",
+    "get_profile",
     "headline_numbers",
+    "list_profiles",
     "make_paper_setup",
     "select_wcdp",
 ]

@@ -1,13 +1,17 @@
 """The FPGA board model: device + host interface + temperature control.
 
 :class:`BenderBoard` stands in for the Bittware XUPVVH board of the
-paper's setup (Fig. 2): an FPGA whose memory controller fronts one HBM2
-stack, a PCIe link to the host, and the heating-pad/fan assembly driven
+paper's setup (Fig. 2): an FPGA whose memory controller fronts one DRAM
+device, a PCIe link to the host, and the heating-pad/fan assembly driven
 by the Arduino PID controller.
 
 :func:`make_paper_setup` builds the exact configuration of the paper's
-experiments: default geometry and timing, the calibrated device profile,
-the hidden TRR engine, and the chip held at 85 degC.
+experiments: default geometry and timing, the calibrated ground truth,
+the hidden TRR engine, and the chip held at 85 degC.  Passing
+``device_profile`` (a :mod:`repro.dram.profiles` registry name) swaps
+the whole family — geometry, timing, TRR policy, calibration, and
+row-mapping defaults — while explicit keyword overrides still win over
+the profile's bundled values.
 """
 
 from __future__ import annotations
@@ -25,9 +29,11 @@ from repro.bender.temperature import (
     TemperatureController,
     ThermalPlant,
 )
-from repro.dram.calibration import DeviceProfile
-from repro.dram.device import HBM2Device
-from repro.dram.geometry import HBM2Geometry
+from repro.dram.address import RowAddressMapper
+from repro.dram.calibration import CalibrationProfile
+from repro.dram.device import Device
+from repro.dram.geometry import Geometry
+from repro.dram.profiles import resolve_profile
 from repro.dram.timing import TimingParameters
 from repro.dram.trr import TrrConfig
 
@@ -35,7 +41,7 @@ from repro.dram.trr import TrrConfig
 class BenderBoard:
     """One testing station: simulated FPGA board + thermal rig."""
 
-    def __init__(self, device: HBM2Device,
+    def __init__(self, device: Device,
                  thermal: Optional[TemperatureController] = None,
                  transport=None) -> None:
         self.device = device
@@ -74,6 +80,12 @@ class BoardSpec:
     every cell property — see :mod:`repro.rng` — so two boards built from
     the same spec are the same chip specimen).
 
+    ``device_profile`` names a family in the :mod:`repro.dram.profiles`
+    registry (``hbm2``/``ddr4``/``ddr5``); ``profile`` remains the
+    calibration-ground-truth override it always was.  Explicit
+    ``geometry``/``timing``/``profile``/``trr_config`` fields override
+    the named family's bundled values.
+
     ``build()`` reproduces exactly what the CLI's station setup does:
     :func:`make_paper_setup` plus the ECC mode-register write and the
     optional wordline-voltage override.
@@ -84,10 +96,11 @@ class BoardSpec:
     ecc_enabled: bool = False
     wordline_voltage_v: Optional[float] = None
     settle_thermals: bool = True
-    geometry: Optional[HBM2Geometry] = None
+    geometry: Optional[Geometry] = None
     timing: Optional[TimingParameters] = None
-    profile: Optional[DeviceProfile] = None
+    profile: Optional[CalibrationProfile] = None
     trr_config: Optional[TrrConfig] = None
+    device_profile: Optional[str] = None
     #: Fault plan for the station's PCIe link: when it carries link-fault
     #: rates, ``build()`` routes programs through a fault-injecting
     #: transport wrapped in the retrying :class:`~repro.bender.transport.
@@ -100,6 +113,7 @@ class BoardSpec:
         board = make_paper_setup(
             seed=self.seed, geometry=self.geometry, timing=self.timing,
             profile=self.profile, trr_config=self.trr_config,
+            device_profile=self.device_profile,
             temperature_c=self.temperature_c,
             settle_thermals=self.settle_thermals)
         if self.faults is not None and self.faults.has_link_faults:
@@ -112,25 +126,42 @@ class BoardSpec:
 
 
 def make_paper_setup(seed: int = 0,
-                     geometry: Optional[HBM2Geometry] = None,
+                     geometry: Optional[Geometry] = None,
                      timing: Optional[TimingParameters] = None,
-                     profile: Optional[DeviceProfile] = None,
+                     profile: Optional[CalibrationProfile] = None,
                      trr_config: Optional[TrrConfig] = None,
                      temperature_c: float = 85.0,
-                     settle_thermals: bool = True) -> BenderBoard:
+                     settle_thermals: bool = True,
+                     device_profile: Optional[str] = None) -> BenderBoard:
     """The paper's testing station, ready to run experiments.
 
     Args:
         seed: device seed — think of each seed as a different physical
             chip specimen with the same design.
         geometry / timing / profile / trr_config: overrides for studies
-            that need them; defaults are the paper's configuration.
+            that need them; defaults are the paper's configuration, or
+            the named family's bundle when ``device_profile`` is given.
         temperature_c: target chip temperature (85 degC in the paper).
         settle_thermals: run the PID loop to the target before returning
             (disable for tests that manage temperature themselves).
+        device_profile: :mod:`repro.dram.profiles` registry name
+            (``hbm2``/``ddr4``/``ddr5``); ``None`` keeps the historical
+            HBM2 defaults, which the ``hbm2`` profile matches exactly.
     """
-    device = HBM2Device(geometry=geometry, timing=timing, profile=profile,
-                        seed=seed, trr_config=trr_config)
+    family = resolve_profile(device_profile)
+    mapper = None
+    if family is not None:
+        geometry = geometry if geometry is not None else family.geometry
+        timing = timing if timing is not None else family.timing
+        profile = profile if profile is not None else family.calibration
+        trr_config = (trr_config if trr_config is not None
+                      else family.trr)
+        mapper = RowAddressMapper(
+            geometry, control_bit=family.mapper_control_bit,
+            swizzle_mask=family.mapper_swizzle_mask)
+    device = Device(geometry=geometry, timing=timing, profile=profile,
+                    seed=seed, mapper=mapper, trr_config=trr_config,
+                    profile_name=family.name if family else None)
     board = BenderBoard(device)
     if settle_thermals:
         board.set_target_temperature(temperature_c)

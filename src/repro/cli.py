@@ -8,6 +8,8 @@ installed).  Each subcommand wraps one methodology entry point::
     python -m repro sweep --channels 0 7 --rows-per-region 8 -o out.json
     python -m repro fleet run --devices 100 --jobs 4 -o population.json
     python -m repro utrr --row 6000 --iterations 100
+    python -m repro devices list
+    python -m repro devices show ddr4
     python -m repro mapping
     python -m repro subarrays --start 800 --end 870
     python -m repro report out.json
@@ -16,6 +18,7 @@ installed).  Each subcommand wraps one methodology entry point::
     python -m repro obs export --format prometheus --metrics metrics.json
 
 All subcommands share the station options ``--seed`` (chip specimen),
+``--profile`` (device family: ``hbm2``/``ddr4``/``ddr5``),
 ``--temperature`` (degC) and ``--voltage`` (wordline rail), plus the
 observability options ``--trace PATH`` (span trace as JSON Lines),
 ``--metrics PATH`` (metric snapshot as JSON) and ``--events PATH``
@@ -63,8 +66,13 @@ from repro.obs.summarize import summarize_trace
 
 
 def _add_station_options(parser: argparse.ArgumentParser) -> None:
+    from repro.dram.profiles import list_profiles
     parser.add_argument("--seed", type=int, default=0,
                         help="chip specimen seed (default: 0)")
+    parser.add_argument("--profile", choices=list_profiles(), default=None,
+                        help="device-family profile to build the station "
+                             "as (default: the paper's HBM2 stack; see "
+                             "'repro devices list')")
     parser.add_argument("--temperature", type=float, default=85.0,
                         help="chip temperature in degC (default: 85)")
     parser.add_argument("--voltage", type=float, default=None,
@@ -94,6 +102,7 @@ def _fault_spec(args: argparse.Namespace) -> Optional[FaultSpec]:
 def _make_spec(args: argparse.Namespace) -> BoardSpec:
     return BoardSpec(seed=args.seed, temperature_c=args.temperature,
                      ecc_enabled=False, wordline_voltage_v=args.voltage,
+                     device_profile=getattr(args, "profile", None),
                      faults=_fault_spec(args))
 
 
@@ -118,7 +127,8 @@ def _address(args: argparse.Namespace) -> DramAddress:
 # Subcommands
 # ----------------------------------------------------------------------
 def cmd_ber(args: argparse.Namespace) -> int:
-    config = ExperimentConfig(ber_hammer_count=args.hammers)
+    config = ExperimentConfig(ber_hammer_count=args.hammers,
+                              profile=args.profile)
     board = _session(args, config).station()
     experiment = BerExperiment(board.host, board.device.mapper, config)
     victim = _address(args)
@@ -133,7 +143,8 @@ def cmd_ber(args: argparse.Namespace) -> int:
 
 
 def cmd_hcfirst(args: argparse.Namespace) -> int:
-    config = ExperimentConfig(hcfirst_max_hammers=args.max_hammers)
+    config = ExperimentConfig(hcfirst_max_hammers=args.max_hammers,
+                              profile=args.profile)
     board = _session(args, config).station()
     search = HcFirstSearch(board.host, board.device.mapper, config)
     victim = _address(args)
@@ -150,13 +161,23 @@ def cmd_hcfirst(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    channels = args.channels
+    if channels is None:
+        # Default to every channel the station's family has.
+        if args.profile is not None:
+            from repro.dram.profiles import get_profile
+            channels = range(get_profile(args.profile).geometry.channels)
+        else:
+            channels = range(8)
     overrides = dict(
-        channels=tuple(args.channels),
+        channels=tuple(channels),
         rows_per_region=args.rows_per_region,
         hcfirst_rows_per_region=args.hcfirst_rows,
         repetitions=args.repetitions,
         faults=_fault_spec(args),
     )
+    if args.profile is not None:
+        overrides["experiment"] = ExperimentConfig(profile=args.profile)
     if args.jobs is not None:
         overrides["jobs"] = args.jobs
     config = SweepConfig.from_env(**overrides)
@@ -220,11 +241,13 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
         faults=_fault_spec(args),
         experiment=_ExperimentConfig(
             ber_hammer_count=args.hammers,
-            hcfirst_max_hammers=args.max_hammers))
+            hcfirst_max_hammers=args.max_hammers,
+            profile=args.profile))
     config = FleetConfig(devices=args.devices, base_seed=args.seed,
                          jobs=args.jobs, max_retries=args.max_retries,
                          spec=_make_spec(args), sweep=sweep,
-                         device_timeout_s=args.device_timeout)
+                         device_timeout_s=args.device_timeout,
+                         profiles=tuple(args.profiles or ()))
     runner = FleetRunner(config, campaign_dir=args.resume,
                          degrade=args.degrade)
     progress = ((lambda message: print(f"  {message}", file=sys.stderr))
@@ -266,6 +289,51 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
         print(f"merged dataset written to {args.dataset}",
               file=sys.stderr)
     return 1 if runner.errors else 0
+
+
+def cmd_devices_list(args: argparse.Namespace) -> int:
+    from repro.dram.profiles import get_profile, list_profiles
+
+    for name in list_profiles():
+        profile = get_profile(name)
+        print(f"{name:<8} {profile.family:<6} {profile.description}")
+    return 0
+
+
+def cmd_devices_show(args: argparse.Namespace) -> int:
+    from repro.dram.profiles import get_profile
+
+    profile = get_profile(args.name)
+    geometry = profile.geometry
+    timing = profile.timing
+    trr = profile.trr
+    print(f"profile: {profile.name} ({profile.family})")
+    print(f"  {profile.description}")
+    print(f"geometry: {geometry.channels} channel(s) x "
+          f"{geometry.pseudo_channels} pseudo channel(s) x "
+          f"{geometry.banks} bank(s) x {geometry.rows} row(s); "
+          f"{geometry.columns} column(s) x {geometry.column_bytes} B "
+          f"({geometry.row_bytes} B/row, "
+          f"{geometry.stack_bytes // 2**20} MiB total)")
+    print(f"timing: {timing.frequency_hz / 1e6:.0f} MHz; "
+          f"tRCD={timing.t_rcd} tRAS={timing.t_ras} tRP={timing.t_rp} "
+          f"tRRD={timing.t_rrd} tFAW={timing.t_faw} ns; "
+          f"tREFI={timing.t_refi / 1e3:.2f} us "
+          f"tREFW={timing.t_refw / 1e6:.0f} ms tRFC={timing.t_rfc} ns")
+    sampler_details = {
+        "last": "1-entry last-ACT table per bank",
+        "counter": f"{trr.table_size}-entry activation-count table "
+                   "per bank",
+        "probabilistic": f"p={trr.sample_probability} per-ACT capture "
+                         "per bank",
+    }[trr.sampler]
+    print(f"trr: {trr.sampler} sampler ({sampler_details}), "
+          f"fires every {trr.refresh_period} REF(s), "
+          f"radius {trr.refresh_radius}")
+    print(f"mapper: control_bit={profile.mapper_control_bit:#x} "
+          f"swizzle_mask={profile.mapper_swizzle_mask:#x}")
+    print(f"identity: {profile.identity()}")
+    return 0
 
 
 def cmd_utrr(args: argparse.Namespace) -> int:
@@ -555,8 +623,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = subparsers.add_parser(
         "sweep", help="spatial characterization campaign (Figs. 3/4)")
     _add_station_options(sweep)
-    sweep.add_argument("--channels", type=int, nargs="+",
-                       default=list(range(8)))
+    sweep.add_argument("--channels", type=int, nargs="+", default=None,
+                       help="channels to sweep (default: every channel "
+                            "of the station's device family)")
     sweep.add_argument("--rows-per-region", type=int, default=8)
     sweep.add_argument("--hcfirst-rows", type=int, default=3)
     sweep.add_argument("--repetitions", type=int, default=1)
@@ -603,6 +672,12 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_run.add_argument("--devices", type=int, default=100,
                            help="simulated specimens; device i uses seed "
                                 "--seed + i (default: 100)")
+    fleet_run.add_argument("--profiles", nargs="+", metavar="NAME",
+                           default=None,
+                           help="heterogeneous population: device-family "
+                                "profiles assigned round-robin across "
+                                "device indices (see 'repro devices "
+                                "list'; default: homogeneous)")
     fleet_run.add_argument("--jobs", type=int, default=1,
                            help="worker processes (default: 1 = inline); "
                                 "results are identical at any jobs level")
@@ -642,6 +717,18 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_run.add_argument("--verbose", action="store_true",
                            help="print per-device progress to stderr")
     fleet_run.set_defaults(handler=cmd_fleet_run)
+
+    devices = subparsers.add_parser(
+        "devices", help="inspect the device-family profile registry")
+    devices_subparsers = devices.add_subparsers(dest="devices_command",
+                                                required=True)
+    devices_list = devices_subparsers.add_parser(
+        "list", help="registered device-family profiles")
+    devices_list.set_defaults(handler=cmd_devices_list)
+    devices_show = devices_subparsers.add_parser(
+        "show", help="geometry/timing/TRR details of one profile")
+    devices_show.add_argument("name", help="profile name (see list)")
+    devices_show.set_defaults(handler=cmd_devices_show)
 
     utrr = subparsers.add_parser(
         "utrr", help="uncover the hidden TRR (paper Sec 5)")
@@ -710,8 +797,9 @@ def build_parser() -> argparse.ArgumentParser:
              "experiments such as RowPress or retention profiling)")
     lint_program.add_argument(
         "--assume-trr-escaped", action="store_true",
-        help="warn when the REF cadence would let the 17-REF TRR "
-             "sampler fire in a program assuming TRR escape")
+        help="warn when the REF cadence would let the device's N-REF "
+             "TRR sampler fire in a program assuming TRR escape "
+             "(N = 17 for the paper's HBM2 chip)")
     lint_program.add_argument(
         "--summary", action="store_true",
         help="also infer the program's effect summary (the analytic "

@@ -54,6 +54,22 @@ _MANIFEST_NAME = "campaign.json"
 _MANIFEST_VERSION = 2
 
 
+def _profile_identity(spec) -> str:
+    """Resolved device-family identity of a board spec.
+
+    The spec's repr already carries the profile *name*; resolving it to
+    the registered profile's full identity (geometry + TRR policy) means
+    a checkpoint can never be resumed by a campaign whose profile name
+    happens to match but whose registered definition differs — and two
+    registered profiles sharing timing parameters still fingerprint
+    apart.
+    """
+    from repro.dram.profiles import resolve_profile
+
+    profile = resolve_profile(getattr(spec, "device_profile", None))
+    return profile.identity() if profile is not None else ""
+
+
 def campaign_fingerprint(spec, config, shards_total: int) -> str:
     """Digest of everything that determines a campaign's measured data.
 
@@ -63,7 +79,8 @@ def campaign_fingerprint(spec, config, shards_total: int) -> str:
     sweep config (including the fault plan: a ``flag``-policy thermal
     plan changes measured values) are included via their dataclass
     reprs, which are deterministic for the plain-scalar configuration
-    types used throughout.
+    types used throughout; the spec's device-family profile joins as
+    its *resolved* identity so checkpoints never alias across families.
     """
     from dataclasses import replace
 
@@ -72,20 +89,26 @@ def campaign_fingerprint(spec, config, shards_total: int) -> str:
     hasher.update(repr(spec).encode())
     hasher.update(repr(normalized).encode())
     hasher.update(str(shards_total).encode())
+    hasher.update(_profile_identity(spec).encode())
     return hasher.hexdigest()
 
 
-def fleet_fingerprint(spec, config, devices: int, base_seed: int) -> str:
+def fleet_fingerprint(spec, config, devices: int, base_seed: int,
+                      profiles: tuple = ()) -> str:
     """Digest of everything that determines a fleet run's measured data.
 
     The fleet analogue of :func:`campaign_fingerprint`: the spec here
     is the *template* (each device re-seeds it), so the device count
     and base seed join the digest — resuming a 100-device fleet
     against a 200-device checkpoint directory, or against a different
-    seed range, must fail loudly.  Execution details (jobs, timeouts)
-    are normalized away exactly as for campaigns.
+    seed range, must fail loudly.  ``profiles`` is the heterogeneous
+    population's device-family rotation; each name joins as its
+    resolved identity.  Execution details (jobs, timeouts) are
+    normalized away exactly as for campaigns.
     """
     from dataclasses import replace
+
+    from repro.dram.profiles import get_profile
 
     normalized = replace(config, jobs=1, obs=None, shard_timeout_s=None)
     hasher = hashlib.blake2b(digest_size=16)
@@ -93,6 +116,10 @@ def fleet_fingerprint(spec, config, devices: int, base_seed: int) -> str:
     hasher.update(repr(spec).encode())
     hasher.update(repr(normalized).encode())
     hasher.update(f"{devices}|{base_seed}".encode())
+    hasher.update(_profile_identity(spec).encode())
+    for name in profiles:
+        hasher.update(b"|")
+        hasher.update(get_profile(name).identity().encode())
     return hasher.hexdigest()
 
 

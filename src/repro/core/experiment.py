@@ -20,6 +20,7 @@ disabled for a clean RowHammer characterization, and how each is handled:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.bender.board import BenderBoard
 from repro.errors import ExperimentBudgetError, ExperimentError
@@ -73,6 +74,13 @@ class ExperimentConfig:
     #: Programs are small, so the cost is negligible; turn off only to
     #: deliberately run a program the verifier rejects.
     verify_programs: bool = True
+    #: Device-family profile name (:mod:`repro.dram.profiles`) the
+    #: experiment is designed for.  ``None`` (the default) means
+    #: family-agnostic: no consistency check against the station.  When
+    #: set, drivers check it against the station's own profile so a
+    #: DDR4-tuned sweep cannot silently run on an HBM2 board, and the
+    #: campaign fingerprint incorporates it.
+    profile: Optional[str] = None
     controls: InterferenceControls = field(default_factory=InterferenceControls)
 
     def __post_init__(self) -> None:

@@ -164,6 +164,11 @@ class FleetConfig:
     sweep: SweepConfig = field(default_factory=default_fleet_sweep)
     #: Per-device wall-clock limit for pooled runs (None = unlimited).
     device_timeout_s: Optional[float] = None
+    #: Heterogeneous population: device-family profile names assigned
+    #: round-robin across device indices (device ``i`` gets
+    #: ``profiles[i % len(profiles)]``).  Empty = homogeneous fleet
+    #: built from the template spec as-is.
+    profiles: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.devices <= 0:
@@ -172,19 +177,38 @@ class FleetConfig:
             raise ExperimentError("jobs must be positive")
         if self.max_retries < 0:
             raise ExperimentError("max_retries must be >= 0")
+        if self.profiles:
+            # Fail at configuration time, not in a worker process.
+            from repro.dram.profiles import get_profile
+            for name in self.profiles:
+                get_profile(name)
 
     def fingerprint(self) -> str:
         return fleet_fingerprint(self.spec, self.sweep, self.devices,
-                                 self.base_seed)
+                                 self.base_seed, profiles=self.profiles)
 
     def plan(self) -> Tuple[FleetDevice, ...]:
-        """The fleet's devices, in index (= merge) order."""
+        """The fleet's devices, in index (= merge) order.
+
+        With ``profiles`` set, each device's spec is rebuilt for its
+        assigned family and its sweep's experiment tagged to match, so
+        the per-device profile consistency check holds inside workers.
+        """
         config = replace(self.sweep, jobs=1, obs=None, append_wcdp=False)
-        return tuple(
-            FleetDevice(index=index, seed=self.base_seed + index,
-                        spec=replace(self.spec, seed=self.base_seed + index),
-                        config=config)
-            for index in range(self.devices))
+        devices = []
+        for index in range(self.devices):
+            spec = replace(self.spec, seed=self.base_seed + index)
+            device_config = config
+            if self.profiles:
+                name = self.profiles[index % len(self.profiles)]
+                spec = replace(spec, device_profile=name)
+                device_config = replace(
+                    config,
+                    experiment=replace(config.experiment, profile=name))
+            devices.append(
+                FleetDevice(index=index, seed=self.base_seed + index,
+                            spec=spec, config=device_config))
+        return tuple(devices)
 
 
 @dataclass(frozen=True)

@@ -153,6 +153,7 @@ def sweep_metadata(config: SweepConfig) -> dict:
         "repetitions": config.repetitions,
         "ber_hammer_count": config.experiment.ber_hammer_count,
         "temperature_c": config.experiment.temperature_c,
+        "profile": config.experiment.profile,
     }
 
 
@@ -174,6 +175,12 @@ class SpatialSweep:
         """
         self._board = board
         self._config = config or SweepConfig()
+        wanted = self._config.experiment.profile
+        actual = board.device.profile_name
+        if wanted is not None and actual is not None and wanted != actual:
+            raise ExperimentError(
+                f"sweep is configured for device profile {wanted!r} but "
+                f"the station was built as {actual!r}")
         self._session = EngineSession(board=board,
                                       experiment=self._config.experiment)
         self._mapper = mapper or board.device.mapper

@@ -1,10 +1,13 @@
-"""Behavioural model of an HBM2 DRAM device.
+"""Behavioural model of a DRAM device.
 
-This subpackage is the hardware substitute for the real 4 GiB HBM2 stack
-the paper characterizes.  It exposes the same observation surface a memory
-controller has — ACT/PRE/RD/WR/REF commands and mode registers — while the
-hidden ground truth (per-cell RowHammer thresholds, cell orientations,
-retention times, the proprietary TRR engine) lives behind that interface.
+This subpackage is the hardware substitute for the real chips the
+methodology targets — by default the 4 GiB HBM2 stack the paper
+characterizes, with DDR4/DDR5 families available through
+:mod:`repro.dram.profiles`.  It exposes the same observation surface a
+memory controller has — ACT/PRE/RD/WR/REF commands and mode registers —
+while the hidden ground truth (per-cell RowHammer thresholds, cell
+orientations, retention times, the proprietary TRR engine) lives behind
+that interface.
 
 Layering, bottom to top::
 
@@ -12,10 +15,18 @@ Layering, bottom to top::
     cellmodel / subarrays / calibration                 (ground truth)
     disturb / retention / ecc / trr                     (behaviour engines)
     bank -> channel -> device                           (state machines)
+    profiles                                            (device families)
+
+Naming note: the family-level bundle (geometry + timing + TRR policy +
+calibration) is :class:`repro.dram.profiles.DeviceProfile`; the name
+``DeviceProfile`` exported *here* remains the calibration ground truth
+(:class:`~repro.dram.calibration.CalibrationProfile`) for backward
+compatibility with pre-refactor callers.
 """
 
 from repro.dram.address import DramAddress, RowAddressMapper
-from repro.dram.calibration import DeviceProfile, default_profile
+from repro.dram.calibration import (CalibrationProfile, DeviceProfile,
+                                    default_profile)
 from repro.dram.commands import (
     Activate,
     Command,
@@ -25,18 +36,23 @@ from repro.dram.commands import (
     Refresh,
     Write,
 )
-from repro.dram.device import HBM2Device
-from repro.dram.geometry import HBM2Geometry
+from repro.dram.device import Device, HBM2Device
+from repro.dram.geometry import Geometry, HBM2Geometry
 from repro.dram.modereg import ModeRegisters
+from repro.dram.profiles import (get_profile, list_profiles,
+                                 register_profile, resolve_profile)
 from repro.dram.subarrays import SubarrayLayout
 from repro.dram.timing import TimingParameters
 from repro.dram.trr import TrrConfig
 
 __all__ = [
     "Activate",
+    "CalibrationProfile",
     "Command",
+    "Device",
     "DeviceProfile",
     "DramAddress",
+    "Geometry",
     "HBM2Device",
     "HBM2Geometry",
     "ModeRegisters",
@@ -50,4 +66,8 @@ __all__ = [
     "TrrConfig",
     "Write",
     "default_profile",
+    "get_profile",
+    "list_profiles",
+    "register_profile",
+    "resolve_profile",
 ]

@@ -1,7 +1,7 @@
-"""Calibrated device profile — the simulated chip's hidden ground truth.
+"""Calibrated variation profile — the simulated chip's hidden ground truth.
 
-A :class:`DeviceProfile` bundles every physical-variation parameter of the
-simulated HBM2 stack.  The default profile is calibrated so that the
+A :class:`CalibrationProfile` bundles every physical-variation parameter
+of a simulated device.  The default profile is calibrated so that the
 *measured* results of the paper's methodology (run blindly through the
 command interface) reproduce the paper's observations O1–O11 (see
 DESIGN.md §1): channel-to-channel BER ratios, die-pair grouping,
@@ -50,11 +50,14 @@ from repro.errors import CalibrationError
 
 
 @dataclass(frozen=True)
-class DeviceProfile:
-    """Ground-truth variation parameters for one simulated HBM2 stack.
+class CalibrationProfile:
+    """Ground-truth variation parameters for one simulated device.
 
-    Attributes are grouped by the observation they encode; tuning guidance
-    lives in ``tools/calibrate.py``.
+    The defaults describe the paper's HBM2 stack (8 channels in die
+    pairs); other device families supply their own per-channel tuples
+    (see :func:`ddr4_calibration` / :func:`ddr5_calibration`).
+    Attributes are grouped by the observation they encode; tuning
+    guidance lives in ``tools/calibrate.py``.
     """
 
     # -- per-cell RowHammer threshold distribution ----------------------
@@ -305,23 +308,29 @@ class DeviceProfile:
         delta = self.reference_temperature_c - temperature_c
         return 2.0 ** (delta / self.retention_temp_double_c)
 
-    def with_overrides(self, **kwargs) -> "DeviceProfile":
+    def with_overrides(self, **kwargs) -> "CalibrationProfile":
         """A copy of this profile with selected fields replaced."""
         return replace(self, **kwargs)
 
 
-def default_profile() -> DeviceProfile:
+#: Back-compat alias from before the device-family refactor, when the
+#: calibration bundle was the only "device profile" in the codebase.
+#: The family-level bundle now lives in :mod:`repro.dram.profiles`.
+DeviceProfile = CalibrationProfile
+
+
+def default_profile() -> CalibrationProfile:
     """The profile calibrated against the paper's reported numbers."""
-    return DeviceProfile()
+    return CalibrationProfile()
 
 
-def uniform_profile() -> DeviceProfile:
+def uniform_profile() -> CalibrationProfile:
     """A variation-free profile (all channels/banks/rows identical).
 
     Useful in tests that need to isolate one mechanism: any measured
     spatial difference under this profile is a bug.
     """
-    return DeviceProfile(
+    return CalibrationProfile(
         weak_fraction=(0.06,) * 8,
         channel_scales=(1.0,) * 8,
         true_cell_fraction=(0.5, 0.5, 0.5, 0.5),
@@ -331,4 +340,51 @@ def uniform_profile() -> DeviceProfile:
         last_subarray_scale=1.0,
         bank_sigma=1e-9,
         row_sigma=1e-9,
+    )
+
+
+def ddr4_calibration() -> CalibrationProfile:
+    """Plausible ground truth for a two-channel DDR4 module.
+
+    Not fit to any single published module; the shape follows the
+    *Revisiting RowHammer* population data — DDR4 HC_first medians are
+    several times higher than this paper's HBM2 stack, with milder
+    spatial variation (planar dies, one channel per die, so every
+    per-channel tuple is full-length and die pairing plays no role).
+    """
+    return CalibrationProfile(
+        weak_median=2.1e6,
+        weak_sigma=0.75,
+        threshold_floor=60_000.0,
+        weak_fraction=(0.0310, 0.0355),
+        channel_scales=(1.00, 0.97),
+        true_cell_fraction=(0.51, 0.49),
+        true_cell_scale=(1.12, 0.93),
+        anti_cell_scale=(0.92, 1.08),
+        subarray_edge_droop=0.30,
+        last_subarray_scale=1.8,
+        retention_median_s=64.0,
+    )
+
+
+def ddr5_calibration() -> CalibrationProfile:
+    """Plausible ground truth for a two-channel DDR5 module.
+
+    DDR5 nodes are denser and markedly more RowHammer-vulnerable than
+    DDR4 (thresholds below the HBM2 stack's), with on-die ECC assumed
+    *off* in this model — the paper's methodology reads raw cells.
+    """
+    return CalibrationProfile(
+        weak_median=4.2e5,
+        weak_sigma=0.90,
+        threshold_floor=9_000.0,
+        weak_fraction=(0.0880, 0.0935),
+        channel_scales=(1.00, 0.94),
+        true_cell_fraction=(0.53, 0.48),
+        true_cell_scale=(1.18, 0.91),
+        anti_cell_scale=(0.88, 1.10),
+        subarray_edge_droop=0.38,
+        last_subarray_scale=2.2,
+        retention_median_s=18.0,
+        retention_sigma=1.4,
     )

@@ -1,10 +1,10 @@
 """Per-channel device state: mode registers, TRR engines, refresh pointers.
 
-An HBM2 channel is an independent DRAM interface with its own mode
-registers; its two pseudo channels share I/O but have independent bank
-state, refresh sequencing, and (in our model) independent hidden TRR
-engines.  Banks are created lazily — a full stack has 256 banks but a
-typical experiment touches a handful.
+A channel is an independent DRAM interface with its own mode registers;
+its pseudo channels (HBM2) or sub-channels (DDR5) share I/O but have
+independent bank state, refresh sequencing, and (in our model)
+independent hidden TRR engines.  Banks are created lazily — a full HBM2
+stack has 256 banks but a typical experiment touches a handful.
 """
 
 from __future__ import annotations
@@ -12,9 +12,9 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from repro.dram.bank import Bank, BankKey, DeviceEnvironment
-from repro.dram.calibration import DeviceProfile
+from repro.dram.calibration import CalibrationProfile
 from repro.dram.cellmodel import GroundTruthProvider
-from repro.dram.geometry import HBM2Geometry
+from repro.dram.geometry import Geometry
 from repro.dram.modereg import ModeRegisters
 from repro.dram.subarrays import SubarrayLayout
 from repro.dram.timing import TimingParameters
@@ -24,9 +24,9 @@ from repro.dram.trr import TrrConfig, TrrEngine
 class PseudoChannelState:
     """Refresh sequencing and TRR engine of one pseudo channel."""
 
-    def __init__(self, geometry: HBM2Geometry, timing: TimingParameters,
-                 trr_config: TrrConfig) -> None:
-        self.trr = TrrEngine(trr_config)
+    def __init__(self, geometry: Geometry, timing: TimingParameters,
+                 trr_config: TrrConfig, seed: int = 0) -> None:
+        self.trr = TrrEngine(trr_config, seed=seed)
         refs_per_window = max(1, round(timing.t_refw / timing.t_refi))
         self.rows_per_ref = -(-geometry.rows // refs_per_window)  # ceil div
         self.refresh_pointer = 0
@@ -42,13 +42,13 @@ class PseudoChannelState:
 
 
 class Channel:
-    """One HBM2 channel: mode registers plus per-pseudo-channel state."""
+    """One channel: mode registers plus per-pseudo-channel state."""
 
-    def __init__(self, index: int, geometry: HBM2Geometry,
-                 profile: DeviceProfile, layout: SubarrayLayout,
+    def __init__(self, index: int, geometry: Geometry,
+                 profile: CalibrationProfile, layout: SubarrayLayout,
                  truth: GroundTruthProvider, timing: TimingParameters,
                  environment: DeviceEnvironment,
-                 trr_config: TrrConfig) -> None:
+                 trr_config: TrrConfig, seed: int = 0) -> None:
         self.index = index
         self.mode_registers = ModeRegisters()
         self._geometry = geometry
@@ -59,7 +59,7 @@ class Channel:
         self._environment = environment
         self._banks: Dict[BankKey, Bank] = {}
         self.pseudo_channels = [
-            PseudoChannelState(geometry, timing, trr_config)
+            PseudoChannelState(geometry, timing, trr_config, seed=seed)
             for _ in range(geometry.pseudo_channels)
         ]
 

@@ -1,9 +1,11 @@
-"""Top-level HBM2 device model.
+"""Top-level DRAM device model.
 
-:class:`HBM2Device` is the only object the testing infrastructure talks
+:class:`Device` is the only object the testing infrastructure talks
 to.  It owns the command clock (in interface cycles), enforces timing,
 maps logical to physical row addresses, dispatches to banks, drives the
-refresh machinery, and hosts the hidden TRR engines.
+refresh machinery, and hosts the hidden TRR engines.  The defaults
+describe the paper's HBM2 stack; other families are built from a
+:class:`~repro.dram.profiles.DeviceProfile`.
 
 Commands are *scheduled*: each issuing method waits (advances the clock)
 until the earliest cycle at which the command is legal, mirroring how the
@@ -14,7 +16,7 @@ The device also exposes a **bulk activation** entry point used by the
 interpreter's loop fast path.  Its semantics are defined to match an
 unrolled sequence of ACT/PRE iterations exactly for loops whose activated
 rows do not flip themselves (the normal case: an activated row's charge is
-restored on every iteration); see :meth:`HBM2Device.bulk_activations`.
+restored on every iteration); see :meth:`Device.bulk_activations`.
 """
 
 from __future__ import annotations
@@ -24,7 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.dram.bank import Bank, BankKey, DeviceEnvironment
-from repro.dram.calibration import DeviceProfile, default_profile
+from repro.dram.calibration import CalibrationProfile, default_profile
 from repro.dram.cellmodel import GroundTruthProvider
 from repro.dram.channel import Channel
 from repro.dram.commands import (
@@ -36,7 +38,7 @@ from repro.dram.commands import (
     Refresh,
     Write,
 )
-from repro.dram.geometry import HBM2Geometry
+from repro.dram.geometry import Geometry
 from repro.dram.modereg import ModeRegisters
 from repro.dram.subarrays import SubarrayLayout
 from repro.dram.timing import TimingChecker, TimingParameters
@@ -45,20 +47,30 @@ from repro.dram.address import RowAddressMapper
 from repro.errors import CommandError
 
 
-class HBM2Device:
-    """A simulated HBM2 stack behind a memory-controller interface."""
+class Device:
+    """A simulated DRAM device behind a memory-controller interface.
 
-    def __init__(self, geometry: Optional[HBM2Geometry] = None,
+    ``profile`` is the hidden *calibration* ground truth
+    (:class:`~repro.dram.calibration.CalibrationProfile`);
+    ``profile_name`` records which family-level
+    :class:`~repro.dram.profiles.DeviceProfile` the device was built
+    from (``None`` for hand-assembled devices) so the engine can thread
+    device identity into cache digests and fingerprints.
+    """
+
+    def __init__(self, geometry: Optional[Geometry] = None,
                  timing: Optional[TimingParameters] = None,
-                 profile: Optional[DeviceProfile] = None,
+                 profile: Optional[CalibrationProfile] = None,
                  seed: int = 0,
                  mapper: Optional[RowAddressMapper] = None,
                  trr_config: Optional[TrrConfig] = None,
                  subarray_layout: Optional[SubarrayLayout] = None,
-                 temperature_c: float = 85.0) -> None:
-        self.geometry = geometry or HBM2Geometry()
+                 temperature_c: float = 85.0,
+                 profile_name: Optional[str] = None) -> None:
+        self.geometry = geometry or Geometry()
         self.timing = timing or TimingParameters()
         self.profile = profile or default_profile()
+        self.profile_name = profile_name
         self.seed = seed
         self.mapper = mapper or RowAddressMapper(self.geometry)
         self.subarray_layout = (subarray_layout or
@@ -67,7 +79,8 @@ class HBM2Device:
             raise CommandError(
                 f"subarray layout covers {self.subarray_layout.total_rows} "
                 f"rows, geometry has {self.geometry.rows}")
-        trr_config = trr_config if trr_config is not None else TrrConfig()
+        self.trr_config = (trr_config if trr_config is not None
+                           else TrrConfig())
 
         self._environment = DeviceEnvironment(
             temperature_c, self.profile.nominal_wordline_voltage_v)
@@ -75,7 +88,8 @@ class HBM2Device:
             self.geometry, self.profile, self.subarray_layout, seed)
         self._channels = [
             Channel(index, self.geometry, self.profile, self.subarray_layout,
-                    self._truth, self.timing, self._environment, trr_config)
+                    self._truth, self.timing, self._environment,
+                    self.trr_config, seed=seed)
             for index in range(self.geometry.channels)
         ]
         self._timing_checker = TimingChecker(self.timing)
@@ -377,10 +391,10 @@ class HBM2Device:
         state.  Row effects (payload store, restore stamp, RowPress
         open-time factor, neighbour disturbance, cross-channel
         routing) are applied per write, in write order, with the same
-        float operations as the unrolled sequence.  TRR samplers are
-        last-ACT-wins with no REF in between, so the trailing triad's
-        observation leaves the sampler exactly where the unrolled
-        sequence would.
+        float operations as the unrolled sequence.  Every triad — probe,
+        bulk, and trailing — observes its ACT on the TRR sampler, so any
+        sampler strategy ends exactly where the unrolled sequence would
+        (no REF can interleave inside a batch).
 
         The first batch of each (bank, length) also *records* its
         schedule — per-write ACT offsets and RowPress factors, the
@@ -470,6 +484,7 @@ class HBM2Device:
                 row, bits, parity, tag = writes[index + offset]
                 physical = mapper.logical_to_physical(row)
                 act_cycle = last_act + period * (offset + 1)
+                pc_state.trr.observe_activation(key, physical)
                 target.store_full_row(physical, bits, parity, act_cycle,
                                       tag=tag)
                 target.note_closed_activation(physical, factor)
@@ -506,26 +521,28 @@ class HBM2Device:
 
         Applies the per-row effects in write order with the recorded
         ACT cycles and RowPress factors, installs the recorded checker
-        exit state, advances the clock, and observes the final ACT on
-        the TRR sampler (last-ACT-wins, and no REF can interleave
-        inside a batch).
+        exit state, advances the clock, and feeds the batch's ACT
+        sequence to the TRR sampler in bulk form — exactly equivalent
+        to per-ACT observation for every sampler strategy, since no
+        REF can interleave inside a batch.
         """
         _, act_offsets, factors, exit_offsets, advance = memo
         key: BankKey = (channel, pseudo_channel, bank)
         target = self.bank(channel, pseudo_channel, bank)
         mapper = self.mapper
         entry_now = self.now
-        physical = -1
+        act_events: List[Tuple[BankKey, int]] = []
         for (row, bits, parity, tag), act_offset, factor in zip(
                 writes, act_offsets, factors):
             physical = mapper.logical_to_physical(row)
+            act_events.append((key, physical))
             target.store_full_row(physical, bits, parity,
                                   entry_now + act_offset, tag=tag)
             target.note_closed_activation(physical, factor)
             self._route_cross_channel(channel, pseudo_channel, bank,
                                       physical, factor)
         pc_state = self.channel(channel).pseudo_channels[pseudo_channel]
-        pc_state.trr.observe_activation(key, physical)
+        pc_state.trr.observe_run(act_events, 1)
         self._timing_checker.restore_offsets(key, entry_now, exit_offsets)
         self.now = entry_now + advance
         count = len(writes)
@@ -711,14 +728,19 @@ class HBM2Device:
             for physical in activated:
                 bank_obj.mark_restored(physical, end_cycle)
 
-        # TRR samplers see the most recent ACT per bank, which after any
-        # full iteration is the last body ACT targeting that bank.
-        last_per_bank: Dict[BankKey, int] = {}
+        # TRR samplers see the full ACT stream in bulk form, grouped by
+        # pseudo channel in body order: equivalent to per-ACT
+        # observation of ``iterations`` repetitions for every sampler
+        # strategy (no REF can occur inside the loop — refresh is held
+        # off while hammering).
+        events_per_pc: Dict[Tuple[int, int],
+                            List[Tuple[BankKey, int]]] = {}
         for key, physical in physical_body:
-            last_per_bank[key] = physical
-        for key, physical in last_per_bank.items():
-            pc_state = self.channel(key[0]).pseudo_channels[key[1]]
-            pc_state.trr.observe_activation(key, physical)
+            events_per_pc.setdefault((key[0], key[1]), []).append(
+                (key, physical))
+        for (chan_index, pc_index), events in events_per_pc.items():
+            pc_state = self.channel(chan_index).pseudo_channels[pc_index]
+            pc_state.trr.observe_run(events, iterations)
 
         # A steady-state loop translates its timing horizon by exactly
         # the skipped duration; shift the affected banks' constraints so
@@ -729,3 +751,8 @@ class HBM2Device:
         self.now = end_cycle
         self._count("ACT", iterations * len(physical_body))
         self._count("PRE", iterations * len(physical_body))
+
+
+#: Back-compat alias from before the device-family refactor, when the
+#: model was HBM2-only.  New code should say :class:`Device`.
+HBM2Device = Device

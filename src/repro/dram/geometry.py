@@ -1,9 +1,17 @@
-"""HBM2 device geometry.
+"""Device geometry, for any supported DRAM family.
 
-The paper's chip (§3): 4 GiB stack, 8 channels, 2 pseudo channels per
-channel, 16 banks per pseudo channel, 16,384 rows per bank, 32 columns per
-row.  One column therefore holds 32 bytes and a row holds 1 KiB
-(8,192 bits), which is the granularity the BER metric is computed over.
+The defaults describe the paper's chip (§3): a 4 GiB HBM2 stack,
+8 channels, 2 pseudo channels per channel, 16 banks per pseudo channel,
+16,384 rows per bank, 32 columns per row.  One column therefore holds
+32 bytes and a row holds 1 KiB (8,192 bits), which is the granularity
+the BER metric is computed over.
+
+Other device families reuse the same vocabulary
+(:mod:`repro.dram.profiles`): a DDR4/DDR5 module has no pseudo
+channels (``pseudo_channels=1``) or models its two sub-channels as
+pseudo channels, and "channel" means a controller channel rather than
+a stack channel — the dimensions are what the memory controller sees
+either way.
 """
 
 from __future__ import annotations
@@ -14,19 +22,21 @@ from repro.errors import AddressError, ConfigurationError
 
 
 @dataclass(frozen=True)
-class HBM2Geometry:
-    """Dimensions of one HBM2 stack as seen by the memory controller.
+class Geometry:
+    """Dimensions of one DRAM device as seen by the memory controller.
 
     Attributes:
-        channels: independent HBM2 channels in the stack.
-        pseudo_channels: pseudo channels per channel.
+        channels: independent channels on the device.
+        pseudo_channels: pseudo channels (HBM2) or sub-channels (DDR5)
+            per channel; 1 for families without the concept.
         banks: banks per pseudo channel.
         rows: rows per bank.
         columns: columns per row.
         column_bytes: bytes transferred per column access.
-        channels_per_die: channels co-located on one stacked DRAM die.
-            The paper observes channels cluster in groups of two by
-            RowHammer vulnerability and hypothesizes one die per group.
+        channels_per_die: channels co-located on one DRAM die.
+            The paper observes HBM2 channels cluster in groups of two by
+            RowHammer vulnerability and hypothesizes one die per group;
+            planar families use 1.
     """
 
     channels: int = 8
@@ -113,3 +123,8 @@ class HBM2Geometry:
         if not 0 <= column < self.columns:
             raise AddressError(
                 f"column {column} out of range [0, {self.columns})")
+
+
+#: Back-compat alias from before the device-family refactor, when the
+#: model was HBM2-only.  New code should say :class:`Geometry`.
+HBM2Geometry = Geometry

@@ -1,0 +1,193 @@
+"""Device-family profiles: one bundle per supported DRAM family.
+
+The paper characterizes one HBM2 stack, but its methodology — BER /
+HC_first sweeps, row-mapping reverse engineering, the §5 U-TRR TRR
+discovery — is device-generic.  A :class:`DeviceProfile` bundles
+everything the infrastructure needs to target a family:
+
+* :class:`~repro.dram.geometry.Geometry` — dimensions as the memory
+  controller sees them;
+* :class:`~repro.dram.timing.TimingParameters` (and through it the
+  static verifier's ``ConstraintTable``) — per-family tRCD/tFAW/tREFI/
+  tREFW enforcement;
+* a :class:`~repro.dram.trr.TrrConfig` TRR policy — sampler strategy,
+  firing cadence, and blast radius (the U-TRR taxonomy: the paper's
+  HBM2 chip samples the last ACT and fires every 17th REF; DDR4
+  vendors ship counter tables; DDR5 vendors probabilistic samplers);
+* row-address-mapping defaults (the swizzle the reverse-engineering
+  methodology must rediscover);
+* a :class:`~repro.dram.calibration.CalibrationProfile` — the hidden
+  physical ground truth the blind pipeline measures.
+
+Profiles live in an insertion-ordered module registry
+(:func:`register_profile` / :func:`get_profile` / :func:`list_profiles`)
+shipping ``hbm2`` (the default — byte-identical to the pre-refactor
+model, held by construction: its fields *are* the former hardwired
+defaults), ``ddr4``, and ``ddr5``.
+
+Profile :meth:`~DeviceProfile.identity` feeds the engine's program-cache
+digest and the campaign/fleet fingerprints so cached programs and
+checkpoints never alias across families, even families that happen to
+share timing parameters.  This module is therefore part of the
+fingerprinted surface and is covered by the determinism lint
+(``repro lint source``): registry iteration order is insertion order,
+never set order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.dram.calibration import (CalibrationProfile, ddr4_calibration,
+                                    ddr5_calibration, default_profile)
+from repro.dram.geometry import Geometry
+from repro.dram.timing import TimingParameters
+from repro.dram.trr import TrrConfig
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Everything needed to build and verify one device family.
+
+    Attributes:
+        name: registry key (``hbm2``/``ddr4``/``ddr5``/custom).
+        family: marketing family name for display (``HBM2``, ``DDR4``…).
+        description: one-line summary shown by ``repro devices list``.
+        geometry: controller-visible dimensions.
+        timing: per-family timing parameters; the verifier's
+            ``ConstraintTable`` derives from these.
+        trr: the family's hidden TRR policy.
+        calibration: physical-variation ground truth (per-channel tuples
+            sized to ``geometry.channels``).
+        mapper_control_bit / mapper_swizzle_mask: default row-address
+            swizzle (see :class:`~repro.dram.address.RowAddressMapper`).
+    """
+
+    name: str
+    family: str
+    description: str
+    geometry: Geometry = field(default_factory=Geometry)
+    timing: TimingParameters = field(default_factory=TimingParameters)
+    trr: TrrConfig = field(default_factory=TrrConfig)
+    calibration: CalibrationProfile = field(default_factory=default_profile)
+    mapper_control_bit: int = 0x8
+    mapper_swizzle_mask: int = 0x6
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("profile name must be non-empty")
+        if len(self.calibration.channel_scales) != self.geometry.channels:
+            raise ConfigurationError(
+                f"profile {self.name!r}: calibration has "
+                f"{len(self.calibration.channel_scales)} channel scales "
+                f"for a {self.geometry.channels}-channel geometry")
+
+    def identity(self) -> str:
+        """Stable identity string for cache digests and fingerprints.
+
+        Covers name, geometry, and TRR policy — the dimensions along
+        which two profiles sharing timing parameters must still never
+        alias each other's compiled programs or checkpoints.  (Timing
+        is digested separately wherever this string is consumed.)
+        """
+        return f"{self.name}|{self.geometry!r}|{self.trr!r}"
+
+
+# ----------------------------------------------------------------------
+# Registry (insertion-ordered; iteration order is registration order)
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, DeviceProfile] = {}
+
+
+def register_profile(profile: DeviceProfile, *,
+                     replace: bool = False) -> DeviceProfile:
+    """Add ``profile`` to the registry under its name.
+
+    Re-registering an existing name requires ``replace=True`` so typos
+    cannot silently shadow a shipped family.
+    """
+    if profile.name in _REGISTRY and not replace:
+        raise ConfigurationError(
+            f"device profile {profile.name!r} already registered")
+    _REGISTRY[profile.name] = profile
+    return profile
+
+
+def get_profile(name: str) -> DeviceProfile:
+    """Look up a registered profile by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(_REGISTRY)
+        raise ConfigurationError(
+            f"unknown device profile {name!r} (known: {known})") from None
+
+
+def list_profiles() -> Tuple[str, ...]:
+    """Registered profile names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def resolve_profile(name: Optional[str]) -> Optional[DeviceProfile]:
+    """``get_profile`` that passes ``None`` through (no profile chosen)."""
+    if name is None:
+        return None
+    return get_profile(name)
+
+
+# ----------------------------------------------------------------------
+# Shipped families
+# ----------------------------------------------------------------------
+
+#: The paper's chip.  Every field is the former hardwired default, so a
+#: board built from this profile is byte-identical to the pre-refactor
+#: model — held by construction, and asserted by the profile-matrix
+#: regression tests against recorded seed fingerprints.
+HBM2 = register_profile(DeviceProfile(
+    name="hbm2",
+    family="HBM2",
+    description="The paper's 4 GiB HBM2 stack: 8 channels x 2 pseudo "
+                "channels, last-ACT TRR sampler firing every 17th REF.",
+))
+
+#: A two-channel DDR4-2400 module.  JESD79-4 grade timings (rounded);
+#: counter-table TRR in the U-TRR "Vendor A" style, firing every 9th
+#: REF — close enough to HBM2's cadence to exercise the methodology,
+#: different enough that ``infer_period`` must tell them apart.
+DDR4 = register_profile(DeviceProfile(
+    name="ddr4",
+    family="DDR4",
+    description="Two-channel DDR4-2400 module: planar dies, "
+                "counter-table TRR sampler firing every 9th REF.",
+    geometry=Geometry(channels=2, pseudo_channels=1, banks=16,
+                      rows=65536, columns=128, column_bytes=8,
+                      channels_per_die=1),
+    timing=TimingParameters(frequency_hz=1200e6, t_rcd=13.75, t_ras=32.0,
+                            t_rp=13.75, t_rrd=5.3, t_faw=21.0, t_ccd=5.0,
+                            t_wr=15.0, t_rfc=350.0, t_refi=7800.0,
+                            t_refw=64_000_000.0),
+    trr=TrrConfig(refresh_period=9, sampler="counter", table_size=4),
+    calibration=ddr4_calibration(),
+))
+
+#: A two-channel DDR5-4800 module (two sub-channels modelled as pseudo
+#: channels).  Probabilistic TRR in the U-TRR "Vendor B" style: no
+#: periodic signature for ``infer_period`` to find.
+DDR5 = register_profile(DeviceProfile(
+    name="ddr5",
+    family="DDR5",
+    description="Two-channel DDR5-4800 module: 2 sub-channels, "
+                "probabilistic TRR sampler (p=1/8) firing every 4th REF.",
+    geometry=Geometry(channels=2, pseudo_channels=2, banks=32,
+                      rows=65536, columns=64, column_bytes=16,
+                      channels_per_die=1),
+    timing=TimingParameters(frequency_hz=2400e6, t_rcd=16.0, t_ras=32.0,
+                            t_rp=16.0, t_rrd=5.0, t_faw=13.3, t_ccd=3.3,
+                            t_wr=30.0, t_rfc=295.0, t_refi=3900.0,
+                            t_refw=32_000_000.0),
+    trr=TrrConfig(refresh_period=4, sampler="probabilistic",
+                  sample_probability=0.125),
+    calibration=ddr5_calibration(),
+))

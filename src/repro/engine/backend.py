@@ -144,12 +144,26 @@ class LocalBackend:
     def timing(self):
         return self._host.device.timing
 
+    def device_identity(self) -> str:
+        """The executing device's family identity for cache digests.
+
+        Mirrors :meth:`repro.dram.profiles.DeviceProfile.identity` —
+        profile name (empty for hand-assembled devices), geometry, and
+        TRR policy — so programs verified against one family never
+        alias another's cache entries, even with identical timing.
+        """
+        device = self._host.device
+        return (f"{device.profile_name or ''}|{device.geometry!r}"
+                f"|{device.trr_config!r}")
+
     def compile(self, program: Program) -> CompiledProgram:
         """Canonicalize ``program`` into a patchable, lowered handle."""
         template, binding, slot_banks = canonicalize(program)
         handle = CompiledProgram(template=template, slot_banks=slot_banks,
                                  source_binding=binding,
-                                 digest=shape_digest(template, self.timing))
+                                 digest=shape_digest(
+                                     template, self.timing,
+                                     self.device_identity()))
         payload_cache = self._host.interpreter.payload_cache
         if payload_cache is not None:
             for payload in _wrrow_payloads(template):
@@ -197,7 +211,7 @@ class FastPathBackend(LocalBackend):
     Ops reuse the device's own command methods (ACT/PRE/REF/RDROW at
     the same clock stamps), hammer loops mirror the interpreter's
     warm-up + bulk + cool-down split exactly, and full-row writes go
-    through :meth:`~repro.dram.device.HBM2Device.apply_row_write`.
+    through :meth:`~repro.dram.device.Device.apply_row_write`.
     The CI fastpath-equivalence job holds the gate: Fig. 3 dataset
     fingerprints must be byte-identical with ``REPRO_FASTPATH=0/1``.
     """

@@ -131,10 +131,19 @@ def substitute(template: Program, slot_banks: SlotBanks,
     return Program(walk(template.instructions))
 
 
-def shape_digest(template: Program, timing) -> str:
-    """blake2b over the template's assembly text and the timing table."""
+def shape_digest(template: Program, timing, device_identity: str = "") -> str:
+    """blake2b over the template's assembly, timing, and device identity.
+
+    ``device_identity`` is the executing device family's identity string
+    (profile name + geometry + TRR policy — see
+    :meth:`repro.dram.profiles.DeviceProfile.identity`).  Including it
+    keeps verified programs from aliasing across device families that
+    happen to share an assembly text and timing table: a verdict is only
+    transferable to the device it was verified against.
+    """
     payload = (disassemble(template).encode("ascii")
-               + b"\x00" + repr(timing).encode("ascii"))
+               + b"\x00" + repr(timing).encode("ascii")
+               + b"\x00" + device_identity.encode("ascii"))
     return hashlib.blake2b(payload, digest_size=16).hexdigest()
 
 

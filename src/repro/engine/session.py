@@ -53,7 +53,8 @@ class EngineSession:
     def __init__(self, *, spec: Optional[BoardSpec] = None,
                  board: Optional[BenderBoard] = None,
                  experiment=None, cache: Optional[bool] = None,
-                 fastpath: Optional[bool] = None) -> None:
+                 fastpath: Optional[bool] = None,
+                 profile: Optional[str] = None) -> None:
         """
         Args:
             spec: recipe to build the board from (lazily, on first use).
@@ -65,6 +66,10 @@ class EngineSession:
                 consults ``$REPRO_FASTPATH`` (default on).  Effective
                 only with the cache enabled — summaries live on cached
                 program shapes.
+            profile: device-family profile name to build the station
+                with (:mod:`repro.dram.profiles`); applied onto
+                ``spec`` (which must not already name a *different*
+                family).  Ignored for adopted boards.
         """
         # Lazy import: core.sweeps imports this module, and the core
         # package __init__ eagerly imports sweeps — a module-level
@@ -72,6 +77,14 @@ class EngineSession:
         from repro.core.experiment import ExperimentConfig
         if spec is None and board is None:
             raise EngineError("EngineSession needs a BoardSpec or a board")
+        if profile is not None and spec is not None:
+            from dataclasses import replace
+            if spec.device_profile is not None and \
+                    spec.device_profile != profile:
+                raise EngineError(
+                    f"session profile {profile!r} conflicts with the "
+                    f"spec's device profile {spec.device_profile!r}")
+            spec = replace(spec, device_profile=profile)
         self._spec = spec
         self._board = board
         self.experiment = experiment or ExperimentConfig()

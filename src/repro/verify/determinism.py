@@ -49,6 +49,7 @@ FINGERPRINTED_SUFFIXES = (
     "core/campaign.py",
     "faults/plan.py",
     "core/parallel.py",
+    "dram/profiles.py",
 )
 
 _NOQA_RE = re.compile(r"#\s*noqa(?::\s*([A-Z0-9, ]+))?", re.IGNORECASE)

@@ -83,8 +83,11 @@ class VerifyContext:
             aggressor-on times, the cross-channel differential pair).
         assume_trr_escaped: the experiment interprets its results as if
             on-die TRR cannot interfere; warn when the REF cadence gives
-            the paper's 17-REF sampler firing opportunities anyway.
-        trr_period_refs: the sampler period (paper Sec. 5).
+            the device's N-REF sampler firing opportunities anyway.
+        trr_period_refs: the sampler period — the paper's HBM2 chip
+            fires every 17th REF (Sec. 5); :meth:`for_host` reads the
+            active device's TRR policy so other families check against
+            their own cadence.
         columns: columns per row, for the bus time of RDROW/WRROW.
     """
 
@@ -110,6 +113,8 @@ class VerifyContext:
         open/closed identity and the ``expected_hammers`` row keys,
         both of which the cache's canonical row renaming preserves.
         """
+        overrides.setdefault("trr_period_refs",
+                             host.device.trr_config.refresh_period)
         return cls(timing=host.device.timing,
                    columns=host.device.geometry.columns, **overrides)
 

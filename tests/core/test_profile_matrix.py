@@ -1,0 +1,152 @@
+"""Profile-parametrized end-to-end matrix (the device-family contract).
+
+Three guarantees, checked per registered family:
+
+1. **hbm2 is byte-identical to the pre-profile code.**  The reference
+   sweep's dataset fingerprint is pinned to the exact digest the seed
+   repository produced; any refactor that drifts the hbm2 path by one
+   byte fails here.
+2. **Every family runs the full §4 characterization end-to-end**, with
+   the analytic fast path producing byte-identical datasets to
+   interpreted execution, and parallel sharding byte-identical to the
+   serial path — which exercises each TRR sampler's ``observe_run``
+   bulk contract at device level and profile threading across process
+   boundaries.
+3. **The families are behaviourally distinct through the paper's §5
+   U-TRR methodology**: read-back data alone distinguishes the
+   last-activation sampler (regular 17-REF firing), the counter
+   sampler (regular firing at a different period) and the
+   probabilistic sampler (irregular firing).
+"""
+
+import pytest
+
+from repro.bender.board import BoardSpec, make_paper_setup
+from repro.core.experiment import ExperimentConfig
+from repro.core.sweeps import SpatialSweep, SweepConfig
+from repro.core.utrr import UTrrExperiment, infer_period
+from repro.dram.address import DramAddress
+from repro.engine.session import EngineSession
+from repro.errors import ExperimentError
+
+PROFILES = ("hbm2", "ddr4", "ddr5")
+
+#: Dataset fingerprint of the reference sweep at the seed revision —
+#: the byte-identity acceptance bar for the hbm2 path.
+HBM2_REFERENCE_FINGERPRINT = "b53f07cb36c5ee9e7b716bb3be36cfee"
+
+SMOKE_SEED = 3
+
+
+def smoke_config(profile, jobs=1):
+    return SweepConfig(
+        channels=(0, 1), rows_per_region=2, hcfirst_rows_per_region=1,
+        jobs=jobs,
+        experiment=ExperimentConfig(profile=profile,
+                                    ber_hammer_count=48 * 1024,
+                                    hcfirst_max_hammers=48 * 1024))
+
+
+def run_smoke_sweep(profile, fastpath=True):
+    board = make_paper_setup(seed=SMOKE_SEED, device_profile=profile)
+    if not fastpath:
+        # Install the plain interpreted backend before the sweep's own
+        # session would install the fast path.
+        EngineSession(board=board, cache=True, fastpath=False).board
+    return SpatialSweep(board, smoke_config(profile)).run()
+
+
+@pytest.fixture(scope="module")
+def fast_datasets():
+    """One fast-path smoke sweep per family, shared across the module."""
+    return {profile: run_smoke_sweep(profile) for profile in PROFILES}
+
+
+class TestHbm2ByteIdentity:
+    def test_reference_sweep_fingerprint_is_pinned(self):
+        """The seed repository's reference digest, bit for bit."""
+        sweep = SpatialSweep(
+            make_paper_setup(seed=2023),
+            SweepConfig(channels=(0, 7), rows_per_region=2,
+                        hcfirst_rows_per_region=1))
+        assert sweep.run().fingerprint() == HBM2_REFERENCE_FINGERPRINT
+
+    def test_named_hbm2_profile_matches_the_default_station(
+            self, fast_datasets):
+        """`--profile hbm2` and no profile are the same chip."""
+        implicit = run_smoke_sweep(None)
+        assert (implicit.fingerprint()
+                == fast_datasets["hbm2"].fingerprint())
+
+
+class TestProfileMatrix:
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_sweep_runs_end_to_end(self, profile, fast_datasets):
+        dataset = fast_datasets[profile]
+        assert dataset.ber_records
+        assert dataset.hcfirst_records
+        assert dataset.metadata["profile"] == profile
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_fastpath_matches_interpreted_execution(
+            self, profile, fast_datasets):
+        """The observe_run bulk contract, at dataset granularity."""
+        slow = run_smoke_sweep(profile, fastpath=False)
+        assert (fast_datasets[profile].fingerprint()
+                == slow.fingerprint())
+
+    def test_parallel_sharding_matches_serial(self):
+        """Profile threading survives the process boundary."""
+        from repro.core.parallel import ParallelSweepRunner
+
+        spec = BoardSpec(seed=SMOKE_SEED, device_profile="ddr4")
+        serial = SpatialSweep(spec.build(), smoke_config("ddr4")).run()
+        runner = ParallelSweepRunner(spec, smoke_config("ddr4", jobs=2))
+        parallel = runner.run()
+        assert runner.errors == ()
+        assert serial.fingerprint() == parallel.fingerprint()
+
+    def test_profile_mismatch_fails_loudly(self):
+        board = make_paper_setup(seed=0, device_profile="hbm2",
+                                 settle_thermals=False)
+        with pytest.raises(ExperimentError, match="ddr4"):
+            SpatialSweep(board, smoke_config("ddr4"))
+
+
+class TestUTrrDistinguishability:
+    """§5 methodology tells the three sampler strategies apart."""
+
+    @pytest.fixture(scope="class")
+    def signatures(self):
+        observed = {}
+        for profile in PROFILES:
+            board = make_paper_setup(seed=0, device_profile=profile)
+            experiment = UTrrExperiment(board.host, board.device.mapper)
+            result = experiment.run(DramAddress(0, 0, 0, 5000),
+                                    iterations=100)
+            gaps = [second - first for first, second in
+                    zip(result.refresh_iterations,
+                        result.refresh_iterations[1:])]
+            observed[profile] = (result, gaps)
+        return observed
+
+    def test_hbm2_fires_regularly_every_17_refs(self, signatures):
+        result, gaps = signatures["hbm2"]
+        assert result.trr_detected
+        assert result.inferred_period == 17
+        assert len(set(gaps)) == 1
+
+    def test_ddr4_counter_fires_regularly_at_another_period(
+            self, signatures):
+        result, gaps = signatures["ddr4"]
+        assert result.trr_detected
+        assert result.inferred_period != 17
+        assert len(set(gaps)) == 1
+
+    def test_ddr5_probabilistic_fires_irregularly(self, signatures):
+        _, gaps = signatures["ddr5"]
+        assert len(gaps) >= 2
+        assert len(set(gaps)) > 1
+
+    def test_infer_period_rejects_patternless_observations(self):
+        assert infer_period([3, 10, 30, 34, 77]) is None

@@ -23,6 +23,21 @@ class TestPackageIsClean:
         assert report.ok, report.render()
 
 
+class TestFingerprintedCorpus:
+    def test_device_profile_registry_is_fingerprinted(self):
+        """Profile identities feed campaign fingerprints and program
+        cache digests, so the registry module is held to the DET003
+        ordering rules like the other fingerprinted paths."""
+        assert "dram/profiles.py" in FINGERPRINTED_SUFFIXES
+
+    def test_set_iteration_flagged_in_profiles_module(self):
+        diagnostics = lint("""\
+            for name in {"hbm2", "ddr4"}:
+                print(name)
+        """, filename="src/repro/dram/profiles.py")
+        assert rules(diagnostics) == ["DET003"]
+
+
 class TestDet001UnseededRandomness:
     def test_random_module_function(self):
         diagnostics = lint("""\
